@@ -1,0 +1,285 @@
+// Benchmarks: one per table/figure of the reproduction (DESIGN.md's
+// per-experiment index). Two kinds live here:
+//
+//   - Benchmark<Experiment> runs the corresponding harness experiment
+//     end to end (the same code `pdmbench -run <id>` executes); use
+//     these to regenerate the EXPERIMENTS.md tables under the Go
+//     benchmark driver.
+//   - BenchmarkOp* measure single dictionary operations and report
+//     parallel I/Os per operation (ios/op), the paper's cost measure,
+//     alongside wall-clock ns/op.
+package pdmdict_test
+
+import (
+	"io"
+	"testing"
+
+	"pdmdict"
+	"pdmdict/internal/bench"
+)
+
+// runExperiment drives one harness experiment under the benchmark loop.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run("^"+id+"$", io.Discard, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)             { runExperiment(b, "E1-fig1") }
+func BenchmarkLemma3(b *testing.B)           { runExperiment(b, "E2-lemma3") }
+func BenchmarkUniqueNeighbors(b *testing.B)  { runExperiment(b, "E3-unique") }
+func BenchmarkThm6Static(b *testing.B)       { runExperiment(b, "E4-thm6") }
+func BenchmarkThm7Dynamic(b *testing.B)      { runExperiment(b, "E5-thm7") }
+func BenchmarkExplicitExpander(b *testing.B) { runExperiment(b, "E6-explicit") }
+func BenchmarkTails(b *testing.B)            { runExperiment(b, "E7-tails") }
+func BenchmarkBTreeBaseline(b *testing.B)    { runExperiment(b, "E8-btree") }
+func BenchmarkBandwidth(b *testing.B)        { runExperiment(b, "E9-bandwidth") }
+func BenchmarkRebuild(b *testing.B)          { runExperiment(b, "E10-rebuild") }
+func BenchmarkSeqCache(b *testing.B)         { runExperiment(b, "E11-seqcache") }
+func BenchmarkScaling(b *testing.B)          { runExperiment(b, "E12-scaling") }
+func BenchmarkSpace(b *testing.B)            { runExperiment(b, "E13-space") }
+func BenchmarkAblateStriping(b *testing.B)   { runExperiment(b, "A1-ablate-striping") }
+func BenchmarkAblateCascade(b *testing.B)    { runExperiment(b, "A2-ablate-cascade") }
+func BenchmarkAblateK(b *testing.B)          { runExperiment(b, "A3-ablate-k") }
+func BenchmarkOneProbe(b *testing.B)         { runExperiment(b, "A4-oneprobe") }
+
+// ---------------------------------------------------------------------
+// Per-operation micro-benchmarks with ios/op reporting.
+
+type ioDict interface {
+	pdmdict.Dictionary
+}
+
+func fillKeys(n int) []pdmdict.Word {
+	keys := make([]pdmdict.Word, n)
+	for i := range keys {
+		keys[i] = pdmdict.Word(i)*2654435761 + 1
+	}
+	return keys
+}
+
+func benchLookup(b *testing.B, d ioDict, satWords int) {
+	b.Helper()
+	keys := fillKeys(4096)
+	sat := make([]pdmdict.Word, satWords)
+	for _, k := range keys {
+		if err := d.Insert(k, sat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	startIOs := d.IOStats().ParallelIOs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup(keys[i%len(keys)]); !ok {
+			b.Fatal("key lost")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.IOStats().ParallelIOs-startIOs)/float64(b.N), "ios/op")
+}
+
+func benchInsert(b *testing.B, mk func(capacity int) ioDict, satWords int) {
+	b.Helper()
+	sat := make([]pdmdict.Word, satWords)
+	d := mk(b.N + 1)
+	keys := fillKeys(b.N + 1)
+	startIOs := d.IOStats().ParallelIOs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Insert(keys[i], sat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.IOStats().ParallelIOs-startIOs)/float64(b.N), "ios/op")
+}
+
+func BenchmarkOpBasicLookup(b *testing.B) {
+	d, err := pdmdict.NewBasic(pdmdict.BasicOptions{Options: pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLookup(b, d, 2)
+}
+
+func BenchmarkOpBasicInsert(b *testing.B) {
+	benchInsert(b, func(c int) ioDict {
+		d, err := pdmdict.NewBasic(pdmdict.BasicOptions{Options: pdmdict.Options{Capacity: c, SatWords: 2, Seed: 2}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}, 2)
+}
+
+func BenchmarkOpDynamicLookup(b *testing.B) {
+	d, err := pdmdict.NewDynamic(pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLookup(b, d, 2)
+}
+
+func BenchmarkOpDynamicInsert(b *testing.B) {
+	benchInsert(b, func(c int) ioDict {
+		d, err := pdmdict.NewDynamic(pdmdict.Options{Capacity: c, SatWords: 2, Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}, 2)
+}
+
+func BenchmarkOpDictLookup(b *testing.B) {
+	d, err := pdmdict.New(pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLookup(b, d, 2)
+}
+
+func BenchmarkOpDictInsert(b *testing.B) {
+	benchInsert(b, func(c int) ioDict {
+		d, err := pdmdict.New(pdmdict.Options{Capacity: c, SatWords: 2, Seed: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}, 2)
+}
+
+func BenchmarkOpStaticLookup(b *testing.B) {
+	keys := fillKeys(4096)
+	recs := make([]pdmdict.Record, len(keys))
+	for i, k := range keys {
+		recs[i] = pdmdict.Record{Key: k, Sat: []pdmdict.Word{1, 2}}
+	}
+	d, err := pdmdict.BuildStatic(pdmdict.StaticOptions{
+		Options: pdmdict.Options{Capacity: len(keys), SatWords: 2, Degree: 12, Seed: 7},
+	}, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	startIOs := d.IOStats().ParallelIOs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup(keys[i%len(keys)]); !ok {
+			b.Fatal("key lost")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.IOStats().ParallelIOs-startIOs)/float64(b.N), "ios/op")
+}
+
+func BenchmarkOpHashTableLookup(b *testing.B) {
+	d, err := pdmdict.NewHashTable(pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLookup(b, d, 2)
+}
+
+func BenchmarkOpCuckooLookup(b *testing.B) {
+	d, err := pdmdict.NewCuckoo(pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLookup(b, d, 2)
+}
+
+func BenchmarkOpBTreeLookup(b *testing.B) {
+	d, err := pdmdict.NewBTree(pdmdict.BTreeOptions{Options: pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLookup(b, d, 2)
+}
+
+func BenchmarkOpOneProbeLookup(b *testing.B) {
+	d, err := pdmdict.NewOneProbe(pdmdict.OneProbeOptions{Options: pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 11}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLookup(b, d, 2)
+}
+
+func BenchmarkOpOneProbeInsert(b *testing.B) {
+	benchInsert(b, func(c int) ioDict {
+		d, err := pdmdict.NewOneProbe(pdmdict.OneProbeOptions{Options: pdmdict.Options{Capacity: c, SatWords: 2, Seed: 12}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}, 2)
+}
+
+func BenchmarkOpDirectLookup(b *testing.B) {
+	d, err := pdmdict.NewDirect(pdmdict.Options{Universe: 1 << 16, SatWords: 2, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := fillKeys(4096)
+	for i := range keys {
+		keys[i] %= 1 << 16
+	}
+	sat := []pdmdict.Word{1, 2}
+	for _, k := range keys {
+		if err := d.Insert(k, sat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	startIOs := d.IOStats().ParallelIOs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(keys[i%len(keys)])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.IOStats().ParallelIOs-startIOs)/float64(b.N), "ios/op")
+}
+
+func BenchmarkOpBasicLookupBatch64(b *testing.B) {
+	d, err := pdmdict.NewBasic(pdmdict.BasicOptions{Options: pdmdict.Options{Capacity: 4096, SatWords: 2, Seed: 14}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := fillKeys(4096)
+	sat := []pdmdict.Word{1, 2}
+	for _, k := range keys {
+		if err := d.Insert(k, sat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batch := make([]pdmdict.Word, 64)
+	for i := range batch {
+		batch[i] = keys[i%16] // hot working set: dedup pays
+	}
+	startIOs := d.IOStats().ParallelIOs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.LookupBatch(batch)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.IOStats().ParallelIOs-startIOs)/float64(b.N*len(batch)), "ios/lookup")
+}
+
+func BenchmarkOpNamedLookup(b *testing.B) {
+	base, err := pdmdict.New(pdmdict.Options{Capacity: 2048, SatWords: pdmdict.NamedSatWords(2), Seed: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := pdmdict.NewNamed(base, 2)
+	names := make([]string, 2048)
+	for i := range names {
+		names[i] = "/var/mail/user/" + string(rune('a'+i%26)) + "/msg" + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)) + string(rune('0'+(i/100)%10)) + string(rune('0'+(i/1000)%10))
+		if err := d.Insert(names[i], []pdmdict.Word{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(names[i%len(names)])
+	}
+}

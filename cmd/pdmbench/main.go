@@ -1,0 +1,65 @@
+// Command pdmbench runs the experiment suite that reproduces the
+// paper's Figure 1 and validates every lemma/theorem bound (DESIGN.md's
+// per-experiment index), printing one table per experiment.
+//
+// Usage:
+//
+//	pdmbench [-run regexp] [-md] [-list] [-o file]
+//
+// Examples:
+//
+//	pdmbench -list                 # show the experiment index
+//	pdmbench -run fig1             # regenerate Figure 1
+//	pdmbench -run 'E[0-9]+' -md    # all E-experiments as markdown
+//	pdmbench -o results.txt        # full suite into a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pdmdict/internal/bench"
+)
+
+func main() {
+	var (
+		pattern  = flag.String("run", "", "regexp selecting experiment IDs (empty = all)")
+		markdown = flag.Bool("md", false, "emit markdown tables instead of aligned text")
+		csv      = flag.Bool("csv", false, "emit CSV (for plotting pipelines)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		outPath  = flag.String("o", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdmbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	format := bench.FormatText
+	switch {
+	case *csv:
+		format = bench.FormatCSV
+	case *markdown:
+		format = bench.FormatMarkdown
+	}
+	if _, err := bench.RunFormat(*pattern, out, format); err != nil {
+		fmt.Fprintln(os.Stderr, "pdmbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,179 @@
+// Command pdmtrace replays an operation trace against any of the
+// package's dictionaries and reports the parallel-I/O cost profile —
+// the tool for answering "what would MY workload cost on this
+// structure?".
+//
+// Usage:
+//
+//	pdmtrace -struct dict|basic|dynamic|oneprobe|hash|cuckoo|twolevel|btree
+//	         [-in trace.txt | -gen N -mix read|write] [-capacity C]
+//	         [-sat words] [-degree d] [-block B] [-seed s] [-out trace.txt]
+//
+// Examples:
+//
+//	pdmtrace -gen 10000 -mix read -struct basic     # synthetic read-mostly
+//	pdmtrace -gen 10000 -out my.trace               # just write the trace
+//	pdmtrace -in my.trace -struct btree             # replay it on a B-tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pdmdict"
+	"pdmdict/internal/workload"
+)
+
+func main() {
+	var (
+		structName = flag.String("struct", "dict", "structure to drive: dict|basic|dynamic|oneprobe|hash|cuckoo|twolevel|btree")
+		inPath     = flag.String("in", "", "trace file to replay (default: generate)")
+		outPath    = flag.String("out", "", "write the (generated) trace here instead of replaying")
+		gen        = flag.Int("gen", 10000, "synthetic trace length when -in is not given")
+		mix        = flag.String("mix", "read", "synthetic mix: read|write")
+		capacity   = flag.Int("capacity", 4096, "dictionary capacity")
+		satWords   = flag.Int("sat", 1, "satellite words per key")
+		degree     = flag.Int("degree", 20, "expander degree / disk group size")
+		blockSize  = flag.Int("block", 64, "block size B in words")
+		seed       = flag.Uint64("seed", 1, "structure seed")
+	)
+	flag.Parse()
+
+	ops, err := loadOps(*inPath, *gen, *mix, *capacity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdmtrace:", err)
+		os.Exit(1)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, ops); err != nil {
+			fmt.Fprintln(os.Stderr, "pdmtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d ops to %s\n", len(ops), *outPath)
+		return
+	}
+
+	opts := pdmdict.Options{
+		Capacity:  *capacity,
+		SatWords:  *satWords,
+		Degree:    *degree,
+		BlockSize: *blockSize,
+		Seed:      *seed,
+	}
+	dict, err := build(*structName, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdmtrace:", err)
+		os.Exit(1)
+	}
+
+	sat := make([]pdmdict.Word, *satWords)
+	for i := range sat {
+		sat[i] = pdmdict.Word(i)
+	}
+	costs := map[workload.OpKind][]int64{}
+	errors := 0
+	for _, op := range ops {
+		before := dict.IOStats().ParallelIOs
+		switch op.Kind {
+		case workload.OpInsert:
+			if err := dict.Insert(op.Key, sat); err != nil {
+				errors++
+			}
+		case workload.OpLookup:
+			dict.Lookup(op.Key)
+		case workload.OpDelete:
+			dict.Delete(op.Key)
+		}
+		costs[op.Kind] = append(costs[op.Kind], dict.IOStats().ParallelIOs-before)
+	}
+
+	fmt.Printf("replayed %d ops on %q (capacity %d, σ=%d words, d=%d, B=%d)\n",
+		len(ops), *structName, *capacity, *satWords, *degree, *blockSize)
+	fmt.Printf("%-8s %8s %10s %8s %8s %8s\n", "op", "count", "avg I/Os", "p50", "p99", "max")
+	for _, kind := range []workload.OpKind{workload.OpLookup, workload.OpInsert, workload.OpDelete} {
+		cs := costs[kind]
+		if len(cs) == 0 {
+			continue
+		}
+		fmt.Printf("%-8s %8d %10.3f %8d %8d %8d\n",
+			kindName(kind), len(cs), avg(cs), pct(cs, 0.50), pct(cs, 0.99), pct(cs, 1))
+	}
+	fmt.Printf("final: %d keys stored, %d total parallel I/Os", dict.Len(), dict.IOStats().ParallelIOs)
+	if errors > 0 {
+		fmt.Printf(", %d failed inserts (capacity)", errors)
+	}
+	fmt.Println()
+}
+
+func loadOps(inPath string, gen int, mix string, capacity int) ([]workload.Op, error) {
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadTrace(f)
+	}
+	m := workload.ReadMostly
+	if mix == "write" {
+		m = workload.WriteHeavy
+	}
+	keys := workload.Uniform(capacity, 1<<44, 1)
+	return workload.Ops(keys, gen, m, 0.05, 2), nil
+}
+
+func build(name string, opts pdmdict.Options) (pdmdict.Dictionary, error) {
+	switch name {
+	case "dict":
+		return pdmdict.New(opts)
+	case "basic":
+		return pdmdict.NewBasic(pdmdict.BasicOptions{Options: opts})
+	case "dynamic":
+		return pdmdict.NewDynamic(opts)
+	case "oneprobe":
+		return pdmdict.NewOneProbe(pdmdict.OneProbeOptions{Options: opts})
+	case "hash":
+		return pdmdict.NewHashTable(opts)
+	case "cuckoo":
+		return pdmdict.NewCuckoo(opts)
+	case "twolevel":
+		return pdmdict.NewTwoLevel(opts)
+	case "btree":
+		return pdmdict.NewBTree(pdmdict.BTreeOptions{Options: opts})
+	default:
+		return nil, fmt.Errorf("unknown structure %q", name)
+	}
+}
+
+func kindName(k workload.OpKind) string {
+	switch k {
+	case workload.OpLookup:
+		return "lookup"
+	case workload.OpInsert:
+		return "insert"
+	default:
+		return "delete"
+	}
+}
+
+func avg(cs []int64) float64 {
+	var sum int64
+	for _, c := range cs {
+		sum += c
+	}
+	return float64(sum) / float64(len(cs))
+}
+
+func pct(cs []int64, p float64) int64 {
+	sorted := append([]int64(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(p*float64(len(sorted)-1))]
+}

@@ -1,0 +1,144 @@
+package pdmdict_test
+
+// Runnable godoc examples for the public API. Each doubles as a test
+// (the // Output comments are verified by `go test`), and everything is
+// seeded, so the printed numbers are stable.
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"pdmdict"
+)
+
+func ExampleNewBasic() {
+	// The Section 4.1 structure: 1-I/O lookups, 2-I/O updates, worst case.
+	d, err := pdmdict.NewBasic(pdmdict.BasicOptions{
+		Options: pdmdict.Options{Capacity: 128, SatWords: 1, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Insert(7, []pdmdict.Word{700})
+	before := d.IOStats().ParallelIOs
+	sat, ok := d.Lookup(7)
+	fmt.Println(ok, sat[0], "cost:", d.IOStats().ParallelIOs-before)
+	// Output: true 700 cost: 1
+}
+
+func ExampleBasic_LookupBatch() {
+	d, err := pdmdict.NewBasic(pdmdict.BasicOptions{
+		Options: pdmdict.Options{Capacity: 128, SatWords: 1, Seed: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Insert(1, []pdmdict.Word{10})
+	d.Insert(2, []pdmdict.Word{20})
+	// A skewed burst: the hot key's blocks are read once, not three times.
+	before := d.IOStats().ParallelIOs
+	sats, oks := d.LookupBatch([]pdmdict.Word{1, 1, 1, 2, 99})
+	fmt.Println(oks, sats[0][0], sats[3][0], "cost:", d.IOStats().ParallelIOs-before)
+	// Output: [true true true true false] 10 20 cost: 2
+}
+
+func ExampleBuildStatic() {
+	// Theorem 6: a one-probe static dictionary built from a record list.
+	recs := []pdmdict.Record{
+		{Key: 10, Sat: []pdmdict.Word{100}},
+		{Key: 20, Sat: []pdmdict.Word{200}},
+		{Key: 30, Sat: []pdmdict.Word{300}},
+	}
+	d, err := pdmdict.BuildStatic(pdmdict.StaticOptions{
+		Options: pdmdict.Options{Capacity: 3, SatWords: 1, Degree: 6, Seed: 3},
+	}, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sat, ok := d.Lookup(20)
+	_, missing := d.Lookup(25)
+	fmt.Println(ok, sat[0], missing)
+	// Output: true 200 false
+}
+
+func ExampleNewDynamic() {
+	// Theorem 7: 1 I/O misses, ≤1+ɛ average hits, ≤2+ɛ average updates.
+	d, err := pdmdict.NewDynamic(pdmdict.Options{Capacity: 100, SatWords: 1, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Insert(5, []pdmdict.Word{55})
+	before := d.IOStats().ParallelIOs
+	_, miss := d.Lookup(6)
+	fmt.Println("miss:", miss, "cost:", d.IOStats().ParallelIOs-before)
+	// Output: miss: false cost: 1
+}
+
+func ExampleNewOneProbe() {
+	// Section 6 exploration: EVERY lookup is one parallel I/O; every
+	// update two.
+	d, err := pdmdict.NewOneProbe(pdmdict.OneProbeOptions{
+		Options: pdmdict.Options{Capacity: 64, SatWords: 2, Seed: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := d.IOStats().ParallelIOs
+	d.Insert(9, []pdmdict.Word{90, 91})
+	insertCost := d.IOStats().ParallelIOs - before
+	before = d.IOStats().ParallelIOs
+	sat, _ := d.Lookup(9)
+	fmt.Println(sat[1], "insert:", insertCost, "lookup:", d.IOStats().ParallelIOs-before)
+	// Output: 91 insert: 2 lookup: 1
+}
+
+func ExampleDict_Save() {
+	d, err := pdmdict.New(pdmdict.Options{Capacity: 32, SatWords: 1, Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Insert(3, []pdmdict.Word{33})
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := pdmdict.OpenDict(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sat, ok := restored.Lookup(3)
+	fmt.Println(ok, sat[0])
+	// Output: true 33
+}
+
+func ExampleNewNamed() {
+	// String keys for the file-system use case; names are verified, so
+	// hash collisions can never return wrong data.
+	base, err := pdmdict.New(pdmdict.Options{
+		Capacity: 64,
+		SatWords: pdmdict.NamedSatWords(1),
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	files := pdmdict.NewNamed(base, 1)
+	files.Insert("/var/mail/inbox/0001.eml", []pdmdict.Word{1234})
+	sat, ok := files.Lookup("/var/mail/inbox/0001.eml")
+	_, missing := files.Lookup("/var/mail/inbox/0002.eml")
+	fmt.Println(ok, sat[0], missing)
+	// Output: true 1234 false
+}
+
+func ExampleSynchronized() {
+	base, err := pdmdict.New(pdmdict.Options{Capacity: 32, SatWords: 1, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := pdmdict.Synchronized(base) // safe for concurrent readers/writers
+	d.Insert(1, []pdmdict.Word{11})
+	fmt.Println(d.Contains(1), d.Len())
+	// Output: true 1
+}

@@ -1,0 +1,3 @@
+module pdmdict
+
+go 1.22

@@ -1,0 +1,203 @@
+package pdmdict_test
+
+// Integration tests: drive every public structure through the same
+// seeded operation streams and cross-check them against each other and
+// against an in-memory oracle — the structures disagree only if one of
+// them is wrong.
+
+import (
+	"fmt"
+	"testing"
+
+	"pdmdict"
+	"pdmdict/internal/workload"
+)
+
+func buildAll(t *testing.T, capacity, satWords int) map[string]pdmdict.Dictionary {
+	t.Helper()
+	opts := pdmdict.Options{Capacity: capacity, SatWords: satWords, Seed: 77}
+	dicts := map[string]pdmdict.Dictionary{}
+	add := func(name string, d pdmdict.Dictionary, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dicts[name] = d
+	}
+	d1, err := pdmdict.New(opts)
+	add("dict", d1, err)
+	d2, err := pdmdict.NewBasic(pdmdict.BasicOptions{Options: opts})
+	add("basic", d2, err)
+	d3, err := pdmdict.NewDynamic(opts)
+	add("dynamic", d3, err)
+	d4, err := pdmdict.NewOneProbe(pdmdict.OneProbeOptions{Options: opts})
+	add("oneprobe", d4, err)
+	d5, err := pdmdict.NewHashTable(opts)
+	add("hashtable", d5, err)
+	d6, err := pdmdict.NewCuckoo(opts)
+	add("cuckoo", d6, err)
+	d7, err := pdmdict.NewTwoLevel(opts)
+	add("twolevel", d7, err)
+	d8, err := pdmdict.NewBTree(pdmdict.BTreeOptions{Options: opts})
+	add("btree", d8, err)
+	return dicts
+}
+
+func TestIntegrationAllStructuresAgree(t *testing.T) {
+	const satWords = 2
+	dicts := buildAll(t, 1500, satWords)
+	keys := workload.Uniform(1200, 1<<40, 78)
+	ops := workload.Ops(keys, 6000, workload.Mix{Lookup: 50, Insert: 35, Delete: 15}, 0.15, 79)
+
+	oracle := map[pdmdict.Word][]pdmdict.Word{}
+	satOf := func(k pdmdict.Word, i int) []pdmdict.Word {
+		return []pdmdict.Word{k + pdmdict.Word(i), k * 3}
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case workload.OpInsert:
+			sat := satOf(op.Key, i)
+			for name, d := range dicts {
+				if err := d.Insert(op.Key, sat); err != nil {
+					t.Fatalf("op %d: %s insert: %v", i, name, err)
+				}
+			}
+			oracle[op.Key] = sat
+		case workload.OpDelete:
+			_, want := oracle[op.Key]
+			for name, d := range dicts {
+				if got := d.Delete(op.Key); got != want {
+					t.Fatalf("op %d: %s Delete(%d) = %v, oracle %v", i, name, op.Key, got, want)
+				}
+			}
+			delete(oracle, op.Key)
+		case workload.OpLookup:
+			want, okWant := oracle[op.Key]
+			for name, d := range dicts {
+				sat, ok := d.Lookup(op.Key)
+				if ok != okWant {
+					t.Fatalf("op %d: %s Lookup(%d) = %v, oracle %v", i, name, op.Key, ok, okWant)
+				}
+				if ok && (sat[0] != want[0] || sat[1] != want[1]) {
+					t.Fatalf("op %d: %s Lookup(%d) = %v, oracle %v", i, name, op.Key, sat, want)
+				}
+			}
+		}
+	}
+	for name, d := range dicts {
+		if d.Len() != len(oracle) {
+			t.Errorf("%s: Len = %d, oracle %d", name, d.Len(), len(oracle))
+		}
+	}
+}
+
+func TestIntegrationDeterministicReplay(t *testing.T) {
+	// Bit-exact determinism: two independent instances fed the same
+	// stream must finish with identical I/O counters.
+	run := func() pdmdict.IOStats {
+		d, err := pdmdict.New(pdmdict.Options{Capacity: 128, SatWords: 1, Seed: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := workload.Uniform(400, 1<<40, 81)
+		ops := workload.Ops(keys, 2500, workload.WriteHeavy, 0.1, 82)
+		for _, op := range ops {
+			switch op.Kind {
+			case workload.OpInsert:
+				d.Insert(op.Key, []pdmdict.Word{op.Key})
+			case workload.OpLookup:
+				d.Lookup(op.Key)
+			case workload.OpDelete:
+				d.Delete(op.Key)
+			}
+		}
+		return d.IOStats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestIntegrationZipfReadPath(t *testing.T) {
+	// The paper's motivating workload shape: skewed random reads over a
+	// large store. Every deterministic structure must hold its lookup
+	// guarantee for every single access, not on average.
+	opts := pdmdict.Options{Capacity: 2000, SatWords: 4, Seed: 83}
+	basic, err := pdmdict.NewBasic(pdmdict.BasicOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneprobe, err := pdmdict.NewOneProbe(pdmdict.OneProbeOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Uniform(2000, 1<<40, 84)
+	sat := []pdmdict.Word{1, 2, 3, 4}
+	for _, k := range keys {
+		if err := basic.Insert(k, sat); err != nil {
+			t.Fatal(err)
+		}
+		if err := oneprobe.Insert(k, sat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accesses := workload.ZipfAccesses(keys, 5000, 1.3, 85)
+	for _, probe := range []struct {
+		name string
+		d    pdmdict.Dictionary
+	}{{"basic", basic}, {"oneprobe", oneprobe}} {
+		before := probe.d.IOStats().ParallelIOs
+		for _, k := range accesses {
+			if !probe.d.Contains(k) {
+				t.Fatalf("%s: hot key lost", probe.name)
+			}
+		}
+		total := probe.d.IOStats().ParallelIOs - before
+		if total != int64(len(accesses)) {
+			t.Errorf("%s: %d I/Os for %d reads, want exactly 1 each", probe.name, total, len(accesses))
+		}
+	}
+}
+
+func TestIntegrationGrowthStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	d, err := pdmdict.New(pdmdict.Options{Capacity: 64, SatWords: 1, Seed: 86})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8000 // 7 doublings
+	for i := 0; i < n; i++ {
+		k := pdmdict.Word(i)*2654435761 + 99
+		if err := d.Insert(k, []pdmdict.Word{pdmdict.Word(i)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		// Spot-check earlier keys as we go.
+		if i%500 == 499 {
+			probe := i / 2
+			pk := pdmdict.Word(probe)*2654435761 + 99
+			if sat, ok := d.Lookup(pk); !ok || sat[0] != pdmdict.Word(probe) {
+				t.Fatalf("at n=%d: key %d = %v %v", i, probe, sat, ok)
+			}
+		}
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	if w := d.WorstOpIOs(); w > 60 {
+		t.Errorf("worst op across %d inserts and %d rebuilds = %d I/Os; want constant",
+			n, d.Rebuilds(), w)
+	}
+}
+
+func ExampleNew() {
+	dict, err := pdmdict.New(pdmdict.Options{Capacity: 16, SatWords: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	dict.Insert(42, []pdmdict.Word{4242})
+	sat, ok := dict.Lookup(42)
+	fmt.Println(ok, sat[0])
+	// Output: true 4242
+}

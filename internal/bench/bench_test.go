@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment in DESIGN.md's index must be registered.
+	want := []string{
+		"E1-fig1", "E2-lemma3", "E3-unique", "E4-thm6", "E5-thm7",
+		"E6-explicit", "E7-tails", "E8-btree", "E9-bandwidth", "E10-rebuild",
+		"E11-seqcache", "E12-scaling", "E13-space",
+		"A1-ablate-striping", "A2-ablate-cascade", "A3-ablate-k", "A4-oneprobe",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if got := len(Experiments()); got != len(want) {
+		t.Errorf("%d experiments registered, want %d", got, len(want))
+	}
+}
+
+func TestRunPatternErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Run("[", &buf, false); err == nil {
+		t.Error("bad regexp accepted")
+	}
+	if _, err := Run("no-such-experiment", &buf, false); err == nil {
+		t.Error("unmatched pattern accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"hello"},
+	}
+	tab.AddRow("x", 1.5)
+	tab.AddRow(42, "y")
+	text := tab.Render()
+	for _, want := range []string{"== X — demo ==", "1.500", "42", "note: hello"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### X — demo", "| a | b |", "| x | 1.500 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+	csv := tab.CSV()
+	for _, want := range []string{"# X — demo", "a,b", "x,1.500", "42,y"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+	// Quoting rules.
+	q := Table{Columns: []string{"c"}, ID: "Q", Title: "q"}
+	q.AddRow(`he said "hi", twice`)
+	if !strings.Contains(q.CSV(), `"he said ""hi"", twice"`) {
+		t.Errorf("CSV quoting wrong:\n%s", q.CSV())
+	}
+}
+
+func TestMeterStats(t *testing.T) {
+	var m meter
+	if m.avg() != 0 || m.max() != 0 || m.percentile(0.5) != 0 {
+		t.Error("empty meter not zero")
+	}
+	for _, c := range []int64{1, 2, 3, 4, 100} {
+		m.add(c)
+	}
+	if m.avg() != 22 {
+		t.Errorf("avg = %v", m.avg())
+	}
+	if m.max() != 100 {
+		t.Errorf("max = %v", m.max())
+	}
+	if m.percentile(0.5) != 3 {
+		t.Errorf("p50 = %v", m.percentile(0.5))
+	}
+	if m.percentile(1) != 100 {
+		t.Errorf("p100 = %v", m.percentile(1))
+	}
+}
+
+// checkBound parses a cell as float and asserts it ≤ bound.
+func checkBound(t *testing.T, tab Table, row, col int, bound float64, what string) {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", what, row, col, tab.Rows[row][col])
+	}
+	if v > bound {
+		t.Errorf("%s: %v exceeds bound %v", what, v, bound)
+	}
+}
+
+func TestFig1ShapeMatchesPaper(t *testing.T) {
+	tables := runFig1()
+	tab := tables[0]
+	// Rows: [7], §4.1, cuckoo, [7]+trick, §4.3. The deterministic rows
+	// must honour their worst-case bounds; cuckoo lookups must be 1.
+	for i, row := range tab.Rows {
+		name := row[0]
+		switch {
+		case strings.HasPrefix(name, "§4.1"):
+			checkBound(t, tab, i, 2, 1, "§4.1 lookup worst")
+			checkBound(t, tab, i, 4, 2, "§4.1 update worst")
+		case strings.HasPrefix(name, "§4.3"):
+			checkBound(t, tab, i, 1, 1.5, "§4.3 lookup avg ≤ 1+ɛ")
+			checkBound(t, tab, i, 3, 2.5, "§4.3 update avg ≤ 2+ɛ")
+			checkBound(t, tab, i, 2, 2, "§4.3 lookup worst")
+		case strings.HasPrefix(name, "[13]"):
+			checkBound(t, tab, i, 2, 1, "cuckoo lookup worst")
+		}
+	}
+}
+
+func TestThm7BoundsHold(t *testing.T) {
+	tables := runThm7()
+	tab := tables[0]
+	for i, row := range tab.Rows {
+		eps, _ := strconv.ParseFloat(row[0], 64)
+		checkBound(t, tab, i, 2, 1+eps, "hit avg vs 1+ɛ")
+		checkBound(t, tab, i, 4, 1, "miss avg")
+		checkBound(t, tab, i, 5, 2+eps, "update avg vs 2+ɛ")
+	}
+}
+
+func TestLemma3BoundHolds(t *testing.T) {
+	tab := runLemma3()[0]
+	for _, row := range tab.Rows {
+		if row[7] != "true" {
+			t.Errorf("Lemma 3 bound violated in row %v", row)
+		}
+	}
+}
+
+func TestTailsSeparation(t *testing.T) {
+	tab := runTails()[0]
+	// The hash table's adversarial insert max must dwarf the
+	// deterministic structures' (which stay constant).
+	var hashAdvMax, basicAdvMax float64
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "hash") && row[1] == "adversarial" {
+			hashAdvMax, _ = strconv.ParseFloat(row[4], 64)
+		}
+		if strings.HasPrefix(row[0], "§4.1") && row[1] == "adversarial" {
+			basicAdvMax, _ = strconv.ParseFloat(row[4], 64)
+		}
+	}
+	if hashAdvMax < 5*basicAdvMax {
+		t.Errorf("adversarial separation too weak: hash max %v vs basic max %v", hashAdvMax, basicAdvMax)
+	}
+	if basicAdvMax > 2 {
+		t.Errorf("§4.1 adversarial insert max = %v, want ≤ 2 (deterministic worst case)", basicAdvMax)
+	}
+}
+
+func TestThm6LookupIsOneIO(t *testing.T) {
+	tab := runThm6()[0]
+	for i := range tab.Rows {
+		checkBound(t, tab, i, 6, 1, "static lookup worst")
+	}
+}
+
+func TestBTreeSeparation(t *testing.T) {
+	tab := runBTree()[0]
+	// The basic dictionary's average must beat both B-tree variants at
+	// every n.
+	var btreeAvg, basicAvg float64 = 0, 10
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		if strings.HasPrefix(row[0], "B-tree (block") && v > btreeAvg {
+			btreeAvg = v
+		}
+		if strings.HasPrefix(row[0], "§4.1") && v < basicAvg {
+			basicAvg = v
+		}
+	}
+	if basicAvg >= btreeAvg {
+		t.Errorf("dictionary avg %v not below B-tree avg %v", basicAvg, btreeAvg)
+	}
+	if basicAvg != 1 {
+		t.Errorf("dictionary lookup avg = %v, want exactly 1", basicAvg)
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	var buf bytes.Buffer
+	tables, err := Run("", &buf, false)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(tables) < 13 {
+		t.Errorf("only %d tables produced", len(tables))
+	}
+}

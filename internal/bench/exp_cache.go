@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+
+	"pdmdict/internal/btree"
+	"pdmdict/internal/cache"
+	"pdmdict/internal/core"
+	"pdmdict/internal/pdm"
+	"pdmdict/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11-seqcache",
+		Title: "§1.2 nuance: caching rescues B-trees for sequential scans, not random access",
+		Run:   runSeqCache,
+	})
+}
+
+// runSeqCache reproduces the paper's full Section 1.2 argument: "the
+// above justification applies only to random accesses, since for
+// sequential scanning of large files, the overhead of B-trees is
+// negligible (due to caching)". A B-tree behind a small LRU block cache
+// reads a sequentially-scanned file at far below 1 I/O per block (the
+// path and leaf stay cached), while random access defeats the cache —
+// and that is exactly the regime where the 1-I/O dictionary matters.
+func runSeqCache() []Table {
+	t := Table{
+		ID:      "E11-seqcache",
+		Title:   "file of 64-block records, d=12, B=64, cache = 64 blocks",
+		Columns: []string{"structure", "access pattern", "reads", "avg I/Os per read", "cache hit rate"},
+	}
+	d, b := 12, 64
+	files, blocksPerFile := 256, 64
+	keys := workload.FileSystemKeys(files, blocksPerFile)
+	n := len(keys)
+
+	sequential := keys // in (inode, block#) order: a file-by-file scan
+	// Uniform random accesses: the adversary of any cache whose capacity
+	// is far below the data size.
+	random := make([]pdm.Word, n)
+	perm := workload.Uniform(n, 1<<62, 201) // seed material
+	for i := range random {
+		random[i] = keys[int(perm[i]%uint64(n))]
+	}
+
+	type result struct {
+		name, pattern string
+		reads         int
+		avg           float64
+		hitRate       string
+	}
+	var results []result
+
+	runBTree := func(pattern string, accesses []pdm.Word, cacheBlocks int) {
+		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		var store btree.Storage = m
+		var cc *cache.Cache
+		name := "B-tree (no cache)"
+		if cacheBlocks > 0 {
+			cc = cache.New(m, cacheBlocks)
+			store = cc
+			name = fmt.Sprintf("B-tree + %d-block cache", cacheBlocks)
+		}
+		tr, err := btree.New(store, btree.Config{SatWords: 1})
+		if err != nil {
+			panic(err)
+		}
+		for _, k := range keys {
+			if err := tr.Insert(k, []pdm.Word{1}); err != nil {
+				panic(err)
+			}
+		}
+		m.ResetStats()
+		for _, k := range accesses {
+			if !tr.Contains(k) {
+				panic("bench: btree key lost")
+			}
+		}
+		hitRate := "-"
+		if cc != nil {
+			_, _, rate := cc.HitRate()
+			hitRate = fmt.Sprintf("%.3f", rate)
+		}
+		results = append(results, result{name, pattern, len(accesses),
+			float64(m.Stats().ParallelIOs) / float64(len(accesses)), hitRate})
+	}
+
+	runDict := func(pattern string, accesses []pdm.Word) {
+		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: 1, Seed: 202})
+		if err != nil {
+			panic(err)
+		}
+		for _, k := range keys {
+			if err := bd.Insert(k, []pdm.Word{1}); err != nil {
+				panic(err)
+			}
+		}
+		m.ResetStats()
+		for _, k := range accesses {
+			if !bd.Contains(k) {
+				panic("bench: dict key lost")
+			}
+		}
+		results = append(results, result{"§4.1 dictionary", pattern, len(accesses),
+			float64(m.Stats().ParallelIOs) / float64(len(accesses)), "-"})
+	}
+
+	runBTree("sequential scan", sequential, 0)
+	runBTree("sequential scan", sequential, 64)
+	runDict("sequential scan", sequential)
+	runBTree("random (uniform)", random, 0)
+	runBTree("random (uniform)", random, 64)
+	runDict("random (uniform)", random)
+
+	for _, r := range results {
+		t.AddRow(r.name, r.pattern, r.reads, r.avg, r.hitRate)
+	}
+	t.Notes = append(t.Notes,
+		"sequential: the cached B-tree approaches ~1/leaf-capacity I/Os per read — 'negligible overhead' as the paper says; random: the cache barely helps and the dictionary's flat 1 I/O wins",
+		"the dictionary needs no cache at all: its single probe is already optimal for the random workloads file servers actually face")
+	return []Table{t}
+}

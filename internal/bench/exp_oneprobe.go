@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+
+	"pdmdict/internal/core"
+	"pdmdict/internal/pdm"
+	"pdmdict/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "A4-oneprobe",
+		Title: "Section 6 exploration: one-probe full-bandwidth dynamic dictionary",
+		Run:   runOneProbe,
+	})
+}
+
+// runOneProbe compares the Section 6 structure (levels on disjoint disk
+// groups) against the Theorem 7 cascade, at equal key counts, reporting
+// the trade: exact 1/2-I/O operations and full bandwidth versus
+// (levels+1)/2 times the disks.
+func runOneProbe() []Table {
+	t := Table{
+		ID:    "A4-oneprobe",
+		Title: "n=2048, d=14, B=64, σ=8 words",
+		Columns: []string{"structure", "disks", "lookup avg", "lookup worst", "update avg",
+			"update worst", "deep keys", "space (blocks/disk)"},
+	}
+	n, d, b, sigma := 2048, 14, 64, 8
+	keys := workload.Uniform(n, 1<<44, 301)
+	sat := make([]pdm.Word, sigma)
+	for i := range sat {
+		sat[i] = pdm.Word(i)
+	}
+
+	deepOf := func(counts []int) int {
+		deep := 0
+		for _, c := range counts[1:] {
+			deep += c
+		}
+		return deep
+	}
+
+	{ // Theorem 7 cascade (2d disks) with tight slack so deep keys exist.
+		m := pdm.NewMachine(pdm.Config{D: 2 * d, B: b})
+		dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: sigma, Epsilon: 0.9, Slack: 3, Seed: 302})
+		if err != nil {
+			panic(err)
+		}
+		var ins, hit meter
+		for i, k := range keys {
+			before := m.Stats().ParallelIOs
+			if err := dd.Insert(k, sat); err != nil {
+				panic(fmt.Sprintf("dynamic insert %d: %v", i, err))
+			}
+			ins.add(m.Stats().ParallelIOs - before)
+		}
+		for _, k := range keys {
+			before := m.Stats().ParallelIOs
+			if !dd.Contains(k) {
+				panic("dynamic key lost")
+			}
+			hit.add(m.Stats().ParallelIOs - before)
+		}
+		t.AddRow("§4.3 dynamic", 2*d, hit.avg(), hit.max(), ins.avg(), ins.max(),
+			deepOf(dd.LevelCounts()), dd.BlocksPerDisk())
+	}
+	{ // Section 6 one-probe (4d disks, 3 levels).
+		m := pdm.NewMachine(pdm.Config{D: 4 * d, B: b})
+		op, err := core.NewOneProbe(m, core.OneProbeConfig{Capacity: n, SatWords: sigma, Slack: 3, Seed: 303})
+		if err != nil {
+			panic(err)
+		}
+		var ins, hit meter
+		for i, k := range keys {
+			before := m.Stats().ParallelIOs
+			if err := op.Insert(k, sat); err != nil {
+				panic(fmt.Sprintf("one-probe insert %d: %v", i, err))
+			}
+			ins.add(m.Stats().ParallelIOs - before)
+		}
+		for _, k := range keys {
+			before := m.Stats().ParallelIOs
+			if !op.Contains(k) {
+				panic("one-probe key lost")
+			}
+			hit.add(m.Stats().ParallelIOs - before)
+		}
+		t.AddRow("§6 one-probe (c=3)", 4*d, hit.avg(), hit.max(), ins.avg(), ins.max(),
+			deepOf(op.LevelCounts()), op.BlocksPerDisk())
+	}
+	t.Notes = append(t.Notes,
+		"both structures are run with deliberately tight arrays (slack 3) so keys actually overflow to deeper levels; the cascade pays a second I/O for them while the one-probe structure's lookup worst stays 1 — at twice the disks",
+		"the open problem's residue: the one-probe structure still fails (needs rebuild) when every level is congested, so its update time is non-constant in the worst case, exactly as §6 anticipates")
+	return []Table{t}
+}

@@ -1,0 +1,55 @@
+package bitpack
+
+import "testing"
+
+// FuzzReaderNeverOverruns feeds arbitrary word streams and read
+// schedules to the bit reader: out-of-budget reads must panic in the
+// controlled way (recovered here) and in-budget reads must never touch
+// memory outside the stream.
+func FuzzReaderNeverOverruns(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{3, 8, 5})
+	f.Add([]byte{}, []byte{1})
+	f.Fuzz(func(t *testing.T, words []byte, widths []byte) {
+		// Assemble a word stream from the byte soup.
+		var ws []uint64
+		for i := 0; i+8 <= len(words); i += 8 {
+			var w uint64
+			for j := 0; j < 8; j++ {
+				w |= uint64(words[i+j]) << (8 * j)
+			}
+			ws = append(ws, w)
+		}
+		limit := 64 * len(ws)
+		r := NewReader(ws, limit)
+		for _, raw := range widths {
+			width := int(raw % 65)
+			if width > r.Remaining() {
+				func() {
+					defer func() { recover() }()
+					r.ReadBits(width)
+					t.Fatal("overrun read did not panic")
+				}()
+				return
+			}
+			r.ReadBits(width)
+		}
+	})
+}
+
+// FuzzUnaryRoundTrip checks that any sequence of small unary values
+// written then read returns the same values.
+func FuzzUnaryRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 5, 30})
+	f.Fuzz(func(t *testing.T, vals []byte) {
+		w := NewWriter()
+		for _, v := range vals {
+			w.WriteUnary(int(v))
+		}
+		r := NewReader(w.Words(), w.Len())
+		for i, v := range vals {
+			if got := r.ReadUnary(); got != int(v) {
+				t.Fatalf("value %d: got %d, want %d", i, got, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdmdict/internal/pdm"
+)
+
+func newCache(d, b, capBlocks int) (*Cache, *pdm.Machine) {
+	m := pdm.NewMachine(pdm.Config{D: d, B: b})
+	return New(m, capBlocks), m
+}
+
+func TestReadThroughAndHit(t *testing.T) {
+	c, m := newCache(2, 4, 8)
+	a := pdm.Addr{Disk: 1, Block: 3}
+	m.WriteBlock(a, []pdm.Word{7, 8, 9})
+	m.ResetStats()
+
+	if got := c.ReadBlock(a); got[0] != 7 {
+		t.Fatalf("read-through = %v", got)
+	}
+	if m.Stats().BlockReads != 1 {
+		t.Fatalf("miss did not reach the machine")
+	}
+	// Second read: a hit, free.
+	if got := c.ReadBlock(a); got[2] != 9 {
+		t.Fatalf("cached read = %v", got)
+	}
+	if m.Stats().BlockReads != 1 {
+		t.Errorf("hit reached the machine")
+	}
+	hits, misses, rate := c.HitRate()
+	if hits != 1 || misses != 1 || rate != 0.5 {
+		t.Errorf("HitRate = %d/%d/%.2f", hits, misses, rate)
+	}
+}
+
+func TestWriteThroughRefreshesCache(t *testing.T) {
+	c, m := newCache(2, 4, 8)
+	a := pdm.Addr{Disk: 0, Block: 0}
+	c.WriteBlock(a, []pdm.Word{1, 2, 3, 4})
+	m.ResetStats()
+	if got := c.ReadBlock(a); got[3] != 4 {
+		t.Fatalf("cached copy = %v", got)
+	}
+	if m.Stats().BlockReads != 0 {
+		t.Error("write did not populate the cache")
+	}
+	// Disk copy matches (write-through).
+	if got := m.Peek(a); got[1] != 2 {
+		t.Errorf("disk copy = %v", got)
+	}
+}
+
+func TestPartialWriteMergesOrInvalidates(t *testing.T) {
+	c, m := newCache(1, 4, 8)
+	a := pdm.Addr{Disk: 0, Block: 0}
+	// Cached full block, then a partial overwrite: merged copy stays
+	// correct.
+	c.WriteBlock(a, []pdm.Word{1, 2, 3, 4})
+	c.WriteBlock(a, []pdm.Word{9})
+	if got := c.ReadBlock(a); got[0] != 9 || got[3] != 4 {
+		t.Fatalf("merged copy = %v, want [9 2 3 4]", got)
+	}
+	// Uncached block + partial write: the cache must not fabricate a
+	// zero tail.
+	b := pdm.Addr{Disk: 0, Block: 5}
+	m.WriteBlock(b, []pdm.Word{0, 0, 0, 42})
+	c.WriteBlock(b, []pdm.Word{7})
+	if got := c.ReadBlock(b); got[0] != 7 || got[3] != 42 {
+		t.Fatalf("partial-write block = %v, want [7 0 0 42]", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, m := newCache(1, 2, 2)
+	for blk := 0; blk < 3; blk++ {
+		m.WriteBlock(pdm.Addr{Disk: 0, Block: blk}, []pdm.Word{pdm.Word(blk)})
+	}
+	c.ReadBlock(pdm.Addr{Disk: 0, Block: 0}) // miss
+	c.ReadBlock(pdm.Addr{Disk: 0, Block: 1}) // miss; cache = {0,1}
+	c.ReadBlock(pdm.Addr{Disk: 0, Block: 0}) // hit; 1 is now LRU
+	c.ReadBlock(pdm.Addr{Disk: 0, Block: 2}) // miss; evicts 1
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	m.ResetStats()
+	c.ReadBlock(pdm.Addr{Disk: 0, Block: 1}) // must miss again (evicts 0, the LRU)
+	if m.Stats().BlockReads != 1 {
+		t.Error("evicted block served from cache")
+	}
+	c.ReadBlock(pdm.Addr{Disk: 0, Block: 2}) // still cached
+	if m.Stats().BlockReads != 1 {
+		t.Error("recently used block was evicted")
+	}
+}
+
+func TestBatchReadChargesOnlyMisses(t *testing.T) {
+	c, m := newCache(4, 2, 8)
+	addrs := []pdm.Addr{{Disk: 0}, {Disk: 1}, {Disk: 2}, {Disk: 3}}
+	c.BatchRead(addrs) // all misses: 1 parallel I/O
+	if m.Stats().ParallelIOs != 1 {
+		t.Fatalf("cold batch = %d parallel I/Os", m.Stats().ParallelIOs)
+	}
+	m.ResetStats()
+	c.BatchRead(addrs) // all hits: free
+	if m.Stats().ParallelIOs != 0 {
+		t.Errorf("warm batch = %d parallel I/Os, want 0", m.Stats().ParallelIOs)
+	}
+	// Partial hit: only the miss is charged.
+	c.ReadBlock(pdm.Addr{Disk: 0, Block: 9}) // churn one slot? capacity 8, fine
+	m.ResetStats()
+	mixed := []pdm.Addr{{Disk: 0, Block: 0}, {Disk: 1, Block: 5}} // first cached, second not
+	c.BatchRead(mixed)
+	s := m.Stats()
+	if s.BlockReads != 1 || s.ParallelIOs != 1 {
+		t.Errorf("mixed batch: %d reads, %d parallel I/Os; want 1, 1", s.BlockReads, s.ParallelIOs)
+	}
+}
+
+func TestStripeRoundTripThroughCache(t *testing.T) {
+	c, m := newCache(3, 2, 16)
+	data := []pdm.Word{1, 2, 3, 4, 5, 6}
+	c.WriteStripe(4, data)
+	m.ResetStats()
+	got := c.ReadStripe(4) // fully cached
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("stripe word %d = %d", i, got[i])
+		}
+	}
+	if m.Stats().ParallelIOs != 0 {
+		t.Errorf("cached stripe read cost %d I/Os", m.Stats().ParallelIOs)
+	}
+	// Partial stripe write invalidates the straddled block.
+	c.WriteStripe(4, []pdm.Word{9, 9, 9}) // fills disk 0, half of disk 1
+	if got := c.ReadStripe(4); got[2] != 9 || got[3] != 4 {
+		t.Fatalf("after partial stripe write: %v", got)
+	}
+}
+
+func TestNewPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	newCache(1, 2, 0)
+}
+
+// Property: reads through the cache always agree with the machine,
+// under random interleavings of reads and (full) writes.
+func TestPropertyCacheTransparent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, m := newCache(2, 2, 3)
+		rng := rand.New(rand.NewSource(1))
+		for _, op := range ops {
+			a := pdm.Addr{Disk: int(op) % 2, Block: int(op/2) % 8}
+			if op%3 == 0 {
+				c.WriteBlock(a, []pdm.Word{pdm.Word(rng.Uint32()), pdm.Word(op)})
+				continue
+			}
+			got := c.ReadBlock(a)
+			want := m.Peek(a)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"fmt"
+
+	"pdmdict/internal/bucket"
+	"pdmdict/internal/expander"
+	"pdmdict/internal/pdm"
+)
+
+// BasicConfig parameterizes the Section 4.1 dictionary.
+type BasicConfig struct {
+	// Capacity is N, the maximum number of keys. Required.
+	Capacity int
+	// SatWords is the satellite size per key, in words.
+	SatWords int
+	// K is the number of satellite fragments per key: 1 gives the plain
+	// dictionary; d/2 gives the bandwidth variant ("by changing the
+	// parameters of the load balancing scheme to k = d/2 and
+	// v = kn/log N, it is possible to accommodate lookup of associated
+	// information of size O(BD/log N) in one I/O"). 0 defaults to 1.
+	K int
+	// BucketBlocks is the number of blocks per bucket. 1 (the default)
+	// gives one-probe buckets and requires the Lemma 3 max load to fit a
+	// block; larger values implement "the contents of each bucket can be
+	// stored in a trivial way in O(1) blocks".
+	BucketBlocks int
+	// Slack oversizes the bucket array: v is chosen so that the average
+	// bucket is 1/Slack full. 0 defaults to 4.
+	Slack float64
+	// Universe is the key universe size u; 0 defaults to 2^63 (keys are
+	// words).
+	Universe uint64
+	// Seed selects the expander from the deterministic family.
+	Seed uint64
+	// Graph, when non-nil, supplies the striped expander directly —
+	// e.g. a Section 5 semi-explicit construction wrapped by
+	// explicit.NewTrivialStripe — instead of the default seeded family.
+	// Its degree must equal the dictionary's disk count; its stripe size
+	// fixes the bucket array (Slack is then ignored), and its left size
+	// overrides Universe.
+	Graph expander.Striped
+	// HeadModel lays buckets out round-robin over the disks instead of
+	// stripe-per-disk, for machines running the parallel disk *head*
+	// model (Section 5's closing remark: "If we implement the described
+	// dictionaries in the parallel disk head model, we do not need the
+	// striped property"). With it, UnstripedGraph may supply any
+	// left-d-regular expander — no striping required — and a probe's d
+	// blocks still cost one parallel I/O because any D blocks do. On a
+	// standard parallel-disk machine the same layout works but probes
+	// suffer per-disk conflicts (experiment A1 quantifies this).
+	HeadModel bool
+	// UnstripedGraph supplies the expander in HeadModel mode; nil
+	// defaults to a seeded unstriped family. Ignored otherwise.
+	UnstripedGraph expander.Graph
+}
+
+func (c *BasicConfig) normalize() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("core: BasicConfig.Capacity = %d, must be positive", c.Capacity)
+	}
+	if c.SatWords < 0 {
+		return fmt.Errorf("core: negative SatWords")
+	}
+	if c.K == 0 {
+		c.K = 1
+	}
+	if c.K < 0 {
+		return fmt.Errorf("core: negative K")
+	}
+	if c.BucketBlocks == 0 {
+		c.BucketBlocks = 1
+	}
+	if c.BucketBlocks < 0 {
+		return fmt.Errorf("core: negative BucketBlocks")
+	}
+	if c.Slack == 0 {
+		c.Slack = 4
+	}
+	if c.Slack < 1 {
+		return fmt.Errorf("core: Slack %v below 1", c.Slack)
+	}
+	if c.Universe == 0 {
+		c.Universe = 1 << 63
+	}
+	return nil
+}
+
+// BasicDict is the dictionary of Section 4.1: an array of v buckets,
+// split across the d disks according to the stripes of a striped
+// expander of degree d, running the deterministic load balancing scheme
+// of Section 3 with k items (satellite fragments) per key.
+//
+// Lookups read the d buckets of Γ(x) — one per disk, a single parallel
+// I/O when BucketBlocks is 1 — and updates additionally write back the
+// touched buckets, also one parallel I/O. Nothing is ever moved after
+// insertion, and there is no index or central directory: operations go
+// directly to the relevant blocks knowing only the graph.
+type BasicDict struct {
+	reg       region
+	graph     expander.Graph
+	striped   expander.Striped // nil in HeadModel mode
+	buckets   int              // v, total buckets
+	cfg       BasicConfig
+	codec     bucket.Codec
+	fragWords int
+	n         int
+}
+
+// NewBasic creates an empty dictionary occupying the given region. The
+// region's disk count is the expander degree d.
+func NewBasic(m *pdm.Machine, cfg BasicConfig) (*BasicDict, error) {
+	return newBasicAt(region{m: m, nDisks: m.D()}, cfg)
+}
+
+func newBasicAt(reg region, cfg BasicConfig) (*BasicDict, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	d := reg.nDisks
+	if cfg.K > d {
+		return nil, fmt.Errorf("core: K=%d exceeds degree d=%d", cfg.K, d)
+	}
+	fragWords := 0
+	if cfg.SatWords > 0 {
+		fragWords = ceilDiv(cfg.SatWords, cfg.K)
+	}
+	codec := bucket.Codec{B: reg.m.B(), SatWords: 1 + fragWords} // sat = [fragIdx, frag...]
+	perBlock := codec.Capacity()
+	if perBlock == 0 {
+		return nil, fmt.Errorf("core: record of %d words does not fit block of %d", codec.RecordWords(), reg.m.B())
+	}
+	capPerBucket := cfg.BucketBlocks * perBlock
+	minBuckets := ceilDiv(int(cfg.Slack*float64(cfg.K*cfg.Capacity)), capPerBucket)
+	if minBuckets < d {
+		minBuckets = d
+	}
+
+	bd := &BasicDict{reg: reg, cfg: cfg, codec: codec, fragWords: fragWords}
+	switch {
+	case cfg.HeadModel:
+		g := cfg.UnstripedGraph
+		if g == nil {
+			g = expander.NewUnstriped(cfg.Universe, d, minBuckets, cfg.Seed)
+		}
+		if g.Degree() != d {
+			return nil, fmt.Errorf("core: supplied graph has degree %d, dictionary spans %d disks", g.Degree(), d)
+		}
+		if capacity := g.RightSize() * capPerBucket; capacity < cfg.K*cfg.Capacity {
+			return nil, fmt.Errorf("core: supplied graph offers %d record slots, capacity needs %d", capacity, cfg.K*cfg.Capacity)
+		}
+		bd.cfg.Universe = g.LeftSize()
+		bd.graph = g
+		bd.buckets = g.RightSize()
+	case cfg.Graph != nil:
+		if cfg.Graph.Degree() != d {
+			return nil, fmt.Errorf("core: supplied graph has degree %d, dictionary spans %d disks", cfg.Graph.Degree(), d)
+		}
+		if capacity := cfg.Graph.RightSize() * capPerBucket; capacity < cfg.K*cfg.Capacity {
+			return nil, fmt.Errorf("core: supplied graph offers %d record slots, capacity needs %d", capacity, cfg.K*cfg.Capacity)
+		}
+		bd.cfg.Universe = cfg.Graph.LeftSize()
+		bd.graph = cfg.Graph
+		bd.striped = cfg.Graph
+		bd.buckets = cfg.Graph.RightSize()
+	default:
+		g := expander.NewFamily(cfg.Universe, d, ceilDiv(minBuckets, d), cfg.Seed)
+		bd.graph = g
+		bd.striped = g
+		bd.buckets = g.RightSize()
+	}
+	return bd, nil
+}
+
+// Len returns the number of keys stored.
+func (bd *BasicDict) Len() int { return bd.n }
+
+// Capacity returns the configured capacity N.
+func (bd *BasicDict) Capacity() int { return bd.cfg.Capacity }
+
+// Graph returns the underlying expander (a Striped one unless the
+// dictionary runs in HeadModel mode).
+func (bd *BasicDict) Graph() expander.Graph { return bd.graph }
+
+// Buckets returns v, the number of buckets.
+func (bd *BasicDict) Buckets() int { return bd.buckets }
+
+// BlocksPerDisk returns the dictionary's space footprint per disk.
+func (bd *BasicDict) BlocksPerDisk() int {
+	return ceilDiv(bd.buckets, bd.reg.nDisks) * bd.cfg.BucketBlocks
+}
+
+// bucketPos maps a global bucket id to its (disk, bucket-row) position:
+// striped graphs put stripe i on disk i; the head-model layout
+// round-robins buckets over the disks (placement is irrelevant there —
+// any D blocks cost one parallel I/O).
+func (bd *BasicDict) bucketPos(y int) (disk, row int) {
+	if bd.striped != nil {
+		ss := bd.striped.StripeSize()
+		return y / ss, y % ss
+	}
+	return y % bd.reg.nDisks, y / bd.reg.nDisks
+}
+
+// bucketAddrs returns the BucketBlocks addresses of global bucket y.
+func (bd *BasicDict) bucketAddrs(y int, dst []pdm.Addr) []pdm.Addr {
+	disk, row := bd.bucketPos(y)
+	base := row * bd.cfg.BucketBlocks
+	for b := 0; b < bd.cfg.BucketBlocks; b++ {
+		dst = append(dst, bd.reg.addr(disk, base+b))
+	}
+	return dst
+}
+
+// neighbors returns x's d global bucket ids.
+func (bd *BasicDict) neighbors(x pdm.Word) []int {
+	return bd.graph.Neighbors(uint64(x), make([]int, 0, bd.graph.Degree()))
+}
+
+// probeAddrs returns the addresses of the d buckets of Γ(x), in
+// neighbor order. Composite dictionaries batch these together with
+// their own addresses so one parallel I/O probes every sub-structure at
+// once.
+func (bd *BasicDict) probeAddrs(x pdm.Word, dst []pdm.Addr) []pdm.Addr {
+	for _, y := range bd.neighbors(x) {
+		dst = bd.bucketAddrs(y, dst)
+	}
+	return dst
+}
+
+// probeLen returns how many blocks probeAddrs contributes.
+func (bd *BasicDict) probeLen() int { return bd.graph.Degree() * bd.cfg.BucketBlocks }
+
+// groupNeighborhood reshapes the flat block list returned for probeAddrs
+// into per-stripe buckets: blocks[i] holds the BucketBlocks blocks of
+// the bucket in stripe i.
+func (bd *BasicDict) groupNeighborhood(flat [][]pdm.Word) [][][]pdm.Word {
+	d := bd.graph.Degree()
+	out := make([][][]pdm.Word, d)
+	for i := 0; i < d; i++ {
+		out[i] = flat[i*bd.cfg.BucketBlocks : (i+1)*bd.cfg.BucketBlocks]
+	}
+	return out
+}
+
+// readNeighborhood fetches the d buckets of Γ(x) in one batch: one
+// parallel I/O when BucketBlocks is 1, BucketBlocks I/Os otherwise.
+func (bd *BasicDict) readNeighborhood(x pdm.Word) [][][]pdm.Word {
+	addrs := bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen()))
+	return bd.groupNeighborhood(bd.reg.m.BatchRead(addrs))
+}
+
+// lookupInBlocks interprets a pre-fetched neighborhood (the blocks for
+// probeAddrs(x)) exactly as Lookup would, without any I/O.
+func (bd *BasicDict) lookupInBlocks(x pdm.Word, flat [][]pdm.Word) ([]pdm.Word, bool) {
+	frags, _ := bd.findFragments(x, bd.groupNeighborhood(flat))
+	if len(frags) != bd.cfg.K {
+		return nil, false
+	}
+	return bd.assemble(frags), true
+}
+
+// bucketLoad counts the records across a bucket's blocks.
+func (bd *BasicDict) bucketLoad(blocks [][]pdm.Word) int {
+	n := 0
+	for _, blk := range blocks {
+		n += bd.codec.Count(blk)
+	}
+	return n
+}
+
+// findFragments collects x's fragments from a neighborhood, as
+// frag-index → data. It also reports which stripes held at least one
+// fragment.
+func (bd *BasicDict) findFragments(x pdm.Word, hood [][][]pdm.Word) (map[int][]pdm.Word, map[int]bool) {
+	frags := make(map[int][]pdm.Word)
+	touched := make(map[int]bool)
+	for i, blocks := range hood {
+		for _, blk := range blocks {
+			for _, rec := range bd.codec.Decode(blk) {
+				if rec.Key == x {
+					frags[int(rec.Sat[0])] = rec.Sat[1:]
+					touched[i] = true
+				}
+			}
+		}
+	}
+	return frags, touched
+}
+
+// LookupBatch resolves many keys with ONE batched read: every key's d
+// bucket addresses are collected, de-duplicated, and fetched together.
+// The parallel-I/O cost is the deepest per-disk queue of *distinct*
+// blocks, so skewed batches (hot keys repeating, as in the paper's
+// webmail workload) cost far less than len(keys) single lookups — the
+// shared buckets are read once. Results are positionally aligned with
+// keys.
+func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	uniq := make(map[pdm.Addr]int) // addr → index into fetch list
+	var addrs []pdm.Addr
+	perKey := make([][]int, len(keys)) // key → its blocks' fetch indices
+	for ki, x := range keys {
+		ka := bd.probeAddrs(x, nil)
+		idxs := make([]int, len(ka))
+		for i, a := range ka {
+			j, ok := uniq[a]
+			if !ok {
+				j = len(addrs)
+				uniq[a] = j
+				addrs = append(addrs, a)
+			}
+			idxs[i] = j
+		}
+		perKey[ki] = idxs
+	}
+	flat := bd.reg.m.BatchRead(addrs)
+	sats := make([][]pdm.Word, len(keys))
+	oks := make([]bool, len(keys))
+	blocks := make([][]pdm.Word, bd.probeLen())
+	for ki, x := range keys {
+		for i, j := range perKey[ki] {
+			blocks[i] = flat[j]
+		}
+		sats[ki], oks[ki] = bd.lookupInBlocks(x, blocks)
+	}
+	return sats, oks
+}
+
+// Lookup returns a copy of x's satellite data and whether x is present.
+// Cost: one batched read of the d buckets of Γ(x) — a single parallel
+// I/O when BucketBlocks is 1.
+func (bd *BasicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	hood := bd.readNeighborhood(x)
+	frags, _ := bd.findFragments(x, hood)
+	if len(frags) != bd.cfg.K {
+		return nil, false
+	}
+	return bd.assemble(frags), true
+}
+
+// Contains reports whether x is present, at the same cost as Lookup.
+func (bd *BasicDict) Contains(x pdm.Word) bool {
+	_, ok := bd.Lookup(x)
+	return ok
+}
+
+func (bd *BasicDict) assemble(frags map[int][]pdm.Word) []pdm.Word {
+	sat := make([]pdm.Word, 0, bd.cfg.K*bd.fragWords)
+	for j := 0; j < bd.cfg.K; j++ {
+		sat = append(sat, frags[j]...)
+	}
+	return sat[:bd.cfg.SatWords]
+}
+
+// Insert stores (x, sat), replacing any previous satellite for x. sat
+// must hold exactly SatWords words. Cost: the Lookup read batch plus one
+// batched write of the modified buckets (a single parallel I/O, since
+// the touched buckets lie in distinct stripes).
+func (bd *BasicDict) Insert(x pdm.Word, sat []pdm.Word) error {
+	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
+	writes, err := bd.insertWrites(x, sat, flat)
+	if len(writes) > 0 {
+		// Writes accompany even a failed insert of an existing key: its
+		// old fragments were removed and that removal must land.
+		bd.reg.m.BatchWrite(writes)
+	}
+	return err
+}
+
+// insertWrites performs the insert decision against a pre-read
+// neighborhood (the blocks for probeAddrs(x)) and returns the block
+// writes to issue; the caller batches them, possibly together with
+// writes of its own on other disks, into one parallel I/O. The count is
+// updated as if the writes were applied.
+func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWrite, error) {
+	if len(sat) != bd.cfg.SatWords {
+		return nil, fmt.Errorf("core: satellite of %d words, config says %d", len(sat), bd.cfg.SatWords)
+	}
+	if uint64(x) >= bd.cfg.Universe {
+		return nil, fmt.Errorf("core: key %d outside universe %d", x, bd.cfg.Universe)
+	}
+	hood := bd.groupNeighborhood(flat)
+	_, touched := bd.findFragments(x, hood)
+	existing := len(touched) > 0
+	if !existing && bd.n >= bd.cfg.Capacity {
+		return nil, ErrFull
+	}
+
+	// Remove any previous fragments of x (update semantics), then run
+	// the greedy placement of Section 3 on the loads as read.
+	dirty := make(map[int]bool)
+	for i := range touched {
+		for _, blk := range hood[i] {
+			for bd.codec.Remove(blk, x) {
+			}
+		}
+		dirty[i] = true
+	}
+
+	loads := make([]int, bd.graph.Degree())
+	for i, blocks := range hood {
+		loads[i] = bd.bucketLoad(blocks)
+	}
+	caps := bd.cfg.BucketBlocks * bd.codec.Capacity()
+	for j := 0; j < bd.cfg.K; j++ {
+		best := -1
+		for i := range loads {
+			if loads[i] >= caps {
+				continue
+			}
+			if best == -1 || loads[i] < loads[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			// No neighbor has room. The on-disk buckets are untouched,
+			// but if x was present we have removed its fragments from
+			// the in-memory copies — return those removals as writes so
+			// the structure stays consistent (x is then gone).
+			if existing {
+				bd.n--
+				return bd.collectWrites(x, hood, dirty), ErrFull
+			}
+			return nil, ErrFull
+		}
+		frag := bd.fragment(sat, j)
+		placed := false
+		for _, blk := range hood[best] {
+			// AppendAlways, not Append: two fragments of x may share a
+			// bucket and must both survive.
+			if bd.codec.AppendAlways(blk, bucket.Record{Key: x, Sat: frag}) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			panic("core: load accounting disagrees with block contents")
+		}
+		loads[best]++
+		dirty[best] = true
+	}
+	if !existing {
+		bd.n++
+	}
+	return bd.collectWrites(x, hood, dirty), nil
+}
+
+// fragment returns fragment j of the satellite, zero-padded to
+// fragWords, prefixed by its index word.
+func (bd *BasicDict) fragment(sat []pdm.Word, j int) []pdm.Word {
+	frag := make([]pdm.Word, 1+bd.fragWords)
+	frag[0] = pdm.Word(j)
+	lo := j * bd.fragWords
+	for i := 0; i < bd.fragWords && lo+i < len(sat); i++ {
+		frag[1+i] = sat[lo+i]
+	}
+	return frag
+}
+
+// collectWrites turns the modified buckets into a write batch. With a
+// striped graph, distinct neighbors live on distinct disks, so issuing
+// the batch is one parallel I/O (times BucketBlocks); in the head model
+// any batch is.
+func (bd *BasicDict) collectWrites(x pdm.Word, hood [][][]pdm.Word, dirty map[int]bool) []pdm.BlockWrite {
+	ns := bd.neighbors(x)
+	var writes []pdm.BlockWrite
+	for i := range dirty {
+		disk, row := bd.bucketPos(ns[i])
+		base := row * bd.cfg.BucketBlocks
+		for b, blk := range hood[i] {
+			writes = append(writes, pdm.BlockWrite{Addr: bd.reg.addr(disk, base+b), Data: blk})
+		}
+	}
+	return writes
+}
+
+// Delete removes x and reports whether it was present. Cost: one read
+// batch plus, when present, one write batch.
+func (bd *BasicDict) Delete(x pdm.Word) bool {
+	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
+	writes, ok := bd.deleteWrites(x, flat)
+	if len(writes) > 0 {
+		bd.reg.m.BatchWrite(writes)
+	}
+	return ok
+}
+
+// deleteWrites performs the delete decision against a pre-read
+// neighborhood and returns the block writes to issue (batched by the
+// caller) plus whether the key was present. The count is updated as if
+// the writes were applied.
+func (bd *BasicDict) deleteWrites(x pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWrite, bool) {
+	hood := bd.groupNeighborhood(flat)
+	_, touched := bd.findFragments(x, hood)
+	if len(touched) == 0 {
+		return nil, false
+	}
+	dirty := make(map[int]bool)
+	for i := range touched {
+		for _, blk := range hood[i] {
+			for bd.codec.Remove(blk, x) {
+			}
+		}
+		dirty[i] = true
+	}
+	bd.n--
+	return bd.collectWrites(x, hood, dirty), true
+}
+
+// MaxLoad scans the structure (without accounting I/O; diagnostics only)
+// and returns the maximum bucket load, the quantity Lemma 3 bounds.
+func (bd *BasicDict) MaxLoad() int {
+	max := 0
+	for y := 0; y < bd.buckets; y++ {
+		disk, row := bd.bucketPos(y)
+		load := 0
+		for b := 0; b < bd.cfg.BucketBlocks; b++ {
+			blk := bd.reg.m.Peek(bd.reg.addr(disk, row*bd.cfg.BucketBlocks+b))
+			load += bd.codec.Count(blk)
+		}
+		if load > max {
+			max = load
+		}
+	}
+	return max
+}
+
+// Scan calls fn for every stored record, in global bucket order,
+// reading one bucket per call step (accounted). The satellite passed to
+// fn is only the fragment set present in that bucket; Scan is intended
+// for enumeration of keys (e.g. by the rebuilding wrapper), which uses
+// fragment index 0 as the canonical sighting of a key.
+func (bd *BasicDict) Scan(fn func(key pdm.Word, fragIdx int, frag []pdm.Word)) {
+	for y := 0; y < bd.buckets; y++ {
+		addrs := bd.bucketAddrs(y, nil)
+		for _, blk := range bd.reg.m.BatchRead(addrs) {
+			for _, rec := range bd.codec.Decode(blk) {
+				fn(rec.Key, int(rec.Sat[0]), rec.Sat[1:])
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+// Integration of Section 5 with Section 4.1: run the basic dictionary
+// on a semi-explicit telescope expander (striped trivially, at the
+// factor-d space cost the paper describes) instead of the default
+// seeded family. This is the full pipeline the paper envisions once
+// explicit constructions exist: "The presented dictionary structures
+// may become a practical choice if and when explicit and efficient
+// constructions of unbalanced expander graphs appear."
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdmdict/internal/expander"
+	"pdmdict/internal/explicit"
+	"pdmdict/internal/pdm"
+)
+
+func buildTelescopeGraph(t *testing.T, n int) expander.Striped {
+	t.Helper()
+	semi, err := explicit.Construct(explicit.SemiConfig{
+		U: 1 << 20, N: n, Eps: 0.4, Gamma: 0.4, DegreePerLevel: 6, Seed: 51,
+	})
+	if err != nil {
+		t.Fatalf("Construct: %v", err)
+	}
+	return explicit.NewTrivialStripe(semi.Graph)
+}
+
+func TestBasicDictOnTelescopeExpander(t *testing.T) {
+	n := 64
+	g := buildTelescopeGraph(t, n)
+	m := pdm.NewMachine(pdm.Config{D: g.Degree(), B: 16})
+	bd, err := NewBasic(m, BasicConfig{Capacity: n, SatWords: 1, Graph: g})
+	if err != nil {
+		t.Fatalf("NewBasic on telescope graph: %v", err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	oracle := map[pdm.Word]pdm.Word{}
+	for len(oracle) < n {
+		k := pdm.Word(rng.Uint64() % g.LeftSize())
+		v := pdm.Word(rng.Uint64())
+		if err := bd.Insert(k, []pdm.Word{v}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		oracle[k] = v
+	}
+	// Lookups remain one parallel I/O on the explicit construction.
+	for k, v := range oracle {
+		before := m.Stats()
+		sat, ok := bd.Lookup(k)
+		if !ok || sat[0] != v {
+			t.Fatalf("key %d = %v %v, want %d", k, sat, ok, v)
+		}
+		if d := m.Stats().Sub(before).ParallelIOs; d != 1 {
+			t.Fatalf("lookup on telescope graph = %d parallel I/Os, want 1", d)
+		}
+	}
+	// Universe enforcement comes from the graph.
+	if err := bd.Insert(pdm.Word(g.LeftSize()), []pdm.Word{1}); err == nil {
+		t.Error("key outside the graph's universe accepted")
+	}
+	// Deletes work as usual.
+	for k := range oracle {
+		if !bd.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		break
+	}
+}
+
+func TestBasicDictGraphValidation(t *testing.T) {
+	g := expander.NewFamily(1<<20, 6, 8, 1)
+	// Degree mismatch: machine with 4 disks, graph of degree 6.
+	m := pdm.NewMachine(pdm.Config{D: 4, B: 16})
+	if _, err := NewBasic(m, BasicConfig{Capacity: 10, Graph: g}); err == nil {
+		t.Error("degree-mismatched graph accepted")
+	}
+	// Too-small right side for the requested capacity.
+	m6 := pdm.NewMachine(pdm.Config{D: 6, B: 4})
+	tiny := expander.NewFamily(1<<20, 6, 1, 1)
+	if _, err := NewBasic(m6, BasicConfig{Capacity: 1000, Graph: tiny}); err == nil {
+		t.Error("undersized graph accepted")
+	}
+	// Custom-graph dictionaries refuse snapshots (the graph's encoding
+	// is caller-owned).
+	ok6 := expander.NewFamily(1<<20, 6, 64, 1)
+	bd, err := NewBasic(m6, BasicConfig{Capacity: 16, Graph: ok6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bd.Snapshot(discardWriter{}); err == nil {
+		t.Error("custom-graph snapshot accepted")
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

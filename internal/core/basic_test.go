@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdmdict/internal/loadbalance"
+	"pdmdict/internal/pdm"
+)
+
+func newBasic(t *testing.T, d, b int, cfg BasicConfig) (*BasicDict, *pdm.Machine) {
+	t.Helper()
+	m := pdm.NewMachine(pdm.Config{D: d, B: b})
+	bd, err := NewBasic(m, cfg)
+	if err != nil {
+		t.Fatalf("NewBasic: %v", err)
+	}
+	return bd, m
+}
+
+func TestBasicEmptyLookup(t *testing.T) {
+	bd, _ := newBasic(t, 8, 32, BasicConfig{Capacity: 100, SatWords: 2, Seed: 1})
+	if _, ok := bd.Lookup(42); ok {
+		t.Error("empty dictionary claims to contain 42")
+	}
+	if bd.Len() != 0 {
+		t.Errorf("Len = %d", bd.Len())
+	}
+}
+
+func TestBasicInsertLookupDelete(t *testing.T) {
+	bd, _ := newBasic(t, 8, 32, BasicConfig{Capacity: 100, SatWords: 2, Seed: 1})
+	if err := bd.Insert(42, []pdm.Word{7, 8}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	sat, ok := bd.Lookup(42)
+	if !ok || sat[0] != 7 || sat[1] != 8 {
+		t.Fatalf("Lookup(42) = %v, %v", sat, ok)
+	}
+	if !bd.Contains(42) || bd.Contains(43) {
+		t.Error("Contains wrong")
+	}
+	if !bd.Delete(42) {
+		t.Fatal("Delete(42) failed")
+	}
+	if bd.Delete(42) {
+		t.Error("double delete succeeded")
+	}
+	if bd.Contains(42) {
+		t.Error("deleted key still present")
+	}
+	if bd.Len() != 0 {
+		t.Errorf("Len = %d after delete", bd.Len())
+	}
+}
+
+func TestBasicUpdateReplaces(t *testing.T) {
+	bd, _ := newBasic(t, 8, 32, BasicConfig{Capacity: 100, SatWords: 1, Seed: 1})
+	if err := bd.Insert(5, []pdm.Word{100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bd.Insert(5, []pdm.Word{200}); err != nil {
+		t.Fatal(err)
+	}
+	if bd.Len() != 1 {
+		t.Errorf("Len = %d after update, want 1", bd.Len())
+	}
+	if sat, _ := bd.Lookup(5); sat[0] != 200 {
+		t.Errorf("update did not stick: %d", sat[0])
+	}
+}
+
+func TestBasicLookupIsOneParallelIO(t *testing.T) {
+	bd, m := newBasic(t, 16, 64, BasicConfig{Capacity: 500, SatWords: 1, Seed: 2})
+	for i := 0; i < 100; i++ {
+		if err := bd.Insert(pdm.Word(i*37+1), []pdm.Word{pdm.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Stats()
+	bd.Lookup(37*50 + 1)
+	delta := m.Stats().Sub(before)
+	if delta.ParallelIOs != 1 {
+		t.Errorf("lookup cost %d parallel I/Os, want 1 (paper §4.1)", delta.ParallelIOs)
+	}
+	// Unsuccessful search is also one I/O.
+	before = m.Stats()
+	bd.Lookup(999999)
+	if delta := m.Stats().Sub(before); delta.ParallelIOs != 1 {
+		t.Errorf("unsuccessful lookup cost %d parallel I/Os, want 1", delta.ParallelIOs)
+	}
+}
+
+func TestBasicInsertIsTwoParallelIOs(t *testing.T) {
+	bd, m := newBasic(t, 16, 64, BasicConfig{Capacity: 500, SatWords: 1, Seed: 2})
+	worst := int64(0)
+	for i := 0; i < 200; i++ {
+		before := m.Stats()
+		if err := bd.Insert(pdm.Word(i*101+7), []pdm.Word{1}); err != nil {
+			t.Fatal(err)
+		}
+		if d := m.Stats().Sub(before).ParallelIOs; d > worst {
+			worst = d
+		}
+	}
+	if worst != 2 {
+		t.Errorf("worst-case insert = %d parallel I/Os, want 2 (read + write)", worst)
+	}
+}
+
+func TestBasicBandwidthVariantKFragments(t *testing.T) {
+	// k = d/2 variant: satellite of K*fragWords words retrieved in one
+	// parallel I/O.
+	d := 16
+	bd, m := newBasic(t, d, 64, BasicConfig{Capacity: 64, SatWords: 24, K: d / 2, Seed: 3})
+	sat := make([]pdm.Word, 24)
+	for i := range sat {
+		sat[i] = pdm.Word(1000 + i)
+	}
+	if err := bd.Insert(77, sat); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	got, ok := bd.Lookup(77)
+	if !ok {
+		t.Fatal("fragmented key lost")
+	}
+	if d := m.Stats().Sub(before).ParallelIOs; d != 1 {
+		t.Errorf("bandwidth lookup cost %d parallel I/Os, want 1", d)
+	}
+	for i := range sat {
+		if got[i] != sat[i] {
+			t.Fatalf("satellite word %d = %d, want %d", i, got[i], sat[i])
+		}
+	}
+}
+
+func TestBasicFragmentUpdateAndDelete(t *testing.T) {
+	d := 8
+	bd, _ := newBasic(t, d, 64, BasicConfig{Capacity: 32, SatWords: 8, K: 4, Seed: 4})
+	s1 := []pdm.Word{1, 2, 3, 4, 5, 6, 7, 8}
+	s2 := []pdm.Word{9, 9, 9, 9, 9, 9, 9, 9}
+	if err := bd.Insert(5, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bd.Insert(5, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := bd.Lookup(5)
+	if !ok {
+		t.Fatal("key lost after fragmented update")
+	}
+	for i := range s2 {
+		if got[i] != s2[i] {
+			t.Fatalf("fragmented update wrong at %d: %d", i, got[i])
+		}
+	}
+	if !bd.Delete(5) || bd.Contains(5) || bd.Len() != 0 {
+		t.Error("fragmented delete failed")
+	}
+}
+
+func TestBasicZeroSatellite(t *testing.T) {
+	bd, _ := newBasic(t, 8, 16, BasicConfig{Capacity: 50, Seed: 5})
+	if err := bd.Insert(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sat, ok := bd.Lookup(10); !ok || len(sat) != 0 {
+		t.Errorf("zero-satellite lookup = %v, %v", sat, ok)
+	}
+}
+
+func TestBasicWrongSatelliteWidth(t *testing.T) {
+	bd, _ := newBasic(t, 8, 16, BasicConfig{Capacity: 50, SatWords: 2, Seed: 5})
+	if err := bd.Insert(1, []pdm.Word{1}); err == nil {
+		t.Error("short satellite accepted")
+	}
+}
+
+func TestBasicKeyOutsideUniverse(t *testing.T) {
+	bd, _ := newBasic(t, 8, 16, BasicConfig{Capacity: 50, Universe: 1000, Seed: 5})
+	if err := bd.Insert(1000, nil); err == nil {
+		t.Error("key outside universe accepted")
+	}
+}
+
+func TestBasicCapacityEnforced(t *testing.T) {
+	bd, _ := newBasic(t, 8, 32, BasicConfig{Capacity: 4, SatWords: 0, Seed: 6})
+	for i := 0; i < 4; i++ {
+		if err := bd.Insert(pdm.Word(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bd.Insert(99, nil); err != ErrFull {
+		t.Errorf("over-capacity insert: %v, want ErrFull", err)
+	}
+	// Updating an existing key must still work at capacity.
+	if err := bd.Insert(2, nil); err != nil {
+		t.Errorf("update at capacity: %v", err)
+	}
+}
+
+func TestBasicManyKeysAgainstOracle(t *testing.T) {
+	bd, _ := newBasic(t, 16, 64, BasicConfig{Capacity: 2000, SatWords: 1, Seed: 7})
+	oracle := map[pdm.Word]pdm.Word{}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		k := pdm.Word(rng.Uint64() % (1 << 40))
+		v := pdm.Word(rng.Uint64())
+		if err := bd.Insert(k, []pdm.Word{v}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		oracle[k] = v
+	}
+	if bd.Len() != len(oracle) {
+		t.Errorf("Len = %d, oracle %d", bd.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		sat, ok := bd.Lookup(k)
+		if !ok || sat[0] != v {
+			t.Fatalf("Lookup(%d) = %v, %v; want %d", k, sat, ok, v)
+		}
+	}
+	// Absent keys stay absent.
+	for i := 0; i < 200; i++ {
+		k := pdm.Word(rng.Uint64()%(1<<40)) | (1 << 50)
+		if bd.Contains(k) {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestBasicMaxLoadRespectsLemma3(t *testing.T) {
+	d := 16
+	bd, _ := newBasic(t, d, 64, BasicConfig{Capacity: 3000, SatWords: 0, Seed: 9})
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 3000; i++ {
+		if err := bd.Insert(pdm.Word(rng.Uint64()%(1<<45)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := bd.Graph().RightSize()
+	bound := loadbalance.Lemma3Bound(bd.Len(), v, d, 1, 0.25, 0.5)
+	if float64(bd.MaxLoad()) > bound {
+		t.Errorf("max load %d exceeds Lemma 3 bound %.1f", bd.MaxLoad(), bound)
+	}
+}
+
+func TestBasicScanEnumeratesAll(t *testing.T) {
+	bd, _ := newBasic(t, 8, 32, BasicConfig{Capacity: 100, SatWords: 1, Seed: 11})
+	want := map[pdm.Word]bool{}
+	for i := 0; i < 50; i++ {
+		k := pdm.Word(i*13 + 1)
+		bd.Insert(k, []pdm.Word{pdm.Word(i)})
+		want[k] = true
+	}
+	got := map[pdm.Word]bool{}
+	bd.Scan(func(key pdm.Word, fragIdx int, frag []pdm.Word) {
+		if fragIdx == 0 {
+			got[key] = true
+		}
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Scan saw %d keys, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("Scan missed key %d", k)
+		}
+	}
+}
+
+func TestBasicMultiBlockBuckets(t *testing.T) {
+	// Small B with BucketBlocks=2: lookups cost 2 parallel I/Os but the
+	// structure still works.
+	bd, m := newBasic(t, 8, 8, BasicConfig{Capacity: 200, SatWords: 1, BucketBlocks: 2, Seed: 12})
+	for i := 0; i < 200; i++ {
+		if err := bd.Insert(pdm.Word(i*7+3), []pdm.Word{pdm.Word(i)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	before := m.Stats()
+	if _, ok := bd.Lookup(3); !ok {
+		t.Fatal("key lost")
+	}
+	if d := m.Stats().Sub(before).ParallelIOs; d != 2 {
+		t.Errorf("2-block-bucket lookup = %d parallel I/Os, want 2", d)
+	}
+}
+
+func TestBasicConfigErrors(t *testing.T) {
+	m := pdm.NewMachine(pdm.Config{D: 4, B: 16})
+	bad := []BasicConfig{
+		{Capacity: 0},
+		{Capacity: 10, SatWords: -1},
+		{Capacity: 10, K: -2},
+		{Capacity: 10, K: 8},          // K > d
+		{Capacity: 10, Slack: 0.5},    // slack below 1
+		{Capacity: 10, SatWords: 100}, // record larger than block
+		{Capacity: 10, BucketBlocks: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBasic(m, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// Property: BasicDict agrees with a map oracle under random
+// insert/update/delete/lookup interleavings.
+func TestPropertyBasicMatchesMap(t *testing.T) {
+	f := func(ops []uint32) bool {
+		m := pdm.NewMachine(pdm.Config{D: 8, B: 64})
+		bd, err := NewBasic(m, BasicConfig{Capacity: 300, SatWords: 1, Seed: 13})
+		if err != nil {
+			return false
+		}
+		oracle := map[pdm.Word]pdm.Word{}
+		for _, op := range ops {
+			k := pdm.Word(op % 97)
+			switch op % 3 {
+			case 0:
+				v := pdm.Word(op)
+				if bd.Insert(k, []pdm.Word{v}) == nil {
+					oracle[k] = v
+				}
+			case 1:
+				_, okOracle := oracle[k]
+				if bd.Delete(k) != okOracle {
+					return false
+				}
+				delete(oracle, k)
+			case 2:
+				sat, ok := bd.Lookup(k)
+				v, okOracle := oracle[k]
+				if ok != okOracle || (ok && sat[0] != v) {
+					return false
+				}
+			}
+		}
+		return bd.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

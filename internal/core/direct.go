@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"pdmdict/internal/pdm"
+)
+
+// DirectDict is the specialized structure Theorem 6's discussion
+// recommends for tiny universes: "When the universe is tiny, a
+// specialized method is better to use, for example simple direct
+// addressing." Every key of [0, u) owns a fixed slot — a presence flag
+// plus its satellite — striped round-robin over the disks, so lookups
+// and updates are single-block operations with no graph, no hashing,
+// and space Θ(u·(1+σ)) words. It is the right choice exactly when u is
+// comparable to n, and the baseline that shows where the expander
+// machinery starts to pay off.
+type DirectDict struct {
+	reg       region
+	universe  uint64
+	satWords  int
+	slotWords int
+	perBlock  int
+	n         int
+}
+
+// NewDirect creates a direct-addressed dictionary over the universe
+// [0, universe) with satWords satellite words per key, occupying the
+// machine's full disk set.
+func NewDirect(m *pdm.Machine, universe uint64, satWords int) (*DirectDict, error) {
+	if universe == 0 {
+		return nil, fmt.Errorf("core: empty universe")
+	}
+	if satWords < 0 {
+		return nil, fmt.Errorf("core: negative SatWords")
+	}
+	slotWords := 1 + satWords // presence flag + satellite
+	if slotWords > m.B() {
+		return nil, fmt.Errorf("core: slot of %d words exceeds block size %d", slotWords, m.B())
+	}
+	dd := &DirectDict{
+		reg:       region{m: m, nDisks: m.D()},
+		universe:  universe,
+		satWords:  satWords,
+		slotWords: slotWords,
+		perBlock:  m.B() / slotWords,
+	}
+	return dd, nil
+}
+
+// Len returns the number of keys stored.
+func (dd *DirectDict) Len() int { return dd.n }
+
+// BlocksPerDisk returns the per-disk space footprint.
+func (dd *DirectDict) BlocksPerDisk() int {
+	slots := int(dd.universe)
+	blocks := ceilDiv(slots, dd.perBlock)
+	return ceilDiv(blocks, dd.reg.nDisks)
+}
+
+// slotAddr locates key x: slots fill blocks, blocks round-robin disks.
+func (dd *DirectDict) slotAddr(x pdm.Word) (pdm.Addr, int) {
+	slot := int(x)
+	block := slot / dd.perBlock
+	off := (slot % dd.perBlock) * dd.slotWords
+	return dd.reg.addr(block%dd.reg.nDisks, block/dd.reg.nDisks), off
+}
+
+func (dd *DirectDict) checkKey(x pdm.Word) error {
+	if uint64(x) >= dd.universe {
+		return fmt.Errorf("core: key %d outside universe %d", x, dd.universe)
+	}
+	return nil
+}
+
+// Lookup returns a copy of x's satellite and whether x is present.
+// Cost: exactly one parallel I/O (one block).
+func (dd *DirectDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	if dd.checkKey(x) != nil {
+		return nil, false
+	}
+	a, off := dd.slotAddr(x)
+	blk := dd.reg.m.ReadBlock(a)
+	if blk[off] == 0 {
+		return nil, false
+	}
+	sat := make([]pdm.Word, dd.satWords)
+	copy(sat, blk[off+1:off+dd.slotWords])
+	return sat, true
+}
+
+// Contains reports presence at Lookup cost.
+func (dd *DirectDict) Contains(x pdm.Word) bool {
+	_, ok := dd.Lookup(x)
+	return ok
+}
+
+// Insert stores (x, sat) in two parallel I/Os (read-modify-write of one
+// block).
+func (dd *DirectDict) Insert(x pdm.Word, sat []pdm.Word) error {
+	if err := dd.checkKey(x); err != nil {
+		return err
+	}
+	if len(sat) != dd.satWords {
+		return fmt.Errorf("core: satellite of %d words, config says %d", len(sat), dd.satWords)
+	}
+	a, off := dd.slotAddr(x)
+	blk := dd.reg.m.ReadBlock(a)
+	if blk[off] == 0 {
+		dd.n++
+	}
+	blk[off] = 1
+	copy(blk[off+1:off+dd.slotWords], sat)
+	dd.reg.m.WriteBlock(a, blk)
+	return nil
+}
+
+// Delete removes x, reporting whether it was present.
+func (dd *DirectDict) Delete(x pdm.Word) bool {
+	if dd.checkKey(x) != nil {
+		return false
+	}
+	a, off := dd.slotAddr(x)
+	blk := dd.reg.m.ReadBlock(a)
+	if blk[off] == 0 {
+		return false
+	}
+	for i := 0; i < dd.slotWords; i++ {
+		blk[off+i] = 0
+	}
+	dd.reg.m.WriteBlock(a, blk)
+	dd.n--
+	return true
+}

@@ -1,0 +1,126 @@
+package core
+
+// Section 5's closing remark, at the dictionary level: "If we implement
+// the described dictionaries in the parallel disk head model, we do not
+// need the striped property." These tests run the Section 4.1
+// dictionary on an UNSTRIPED expander in both machine models: one-probe
+// behaviour returns in the head model, while the standard parallel disk
+// model punishes the missing striping with per-disk conflicts.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdmdict/internal/expander"
+	"pdmdict/internal/pdm"
+)
+
+func TestBasicDictHeadModel(t *testing.T) {
+	d, b, n := 12, 64, 400
+	m := pdm.NewMachine(pdm.Config{D: d, B: b, Model: pdm.DiskHead})
+	bd, err := NewBasic(m, BasicConfig{Capacity: n, SatWords: 1, HeadModel: true, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(102))
+	oracle := map[pdm.Word]pdm.Word{}
+	for len(oracle) < n {
+		k := pdm.Word(rng.Uint64() % (1 << 44))
+		v := pdm.Word(rng.Uint64())
+		if err := bd.Insert(k, []pdm.Word{v}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		oracle[k] = v
+	}
+	worst := int64(0)
+	for k, v := range oracle {
+		before := m.Stats().ParallelIOs
+		sat, ok := bd.Lookup(k)
+		if !ok || sat[0] != v {
+			t.Fatalf("key %d = %v %v, want %d", k, sat, ok, v)
+		}
+		if c := m.Stats().ParallelIOs - before; c > worst {
+			worst = c
+		}
+	}
+	if worst != 1 {
+		t.Errorf("head-model lookup worst = %d parallel I/Os, want 1 (unstriped graph suffices)", worst)
+	}
+	// Updates: 2 I/Os.
+	for k := range oracle {
+		before := m.Stats().ParallelIOs
+		if err := bd.Insert(k, []pdm.Word{9}); err != nil {
+			t.Fatal(err)
+		}
+		if c := m.Stats().ParallelIOs - before; c != 2 {
+			t.Errorf("head-model update = %d parallel I/Os, want 2", c)
+		}
+		break
+	}
+	// Delete path too.
+	for k := range oracle {
+		if !bd.Delete(k) || bd.Contains(k) {
+			t.Fatal("head-model delete failed")
+		}
+		break
+	}
+}
+
+func TestHeadLayoutOnParallelDiskSuffersConflicts(t *testing.T) {
+	// The same unstriped layout on a standard parallel-disk machine:
+	// correctness holds but probes cost more than one I/O on average —
+	// the cost the trivial striping transform (factor-d space) buys away.
+	d, b, n := 12, 64, 400
+	m := pdm.NewMachine(pdm.Config{D: d, B: b}) // ParallelDisk
+	bd, err := NewBasic(m, BasicConfig{Capacity: n, SatWords: 1, HeadModel: true, Seed: 103})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]pdm.Word, n)
+	rng := rand.New(rand.NewSource(104))
+	for i := range keys {
+		keys[i] = pdm.Word(rng.Uint64() % (1 << 44))
+		if err := bd.Insert(keys[i], []pdm.Word{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Stats().ParallelIOs
+	for _, k := range keys {
+		if !bd.Contains(k) {
+			t.Fatal("key lost")
+		}
+	}
+	avg := float64(m.Stats().ParallelIOs-before) / float64(n)
+	if avg <= 1.5 {
+		t.Errorf("unstriped probes on the PDM averaged %.2f I/Os; expected clear conflict cost (>1.5)", avg)
+	}
+}
+
+func TestBasicDictHeadModelCustomGraph(t *testing.T) {
+	// Any left-d-regular graph works in head mode — no striping needed.
+	g := expander.NewUnstriped(1<<30, 8, 400, 105)
+	m := pdm.NewMachine(pdm.Config{D: 8, B: 32, Model: pdm.DiskHead})
+	bd, err := NewBasic(m, BasicConfig{Capacity: 100, SatWords: 0, HeadModel: true, UnstripedGraph: g, Seed: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := bd.Insert(pdm.Word(i*3+1), nil); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if !bd.Contains(pdm.Word(i*3 + 1)) {
+			t.Fatal("key lost on custom unstriped graph")
+		}
+	}
+	// Degree mismatch rejected.
+	m2 := pdm.NewMachine(pdm.Config{D: 4, B: 32, Model: pdm.DiskHead})
+	if _, err := NewBasic(m2, BasicConfig{Capacity: 10, HeadModel: true, UnstripedGraph: g}); err == nil {
+		t.Error("degree-mismatched unstriped graph accepted")
+	}
+	// Custom-graph head-mode dictionaries refuse snapshots.
+	if err := bd.Snapshot(discardWriter{}); err == nil {
+		t.Error("custom unstriped-graph snapshot accepted")
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pdmdict/internal/pdm"
+)
+
+// DictConfig parameterizes the fully dynamic dictionary.
+type DictConfig struct {
+	// InitialCapacity is the capacity of the first underlying structure.
+	// Required. The dictionary grows without bound by global rebuilding.
+	InitialCapacity int
+	// SatWords is the satellite size per key, in words.
+	SatWords int
+	// Degree is the expander degree d; each underlying structure lives
+	// on a machine with 2d disks. Theorem 7's d > 6(1+1/ɛ) applies.
+	// 0 defaults to 20 (satisfying the constraint for the default ɛ).
+	Degree int
+	// BlockSize is B, the block capacity in words. 0 defaults to 64.
+	BlockSize int
+	// Epsilon is Theorem 7's performance parameter. 0 defaults to 0.5.
+	Epsilon float64
+	// MigrateBatch is the number of keys moved from the draining
+	// structure per operation during a rebuild. 0 defaults to 4.
+	MigrateBatch int
+	// Universe is u; 0 defaults to 2^63.
+	Universe uint64
+	// OneProbe selects the Section 6 one-probe structure as the bounded
+	// building block instead of the Theorem 7 cascade: lookups stay at
+	// exactly one parallel I/O even across rebuilds (the draining and
+	// filling structures answer in the same parallel step), at twice the
+	// disks.
+	OneProbe bool
+	// Seed selects the expanders; each rebuild generation derives a new
+	// seed so a pathological key set cannot chase the structure forever.
+	Seed uint64
+}
+
+func (c *DictConfig) normalize() error {
+	if c.InitialCapacity <= 0 {
+		return fmt.Errorf("core: DictConfig.InitialCapacity = %d, must be positive", c.InitialCapacity)
+	}
+	if c.Degree == 0 {
+		c.Degree = 20
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.MigrateBatch == 0 {
+		c.MigrateBatch = 4
+	}
+	if c.MigrateBatch < 1 {
+		return fmt.Errorf("core: MigrateBatch %d below 1", c.MigrateBatch)
+	}
+	return nil
+}
+
+// DictStats aggregates per-operation costs under the wrapper's cost
+// model: the two underlying structures occupy disjoint disks ("we can
+// make any constant number of parallel instances of our dictionaries"),
+// so an operation that touches both costs the maximum of the two
+// machines' parallel I/Os, not the sum.
+type DictStats struct {
+	// Ops is the number of Lookup/Insert/Delete calls served.
+	Ops int64
+	// ParallelIOs is the total cost in the parallel cost model above.
+	ParallelIOs int64
+	// WorstOp is the largest single-operation cost observed. Global
+	// rebuilding keeps this a constant — the point of the Overmars–van
+	// Leeuwen technique the paper invokes.
+	WorstOp int64
+	// Rebuilds counts completed migrations.
+	Rebuilds int64
+}
+
+// rebuildable is the contract the global-rebuilding wrapper needs from
+// a bounded-capacity structure: the dictionary operations plus access
+// to its machine (for cost accounting) and its membership
+// sub-dictionary (for the migration cursor). DynamicDict (Theorem 7)
+// and OneProbeDict (Section 6) both satisfy it.
+type rebuildable interface {
+	Lookup(x pdm.Word) ([]pdm.Word, bool)
+	Insert(x pdm.Word, sat []pdm.Word) error
+	Delete(x pdm.Word) bool
+	Len() int
+	Capacity() int
+	Snapshot(w io.Writer) error
+	machine() *pdm.Machine
+	membership() *BasicDict
+}
+
+func (dd *DynamicDict) machine() *pdm.Machine   { return dd.m }
+func (dd *DynamicDict) membership() *BasicDict  { return dd.memb }
+func (op *OneProbeDict) machine() *pdm.Machine  { return op.m }
+func (op *OneProbeDict) membership() *BasicDict { return op.memb }
+
+// Dict is the fully dynamic dictionary of Section 4's introduction:
+// a bounded structure (Theorem 7's cascade by default, or the Section 6
+// one-probe structure) made unbounded and deletion-friendly by
+// worst-case global rebuilding. When the active structure reaches its
+// capacity, a successor of twice the capacity is created on fresh disks,
+// every subsequent operation migrates a constant number of keys, and
+// both structures answer queries in parallel until the old one drains.
+type Dict struct {
+	cfg        DictConfig
+	generation uint64
+
+	active rebuildable
+	next   rebuildable
+
+	// Migration cursor over active's membership buckets (global bucket
+	// index).
+	curBucket int
+
+	// statsMu guards stats: lookups are otherwise read-only and may run
+	// concurrently (under a reader lock), but every operation updates
+	// the cost ledger.
+	statsMu sync.Mutex
+	stats   DictStats
+}
+
+// NewDict creates an empty dictionary.
+func NewDict(cfg DictConfig) (*Dict, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	d := &Dict{cfg: cfg}
+	active, err := d.newStructure(cfg.InitialCapacity)
+	if err != nil {
+		return nil, err
+	}
+	d.active = active
+	return d, nil
+}
+
+func (d *Dict) newStructure(capacity int) (rebuildable, error) {
+	d.generation++
+	seed := d.cfg.Seed + d.generation*0x9e3779b97f4a7c15
+	if d.cfg.OneProbe {
+		levels := 3
+		m := pdm.NewMachine(pdm.Config{D: (levels + 1) * d.cfg.Degree, B: d.cfg.BlockSize})
+		return NewOneProbe(m, OneProbeConfig{
+			Capacity: capacity,
+			SatWords: d.cfg.SatWords,
+			Levels:   levels,
+			Universe: d.cfg.Universe,
+			Seed:     seed,
+		})
+	}
+	m := pdm.NewMachine(pdm.Config{D: 2 * d.cfg.Degree, B: d.cfg.BlockSize})
+	return NewDynamic(m, DynamicConfig{
+		Capacity: capacity,
+		SatWords: d.cfg.SatWords,
+		Epsilon:  d.cfg.Epsilon,
+		Universe: d.cfg.Universe,
+		Seed:     seed,
+	})
+}
+
+// Len returns the number of keys stored across both structures.
+func (d *Dict) Len() int {
+	n := d.active.Len()
+	if d.next != nil {
+		n += d.next.Len()
+	}
+	return n
+}
+
+// Stats returns the accumulated operation costs.
+func (d *Dict) Stats() DictStats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.stats
+}
+
+// Migrating reports whether a rebuild is in progress.
+func (d *Dict) Migrating() bool { return d.next != nil }
+
+// measure runs op and charges max(active I/Os, next I/Os) — the two
+// structures live on disjoint disks and work in parallel.
+func (d *Dict) measure(op func() error) error {
+	aBefore := d.active.machine().Stats().ParallelIOs
+	var nBefore int64
+	nextAtStart := d.next
+	if nextAtStart != nil {
+		nBefore = nextAtStart.machine().Stats().ParallelIOs
+	}
+	err := op()
+	cost := d.active.machine().Stats().ParallelIOs - aBefore
+	if nextAtStart != nil {
+		if nCost := nextAtStart.machine().Stats().ParallelIOs - nBefore; nCost > cost {
+			cost = nCost
+		}
+	}
+	d.statsMu.Lock()
+	d.stats.Ops++
+	d.stats.ParallelIOs += cost
+	if cost > d.stats.WorstOp {
+		d.stats.WorstOp = cost
+	}
+	d.statsMu.Unlock()
+	return err
+}
+
+// Lookup returns a copy of x's satellite and whether x is present.
+func (d *Dict) Lookup(x pdm.Word) (sat []pdm.Word, ok bool) {
+	d.measure(func() error {
+		if d.next != nil {
+			if sat, ok = d.next.Lookup(x); ok {
+				return nil
+			}
+		}
+		sat, ok = d.active.Lookup(x)
+		return nil
+	})
+	return sat, ok
+}
+
+// Contains reports whether x is present.
+func (d *Dict) Contains(x pdm.Word) bool {
+	_, ok := d.Lookup(x)
+	return ok
+}
+
+// Insert stores (x, sat), replacing any previous satellite for x.
+func (d *Dict) Insert(x pdm.Word, sat []pdm.Word) error {
+	return d.measure(func() error {
+		if d.next == nil && d.active.Len() >= d.active.Capacity() {
+			if err := d.startMigration(); err != nil {
+				return err
+			}
+		}
+		var err error
+		if d.next != nil {
+			err = d.next.Insert(x, sat)
+			if err == nil {
+				d.active.Delete(x) // drop any stale copy
+			}
+		} else {
+			err = d.active.Insert(x, sat)
+			if err == ErrFull {
+				// Expansion failure below capacity: rebuild immediately
+				// with a new seed and land the insert in the successor.
+				if merr := d.startMigration(); merr != nil {
+					return merr
+				}
+				err = d.next.Insert(x, sat)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		d.migrateStep()
+		return nil
+	})
+}
+
+// Delete removes x and reports whether it was present.
+func (d *Dict) Delete(x pdm.Word) (present bool) {
+	d.measure(func() error {
+		if d.next != nil && d.next.Delete(x) {
+			present = true
+		} else {
+			present = d.active.Delete(x)
+		}
+		d.migrateStep()
+		return nil
+	})
+	return present
+}
+
+// startMigration creates the successor structure of twice the current
+// capacity (at least enough for the current content) and resets the
+// cursor.
+func (d *Dict) startMigration() error {
+	capacity := 2 * d.active.Capacity()
+	if capacity < d.active.Len()+1 {
+		capacity = d.active.Len() + 1
+	}
+	next, err := d.newStructure(capacity)
+	if err != nil {
+		return err
+	}
+	d.next = next
+	d.curBucket = 0
+	return nil
+}
+
+// migrateStep moves up to MigrateBatch keys from active to next, then
+// finishes the migration once active is empty. The work per call is
+// strictly bounded: at most MigrateBatch key moves AND at most
+// 4·MigrateBatch bucket probes (empty buckets consume a probe but not a
+// move), so the per-operation worst case stays constant even when the
+// draining structure is nearly empty.
+func (d *Dict) migrateStep() {
+	if d.next == nil {
+		return
+	}
+	memb := d.active.membership()
+	moved, probes := 0, 0
+	for moved < d.cfg.MigrateBatch && probes < 4*d.cfg.MigrateBatch && d.active.Len() > 0 {
+		probes++
+		if d.curBucket >= memb.Buckets() {
+			break // cursor exhausted; remaining keys were deleted concurrently
+		}
+		addrs := memb.bucketAddrs(d.curBucket, nil)
+		blocks := memb.reg.m.BatchRead(addrs)
+		var key pdm.Word
+		found := false
+		for _, blk := range blocks {
+			if recs := memb.codec.Decode(blk); len(recs) > 0 {
+				key = recs[0].Key
+				found = true
+				break
+			}
+		}
+		if !found {
+			d.curBucket++
+			continue
+		}
+		sat, ok := d.active.Lookup(key)
+		if ok {
+			if err := d.next.Insert(key, sat); err != nil {
+				// The successor refused (pathological); leave the key in
+				// place and retry on a later step.
+				return
+			}
+		}
+		d.active.Delete(key)
+		moved++
+	}
+	if d.active.Len() == 0 {
+		d.active = d.next
+		d.next = nil
+		d.statsMu.Lock()
+		d.stats.Rebuilds++
+		d.statsMu.Unlock()
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pdmdict/internal/bucket"
+	"pdmdict/internal/pdm"
+)
+
+// Property: for arbitrary small key sets, geometries, and satellite
+// sizes, BuildStatic either fails cleanly or produces a dictionary that
+// answers every membership and retrieval query correctly at exactly one
+// parallel I/O.
+func TestPropertyStaticMatchesOracle(t *testing.T) {
+	geoms := []struct {
+		d, b int
+		cs   StaticCase
+	}{
+		{6, 32, CaseB},
+		{12, 64, CaseB},
+		{6, 32, CaseA},
+		{12, 64, CaseA},
+	}
+	f := func(rawKeys []uint32, sigmaRaw, geomRaw uint8) bool {
+		g := geoms[int(geomRaw)%len(geoms)]
+		sigma := int(sigmaRaw % 5)
+		seen := map[pdm.Word]bool{}
+		var recs []bucket.Record
+		for _, rk := range rawKeys {
+			k := pdm.Word(rk)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			sat := make([]pdm.Word, sigma)
+			for j := range sat {
+				sat[j] = k*31 + pdm.Word(j)
+			}
+			recs = append(recs, bucket.Record{Key: k, Sat: sat})
+			if len(recs) == 80 {
+				break
+			}
+		}
+		disks := g.d
+		if g.cs == CaseA {
+			disks *= 2
+		}
+		m := pdm.NewMachine(pdm.Config{D: disks, B: g.b})
+		sd, err := BuildStatic(m, StaticConfig{SatWords: sigma, Case: g.cs, Seed: uint64(geomRaw) + 1}, recs)
+		if err != nil {
+			// A clean failure (e.g. expansion shortfall on a pathological
+			// tiny set) is acceptable; silent wrongness is not.
+			return true
+		}
+		for _, r := range recs {
+			before := m.Stats().ParallelIOs
+			sat, ok := sd.Lookup(r.Key)
+			if !ok {
+				return false
+			}
+			if m.Stats().ParallelIOs-before != 1 {
+				return false
+			}
+			for j := range r.Sat {
+				if sat[j] != r.Sat[j] {
+					return false
+				}
+			}
+		}
+		// Absent keys (uint32 inputs guarantee high keys are unused).
+		for probe := 0; probe < 20; probe++ {
+			if _, ok := sd.Lookup(pdm.Word(1<<40) + pdm.Word(probe)); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

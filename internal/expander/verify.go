@@ -1,0 +1,252 @@
+package expander
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file measures expansion rather than assuming it. The dictionaries
+// depend only on two quantities: |Γ(S)| (Definitions 1 and 2) and the
+// unique-neighbor structure Φ(S), S′ (Lemmas 4 and 5). Everything here is
+// exact for a given S; the Verify/Estimate functions quantify over sets S
+// either exhaustively (small universes) or by sampling (large ones).
+
+// NeighborhoodSize returns |Γ(S)| for the given set of left vertices.
+func NeighborhoodSize(g Graph, s []uint64) int {
+	seen := make(map[int]struct{}, len(s)*g.Degree())
+	buf := make([]int, 0, g.Degree())
+	for _, x := range s {
+		buf = g.Neighbors(x, buf[:0])
+		for _, y := range buf {
+			seen[y] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// EpsilonOf returns the smallest ε such that S achieves (1−ε)d|S|
+// neighbors, i.e. ε = 1 − |Γ(S)| / (d|S|). Larger is worse; a graph is an
+// (N, ε)-expander iff every S with |S| ≤ N has EpsilonOf(S) ≤ ε.
+func EpsilonOf(g Graph, s []uint64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	gamma := NeighborhoodSize(g, s)
+	return 1 - float64(gamma)/float64(g.Degree()*len(s))
+}
+
+// UniqueNeighbors returns Φ(S): the right vertices with exactly one
+// neighbor in S (Section 4.2). The returned map carries, for each unique
+// neighbor node, the single left vertex it belongs to.
+func UniqueNeighbors(g Graph, s []uint64) map[int]uint64 {
+	count := make(map[int]int, len(s)*g.Degree())
+	owner := make(map[int]uint64, len(s)*g.Degree())
+	buf := make([]int, 0, g.Degree())
+	for _, x := range s {
+		buf = g.Neighbors(x, buf[:0])
+		for _, y := range buf {
+			count[y]++
+			owner[y] = x
+		}
+	}
+	phi := make(map[int]uint64)
+	for y, c := range count {
+		if c == 1 {
+			phi[y] = owner[y]
+		}
+	}
+	return phi
+}
+
+// UniqueStats summarizes the unique-neighbor structure of a set S.
+type UniqueStats struct {
+	// Phi is |Φ(S)|, the number of unique neighbor nodes. Lemma 4:
+	// Phi ≥ (1−2ε)d|S|.
+	Phi int
+	// WellCovered is |S′| for the given λ: the number of x ∈ S with at
+	// least (1−λ)d unique neighbors. Lemma 5: WellCovered ≥ (1−2ε/λ)|S|.
+	WellCovered int
+	// PerVertex[x] is |Γ(x) ∩ Φ(S)| for each x ∈ S, in input order.
+	PerVertex []int
+}
+
+// UniqueNeighborStats computes the quantities of Lemmas 4 and 5 for a set
+// S and threshold parameter λ.
+func UniqueNeighborStats(g Graph, s []uint64, lambda float64) UniqueStats {
+	phi := UniqueNeighbors(g, s)
+	d := g.Degree()
+	threshold := int(math.Ceil((1 - lambda) * float64(d)))
+	st := UniqueStats{Phi: len(phi), PerVertex: make([]int, len(s))}
+	buf := make([]int, 0, d)
+	for i, x := range s {
+		buf = g.Neighbors(x, buf[:0])
+		c := 0
+		for _, y := range buf {
+			if owner, ok := phi[y]; ok && owner == x {
+				c++
+			}
+		}
+		st.PerVertex[i] = c
+		if c >= threshold {
+			st.WellCovered++
+		}
+	}
+	return st
+}
+
+// Report is the outcome of an expansion audit over many candidate sets.
+type Report struct {
+	// SetsChecked is the number of left-vertex sets examined.
+	SetsChecked int
+	// WorstEpsilon is the largest EpsilonOf over all examined sets.
+	WorstEpsilon float64
+	// WorstSetSize is the |S| at which WorstEpsilon was attained.
+	WorstSetSize int
+	// MinGammaRatio is the smallest |Γ(S)|/min(d|S|, v) observed; a value
+	// below 1−δ witnesses a δ violation in the Definition 1 sense.
+	MinGammaRatio float64
+}
+
+// VerifyExhaustive checks every subset of the left part of size in
+// [1, maxSize] and returns the worst expansion found. It is exponential
+// in u and intended for small universes only (u ≤ ~24); it panics if the
+// enumeration would exceed roughly 2^28 subsets.
+func VerifyExhaustive(g Graph, maxSize int) Report {
+	u := g.LeftSize()
+	if u > 28 {
+		panic("expander: VerifyExhaustive is only for tiny universes")
+	}
+	rep := Report{MinGammaRatio: math.Inf(1)}
+	n := int(u)
+	var s []uint64
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		if len(s) > 0 {
+			examine(g, s, &rep)
+		}
+		if remaining == 0 {
+			return
+		}
+		for i := start; i < n; i++ {
+			s = append(s, uint64(i))
+			rec(i+1, remaining-1)
+			s = s[:len(s)-1]
+		}
+	}
+	rec(0, maxSize)
+	return rep
+}
+
+func examine(g Graph, s []uint64, rep *Report) {
+	rep.SetsChecked++
+	gamma := NeighborhoodSize(g, s)
+	eps := 1 - float64(gamma)/float64(g.Degree()*len(s))
+	if eps > rep.WorstEpsilon {
+		rep.WorstEpsilon = eps
+		rep.WorstSetSize = len(s)
+	}
+	bound := g.Degree() * len(s)
+	if v := g.RightSize(); bound > v {
+		bound = v
+	}
+	ratio := float64(gamma) / float64(bound)
+	if ratio < rep.MinGammaRatio {
+		rep.MinGammaRatio = ratio
+	}
+}
+
+// EstimateExpansion samples trials random subsets of each size in sizes
+// (drawn without replacement from [0, u) via the seeded rng) and returns
+// the worst expansion observed. It is a statistical audit suitable for
+// the large universes the dictionaries actually use.
+func EstimateExpansion(g Graph, sizes []int, trials int, seed int64) Report {
+	rng := rand.New(rand.NewSource(seed))
+	rep := Report{MinGammaRatio: math.Inf(1)}
+	for _, n := range sizes {
+		for t := 0; t < trials; t++ {
+			s := SampleSet(g.LeftSize(), n, rng)
+			examine(g, s, &rep)
+		}
+	}
+	return rep
+}
+
+// SampleSet draws n distinct left vertices uniformly from [0, u).
+func SampleSet(u uint64, n int, rng *rand.Rand) []uint64 {
+	if uint64(n) > u {
+		panic("expander: sample larger than universe")
+	}
+	seen := make(map[uint64]struct{}, n)
+	s := make([]uint64, 0, n)
+	for len(s) < n {
+		x := rng.Uint64() % u
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		s = append(s, x)
+	}
+	return s
+}
+
+// CommonNeighbors returns |Γ(x) ∩ Γ(y)|, the number of right vertices
+// the two keys share.
+func CommonNeighbors(g Graph, x, y uint64) int {
+	nx := NeighborSet(g, x)
+	ny := NeighborSet(g, y)
+	set := make(map[int]struct{}, len(nx))
+	for _, v := range nx {
+		set[v] = struct{}{}
+	}
+	common := 0
+	for _, v := range ny {
+		if _, ok := set[v]; ok {
+			common++
+		}
+	}
+	return common
+}
+
+// MaxPairwiseCommon samples random key pairs and returns the largest
+// common-neighbor count observed. The Theorem 6(b) majority decoding is
+// sound precisely because "no two keys from U can have more than εd
+// common neighbors" — with ε < 1/2, a stored key's ⌈2d/3⌉ fields always
+// outvote any impostor. This audit measures that margin.
+func MaxPairwiseCommon(g Graph, pairs int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	max := 0
+	u := g.LeftSize()
+	for i := 0; i < pairs; i++ {
+		x := rng.Uint64() % u
+		y := rng.Uint64() % u
+		if x == y {
+			continue
+		}
+		if c := CommonNeighbors(g, x, y); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// CheckStriped verifies structurally that g honours the striping
+// contract: for every probed vertex, neighbor i lies in stripe i and
+// matches StripeNeighbor. It probes the given vertices and returns the
+// first violation, or ok.
+func CheckStriped(g Striped, probe []uint64) (ok bool, bad uint64) {
+	d := g.Degree()
+	ss := g.StripeSize()
+	buf := make([]int, 0, d)
+	for _, x := range probe {
+		buf = g.Neighbors(x, buf[:0])
+		if len(buf) != d {
+			return false, x
+		}
+		for i, y := range buf {
+			if y/ss != i || y%ss != g.StripeNeighbor(x, i) {
+				return false, x
+			}
+		}
+	}
+	return true, 0
+}

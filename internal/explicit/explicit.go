@@ -1,0 +1,340 @@
+// Package explicit implements Section 5 of the paper: semi-explicit
+// expander constructions for external memory algorithms.
+//
+// The building blocks:
+//
+//   - Base expanders (Theorem 9, Capalbo et al. [6]): slightly
+//     unbalanced expanders whose representation fits in internal memory
+//     and which "can be found probabilistically in time poly(s)". This
+//     package takes that option literally: FindBase searches seeded
+//     candidate graphs and *verifies* their expansion by sampling before
+//     accepting one, materializing small graphs as in-memory tables so
+//     their internal-memory footprint is measurable (the O(u^β/ε^c)
+//     words of Corollary 1).
+//   - The telescope product (Lemma 10, after Ta-Shma et al. [18]):
+//     composing F1 : U1×[d1] → V1 with F2 : V1×[d2] → V2 yields an
+//     expander U1×([d1]×[d2]) → V2 of degree d1·d2 and error
+//     1−(1−ε1)(1−ε2), with multi-edges re-mapped deterministically.
+//   - The recursive family (Lemma 11) and the Theorem 12 wrapper: for
+//     u = poly(N), a constant number of telescope levels reaches
+//     v = O(N·d) with degree polylog(u) and O(N^β) words of
+//     pre-processed internal memory.
+//   - TrivialStripe (end of Section 5): explicit constructions are not
+//     striped; copying the right side once per stripe makes any graph
+//     striped at a factor-d space cost, which is how the dictionaries
+//     consume these graphs in the parallel disk model (the alternative
+//     being the parallel disk head model, where striping is unneeded).
+package explicit
+
+import (
+	"fmt"
+	"math"
+
+	"pdmdict/internal/expander"
+)
+
+// Base is a verified base expander together with its internal-memory
+// accounting.
+type Base struct {
+	// Graph is the verified expander. Small universes are materialized
+	// as adjacency tables (pre-processed internal memory, as in
+	// Corollary 1); larger ones stay functional.
+	Graph expander.Graph
+	// MeasuredEps is the worst sampled expansion error.
+	MeasuredEps float64
+	// SeedsTried counts the probabilistic search's attempts.
+	SeedsTried int
+	// MemoryWords is the representation's internal-memory footprint in
+	// words: u·d for a materialized table, O(1) for a functional graph.
+	MemoryWords int
+}
+
+// BaseConfig parameterizes FindBase.
+type BaseConfig struct {
+	// U, V, D are the graph dimensions (left size, right size, degree).
+	U uint64
+	V int
+	D int
+	// N is the set size up to which expansion is verified.
+	N int
+	// Eps is the target expansion error: every sampled S with |S| ≤ N
+	// must have |Γ(S)| ≥ (1−Eps)·d·|S|.
+	Eps float64
+	// Trials is the number of sampled sets per size class; 0 defaults
+	// to 32.
+	Trials int
+	// MaxSeeds bounds the search; 0 defaults to 64.
+	MaxSeeds int
+	// Seed starts the search.
+	Seed uint64
+	// MaterializeLimit is the largest u stored as a table; 0 defaults
+	// to 1<<16.
+	MaterializeLimit uint64
+}
+
+func (c *BaseConfig) normalize() error {
+	if c.U == 0 || c.V < c.D || c.D < 1 {
+		return fmt.Errorf("explicit: invalid dimensions u=%d v=%d d=%d", c.U, c.V, c.D)
+	}
+	if c.N < 1 || uint64(c.N) > c.U {
+		return fmt.Errorf("explicit: invalid N=%d for u=%d", c.N, c.U)
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		return fmt.Errorf("explicit: Eps %v outside (0,1)", c.Eps)
+	}
+	if c.Trials == 0 {
+		c.Trials = 32
+	}
+	if c.MaxSeeds == 0 {
+		c.MaxSeeds = 64
+	}
+	if c.MaterializeLimit == 0 {
+		c.MaterializeLimit = 1 << 16
+	}
+	return nil
+}
+
+// FindBase searches seeded candidate graphs until one verifies as an
+// (N, Eps)-expander on sampled sets. This is the probabilistic
+// construction Theorem 9 licenses, with verification in place of the
+// theorem's guarantee.
+func FindBase(cfg BaseConfig) (*Base, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sizes := sampleSizes(cfg.N)
+	for try := 0; try < cfg.MaxSeeds; try++ {
+		g := expander.NewUnstriped(cfg.U, cfg.D, cfg.V, cfg.Seed+uint64(try)*0x9e3779b97f4a7c15)
+		rep := expander.EstimateExpansion(g, sizes, cfg.Trials, int64(cfg.Seed)+int64(try))
+		if rep.WorstEpsilon <= cfg.Eps {
+			b := &Base{MeasuredEps: rep.WorstEpsilon, SeedsTried: try + 1}
+			if cfg.U <= cfg.MaterializeLimit {
+				b.Graph = materialize(g)
+				b.MemoryWords = int(cfg.U) * cfg.D
+			} else {
+				b.Graph = g
+				b.MemoryWords = 4 // dimensions + seed
+			}
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("explicit: no (N=%d, ε=%.3f)-expander found in %d seeds (u=%d v=%d d=%d)",
+		cfg.N, cfg.Eps, cfg.MaxSeeds, cfg.U, cfg.V, cfg.D)
+}
+
+// sampleSizes picks the set sizes to audit: powers of two up to N.
+func sampleSizes(n int) []int {
+	var sizes []int
+	for s := 1; s <= n; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] != n {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// materialize stores a graph as an adjacency table.
+func materialize(g expander.Graph) *expander.Table {
+	u := int(g.LeftSize())
+	adj := make([][]int, u)
+	for x := 0; x < u; x++ {
+		adj[x] = expander.NeighborSet(g, uint64(x))
+	}
+	return &expander.Table{V: g.RightSize(), Adj: adj}
+}
+
+// Telescope is the composition of Lemma 10: neighbor (e1, e2) of x is
+// F2(F1(x, e1), e2), with duplicate right vertices re-mapped by linear
+// probing ("re-map all but one edge in each multi-edge in an appropriate
+// and fixed manner"), which cannot decrease expansion.
+type Telescope struct {
+	f1, f2 expander.Graph
+}
+
+// NewTelescope composes f1 and f2; f1's right part must be f2's left
+// part.
+func NewTelescope(f1, f2 expander.Graph) (*Telescope, error) {
+	if uint64(f1.RightSize()) != f2.LeftSize() {
+		return nil, fmt.Errorf("explicit: telescope mismatch: |V1|=%d but |U2|=%d",
+			f1.RightSize(), f2.LeftSize())
+	}
+	return &Telescope{f1: f1, f2: f2}, nil
+}
+
+// LeftSize returns |U1|.
+func (t *Telescope) LeftSize() uint64 { return t.f1.LeftSize() }
+
+// RightSize returns |V2|.
+func (t *Telescope) RightSize() int { return t.f2.RightSize() }
+
+// Degree returns d1·d2.
+func (t *Telescope) Degree() int { return t.f1.Degree() * t.f2.Degree() }
+
+// Neighbors evaluates all d1·d2 composed neighbors (the paper notes
+// that evaluating all neighbors is what the dictionaries do anyway).
+func (t *Telescope) Neighbors(x uint64, dst []int) []int {
+	mid := t.f1.Neighbors(x, make([]int, 0, t.f1.Degree()))
+	seen := make(map[int]bool, t.Degree())
+	v := t.RightSize()
+	buf := make([]int, 0, t.f2.Degree())
+	for _, m := range mid {
+		buf = t.f2.Neighbors(uint64(m), buf[:0])
+		for _, y := range buf {
+			for seen[y] && len(seen) < v {
+				y = (y + 1) % v
+			}
+			seen[y] = true
+			dst = append(dst, y)
+		}
+	}
+	return dst
+}
+
+// SemiConfig parameterizes the Theorem 12 construction.
+type SemiConfig struct {
+	// U is the universe size, assumed polynomial in N.
+	U uint64
+	// N is the target expander's set-size parameter.
+	N int
+	// Eps is the target total error 1−(1−ε')^k.
+	Eps float64
+	// Gamma is the per-level shrink exponent (the paper's β'/c):
+	// u_{i+1} = u_i^{1−Gamma}. Smaller Gamma means less internal memory
+	// (smaller base tables) but more levels and higher degree — the
+	// trade-off Theorem 12 quantifies. 0 defaults to 0.5.
+	Gamma float64
+	// DegreePerLevel is each base expander's degree; 0 defaults to 8.
+	DegreePerLevel int
+	// Seed, Trials, MaxSeeds drive the per-level base searches.
+	Seed     uint64
+	Trials   int
+	MaxSeeds int
+}
+
+// Semi is the Theorem 12 result: a verified (N, ε)-expander built as a
+// telescope of base expanders, with degree polylog(u) and measured
+// internal-memory usage.
+type Semi struct {
+	// Graph is the composed expander.
+	Graph expander.Graph
+	// Levels is the number of telescope levels (the paper's k = O(1)
+	// when u = poly(N)).
+	Levels int
+	// MemoryWords sums the base representations' internal memory.
+	MemoryWords int
+	// PerLevelEps is the verified per-level error ε′.
+	PerLevelEps float64
+	// Bases records each level's search outcome.
+	Bases []*Base
+}
+
+// Construct builds the Theorem 12 expander.
+func Construct(cfg SemiConfig) (*Semi, error) {
+	if cfg.U == 0 || cfg.N < 1 {
+		return nil, fmt.Errorf("explicit: invalid U=%d N=%d", cfg.U, cfg.N)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("explicit: Eps %v outside (0,1)", cfg.Eps)
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 0.5
+	}
+	if cfg.Gamma <= 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("explicit: Gamma %v outside (0,1)", cfg.Gamma)
+	}
+	if cfg.DegreePerLevel == 0 {
+		cfg.DegreePerLevel = 8
+	}
+
+	// Plan the level sizes first so the per-level error budget is known:
+	// shrink u_i until the next right side would fit v = O(N·d_total).
+	var sizes []uint64
+	cur := cfg.U
+	d := 1
+	for {
+		d *= cfg.DegreePerLevel
+		next := uint64(math.Ceil(math.Pow(float64(cur), 1-cfg.Gamma)))
+		floor := uint64(4 * cfg.N * d)
+		if next < floor {
+			next = floor
+		}
+		sizes = append(sizes, next)
+		cur = next
+		if next <= floor || len(sizes) >= 8 {
+			break
+		}
+	}
+	k := len(sizes)
+	perLevel := 1 - math.Pow(1-cfg.Eps, 1/float64(k))
+
+	semi := &Semi{Levels: k, PerLevelEps: perLevel}
+	var graph expander.Graph
+	left := cfg.U
+	for i, right := range sizes {
+		base, err := FindBase(BaseConfig{
+			U:        left,
+			V:        int(right),
+			D:        cfg.DegreePerLevel,
+			N:        cfg.N,
+			Eps:      perLevel,
+			Trials:   cfg.Trials,
+			MaxSeeds: cfg.MaxSeeds,
+			Seed:     cfg.Seed + uint64(i)*0x6a09e667f3bcc909,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("explicit: level %d: %w", i, err)
+		}
+		semi.Bases = append(semi.Bases, base)
+		semi.MemoryWords += base.MemoryWords
+		if graph == nil {
+			graph = base.Graph
+		} else {
+			graph, err = NewTelescope(graph, base.Graph)
+			if err != nil {
+				return nil, err
+			}
+		}
+		left = right
+	}
+	semi.Graph = graph
+	return semi, nil
+}
+
+// TrivialStripe makes any graph striped by copying the right side once
+// per stripe: the neighbor of x in stripe i is F(x, i) within copy i.
+// This is the paper's closing remark in Section 5, incurring a factor-d
+// increase in the right part (and hence external space).
+type TrivialStripe struct {
+	g expander.Graph
+}
+
+// NewTrivialStripe wraps g.
+func NewTrivialStripe(g expander.Graph) *TrivialStripe { return &TrivialStripe{g: g} }
+
+// LeftSize returns u.
+func (s *TrivialStripe) LeftSize() uint64 { return s.g.LeftSize() }
+
+// RightSize returns d·v (one copy of V per stripe).
+func (s *TrivialStripe) RightSize() int { return s.g.Degree() * s.g.RightSize() }
+
+// Degree returns d.
+func (s *TrivialStripe) Degree() int { return s.g.Degree() }
+
+// StripeSize returns v.
+func (s *TrivialStripe) StripeSize() int { return s.g.RightSize() }
+
+// StripeNeighbor returns F(x, i) within stripe i's copy of V.
+func (s *TrivialStripe) StripeNeighbor(x uint64, i int) int {
+	return expander.NeighborSet(s.g, x)[i]
+}
+
+// Neighbors appends the global indices i·v + F(x, i).
+func (s *TrivialStripe) Neighbors(x uint64, dst []int) []int {
+	ns := expander.NeighborSet(s.g, x)
+	v := s.g.RightSize()
+	for i, y := range ns {
+		dst = append(dst, i*v+y)
+	}
+	return dst
+}

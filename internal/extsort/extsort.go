@@ -1,0 +1,342 @@
+// Package extsort implements external multiway mergesort in the parallel
+// disk model.
+//
+// Theorem 6 of the paper states that the static dictionary "can be
+// constructed deterministically in time proportional to the time it
+// takes to sort nd records", and its construction procedure is a chain
+// of sorts (pairs by right vertex, then by left vertex, then the final
+// assignment array by field index). This package supplies that sorting
+// substrate: records of fixed word width stored in consecutive stripes
+// are sorted with striped I/O — sequential run formation followed by
+// R-way merging — so the construction's I/O cost can be measured and
+// compared against the sort bound (experiment E4-thm6).
+package extsort
+
+import (
+	"fmt"
+	"sort"
+
+	"pdmdict/internal/pdm"
+)
+
+// Vec describes a vector of fixed-width records stored in consecutive
+// logical stripes of a machine, starting at stripe Start. Records are
+// packed word-contiguously and may straddle stripe boundaries.
+type Vec struct {
+	M        *pdm.Machine
+	Start    int // first stripe
+	RecWords int // words per record
+	N        int // number of records
+}
+
+// Words returns the total payload size in words.
+func (v *Vec) Words() int { return v.N * v.RecWords }
+
+// Stripes returns how many stripes the vector occupies.
+func (v *Vec) Stripes() int {
+	sw := v.M.D() * v.M.B()
+	return (v.Words() + sw - 1) / sw
+}
+
+// SortStripes returns the region size Sort needs for BOTH the data
+// region and the scratch region: the vector itself plus the padding Sort
+// introduces by aligning runs to stripe boundaries (at most one stripe
+// per run, and there are at most ⌈stripes/memStripes⌉ runs at any
+// level). Callers must place the scratch region — and anything that
+// follows the data region — at least this many stripes away.
+func (v *Vec) SortStripes(memStripes int) int {
+	s := v.Stripes()
+	return s + (s+memStripes-1)/memStripes + 2
+}
+
+// wordReader streams the words of a stripe region, one parallel I/O per
+// stripe.
+type wordReader struct {
+	m      *pdm.Machine
+	stripe int
+	limit  int // words remaining
+	buf    []pdm.Word
+	pos    int
+}
+
+func newWordReader(m *pdm.Machine, startStripe, words int) *wordReader {
+	return &wordReader{m: m, stripe: startStripe, limit: words}
+}
+
+func (r *wordReader) next() (pdm.Word, bool) {
+	if r.limit == 0 {
+		return 0, false
+	}
+	if r.pos == len(r.buf) {
+		r.buf = r.m.ReadStripe(r.stripe)
+		r.stripe++
+		r.pos = 0
+	}
+	w := r.buf[r.pos]
+	r.pos++
+	r.limit--
+	return w, true
+}
+
+// recReader streams fixed-width records with one-record lookahead, the
+// shape an R-way merge needs.
+type recReader struct {
+	wr    *wordReader
+	width int
+	head  []pdm.Word
+	ok    bool
+}
+
+func newRecReader(m *pdm.Machine, startStripe, width, nrecs int) *recReader {
+	r := &recReader{wr: newWordReader(m, startStripe, width*nrecs), width: width, head: make([]pdm.Word, width)}
+	r.advance()
+	return r
+}
+
+func (r *recReader) advance() {
+	for i := 0; i < r.width; i++ {
+		w, ok := r.wr.next()
+		if !ok {
+			r.ok = false
+			return
+		}
+		r.head[i] = w
+	}
+	r.ok = true
+}
+
+// wordWriter streams words into a stripe region, flushing one stripe per
+// parallel I/O.
+type wordWriter struct {
+	m      *pdm.Machine
+	stripe int
+	buf    []pdm.Word
+}
+
+func newWordWriter(m *pdm.Machine, startStripe int) *wordWriter {
+	return &wordWriter{m: m, stripe: startStripe, buf: make([]pdm.Word, 0, m.D()*m.B())}
+}
+
+func (w *wordWriter) write(words []pdm.Word) {
+	for len(words) > 0 {
+		space := cap(w.buf) - len(w.buf)
+		n := len(words)
+		if n > space {
+			n = space
+		}
+		w.buf = append(w.buf, words[:n]...)
+		words = words[n:]
+		if len(w.buf) == cap(w.buf) {
+			w.flush()
+		}
+	}
+}
+
+func (w *wordWriter) flush() {
+	if len(w.buf) == 0 {
+		return
+	}
+	w.m.WriteStripe(w.stripe, w.buf)
+	w.stripe++
+	w.buf = w.buf[:0]
+}
+
+// Less orders two records; it must be a strict weak ordering.
+type Less func(a, b []pdm.Word) bool
+
+// ByWord returns a Less comparing records lexicographically by the words
+// at the given indices.
+func ByWord(indices ...int) Less {
+	return func(a, b []pdm.Word) bool {
+		for _, i := range indices {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	}
+}
+
+// Sort sorts v in place using the scratch stripe region beginning at
+// scratchStart, which must provide v.SortStripes(memStripes) stripes
+// disjoint from the data region; the data region itself must have the
+// same slack (run alignment spills up to SortStripes−Stripes stripes
+// past the vector during intermediate passes). memStripes models the
+// internal memory size M = memStripes·B·D words: run formation sorts
+// memStripes stripes at a time, and merging is (memStripes−1)-way.
+// memStripes must be at least 3 (two-way merge).
+func Sort(v *Vec, scratchStart, memStripes int, less Less) {
+	if memStripes < 3 {
+		panic(fmt.Sprintf("extsort: memStripes=%d, need ≥ 3", memStripes))
+	}
+	if v.N <= 1 {
+		return
+	}
+	sw := v.M.D() * v.M.B()
+	memWords := memStripes * sw
+	runRecs := memWords / v.RecWords
+	if runRecs < 1 {
+		panic("extsort: a single record exceeds internal memory")
+	}
+
+	// Pass 0: run formation, data → scratch.
+	type run struct {
+		stripe int // start stripe within current region
+		recs   int
+	}
+	var runs []run
+	{
+		in := newWordReader(v.M, v.Start, v.Words())
+		out := newWordWriter(v.M, scratchStart)
+		buf := make([]pdm.Word, 0, memWords)
+		rec := make([]pdm.Word, v.RecWords)
+		remaining := v.N
+		stripe := scratchStart
+		for remaining > 0 {
+			n := runRecs
+			if n > remaining {
+				n = remaining
+			}
+			buf = buf[:0]
+			for i := 0; i < n*v.RecWords; i++ {
+				w, ok := in.next()
+				if !ok {
+					panic("extsort: short read during run formation")
+				}
+				buf = append(buf, w)
+			}
+			sortRun(buf, v.RecWords, less, rec)
+			out.write(buf)
+			out.flush() // align runs to stripe boundaries
+			runs = append(runs, run{stripe: stripe, recs: n})
+			stripe = out.stripe
+			remaining -= n
+		}
+	}
+
+	// Merge passes, ping-ponging between scratch and data regions.
+	fanIn := memStripes - 1
+	src, dst := scratchStart, v.Start
+	for len(runs) > 1 {
+		var next []run
+		out := newWordWriter(v.M, dst)
+		stripe := dst
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			total := 0
+			readers := make([]*recReader, 0, hi-lo)
+			for _, r := range runs[lo:hi] {
+				readers = append(readers, newRecReader(v.M, r.stripe, v.RecWords, r.recs))
+				total += r.recs
+			}
+			mergeRuns(readers, less, out)
+			out.flush()
+			next = append(next, run{stripe: stripe, recs: total})
+			stripe = out.stripe
+		}
+		runs = next
+		src, dst = dst, src
+	}
+
+	// If the single sorted run ended up in scratch, stream it home.
+	if runs[0].stripe != v.Start {
+		in := newWordReader(v.M, runs[0].stripe, v.Words())
+		out := newWordWriter(v.M, v.Start)
+		for {
+			w, ok := in.next()
+			if !ok {
+				break
+			}
+			out.write([]pdm.Word{w})
+		}
+		out.flush()
+	}
+	_ = src
+}
+
+// sortRun sorts a packed record buffer in internal memory (free in the
+// PDM cost model).
+func sortRun(buf []pdm.Word, width int, less Less, tmp []pdm.Word) {
+	n := len(buf) / width
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return less(buf[idx[a]*width:idx[a]*width+width], buf[idx[b]*width:idx[b]*width+width])
+	})
+	sorted := make([]pdm.Word, len(buf))
+	for out, in := range idx {
+		copy(sorted[out*width:], buf[in*width:in*width+width])
+	}
+	copy(buf, sorted)
+	_ = tmp
+}
+
+// mergeRuns performs an R-way merge of the given record streams into
+// out. R is small (the merge fan-in), so a linear minimum scan suffices.
+func mergeRuns(readers []*recReader, less Less, out *wordWriter) {
+	for {
+		best := -1
+		for i, r := range readers {
+			if !r.ok {
+				continue
+			}
+			if best == -1 || less(r.head, readers[best].head) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		out.write(readers[best].head)
+		readers[best].advance()
+	}
+}
+
+// WriteAll lays the given packed record data into v's region. It is the
+// standard way to initialize a Vec; data must hold exactly v.Words()
+// words.
+func WriteAll(v *Vec, data []pdm.Word) {
+	if len(data) != v.Words() {
+		panic(fmt.Sprintf("extsort: WriteAll got %d words, want %d", len(data), v.Words()))
+	}
+	out := newWordWriter(v.M, v.Start)
+	out.write(data)
+	out.flush()
+}
+
+// ReadAll streams v's region back as packed record data.
+func ReadAll(v *Vec) []pdm.Word {
+	in := newWordReader(v.M, v.Start, v.Words())
+	out := make([]pdm.Word, 0, v.Words())
+	for {
+		w, ok := in.next()
+		if !ok {
+			return out
+		}
+		out = append(out, w)
+	}
+}
+
+// Record returns record i of v as a fresh slice, reading the one or two
+// stripes it spans.
+func Record(v *Vec, i int) []pdm.Word {
+	if i < 0 || i >= v.N {
+		panic(fmt.Sprintf("extsort: record %d out of range [0,%d)", i, v.N))
+	}
+	sw := v.M.D() * v.M.B()
+	lo := i * v.RecWords
+	hi := lo + v.RecWords
+	first := v.Start + lo/sw
+	last := v.Start + (hi-1)/sw
+	var words []pdm.Word
+	for s := first; s <= last; s++ {
+		words = append(words, v.M.ReadStripe(s)...)
+	}
+	off := lo - (first-v.Start)*sw
+	return words[off : off+v.RecWords]
+}

@@ -1,0 +1,98 @@
+package extsort
+
+import (
+	"testing"
+
+	"pdmdict/internal/pdm"
+)
+
+func TestAppenderScanRoundTrip(t *testing.T) {
+	m := pdm.NewMachine(pdm.Config{D: 2, B: 4})
+	a := NewAppender(m, 0, 3)
+	for i := 0; i < 25; i++ {
+		a.Append([]pdm.Word{pdm.Word(i), pdm.Word(i * 2), pdm.Word(i * 3)})
+	}
+	if a.Len() != 25 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	v := a.Vec()
+	if v.N != 25 || v.RecWords != 3 {
+		t.Fatalf("vec = %+v", v)
+	}
+	seen := 0
+	Scan(v, func(i int, rec []pdm.Word) {
+		if rec[0] != pdm.Word(i) || rec[2] != pdm.Word(i*3) {
+			t.Fatalf("record %d = %v", i, rec)
+		}
+		seen++
+	})
+	if seen != 25 {
+		t.Errorf("Scan visited %d records", seen)
+	}
+}
+
+func TestVecReaderPull(t *testing.T) {
+	m := pdm.NewMachine(pdm.Config{D: 2, B: 4})
+	a := NewAppender(m, 0, 2)
+	for i := 0; i < 10; i++ {
+		a.Append([]pdm.Word{pdm.Word(i), pdm.Word(100 + i)})
+	}
+	v := a.Vec()
+	r := NewVecReader(v)
+	for i := 0; i < 10; i++ {
+		rec, ok := r.Next()
+		if !ok || rec[0] != pdm.Word(i) || rec[1] != pdm.Word(100+i) {
+			t.Fatalf("record %d = %v, %v", i, rec, ok)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("reader did not end")
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("reader resurrected after end")
+	}
+}
+
+func TestVecReaderCopiesAreStable(t *testing.T) {
+	// The returned slice is reused, but must hold the CURRENT record
+	// until the next call — not be clobbered by internal lookahead.
+	m := pdm.NewMachine(pdm.Config{D: 2, B: 2})
+	a := NewAppender(m, 0, 1)
+	a.Append([]pdm.Word{1})
+	a.Append([]pdm.Word{2})
+	r := NewVecReader(a.Vec())
+	rec, _ := r.Next()
+	if rec[0] != 1 {
+		t.Fatalf("first record = %v (lookahead clobbered it)", rec)
+	}
+}
+
+func TestAppenderPanics(t *testing.T) {
+	m := pdm.NewMachine(pdm.Config{D: 2, B: 4})
+	a := NewAppender(m, 0, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong-width Append did not panic")
+			}
+		}()
+		a.Append([]pdm.Word{1})
+	}()
+	a.Append([]pdm.Word{1, 2})
+	a.Vec()
+	defer func() {
+		if recover() == nil {
+			t.Error("Append after Vec did not panic")
+		}
+	}()
+	a.Append([]pdm.Word{3, 4})
+}
+
+func TestScanEmptyVec(t *testing.T) {
+	m := pdm.NewMachine(pdm.Config{D: 2, B: 4})
+	v := NewAppender(m, 0, 2).Vec()
+	Scan(v, func(int, []pdm.Word) { t.Error("callback on empty vec") })
+	if _, ok := NewVecReader(v).Next(); ok {
+		t.Error("reader on empty vec returned a record")
+	}
+}

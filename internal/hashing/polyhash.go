@@ -1,0 +1,89 @@
+// Package hashing implements the randomized baselines that Figure 1 of
+// the paper compares the deterministic dictionaries against:
+//
+//   - Table — a bucketed hash table on striped blocks with overflow
+//     chaining. With Θ(log n)-capacity buckets it is the stand-in for
+//     the dictionary of Dietzfelbinger et al. [7] (O(1) I/Os with high
+//     probability, linear worst case); with stripe-sized buckets and a
+//     suitable constant it is the "Hashing, 1 whp / 2 whp, no overflow"
+//     row (B·D = Ω(log n)).
+//   - Cuckoo — cuckoo hashing [13] in the parallel disk model: 1-I/O
+//     lookups with bandwidth B·D/2, amortized expected constant updates.
+//   - TwoLevel — the "folklore trick" layered over [7]: a primary array
+//     of single-record cells plus a secondary dictionary for colliding
+//     keys, giving 1+ɛ average lookups with bandwidth O(B·D).
+//
+// All hash functions are O(log n)-wise independent polynomials over the
+// Mersenne prime 2^61−1, the explicit family the paper's Section 1.1
+// assumes fits in internal memory.
+package hashing
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// mersenne61 is the prime 2^61 − 1.
+const mersenne61 = (1 << 61) - 1
+
+// mulmod61 returns a·b mod 2^61−1 for a, b < 2^61−1.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// 2^64 ≡ 8 (mod 2^61−1), so a·b ≡ hi·8 + lo, with lo folded once.
+	r := (lo & mersenne61) + (lo >> 61) + hi*8
+	r = (r & mersenne61) + (r >> 61)
+	if r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+// Poly is a k-wise independent hash function: a random degree-(k−1)
+// polynomial over GF(2^61−1).
+type Poly struct {
+	coeffs []uint64
+}
+
+// NewPoly returns a k-wise independent function drawn deterministically
+// from the seed (a seeded SplitMix64 stream supplies the coefficients).
+func NewPoly(k int, seed uint64) *Poly {
+	if k < 1 {
+		panic(fmt.Sprintf("hashing: independence %d below 1", k))
+	}
+	coeffs := make([]uint64, k)
+	s := seed
+	for i := range coeffs {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		coeffs[i] = (z ^ (z >> 31)) % mersenne61
+	}
+	return &Poly{coeffs: coeffs}
+}
+
+// Independence returns k.
+func (p *Poly) Independence() int { return len(p.coeffs) }
+
+// Hash evaluates the polynomial at x (reduced into the field first) by
+// Horner's rule, returning a value in [0, 2^61−1).
+func (p *Poly) Hash(x uint64) uint64 {
+	x %= mersenne61
+	var acc uint64
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		acc = mulmod61(acc, x)
+		acc += p.coeffs[i]
+		if acc >= mersenne61 {
+			acc -= mersenne61
+		}
+	}
+	return acc
+}
+
+// Range maps x to [0, m).
+func (p *Poly) Range(x uint64, m int) int {
+	if m <= 0 {
+		panic("hashing: non-positive range")
+	}
+	return int(p.Hash(x) % uint64(m))
+}

@@ -1,0 +1,330 @@
+// Package pdm implements a simulator for the parallel disk model of
+// Vitter and Shriver, the cost model in which every result of the paper
+// "Deterministic load balancing and dictionaries in the parallel disk
+// model" (SPAA 2006) is stated.
+//
+// The machine consists of D storage devices, each an array of blocks with
+// capacity for B data items. A data item is one machine word, "assumed to
+// be sufficiently large to hold a pointer value or a key value". The
+// performance of an algorithm is measured in parallel I/Os: one parallel
+// I/O retrieves (or writes) at most one block from (or to) each of the D
+// devices. A batch that addresses the same disk more than once costs as
+// many parallel I/Os as the deepest per-disk queue.
+//
+// The package also implements the parallel disk *head* model (one disk
+// with D independent read/write heads, Aggarwal–Vitter), which Section 5
+// of the paper uses for unstriped expanders: there, any D blocks can be
+// accessed in a single parallel I/O regardless of which device they live
+// on.
+//
+// The machine is safe for concurrent use; all mutation goes through its
+// methods.
+package pdm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Word is the unit of storage: one data item of the model.
+type Word = uint64
+
+// Model selects the cost model used to account batch accesses.
+type Model int
+
+const (
+	// ParallelDisk is the standard parallel disk model: a parallel I/O
+	// may touch at most one block per disk.
+	ParallelDisk Model = iota
+	// DiskHead is the parallel disk head model: a parallel I/O may touch
+	// any D blocks, regardless of placement.
+	DiskHead
+)
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	switch m {
+	case ParallelDisk:
+		return "parallel-disk"
+	case DiskHead:
+		return "disk-head"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Config describes a machine.
+type Config struct {
+	// D is the number of disks (or heads in the DiskHead model).
+	D int
+	// B is the block capacity in words.
+	B int
+	// Model selects the accounting discipline. The zero value is the
+	// standard parallel disk model.
+	Model Model
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.D <= 0 {
+		return fmt.Errorf("pdm: D must be positive, got %d", c.D)
+	}
+	if c.B <= 0 {
+		return fmt.Errorf("pdm: B must be positive, got %d", c.B)
+	}
+	return nil
+}
+
+// Addr identifies one block: block index Block on disk Disk.
+type Addr struct {
+	Disk  int
+	Block int
+}
+
+// String formats the address as disk:block.
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Disk, a.Block) }
+
+// Stats is a snapshot of the machine's I/O counters.
+type Stats struct {
+	// ParallelIOs is the number of parallel I/O steps performed.
+	ParallelIOs int64
+	// BlockReads and BlockWrites count individual block transfers
+	// (several may share one parallel I/O).
+	BlockReads  int64
+	BlockWrites int64
+	// MaxBatch is the largest per-disk queue depth seen in any single
+	// batch; values above 1 indicate a batch that was not truly parallel.
+	MaxBatch int
+}
+
+// Sub returns the difference s - t, counter by counter. It is the usual
+// way to measure the cost of an operation: snapshot before, snapshot
+// after, subtract.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		ParallelIOs: s.ParallelIOs - t.ParallelIOs,
+		BlockReads:  s.BlockReads - t.BlockReads,
+		BlockWrites: s.BlockWrites - t.BlockWrites,
+		MaxBatch:    s.MaxBatch,
+	}
+}
+
+// Machine is a simulated parallel disk system.
+type Machine struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	disks   [][][]Word // disks[d][b] is the content of block b of disk d; nil = never written
+	stats   Stats
+	perDisk []int64 // block transfers per disk (reads + writes)
+}
+
+// NewMachine returns a machine with the given configuration. It panics if
+// the configuration is invalid; configurations are programmer input, not
+// runtime data.
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{
+		cfg:     cfg,
+		disks:   make([][][]Word, cfg.D),
+		perDisk: make([]int64, cfg.D),
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// D returns the number of disks.
+func (m *Machine) D() int { return m.cfg.D }
+
+// B returns the block capacity in words.
+func (m *Machine) B() int { return m.cfg.B }
+
+// Stats returns a snapshot of the I/O counters.
+func (m *Machine) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// ResetStats zeroes the I/O counters (including the per-disk tallies).
+// Block contents are unaffected.
+func (m *Machine) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+	for i := range m.perDisk {
+		m.perDisk[i] = 0
+	}
+}
+
+// PerDiskIOs returns the number of block transfers (reads plus writes)
+// each disk has served — the skew diagnostic: a striped algorithm keeps
+// these nearly equal, while an unbalanced one hammers a few disks.
+func (m *Machine) PerDiskIOs() []int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int64, len(m.perDisk))
+	copy(out, m.perDisk)
+	return out
+}
+
+// batchCost returns the number of parallel I/O steps a batch of addresses
+// costs under the machine's model, and the deepest per-disk queue.
+func (m *Machine) batchCost(addrs []Addr) (steps, depth int) {
+	if len(addrs) == 0 {
+		return 0, 0
+	}
+	switch m.cfg.Model {
+	case DiskHead:
+		// Any D blocks per step.
+		steps = (len(addrs) + m.cfg.D - 1) / m.cfg.D
+		return steps, steps
+	default:
+		perDisk := make(map[int]int, m.cfg.D)
+		for _, a := range addrs {
+			perDisk[a.Disk]++
+		}
+		for _, c := range perDisk {
+			if c > depth {
+				depth = c
+			}
+		}
+		return depth, depth
+	}
+}
+
+// checkAddr panics on an address outside the machine. Addresses are
+// computed by data-structure code, so an out-of-range address is a bug,
+// not an error condition.
+func (m *Machine) checkAddr(a Addr) {
+	if a.Disk < 0 || a.Disk >= m.cfg.D || a.Block < 0 {
+		panic(fmt.Sprintf("pdm: address %v out of range (D=%d)", a, m.cfg.D))
+	}
+}
+
+// blockLocked returns the live slice for a block, allocating it on first
+// touch. Callers hold m.mu.
+func (m *Machine) blockLocked(a Addr) []Word {
+	disk := m.disks[a.Disk]
+	for len(disk) <= a.Block {
+		disk = append(disk, nil)
+	}
+	m.disks[a.Disk] = disk
+	if disk[a.Block] == nil {
+		disk[a.Block] = make([]Word, m.cfg.B)
+	}
+	return disk[a.Block]
+}
+
+// BatchRead performs one batched read of the given blocks and returns
+// their contents, in request order. The returned slices are copies; the
+// caller owns them. The batch is accounted under the machine's cost
+// model.
+func (m *Machine) BatchRead(addrs []Addr) [][]Word {
+	for _, a := range addrs {
+		m.checkAddr(a)
+	}
+	steps, depth := m.batchCost(addrs)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.ParallelIOs += int64(steps)
+	m.stats.BlockReads += int64(len(addrs))
+	if depth > m.stats.MaxBatch {
+		m.stats.MaxBatch = depth
+	}
+	for _, a := range addrs {
+		m.perDisk[a.Disk]++
+	}
+	out := make([][]Word, len(addrs))
+	for i, a := range addrs {
+		src := m.blockLocked(a)
+		dst := make([]Word, m.cfg.B)
+		copy(dst, src)
+		out[i] = dst
+	}
+	return out
+}
+
+// BlockWrite names one block write of a batch.
+type BlockWrite struct {
+	Addr Addr
+	Data []Word // at most B words; shorter data leaves the tail unchanged
+}
+
+// BatchWrite performs one batched write. Each write stores len(Data)
+// words at the start of the addressed block (the model transfers whole
+// blocks; partial Data is a convenience that leaves the block tail as it
+// was). The batch is accounted under the machine's cost model.
+func (m *Machine) BatchWrite(writes []BlockWrite) {
+	addrs := make([]Addr, len(writes))
+	for i, w := range writes {
+		m.checkAddr(w.Addr)
+		if len(w.Data) > m.cfg.B {
+			panic(fmt.Sprintf("pdm: write of %d words exceeds block size %d", len(w.Data), m.cfg.B))
+		}
+		addrs[i] = w.Addr
+	}
+	steps, depth := m.batchCost(addrs)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.ParallelIOs += int64(steps)
+	m.stats.BlockWrites += int64(len(writes))
+	if depth > m.stats.MaxBatch {
+		m.stats.MaxBatch = depth
+	}
+	for _, a := range addrs {
+		m.perDisk[a.Disk]++
+	}
+	for _, w := range writes {
+		blk := m.blockLocked(w.Addr)
+		copy(blk, w.Data)
+	}
+}
+
+// ReadBlock reads a single block (one parallel I/O).
+func (m *Machine) ReadBlock(a Addr) []Word {
+	return m.BatchRead([]Addr{a})[0]
+}
+
+// WriteBlock writes a single block (one parallel I/O).
+func (m *Machine) WriteBlock(a Addr, data []Word) {
+	m.BatchWrite([]BlockWrite{{Addr: a, Data: data}})
+}
+
+// Peek returns a copy of a block's contents without performing (or
+// accounting) any I/O. It exists for tests and invariant checks only.
+func (m *Machine) Peek(a Addr) []Word {
+	m.checkAddr(a)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := m.blockLocked(a)
+	dst := make([]Word, m.cfg.B)
+	copy(dst, src)
+	return dst
+}
+
+// BlocksAllocated reports how many blocks have been materialized on each
+// disk. It is a space-accounting helper; allocation happens lazily on
+// first touch.
+func (m *Machine) BlocksAllocated() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, m.cfg.D)
+	for d, disk := range m.disks {
+		out[d] = len(disk)
+	}
+	return out
+}
+
+// TotalBlocks returns the total number of materialized blocks across all
+// disks.
+func (m *Machine) TotalBlocks() int {
+	total := 0
+	for _, n := range m.BlocksAllocated() {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package pdm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot format: a compact binary dump of a machine — configuration,
+// I/O counters, and every materialized block. Dictionaries persist
+// themselves as a small metadata header followed by their machine's
+// snapshot (see internal/core's persist.go), which is enough to restore
+// them exactly: all durable state lives in the blocks.
+
+// snapshotMagic identifies the format; the trailing digit is a version.
+var snapshotMagic = [4]byte{'P', 'D', 'M', '1'}
+
+// WriteSnapshot serializes the machine to w.
+func (m *Machine) WriteSnapshot(w io.Writer) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	head := []uint64{
+		uint64(m.cfg.D), uint64(m.cfg.B), uint64(m.cfg.Model),
+		uint64(m.stats.ParallelIOs), uint64(m.stats.BlockReads),
+		uint64(m.stats.BlockWrites), uint64(m.stats.MaxBatch),
+	}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, disk := range m.disks {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(disk))); err != nil {
+			return err
+		}
+		for _, blk := range disk {
+			if blk == nil {
+				if err := bw.WriteByte(0); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := bw.WriteByte(1); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, blk); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot restores a machine from a snapshot produced by
+// WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Machine, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("pdm: reading snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("pdm: not a machine snapshot (magic %q)", magic)
+	}
+	head := make([]uint64, 7)
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("pdm: reading snapshot header: %w", err)
+		}
+	}
+	cfg := Config{D: int(head[0]), B: int(head[1]), Model: Model(head[2])}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("pdm: snapshot carries invalid config: %w", err)
+	}
+	m := NewMachine(cfg)
+	m.stats = Stats{
+		ParallelIOs: int64(head[3]),
+		BlockReads:  int64(head[4]),
+		BlockWrites: int64(head[5]),
+		MaxBatch:    int(head[6]),
+	}
+	for d := 0; d < cfg.D; d++ {
+		var nBlocks uint64
+		if err := binary.Read(br, binary.LittleEndian, &nBlocks); err != nil {
+			return nil, fmt.Errorf("pdm: reading disk %d: %w", d, err)
+		}
+		disk := make([][]Word, nBlocks)
+		for b := range disk {
+			present, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("pdm: reading disk %d block %d: %w", d, b, err)
+			}
+			if present == 0 {
+				continue
+			}
+			blk := make([]Word, cfg.B)
+			if err := binary.Read(br, binary.LittleEndian, blk); err != nil {
+				return nil, fmt.Errorf("pdm: reading disk %d block %d: %w", d, b, err)
+			}
+			disk[b] = blk
+		}
+		m.disks[d] = disk
+	}
+	return m, nil
+}

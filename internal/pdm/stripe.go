@@ -1,0 +1,49 @@
+package pdm
+
+// Striping helpers.
+//
+// Striping treats the D disks as a single logical disk with block size
+// B*D: logical block i consists of physical block i on every disk. Most
+// one-disk external-memory algorithms gain a factor D this way (paper,
+// Section 1), and several of the baseline dictionaries (the "hashing with
+// no overflow" row of Figure 1) are defined directly on striped blocks.
+
+// StripeAddrs returns the D physical addresses that make up logical
+// striped block i.
+func StripeAddrs(d int, block int) []Addr {
+	addrs := make([]Addr, d)
+	for i := range addrs {
+		addrs[i] = Addr{Disk: i, Block: block}
+	}
+	return addrs
+}
+
+// ReadStripe reads logical striped block i (one parallel I/O) and returns
+// its B*D words: disk 0's block first, then disk 1's, and so on.
+func (m *Machine) ReadStripe(block int) []Word {
+	blocks := m.BatchRead(StripeAddrs(m.cfg.D, block))
+	out := make([]Word, 0, m.cfg.D*m.cfg.B)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// WriteStripe writes logical striped block i (one parallel I/O). data
+// holds up to B*D words, split across the disks in order; a short write
+// leaves the remaining words unchanged.
+func (m *Machine) WriteStripe(block int, data []Word) {
+	if len(data) > m.cfg.D*m.cfg.B {
+		panic("pdm: stripe write exceeds D*B words")
+	}
+	writes := make([]BlockWrite, 0, m.cfg.D)
+	for disk := 0; disk < m.cfg.D && len(data) > 0; disk++ {
+		n := m.cfg.B
+		if n > len(data) {
+			n = len(data)
+		}
+		writes = append(writes, BlockWrite{Addr: Addr{Disk: disk, Block: block}, Data: data[:n]})
+		data = data[n:]
+	}
+	m.BatchWrite(writes)
+}

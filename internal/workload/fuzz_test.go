@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace exercises the trace parser with arbitrary input: it
+// must never panic, and anything it accepts must round-trip through
+// WriteTrace and parse back identically.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("insert 5\nlookup 6\ndelete 5\n")
+	f.Add("# comment\n\nlookup 0xff\n")
+	f.Add("insert")
+	f.Add("frobnicate 9")
+	f.Add("insert 99999999999999999999999")
+	f.Fuzz(func(t *testing.T, input string) {
+		ops, err := ReadTrace(bytes.NewReader([]byte(input)))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			t.Fatalf("accepted ops failed to serialize: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("canonical form failed to parse: %v", err)
+		}
+		if len(again) != len(ops) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(ops))
+		}
+		for i := range ops {
+			if again[i] != ops[i] {
+				t.Fatalf("round trip changed op %d: %+v vs %+v", i, again[i], ops[i])
+			}
+		}
+	})
+}

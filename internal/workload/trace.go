@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace files: a line-oriented text format for operation streams, so
+// workloads can be captured, shared, and replayed (cmd/pdmtrace).
+//
+//	lookup <key>
+//	insert <key>
+//	delete <key>
+//	# comment
+//
+// Keys are decimal or 0x-prefixed hex.
+
+// WriteTrace serializes ops, one per line.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		var verb string
+		switch op.Kind {
+		case OpLookup:
+			verb = "lookup"
+		case OpInsert:
+			verb = "insert"
+		case OpDelete:
+			verb = "delete"
+		default:
+			return fmt.Errorf("workload: unknown op kind %d", op.Kind)
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", verb, op.Key); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace stream. Blank lines and #-comments are
+// skipped; malformed lines are reported with their line number.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want \"<op> <key>\", got %q", line, text)
+		}
+		key, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad key %q: %v", line, fields[1], err)
+		}
+		var kind OpKind
+		switch fields[0] {
+		case "lookup":
+			kind = OpLookup
+		case "insert":
+			kind = OpInsert
+		case "delete":
+			kind = OpDelete
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", line, fields[0])
+		}
+		ops = append(ops, Op{Kind: kind, Key: key})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, Key: 1},
+		{Kind: OpLookup, Key: 0xDEADBEEF},
+		{Kind: OpDelete, Key: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops", len(got))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+insert 5
+
+lookup 0x10
+# another
+delete 5
+`
+	ops, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	if ops[1].Kind != OpLookup || ops[1].Key != 16 {
+		t.Errorf("hex key parsed as %+v", ops[1])
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frobnicate 5",
+		"insert",
+		"insert five",
+		"insert 5 extra",
+	} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("%q parsed without error", bad)
+		}
+	}
+}
+
+// Property: any generated op stream round-trips through the text
+// format.
+func TestPropertyTraceRoundTrip(t *testing.T) {
+	f := func(seed int16, n uint8) bool {
+		keys := Uniform(20, 1<<30, int64(seed))
+		ops := Ops(keys, int(n)+1, Mix{Lookup: 3, Insert: 3, Delete: 2}, 0.1, int64(seed)+1)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package workload generates the deterministic (seeded) key sets and
+// operation streams the experiments run: uniform and Zipf-distributed
+// keys, file-system-shaped keys ("let keys consist of a file name and a
+// block number", paper Section 1), mixed operation streams, and
+// adversarial key sets that collide under a given hash function — the
+// workload that separates the paper's worst-case guarantees from
+// hashing's expected-case ones (experiment E7-tails).
+package workload
+
+import (
+	"math/rand"
+
+	"pdmdict/internal/pdm"
+)
+
+// Uniform returns n distinct keys drawn uniformly from [0, universe).
+func Uniform(n int, universe uint64, seed int64) []pdm.Word {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[pdm.Word]struct{}, n)
+	keys := make([]pdm.Word, 0, n)
+	for len(keys) < n {
+		k := pdm.Word(rng.Uint64() % universe)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sequential returns the keys lo, lo+1, …, lo+n−1.
+func Sequential(n int, lo pdm.Word) []pdm.Word {
+	keys := make([]pdm.Word, n)
+	for i := range keys {
+		keys[i] = lo + pdm.Word(i)
+	}
+	return keys
+}
+
+// ZipfAccesses returns an access stream of length m over the given key
+// set, Zipf-distributed with exponent s > 1 (rank 1 most popular) — the
+// "webmail or http servers … highly random fashion" read mix of the
+// paper's motivation, skewed as real object stores are.
+func ZipfAccesses(keys []pdm.Word, m int, s float64, seed int64) []pdm.Word {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(len(keys)-1))
+	out := make([]pdm.Word, m)
+	for i := range out {
+		out[i] = keys[z.Uint64()]
+	}
+	return out
+}
+
+// FileSystemKeys returns keys of the form (inode, block#): inode in the
+// high 32 bits, block number in the low 32 — the dictionary-as-file-
+// system encoding of Section 1 ("let keys consist of a file name and a
+// block number").
+func FileSystemKeys(files, blocksPerFile int) []pdm.Word {
+	keys := make([]pdm.Word, 0, files*blocksPerFile)
+	for f := 0; f < files; f++ {
+		for b := 0; b < blocksPerFile; b++ {
+			keys = append(keys, pdm.Word(f)<<32|pdm.Word(b))
+		}
+	}
+	return keys
+}
+
+// OpKind labels one dictionary operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpLookup OpKind = iota
+	OpInsert
+	OpDelete
+)
+
+// Op is one operation of a stream.
+type Op struct {
+	Kind OpKind
+	Key  pdm.Word
+}
+
+// Mix gives the relative weights of lookups, inserts, and deletes.
+type Mix struct {
+	Lookup, Insert, Delete int
+}
+
+// ReadMostly is the motivating file-server mix: overwhelmingly lookups.
+var ReadMostly = Mix{Lookup: 90, Insert: 8, Delete: 2}
+
+// WriteHeavy stresses updates.
+var WriteHeavy = Mix{Lookup: 20, Insert: 60, Delete: 20}
+
+// Ops generates a stream of m operations over the key set: inserts draw
+// fresh keys from the set in order (wrapping), lookups and deletes
+// target previously inserted keys (or miss, with probability missRate).
+func Ops(keys []pdm.Word, m int, mix Mix, missRate float64, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	total := mix.Lookup + mix.Insert + mix.Delete
+	if total <= 0 {
+		panic("workload: empty mix")
+	}
+	var live []pdm.Word
+	isLive := map[pdm.Word]bool{}
+	next := 0
+	ops := make([]Op, 0, m)
+	for len(ops) < m {
+		r := rng.Intn(total)
+		switch {
+		case r < mix.Insert || len(live) == 0:
+			k := keys[next%len(keys)]
+			next++
+			if !isLive[k] {
+				isLive[k] = true
+				live = append(live, k)
+			}
+			ops = append(ops, Op{Kind: OpInsert, Key: k})
+		case r < mix.Insert+mix.Lookup:
+			k := live[rng.Intn(len(live))]
+			if rng.Float64() < missRate {
+				k |= 1 << 62 // outside any generated key range
+			}
+			ops = append(ops, Op{Kind: OpLookup, Key: k})
+		default:
+			i := rng.Intn(len(live))
+			k := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			delete(isLive, k)
+			ops = append(ops, Op{Kind: OpDelete, Key: k})
+		}
+	}
+	return ops
+}
+
+// CollidingKeys brute-forces n distinct keys that the given bucket
+// function maps to the same bucket as pilot — the adversarial set that
+// drives a hash table's worst case (all keys in one chain) while the
+// deterministic dictionaries are oblivious to it.
+func CollidingKeys(bucketOf func(pdm.Word) int, pilot pdm.Word, n int, universe uint64, seed int64) []pdm.Word {
+	rng := rand.New(rand.NewSource(seed))
+	target := bucketOf(pilot)
+	seen := map[pdm.Word]struct{}{pilot: {}}
+	keys := []pdm.Word{pilot}
+	for len(keys) < n {
+		k := pdm.Word(rng.Uint64() % universe)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		if bucketOf(k) == target {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pdmdict/internal/pdm"
+)
+
+func TestUniformDistinctAndDeterministic(t *testing.T) {
+	a := Uniform(500, 1<<40, 1)
+	b := Uniform(500, 1<<40, 1)
+	c := Uniform(500, 1<<40, 2)
+	seen := map[pdm.Word]bool{}
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different keys")
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate key %d", a[i])
+		}
+		if a[i] >= 1<<40 {
+			t.Fatalf("key %d outside universe", a[i])
+		}
+		seen[a[i]] = true
+	}
+	if !diff {
+		t.Error("different seeds produced identical keys")
+	}
+}
+
+func TestSequential(t *testing.T) {
+	keys := Sequential(5, 100)
+	for i, k := range keys {
+		if k != pdm.Word(100+i) {
+			t.Errorf("key %d = %d", i, k)
+		}
+	}
+}
+
+func TestZipfAccessesSkewed(t *testing.T) {
+	keys := Uniform(1000, 1<<40, 3)
+	accesses := ZipfAccesses(keys, 20000, 1.2, 4)
+	if len(accesses) != 20000 {
+		t.Fatalf("got %d accesses", len(accesses))
+	}
+	counts := map[pdm.Word]int{}
+	for _, a := range accesses {
+		counts[a]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf with s=1.2 over 1000 keys: the head key must dominate far
+	// beyond the uniform share of 20.
+	if max < 100 {
+		t.Errorf("hottest key accessed %d times; distribution not skewed", max)
+	}
+}
+
+func TestFileSystemKeys(t *testing.T) {
+	keys := FileSystemKeys(3, 4)
+	if len(keys) != 12 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	if keys[0] != 0 || keys[4] != 1<<32 || keys[11] != 2<<32|3 {
+		t.Errorf("encoding wrong: %v", keys[:5])
+	}
+	seen := map[pdm.Word]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestOpsRespectInvariants(t *testing.T) {
+	keys := Uniform(200, 1<<40, 5)
+	ops := Ops(keys, 1000, ReadMostly, 0.1, 6)
+	if len(ops) != 1000 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	inserted := map[pdm.Word]bool{}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			inserted[op.Key] = true
+		case OpDelete:
+			if !inserted[op.Key] {
+				t.Fatalf("op %d deletes never-inserted key %d", i, op.Key)
+			}
+			delete(inserted, op.Key)
+		case OpLookup:
+			// Lookups may miss (missRate); hits must target live keys.
+			if op.Key&(1<<62) == 0 && !inserted[op.Key] {
+				t.Fatalf("op %d looks up dead key %d", i, op.Key)
+			}
+		}
+	}
+	// ReadMostly must actually be read-mostly.
+	counts := map[OpKind]int{}
+	for _, op := range ops {
+		counts[op.Kind]++
+	}
+	if counts[OpLookup] < counts[OpInsert] {
+		t.Errorf("ReadMostly produced %d lookups vs %d inserts", counts[OpLookup], counts[OpInsert])
+	}
+}
+
+func TestOpsPanicsOnEmptyMix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty mix did not panic")
+		}
+	}()
+	Ops(Sequential(4, 0), 10, Mix{}, 0, 1)
+}
+
+func TestCollidingKeys(t *testing.T) {
+	bucketOf := func(x pdm.Word) int { return int(x % 97) }
+	keys := CollidingKeys(bucketOf, 5, 50, 1<<30, 7)
+	if len(keys) != 50 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	seen := map[pdm.Word]bool{}
+	for _, k := range keys {
+		if bucketOf(k) != bucketOf(5) {
+			t.Fatalf("key %d does not collide", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+// Property: Ops never deletes or looks up (at missRate 0) a key that is
+// not live, for arbitrary mixes.
+func TestPropertyOpsLiveness(t *testing.T) {
+	f := func(l, i, d uint8, seed int16) bool {
+		mix := Mix{Lookup: int(l%8) + 1, Insert: int(i%8) + 1, Delete: int(d % 8)}
+		keys := Uniform(50, 1<<30, int64(seed))
+		ops := Ops(keys, 300, mix, 0, int64(seed)+1)
+		live := map[pdm.Word]bool{}
+		for _, op := range ops {
+			switch op.Kind {
+			case OpInsert:
+				live[op.Key] = true
+			case OpDelete:
+				if !live[op.Key] {
+					return false
+				}
+				delete(live, op.Key)
+			case OpLookup:
+				if !live[op.Key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package pdmdict
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newNamed(t *testing.T, satWords int) *NamedDict {
+	t.Helper()
+	d, err := New(Options{Capacity: 256, SatWords: NamedSatWords(satWords), Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewNamed(d, satWords)
+}
+
+func TestNamedBasicOps(t *testing.T) {
+	nd := newNamed(t, 2)
+	if err := nd.Insert("/etc/passwd", []Word{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	sat, ok := nd.Lookup("/etc/passwd")
+	if !ok || sat[0] != 1 || sat[1] != 2 {
+		t.Fatalf("Lookup = %v %v", sat, ok)
+	}
+	if nd.Contains("/etc/shadow") {
+		t.Error("phantom name")
+	}
+	if err := nd.Insert("/etc/passwd", []Word{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if nd.Len() != 1 {
+		t.Errorf("Len = %d after update", nd.Len())
+	}
+	if sat, _ := nd.Lookup("/etc/passwd"); sat[0] != 3 {
+		t.Error("update did not stick")
+	}
+	if !nd.Delete("/etc/passwd") || nd.Delete("/etc/passwd") || nd.Contains("/etc/passwd") {
+		t.Error("delete sequence wrong")
+	}
+	if nd.IOStats().ParallelIOs == 0 {
+		t.Error("no I/O recorded")
+	}
+}
+
+func TestNamedLongAndUnicodeNames(t *testing.T) {
+	nd := newNamed(t, 1)
+	names := []string{
+		"",
+		"a",
+		strings.Repeat("x", 255),
+		"files/ほげ/日本語.txt",
+		"name with spaces and\ttabs",
+	}
+	for i, name := range names {
+		if err := nd.Insert(name, []Word{Word(i)}); err != nil {
+			t.Fatalf("insert %q: %v", name, err)
+		}
+	}
+	for i, name := range names {
+		sat, ok := nd.Lookup(name)
+		if !ok || sat[0] != Word(i) {
+			t.Fatalf("name %q = %v %v", name, sat, ok)
+		}
+	}
+	if err := nd.Insert(strings.Repeat("y", 256), []Word{0}); err == nil {
+		t.Error("256-byte name accepted")
+	}
+}
+
+func TestNamedManyFiles(t *testing.T) {
+	d, err := New(Options{Capacity: 1000, SatWords: NamedSatWords(1), Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := NewNamed(d, 1)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("/home/user%03d/mail/inbox/%04d.eml", i%50, i)
+		if err := nd.Insert(name, []Word{Word(i)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if nd.Len() != 1000 {
+		t.Fatalf("Len = %d", nd.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("/home/user%03d/mail/inbox/%04d.eml", i%50, i)
+		sat, ok := nd.Lookup(name)
+		if !ok || sat[0] != Word(i) {
+			t.Fatalf("%s = %v %v", name, sat, ok)
+		}
+	}
+}
+
+// Property: NamedDict behaves like a map[string] under random workloads.
+func TestPropertyNamedMatchesMap(t *testing.T) {
+	d, err := New(Options{Capacity: 64, SatWords: NamedSatWords(1), Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := NewNamed(d, 1)
+	oracle := map[string]Word{}
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			name := fmt.Sprintf("f%d", op%40)
+			switch op % 3 {
+			case 0:
+				v := Word(op)
+				if nd.Insert(name, []Word{v}) == nil {
+					oracle[name] = v
+				}
+			case 1:
+				_, okOracle := oracle[name]
+				if nd.Delete(name) != okOracle {
+					return false
+				}
+				delete(oracle, name)
+			case 2:
+				sat, ok := nd.Lookup(name)
+				v, okOracle := oracle[name]
+				if ok != okOracle || (ok && sat[0] != v) {
+					return false
+				}
+			}
+		}
+		return nd.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

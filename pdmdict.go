@@ -1,0 +1,668 @@
+// Package pdmdict is a Go implementation of the deterministic
+// dictionaries for the parallel disk model from
+//
+//	M. Berger, E. R. Hansen, R. Pagh, M. Pǎtraşcu, M. Ružić,
+//	P. Tiedemann. "Deterministic load balancing and dictionaries in
+//	the parallel disk model." SPAA 2006.
+//
+// The package exposes the paper's structures over a simulated parallel
+// disk machine (D disks × blocks of B words, costs counted in parallel
+// I/Os):
+//
+//   - New / Dict — the fully dynamic deterministic dictionary:
+//     worst-case constant I/Os per operation, unbounded growth via
+//     global rebuilding, deletions. This is the flagship structure.
+//   - NewBasic / Basic — Section 4.1: one-probe lookups (1 parallel
+//     I/O), two-probe updates, satellite bandwidth O(B·D/log n) in the
+//     k = d/2 configuration.
+//   - BuildStatic / Static — Theorem 6: the one-probe static dictionary
+//     with construction cost proportional to sorting.
+//   - NewDynamic / Dynamic — Theorem 7: bounded-capacity dynamic
+//     dictionary, 1 I/O unsuccessful searches, 1+ɛ average successful
+//     searches, 2+ɛ average updates.
+//
+// The randomized baselines the paper compares against (Figure 1) are
+// also provided: NewHashTable, NewCuckoo, NewTwoLevel, and NewBTree.
+// Everything is deterministic given the Options' Seed; there is no
+// global randomness.
+package pdmdict
+
+import (
+	"fmt"
+
+	"pdmdict/internal/btree"
+	"pdmdict/internal/bucket"
+	"pdmdict/internal/core"
+	"pdmdict/internal/hashing"
+	"pdmdict/internal/pdm"
+)
+
+// Word is one data item of the parallel disk model — "sufficiently
+// large to hold a pointer value or a key value". Keys and satellite
+// data are words.
+type Word = uint64
+
+// Record pairs a key with its satellite data.
+type Record struct {
+	Key Word
+	Sat []Word
+}
+
+// IOStats summarizes a structure's disk traffic.
+type IOStats struct {
+	// ParallelIOs counts parallel I/O steps, the model's cost measure.
+	ParallelIOs int64
+	// BlockReads and BlockWrites count individual block transfers.
+	BlockReads  int64
+	BlockWrites int64
+}
+
+func fromPDM(s pdm.Stats) IOStats {
+	return IOStats{ParallelIOs: s.ParallelIOs, BlockReads: s.BlockReads, BlockWrites: s.BlockWrites}
+}
+
+// Dictionary is the interface every structure in this package satisfies.
+type Dictionary interface {
+	// Lookup returns a copy of key's satellite data and whether the key
+	// is present.
+	Lookup(key Word) ([]Word, bool)
+	// Contains reports whether key is present.
+	Contains(key Word) bool
+	// Insert stores (key, sat), replacing any existing satellite.
+	Insert(key Word, sat []Word) error
+	// Delete removes key, reporting whether it was present.
+	Delete(key Word) bool
+	// Len returns the number of stored keys.
+	Len() int
+	// IOStats returns the accumulated disk traffic.
+	IOStats() IOStats
+}
+
+// Options configures a dictionary.
+type Options struct {
+	// Capacity is the (initial) maximum number of keys. Required.
+	Capacity int
+	// SatWords is the satellite size per key, in words.
+	SatWords int
+	// Degree is the expander degree d. Structures with a membership
+	// sub-dictionary (Dict, Dynamic, Static case (a)) occupy 2d disks;
+	// the others occupy d. 0 defaults to 20.
+	Degree int
+	// BlockSize is B in words; 0 defaults to 64.
+	BlockSize int
+	// Epsilon is the Theorem 7 performance parameter for Dynamic and
+	// Dict; 0 defaults to 0.5.
+	Epsilon float64
+	// Universe is the key universe size u; 0 defaults to 2^63.
+	Universe uint64
+	// Seed makes the whole structure deterministic; equal seeds give
+	// bit-identical behaviour.
+	Seed uint64
+}
+
+func (o Options) degree() int {
+	if o.Degree == 0 {
+		return 20
+	}
+	return o.Degree
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize == 0 {
+		return 64
+	}
+	return o.BlockSize
+}
+
+// machineStats wraps a machine for the IOStats methods.
+type machineStats struct{ m *pdm.Machine }
+
+// IOStats returns the accumulated disk traffic.
+func (s machineStats) IOStats() IOStats { return fromPDM(s.m.Stats()) }
+
+// ResetIOStats zeroes the counters (data is untouched).
+func (s machineStats) ResetIOStats() { s.m.ResetStats() }
+
+// Machine returns the underlying simulated machine, for advanced
+// instrumentation.
+func (s machineStats) Machine() *pdm.Machine { return s.m }
+
+// ---------------------------------------------------------------------
+// Fully dynamic dictionary (the flagship).
+
+// Dict is the fully dynamic deterministic dictionary: Theorem 7
+// structures under worst-case global rebuilding. Operations cost a
+// constant number of parallel I/Os in the worst case; capacity grows
+// without bound; deletions are supported.
+type Dict struct {
+	d *core.Dict
+}
+
+// New creates a fully dynamic dictionary.
+func New(opts Options) (*Dict, error) {
+	d, err := core.NewDict(core.DictConfig{
+		InitialCapacity: opts.Capacity,
+		SatWords:        opts.SatWords,
+		Degree:          opts.Degree,
+		BlockSize:       opts.BlockSize,
+		Epsilon:         opts.Epsilon,
+		Universe:        opts.Universe,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dict{d: d}, nil
+}
+
+// NewOneProbeUnbounded creates a fully dynamic dictionary whose bounded
+// building block is the Section 6 one-probe structure instead of the
+// Theorem 7 cascade: lookups cost exactly one parallel I/O even while a
+// global rebuild is in flight (the draining and filling structures
+// occupy disjoint disks and answer in the same parallel step), updates
+// a worst-case constant — at twice the disks of New.
+func NewOneProbeUnbounded(opts Options) (*Dict, error) {
+	d, err := core.NewDict(core.DictConfig{
+		InitialCapacity: opts.Capacity,
+		SatWords:        opts.SatWords,
+		Degree:          opts.Degree,
+		BlockSize:       opts.BlockSize,
+		Universe:        opts.Universe,
+		OneProbe:        true,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dict{d: d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is present.
+func (d *Dict) Lookup(key Word) ([]Word, bool) { return d.d.Lookup(key) }
+
+// Contains reports whether key is present.
+func (d *Dict) Contains(key Word) bool { return d.d.Contains(key) }
+
+// Insert stores (key, sat), replacing any existing satellite.
+func (d *Dict) Insert(key Word, sat []Word) error { return d.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (d *Dict) Delete(key Word) bool { return d.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (d *Dict) Len() int { return d.d.Len() }
+
+// IOStats returns the accumulated traffic under the wrapper's parallel
+// cost model (concurrent structures on disjoint disks cost the max, not
+// the sum).
+func (d *Dict) IOStats() IOStats {
+	s := d.d.Stats()
+	return IOStats{ParallelIOs: s.ParallelIOs}
+}
+
+// WorstOpIOs returns the largest single-operation cost observed — the
+// worst-case guarantee that distinguishes this structure from hashing.
+func (d *Dict) WorstOpIOs() int64 { return d.d.Stats().WorstOp }
+
+// Ops returns the number of operations served.
+func (d *Dict) Ops() int64 { return d.d.Stats().Ops }
+
+// Rebuilds returns the number of completed global rebuilds.
+func (d *Dict) Rebuilds() int64 { return d.d.Stats().Rebuilds }
+
+// ---------------------------------------------------------------------
+// Section 4.1 basic dictionary.
+
+// Basic is the Section 4.1 load-balancing dictionary: fixed capacity,
+// one-probe lookups, two-probe updates.
+type Basic struct {
+	machineStats
+	d *core.BasicDict
+}
+
+// BasicOptions extends Options with the Section 4.1 knobs.
+type BasicOptions struct {
+	Options
+	// K is the number of satellite fragments per key: 1 (default) or up
+	// to d/2 for the bandwidth variant.
+	K int
+	// BucketBlocks is the bucket footprint in blocks; 1 (default) gives
+	// one-probe buckets.
+	BucketBlocks int
+	// HeadModel runs the dictionary in the parallel disk *head* model
+	// (Section 5's closing remark): buckets are laid out round-robin and
+	// the machine allows any D blocks per parallel I/O, so no striped
+	// expander is needed.
+	HeadModel bool
+}
+
+// NewBasic creates a Section 4.1 dictionary on d disks.
+func NewBasic(opts BasicOptions) (*Basic, error) {
+	model := pdm.ParallelDisk
+	if opts.HeadModel {
+		model = pdm.DiskHead
+	}
+	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize(), Model: model})
+	d, err := core.NewBasic(m, core.BasicConfig{
+		Capacity:     opts.Capacity,
+		SatWords:     opts.SatWords,
+		K:            opts.K,
+		BucketBlocks: opts.BucketBlocks,
+		HeadModel:    opts.HeadModel,
+		Universe:     opts.Universe,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Basic{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present; it costs one parallel I/O.
+func (b *Basic) Lookup(key Word) ([]Word, bool) { return b.d.Lookup(key) }
+
+// Contains reports whether key is present (one parallel I/O).
+func (b *Basic) Contains(key Word) bool { return b.d.Contains(key) }
+
+// Insert stores (key, sat) in two parallel I/Os (read + write).
+func (b *Basic) Insert(key Word, sat []Word) error { return b.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (b *Basic) Delete(key Word) bool { return b.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (b *Basic) Len() int { return b.d.Len() }
+
+// MaxLoad returns the maximum bucket load (diagnostics; Lemma 3 bounds
+// it).
+func (b *Basic) MaxLoad() int { return b.d.MaxLoad() }
+
+// BulkLoad fills an empty dictionary with the given records at external
+// sort cost — far cheaper than one Insert per key. Keys must be
+// distinct; the resulting structure is identical to what the same
+// inserts would have produced.
+func (b *Basic) BulkLoad(recs []Record) error {
+	in := make([]bucket.Record, len(recs))
+	for i, r := range recs {
+		in[i] = bucket.Record{Key: r.Key, Sat: r.Sat}
+	}
+	return b.d.BulkLoad(in, b.d.BlocksPerDisk(), 8)
+}
+
+// LookupBatch resolves many keys in one batched read, de-duplicating
+// shared blocks: a burst of hot-key lookups (the paper's webmail
+// workload) costs far fewer parallel I/Os than issuing them singly.
+// Results align positionally with keys.
+func (b *Basic) LookupBatch(keys []Word) ([][]Word, []bool) {
+	return b.d.LookupBatch(keys)
+}
+
+// ---------------------------------------------------------------------
+// Direct addressing (the tiny-universe special case).
+
+// Direct is simple direct addressing — the structure the paper's
+// Theorem 6 discussion recommends "when the universe is tiny": every
+// key of [0, Universe) owns a fixed slot, giving 1-I/O lookups and
+// 2-I/O updates with zero machinery, at Θ(u) space. Use it when u is
+// within a constant factor of n; the expander structures exist for the
+// regime u ≫ n.
+type Direct struct {
+	machineStats
+	d *core.DirectDict
+}
+
+// NewDirect creates a direct-addressed dictionary; opts.Universe is the
+// (small) universe size and must be set.
+func NewDirect(opts Options) (*Direct, error) {
+	if opts.Universe == 0 {
+		return nil, fmt.Errorf("pdmdict: NewDirect requires Options.Universe")
+	}
+	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize()})
+	d, err := core.NewDirect(m, opts.Universe, opts.SatWords)
+	if err != nil {
+		return nil, err
+	}
+	return &Direct{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present (one parallel I/O).
+func (d *Direct) Lookup(key Word) ([]Word, bool) { return d.d.Lookup(key) }
+
+// Contains reports whether key is present.
+func (d *Direct) Contains(key Word) bool { return d.d.Contains(key) }
+
+// Insert stores (key, sat) in two parallel I/Os.
+func (d *Direct) Insert(key Word, sat []Word) error { return d.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (d *Direct) Delete(key Word) bool { return d.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (d *Direct) Len() int { return d.d.Len() }
+
+// ---------------------------------------------------------------------
+// Theorem 6 static dictionary.
+
+// Static is the one-probe static dictionary of Theorem 6.
+type Static struct {
+	machineStats
+	d *core.StaticDict
+}
+
+// StaticOptions extends Options with the Theorem 6 knobs.
+type StaticOptions struct {
+	Options
+	// CaseA selects the Theorem 6(a) layout (membership dictionary +
+	// pointer-chained fields on 2d disks); the default is case (b)
+	// (identifier fields on d disks).
+	CaseA bool
+}
+
+// BuildStatic constructs the dictionary over the given records.
+func BuildStatic(opts StaticOptions, recs []Record) (*Static, error) {
+	disks := opts.degree()
+	cs := core.CaseB
+	if opts.CaseA {
+		cs = core.CaseA
+		disks *= 2
+	}
+	m := pdm.NewMachine(pdm.Config{D: disks, B: opts.blockSize()})
+	in := make([]bucket.Record, len(recs))
+	for i, r := range recs {
+		in[i] = bucket.Record{Key: r.Key, Sat: r.Sat}
+	}
+	d, err := core.BuildStatic(m, core.StaticConfig{
+		SatWords: opts.SatWords,
+		Case:     cs,
+		Universe: opts.Universe,
+		Seed:     opts.Seed,
+	}, in)
+	if err != nil {
+		return nil, err
+	}
+	return &Static{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present, in exactly one parallel I/O.
+func (s *Static) Lookup(key Word) ([]Word, bool) { return s.d.Lookup(key) }
+
+// Contains reports whether key is present (one parallel I/O).
+func (s *Static) Contains(key Word) bool { return s.d.Contains(key) }
+
+// Insert is unsupported: the structure is static (use Dynamic or Dict).
+func (s *Static) Insert(Word, []Word) error { return core.ErrFull }
+
+// Delete is unsupported: the structure is static.
+func (s *Static) Delete(Word) bool { return false }
+
+// Len returns the number of stored keys.
+func (s *Static) Len() int { return s.d.Len() }
+
+// ConstructionIOs returns the parallel I/O cost of BuildStatic.
+func (s *Static) ConstructionIOs() int64 { return s.d.ConstructionIOs.ParallelIOs }
+
+// ---------------------------------------------------------------------
+// Theorem 7 dynamic dictionary.
+
+// Dynamic is the bounded-capacity dynamic dictionary of Theorem 7.
+type Dynamic struct {
+	machineStats
+	d *core.DynamicDict
+}
+
+// NewDynamic creates a Theorem 7 dictionary on 2d disks. The theorem's
+// constraint d > 6(1+1/ɛ) is enforced.
+func NewDynamic(opts Options) (*Dynamic, error) {
+	m := pdm.NewMachine(pdm.Config{D: 2 * opts.degree(), B: opts.blockSize()})
+	d, err := core.NewDynamic(m, core.DynamicConfig{
+		Capacity: opts.Capacity,
+		SatWords: opts.SatWords,
+		Epsilon:  opts.Epsilon,
+		Universe: opts.Universe,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present. Unsuccessful searches cost exactly one parallel I/O;
+// successful ones average at most 1+ɛ.
+func (d *Dynamic) Lookup(key Word) ([]Word, bool) { return d.d.Lookup(key) }
+
+// Contains reports whether key is present.
+func (d *Dynamic) Contains(key Word) bool { return d.d.Contains(key) }
+
+// Insert stores (key, sat) in 2+ɛ parallel I/Os on average.
+func (d *Dynamic) Insert(key Word, sat []Word) error { return d.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (d *Dynamic) Delete(key Word) bool { return d.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (d *Dynamic) Len() int { return d.d.Len() }
+
+// LevelCounts returns the per-level occupancy of the retrieval cascade.
+func (d *Dynamic) LevelCounts() []int { return d.d.LevelCounts() }
+
+// ---------------------------------------------------------------------
+// Section 6 (Open Problems) exploration.
+
+// OneProbe is an experimental structure exploring the paper's Open
+// Problems section: full-bandwidth lookups in exactly ONE parallel I/O
+// *and* updates in exactly two, achieved by giving each level of the
+// Section 4.3 cascade its own disk group (a constant-factor disk
+// increase, as the paper permits elsewhere). What remains non-constant
+// is the failure path: when no level can host a chain the structure
+// must be rebuilt (Insert returns an error), the caveat the paper's
+// "this makes the time for updates non-constant" remark anticipates.
+type OneProbe struct {
+	machineStats
+	d *core.OneProbeDict
+}
+
+// OneProbeOptions extends Options with the recursion depth.
+type OneProbeOptions struct {
+	Options
+	// Levels is the cascade depth c; the structure occupies
+	// (Levels+1)·Degree disks. 0 defaults to 3.
+	Levels int
+}
+
+// NewOneProbe creates the Section 6 structure.
+func NewOneProbe(opts OneProbeOptions) (*OneProbe, error) {
+	levels := opts.Levels
+	if levels == 0 {
+		levels = 3
+	}
+	m := pdm.NewMachine(pdm.Config{D: (levels + 1) * opts.degree(), B: opts.blockSize()})
+	d, err := core.NewOneProbe(m, core.OneProbeConfig{
+		Capacity: opts.Capacity,
+		SatWords: opts.SatWords,
+		Levels:   levels,
+		Universe: opts.Universe,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OneProbe{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present — always exactly one parallel I/O.
+func (o *OneProbe) Lookup(key Word) ([]Word, bool) { return o.d.Lookup(key) }
+
+// Contains reports whether key is present (one parallel I/O).
+func (o *OneProbe) Contains(key Word) bool { return o.d.Contains(key) }
+
+// Insert stores (key, sat) in exactly two parallel I/Os.
+func (o *OneProbe) Insert(key Word, sat []Word) error { return o.d.Insert(key, sat) }
+
+// Delete removes key in exactly two parallel I/Os.
+func (o *OneProbe) Delete(key Word) bool { return o.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (o *OneProbe) Len() int { return o.d.Len() }
+
+// LevelCounts returns the per-level occupancy.
+func (o *OneProbe) LevelCounts() []int { return o.d.LevelCounts() }
+
+// ---------------------------------------------------------------------
+// Baselines (Figure 1 comparators).
+
+// HashTable is the striped bucketed hash table ("Hashing … no overflow"
+// and, with default sizing, the [7] stand-in).
+type HashTable struct {
+	machineStats
+	d *hashing.Table
+}
+
+// NewHashTable creates a hashing baseline on Degree disks.
+func NewHashTable(opts Options) (*HashTable, error) {
+	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize()})
+	d, err := hashing.NewTable(m, hashing.TableConfig{
+		Capacity: opts.Capacity,
+		SatWords: opts.SatWords,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &HashTable{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is present.
+func (h *HashTable) Lookup(key Word) ([]Word, bool) { return h.d.Lookup(key) }
+
+// Contains reports whether key is present.
+func (h *HashTable) Contains(key Word) bool { return h.d.Contains(key) }
+
+// Insert stores (key, sat).
+func (h *HashTable) Insert(key Word, sat []Word) error { return h.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (h *HashTable) Delete(key Word) bool { return h.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (h *HashTable) Len() int { return h.d.Len() }
+
+// Cuckoo is cuckoo hashing [13] in the parallel disk model.
+type Cuckoo struct {
+	machineStats
+	d *hashing.Cuckoo
+}
+
+// NewCuckoo creates the cuckoo baseline on Degree disks (must be even).
+func NewCuckoo(opts Options) (*Cuckoo, error) {
+	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize()})
+	d, err := hashing.NewCuckoo(m, hashing.CuckooConfig{
+		Capacity: opts.Capacity,
+		SatWords: opts.SatWords,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cuckoo{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present, in exactly one parallel I/O.
+func (c *Cuckoo) Lookup(key Word) ([]Word, bool) { return c.d.Lookup(key) }
+
+// Contains reports whether key is present.
+func (c *Cuckoo) Contains(key Word) bool { return c.d.Contains(key) }
+
+// Insert stores (key, sat); amortized expected constant I/Os.
+func (c *Cuckoo) Insert(key Word, sat []Word) error { return c.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (c *Cuckoo) Delete(key Word) bool { return c.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (c *Cuckoo) Len() int { return c.d.Len() }
+
+// TwoLevel is the "[7] + trick" baseline: 1+ɛ average searches with
+// full-stripe bandwidth.
+type TwoLevel struct {
+	machineStats
+	d *hashing.TwoLevel
+}
+
+// NewTwoLevel creates the two-level baseline on Degree disks.
+func NewTwoLevel(opts Options) (*TwoLevel, error) {
+	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize()})
+	d, err := hashing.NewTwoLevel(m, hashing.TwoLevelConfig{
+		Capacity: opts.Capacity,
+		SatWords: opts.SatWords,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TwoLevel{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is present.
+func (t *TwoLevel) Lookup(key Word) ([]Word, bool) { return t.d.Lookup(key) }
+
+// Contains reports whether key is present.
+func (t *TwoLevel) Contains(key Word) bool { return t.d.Contains(key) }
+
+// Insert stores (key, sat).
+func (t *TwoLevel) Insert(key Word, sat []Word) error { return t.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (t *TwoLevel) Delete(key Word) bool { return t.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (t *TwoLevel) Len() int { return t.d.Len() }
+
+// BTree is the Section 1.2 baseline: Θ(log_BD n) I/Os per lookup.
+type BTree struct {
+	machineStats
+	d *btree.Tree
+}
+
+// BTreeOptions extends Options with the node geometry.
+type BTreeOptions struct {
+	Options
+	// Striped selects stripe-sized nodes (fanout B·D) instead of
+	// block-sized nodes.
+	Striped bool
+}
+
+// NewBTree creates the B-tree baseline on Degree disks.
+func NewBTree(opts BTreeOptions) (*BTree, error) {
+	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize()})
+	d, err := btree.New(m, btree.Config{SatWords: opts.SatWords, Striped: opts.Striped})
+	if err != nil {
+		return nil, err
+	}
+	return &BTree{machineStats{m}, d}, nil
+}
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present, in Height parallel I/Os.
+func (b *BTree) Lookup(key Word) ([]Word, bool) { return b.d.Lookup(key) }
+
+// Contains reports whether key is present.
+func (b *BTree) Contains(key Word) bool { return b.d.Contains(key) }
+
+// Insert stores (key, sat).
+func (b *BTree) Insert(key Word, sat []Word) error { return b.d.Insert(key, sat) }
+
+// Delete removes key, reporting whether it was present.
+func (b *BTree) Delete(key Word) bool { return b.d.Delete(key) }
+
+// Len returns the number of stored keys.
+func (b *BTree) Len() int { return b.d.Len() }
+
+// Height returns the tree height — the per-lookup I/O cost.
+func (b *BTree) Height() int { return b.d.Height() }

@@ -1,0 +1,139 @@
+package pdmdict
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestPublicSaveOpenBasic(t *testing.T) {
+	b, err := NewBasic(BasicOptions{Options: Options{Capacity: 100, SatWords: 1, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if err := b.Insert(Word(i*3+1), []Word{Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenBasic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 80 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// IOStats survive the round trip bit-for-bit (checked before any
+	// further operations perturb them).
+	if r.IOStats() != b.IOStats() {
+		t.Errorf("stats diverged: %+v vs %+v", r.IOStats(), b.IOStats())
+	}
+	if sat, ok := r.Lookup(4); !ok || sat[0] != 1 {
+		t.Fatalf("Lookup(4) = %v %v", sat, ok)
+	}
+}
+
+func TestPublicSaveOpenAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+
+	dy, err := NewDynamic(Options{Capacity: 100, SatWords: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy.Insert(5, []Word{50})
+	if err := dy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rdy, err := OpenDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat, ok := rdy.Lookup(5); !ok || sat[0] != 50 {
+		t.Fatalf("dynamic: %v %v", sat, ok)
+	}
+
+	buf.Reset()
+	st, err := BuildStatic(StaticOptions{Options: Options{Capacity: 10, SatWords: 1, Degree: 6, Seed: 3}},
+		[]Record{{Key: 9, Sat: []Word{90}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rst, err := OpenStatic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat, ok := rst.Lookup(9); !ok || sat[0] != 90 {
+		t.Fatalf("static: %v %v", sat, ok)
+	}
+
+	buf.Reset()
+	dd, err := New(Options{Capacity: 32, SatWords: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ { // forces a migration into the snapshot
+		dd.Insert(Word(i+1), []Word{Word(i)})
+	}
+	if err := dd.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rdd, err := OpenDict(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdd.Len() != 48 {
+		t.Fatalf("dict Len = %d", rdd.Len())
+	}
+	for i := 0; i < 48; i++ {
+		if sat, ok := rdd.Lookup(Word(i + 1)); !ok || sat[0] != Word(i) {
+			t.Fatalf("dict key %d: %v %v", i+1, sat, ok)
+		}
+	}
+}
+
+func TestSynchronizedConcurrentUse(t *testing.T) {
+	base, err := New(Options{Capacity: 256, SatWords: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Synchronized(base)
+	for i := 0; i < 200; i++ {
+		if err := d.Insert(Word(i), []Word{Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Word((g*31 + i) % 200)
+				switch i % 4 {
+				case 0:
+					d.Insert(k, []Word{k * 2})
+				case 3:
+					d.Insert(k, []Word{k})
+				default:
+					if sat, ok := d.Lookup(k); ok && sat[0] != k && sat[0] != k*2 {
+						panic("torn read")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != 200 {
+		t.Errorf("Len = %d after churn, want 200", d.Len())
+	}
+	if d.IOStats().ParallelIOs == 0 {
+		t.Error("no I/O recorded")
+	}
+}

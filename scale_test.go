@@ -1,0 +1,100 @@
+package pdmdict_test
+
+// The paper's opening footnote: "the Hitachi TagmaStore USP1100 disk
+// array can include up to 1152 disks". These tests run the structures
+// at that scale — the regime the whole design targets (D = Ω(log u)
+// with room to spare) — and at the opposite extreme of very few disks.
+
+import (
+	"testing"
+
+	"pdmdict"
+)
+
+func TestHitachiScaleBasicDict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-machine test")
+	}
+	// d = 1152 disks, one structure spanning all of them.
+	d, err := pdmdict.NewBasic(pdmdict.BasicOptions{
+		Options: pdmdict.Options{Capacity: 800, SatWords: 4, Degree: 1152, BlockSize: 16, Seed: 90},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 800; i++ {
+		k := pdmdict.Word(i)*48271 + 11
+		if err := d.Insert(k, []pdmdict.Word{k, k + 1, k + 2, k + 3}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	before := d.IOStats().ParallelIOs
+	for i := 0; i < 800; i++ {
+		k := pdmdict.Word(i)*48271 + 11
+		sat, ok := d.Lookup(k)
+		if !ok || sat[0] != k {
+			t.Fatalf("key %d = %v %v", k, sat, ok)
+		}
+	}
+	if got := d.IOStats().ParallelIOs - before; got != 800 {
+		t.Errorf("800 lookups on 1152 disks cost %d parallel I/Os, want 800", got)
+	}
+	// All 1152 disks participate in every probe.
+	per := d.Machine().PerDiskIOs()
+	if len(per) != 1152 {
+		t.Fatalf("machine has %d disks", len(per))
+	}
+	for i, v := range per {
+		if v == 0 {
+			t.Fatalf("disk %d idle; striping broken at scale", i)
+		}
+	}
+}
+
+func TestHitachiScaleDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-machine test")
+	}
+	// 2d = 510 disks (d = 255, the packed head-pointer ceiling).
+	d, err := pdmdict.NewDynamic(pdmdict.Options{
+		Capacity: 1000, SatWords: 2, Degree: 255, BlockSize: 16, Epsilon: 0.1, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := d.Insert(pdmdict.Word(i*7+1), []pdmdict.Word{1, 2}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	before := d.IOStats().ParallelIOs
+	for i := 0; i < 1000; i++ {
+		if !d.Contains(pdmdict.Word(i*7 + 1)) {
+			t.Fatal("key lost at scale")
+		}
+	}
+	avg := float64(d.IOStats().ParallelIOs-before) / 1000
+	if avg > 1.1 {
+		t.Errorf("lookup avg = %.3f at d=255, ɛ=0.1; want ≤ 1.1", avg)
+	}
+}
+
+func TestMinimalDiskCounts(t *testing.T) {
+	// The smallest machines each structure accepts still work.
+	b, err := pdmdict.NewBasic(pdmdict.BasicOptions{
+		Options: pdmdict.Options{Capacity: 20, SatWords: 1, Degree: 1, BlockSize: 8, Seed: 92},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := b.Insert(pdmdict.Word(i+1), []pdmdict.Word{1}); err != nil {
+			t.Fatalf("d=1 insert: %v", err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if !b.Contains(pdmdict.Word(i + 1)) {
+			t.Fatal("d=1 key lost")
+		}
+	}
+}

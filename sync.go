@@ -1,0 +1,62 @@
+package pdmdict
+
+import "sync"
+
+// SyncDict wraps any Dictionary for concurrent use: lookups run
+// concurrently with each other (readers take a shared lock; the
+// simulated machine is itself thread-safe) while mutations are
+// exclusive. This matches the paper's observation that the structures
+// suit concurrent environments — lookups go straight to the relevant
+// blocks and inserted data never moves, so coarse reader-writer locking
+// is already contention-light.
+type SyncDict struct {
+	mu sync.RWMutex
+	d  Dictionary
+}
+
+// Synchronized wraps d for concurrent use. The wrapped dictionary must
+// not be used directly afterwards.
+func Synchronized(d Dictionary) *SyncDict { return &SyncDict{d: d} }
+
+// Lookup returns a copy of key's satellite data and whether it is
+// present. Safe for arbitrary concurrency with other lookups.
+func (s *SyncDict) Lookup(key Word) ([]Word, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Lookup(key)
+}
+
+// Contains reports whether key is present.
+func (s *SyncDict) Contains(key Word) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Contains(key)
+}
+
+// Insert stores (key, sat), replacing any existing satellite.
+func (s *SyncDict) Insert(key Word, sat []Word) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Insert(key, sat)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *SyncDict) Delete(key Word) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Delete(key)
+}
+
+// Len returns the number of stored keys.
+func (s *SyncDict) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Len()
+}
+
+// IOStats returns the accumulated disk traffic.
+func (s *SyncDict) IOStats() IOStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.IOStats()
+}
