@@ -11,6 +11,16 @@
 //	stats                         I/O counters so far
 //	quit
 //
+// Unknown commands print a usage error.
+//
+// stats reports, beyond the block count and total parallel I/Os, the
+// hook-based observability view of the store: a per-tag breakdown
+// (lookup / insert / insert.probe / delete / rebuild, with batch
+// counts, parallel I/Os, block transfers, and each tag's share) and
+// the per-disk transfer tallies with a skew figure (max/mean; 1.00 is
+// perfectly balanced — the quantity the paper's deterministic load
+// balancing bounds).
+//
 // Names are handled by the NamedDict adapter: hashed to word keys, as
 // the paper suggests ("the name can be easily hashed as well"), with
 // the stored name verified on every access so collisions are impossible
@@ -25,6 +35,7 @@ import (
 	"strings"
 
 	"pdmdict"
+	"pdmdict/internal/obs"
 )
 
 // blockWords is the satellite budget per stored block.
@@ -66,6 +77,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fskv:", err)
 		os.Exit(1)
 	}
+	collector := obs.NewCollector()
+	base.SetHook(collector)
 	dict := pdmdict.NewNamed(base, blockWords)
 
 	fmt.Println("fskv: deterministic dictionary file store (put/get/del/stats/quit)")
@@ -133,10 +146,16 @@ func main() {
 		case "stats":
 			fmt.Printf("blocks stored: %d, total parallel I/Os: %d\n",
 				dict.Len(), dict.IOStats().ParallelIOs)
+			var sb strings.Builder
+			sb.WriteString("per-tag I/O breakdown:\n")
+			collector.RenderTags(&sb)
+			sb.WriteString("per-disk transfers:\n")
+			collector.RenderPerDisk(&sb)
+			fmt.Print(sb.String())
 		case "quit", "exit":
 			return
 		default:
-			fmt.Println("commands: put get del stats quit")
+			fmt.Printf("unknown command %q — commands: put get del stats quit\n", fields[0])
 		}
 	}
 }

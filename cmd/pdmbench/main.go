@@ -4,13 +4,19 @@
 //
 // Usage:
 //
-//	pdmbench [-run regexp] [-md] [-list] [-o file]
+//	pdmbench [-run regexp] [-md | -csv | -json] [-list] [-o file]
+//
+// -json emits the run as one JSON document (an array of tables) that
+// also carries the per-operation parallel-I/O histograms (log₂ buckets,
+// p50/p99/max) behind the summary rows — the text formats print only
+// the aggregates.
 //
 // Examples:
 //
 //	pdmbench -list                 # show the experiment index
 //	pdmbench -run fig1             # regenerate Figure 1
 //	pdmbench -run 'E[0-9]+' -md    # all E-experiments as markdown
+//	pdmbench -run tails -json      # E7 with full I/O histograms
 //	pdmbench -o results.txt        # full suite into a file
 package main
 
@@ -28,6 +34,7 @@ func main() {
 		pattern  = flag.String("run", "", "regexp selecting experiment IDs (empty = all)")
 		markdown = flag.Bool("md", false, "emit markdown tables instead of aligned text")
 		csv      = flag.Bool("csv", false, "emit CSV (for plotting pipelines)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document incl. per-op I/O histograms")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		outPath  = flag.String("o", "", "write output to this file instead of stdout")
 	)
@@ -53,6 +60,8 @@ func main() {
 
 	format := bench.FormatText
 	switch {
+	case *jsonOut:
+		format = bench.FormatJSON
 	case *csv:
 		format = bench.FormatCSV
 	case *markdown:

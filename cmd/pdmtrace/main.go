@@ -8,12 +8,21 @@
 //	pdmtrace -struct dict|basic|dynamic|oneprobe|hash|cuckoo|twolevel|btree
 //	         [-in trace.txt | -gen N -mix read|write] [-capacity C]
 //	         [-sat words] [-degree d] [-block B] [-seed s] [-out trace.txt]
+//	         [-hist] [-trace events.jsonl]
+//
+// -hist prints log₂-bucketed histograms of parallel I/Os per operation
+// plus a per-tag I/O breakdown and per-disk skew (via the hook-based
+// collector). -trace streams every I/O batch as one JSON object per
+// line — op kind, span tag, steps, depth, block addresses — replayable
+// with obs.Replay to reproduce the cost profile.
 //
 // Examples:
 //
 //	pdmtrace -gen 10000 -mix read -struct basic     # synthetic read-mostly
 //	pdmtrace -gen 10000 -out my.trace               # just write the trace
 //	pdmtrace -in my.trace -struct btree             # replay it on a B-tree
+//	pdmtrace -gen 10000 -struct dict -hist          # cost histograms + tags
+//	pdmtrace -gen 10000 -trace io.jsonl             # record raw I/O events
 package main
 
 import (
@@ -21,8 +30,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"pdmdict"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/workload"
 )
 
@@ -38,6 +49,8 @@ func main() {
 		degree     = flag.Int("degree", 20, "expander degree / disk group size")
 		blockSize  = flag.Int("block", 64, "block size B in words")
 		seed       = flag.Uint64("seed", 1, "structure seed")
+		hist       = flag.Bool("hist", false, "print per-op I/O histograms, per-tag breakdown, and per-disk skew")
+		tracePath  = flag.String("trace", "", "stream I/O events to this JSONL file")
 	)
 	flag.Parse()
 
@@ -72,6 +85,37 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdmtrace:", err)
 		os.Exit(1)
+	}
+
+	// Optional observability: a metrics collector for -hist and a JSONL
+	// event stream for -trace, teed into the same hook.
+	var collector *obs.Collector
+	var traceWriter *obs.JSONLWriter
+	if *hist {
+		collector = obs.NewCollector()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceWriter = obs.NewJSONLWriter(f)
+	}
+	if collector != nil || traceWriter != nil {
+		hooked, ok := dict.(pdmdict.Hooked)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pdmtrace: structure %q does not support hooks\n", *structName)
+			os.Exit(1)
+		}
+		if collector != nil && traceWriter != nil {
+			hooked.SetHook(obs.Tee(collector, traceWriter))
+		} else if collector != nil {
+			hooked.SetHook(collector)
+		} else {
+			hooked.SetHook(traceWriter)
+		}
 	}
 
 	sat := make([]pdmdict.Word, *satWords)
@@ -111,6 +155,33 @@ func main() {
 		fmt.Printf(", %d failed inserts (capacity)", errors)
 	}
 	fmt.Println()
+
+	if collector != nil {
+		var sb strings.Builder
+		for _, kind := range []workload.OpKind{workload.OpLookup, workload.OpInsert, workload.OpDelete} {
+			cs := costs[kind]
+			if len(cs) == 0 {
+				continue
+			}
+			var h obs.Hist
+			for _, c := range cs {
+				h.Observe(c)
+			}
+			h.Render(&sb, fmt.Sprintf("\nparallel I/Os per %s", kindName(kind)))
+		}
+		sb.WriteString("\nper-tag I/O breakdown\n")
+		collector.RenderTags(&sb)
+		sb.WriteString("\nper-disk transfers\n")
+		collector.RenderPerDisk(&sb)
+		fmt.Print(sb.String())
+	}
+	if traceWriter != nil {
+		if err := traceWriter.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pdmtrace: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote I/O event trace to %s\n", *tracePath)
+	}
 }
 
 func loadOps(inPath string, gen int, mix string, capacity int) ([]workload.Op, error) {

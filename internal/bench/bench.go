@@ -6,26 +6,44 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"regexp"
 	"sort"
 	"strings"
+
+	"pdmdict/internal/obs"
 )
 
 // Table is one rendered experiment result.
 type Table struct {
 	// ID is the experiment identifier (e.g. "E1-fig1").
-	ID string
+	ID string `json:"id"`
 	// Title describes what the table shows and which part of the paper
 	// it reproduces.
-	Title string
+	Title string `json:"title"`
 	// Columns are the header labels.
-	Columns []string
+	Columns []string `json:"columns"`
 	// Rows hold the formatted cells.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes are free-form remarks printed under the table.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
+	// Hists are log₂-bucketed parallel-I/O-per-operation distributions
+	// behind the table's summary rows, where the experiment records them.
+	// They appear only in the JSON output — the full distribution does
+	// not fit a text cell.
+	Hists []obs.Summary `json:"histograms,omitempty"`
+}
+
+// AddHist digests the per-operation cost samples into a log₂ histogram
+// summary attached to the table's JSON form.
+func (t *Table) AddHist(name string, costs []int64) {
+	var h obs.Hist
+	for _, c := range costs {
+		h.Observe(c)
+	}
+	t.Hists = append(t.Hists, h.Summarize(name))
 }
 
 // AddRow appends a row of stringified cells.
@@ -132,6 +150,10 @@ const (
 	FormatText Format = iota
 	FormatMarkdown
 	FormatCSV
+	// FormatJSON emits the whole run as one JSON document — an array of
+	// Table objects, including the per-operation I/O histograms that the
+	// text formats omit.
+	FormatJSON
 )
 
 // RunFormat is Run with an explicit output format.
@@ -147,7 +169,7 @@ func RunFormat(pattern string, w io.Writer, format Format) ([]Table, error) {
 			continue
 		}
 		matched++
-		if format != FormatCSV {
+		if format != FormatCSV && format != FormatJSON {
 			fmt.Fprintf(w, "running %s: %s\n", e.ID, e.Title)
 		}
 		tables := e.Run()
@@ -158,6 +180,8 @@ func RunFormat(pattern string, w io.Writer, format Format) ([]Table, error) {
 				fmt.Fprintln(w, t.Markdown())
 			case FormatCSV:
 				fmt.Fprintln(w, t.CSV())
+			case FormatJSON:
+				// Emitted as one document after the loop.
 			default:
 				fmt.Fprintln(w, t.Render())
 			}
@@ -165,6 +189,13 @@ func RunFormat(pattern string, w io.Writer, format Format) ([]Table, error) {
 	}
 	if matched == 0 {
 		return nil, fmt.Errorf("bench: no experiment matches %q", pattern)
+	}
+	if format == FormatJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return nil, fmt.Errorf("bench: encoding JSON: %w", err)
+		}
 	}
 	return all, nil
 }

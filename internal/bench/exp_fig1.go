@@ -167,6 +167,8 @@ func runFig1() []Table {
 			bw = fmt.Sprint(r.bwWords)
 		}
 		t.AddRow(r.name, hit.avg(), hit.max(), ins.avg(), ins.max(), bw, r.detOps)
+		t.AddHist(r.name+" lookup", hit.costs)
+		t.AddHist(r.name+" insert", ins.costs)
 	}
 	t.Notes = append(t.Notes,
 		"paper's Figure 1: hashing rows hold whp/amortized; §4.1 and §4.3 rows are deterministic worst-case",
@@ -196,6 +198,8 @@ func runTails() []Table {
 		r := mk()
 		ins, hit, _ := measure(r, keys, 0)
 		t.AddRow(name, wl, ins.avg(), ins.percentile(0.999), ins.max(), hit.avg(), hit.max())
+		t.AddHist(name+" "+wl+" insert", ins.costs)
+		t.AddHist(name+" "+wl+" lookup", hit.costs)
 	}
 
 	uniform := workload.Uniform(n, 1<<44, 51)

@@ -40,10 +40,21 @@ type Storage interface {
 	B() int
 }
 
+// spanner is implemented by storages that can tag batches with span
+// labels (pdm.Machine, and cache.Cache delegating to its machine).
+type spanner interface {
+	Span(tag string) func()
+}
+
+var noopEnd = func() {}
+
+func noSpan(string) func() { return noopEnd }
+
 // Tree is a B-tree over (key, satellite) records.
 type Tree struct {
-	m   Storage
-	cfg Config
+	m    Storage
+	span func(string) func()
+	cfg  Config
 
 	nodeWords int
 	maxLeaf   int // max records in a leaf
@@ -77,10 +88,14 @@ func New(m Storage, cfg Config) (*Tree, error) {
 	}
 	t := &Tree{
 		m:         m,
+		span:      noSpan,
 		cfg:       cfg,
 		nodeWords: nw,
 		maxLeaf:   (nw - 2) / (1 + cfg.SatWords),
 		maxInt:    (nw - 3) / 2,
+	}
+	if s, ok := m.(spanner); ok {
+		t.span = s.Span
 	}
 	if t.maxLeaf < 2 || t.maxInt < 2 {
 		return nil, fmt.Errorf("btree: node of %d words too small for fanout 2", nw)
@@ -144,6 +159,7 @@ func (t *Tree) intChild(node []pdm.Word, i int) int {
 // Lookup returns a copy of key's satellite and whether it is present.
 // Cost: Height() parallel I/Os.
 func (t *Tree) Lookup(key pdm.Word) ([]pdm.Word, bool) {
+	defer t.span("lookup")()
 	node := t.readNode(t.root)
 	for node[0] == nodeInternal {
 		count := int(node[1])
@@ -177,6 +193,7 @@ func (t *Tree) Insert(key pdm.Word, sat []pdm.Word) error {
 	if len(sat) != t.cfg.SatWords {
 		return fmt.Errorf("btree: satellite of %d words, config says %d", len(sat), t.cfg.SatWords)
 	}
+	defer t.span("insert")()
 	rootNode := t.readNode(t.root)
 	if t.isFull(rootNode) {
 		// Grow: new root above the split halves.
@@ -384,6 +401,7 @@ func (t *Tree) rangeNode(id int, lo, hi pdm.Word, fn func(pdm.Word, []pdm.Word) 
 // deleted records is reclaimed on later inserts into the same leaf —
 // sufficient for a baseline whose role is read-path comparison.
 func (t *Tree) Delete(key pdm.Word) bool {
+	defer t.span("delete")()
 	id := t.root
 	node := t.readNode(id)
 	for node[0] == nodeInternal {

@@ -57,6 +57,10 @@ type entry struct {
 	data []pdm.Word
 }
 
+// Span delegates to the machine's span API, so structures running over
+// a cache still tag the I/O their misses force.
+func (c *Cache) Span(tag string) func() { return c.m.Span(tag) }
+
 // New wraps m with a cache of capacityBlocks blocks — the internal
 // memory budget, in blocks of B words.
 func New(m *pdm.Machine, capacityBlocks int) *Cache {

@@ -296,6 +296,7 @@ func (bd *BasicDict) findFragments(x pdm.Word, hood [][][]pdm.Word) (map[int][]p
 // shared buckets are read once. Results are positionally aligned with
 // keys.
 func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	defer bd.reg.m.Span("lookup")()
 	uniq := make(map[pdm.Addr]int) // addr → index into fetch list
 	var addrs []pdm.Addr
 	perKey := make([][]int, len(keys)) // key → its blocks' fetch indices
@@ -330,6 +331,7 @@ func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 // Cost: one batched read of the d buckets of Γ(x) — a single parallel
 // I/O when BucketBlocks is 1.
 func (bd *BasicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	defer bd.reg.m.Span("lookup")()
 	hood := bd.readNeighborhood(x)
 	frags, _ := bd.findFragments(x, hood)
 	if len(frags) != bd.cfg.K {
@@ -357,7 +359,10 @@ func (bd *BasicDict) assemble(frags map[int][]pdm.Word) []pdm.Word {
 // batched write of the modified buckets (a single parallel I/O, since
 // the touched buckets lie in distinct stripes).
 func (bd *BasicDict) Insert(x pdm.Word, sat []pdm.Word) error {
+	defer bd.reg.m.Span("insert")()
+	endProbe := bd.reg.m.Span("probe")
 	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
+	endProbe()
 	writes, err := bd.insertWrites(x, sat, flat)
 	if len(writes) > 0 {
 		// Writes accompany even a failed insert of an existing key: its
@@ -477,6 +482,7 @@ func (bd *BasicDict) collectWrites(x pdm.Word, hood [][][]pdm.Word, dirty map[in
 // Delete removes x and reports whether it was present. Cost: one read
 // batch plus, when present, one write batch.
 func (bd *BasicDict) Delete(x pdm.Word) bool {
+	defer bd.reg.m.Span("delete")()
 	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
 	writes, ok := bd.deleteWrites(x, flat)
 	if len(writes) > 0 {
@@ -531,6 +537,7 @@ func (bd *BasicDict) MaxLoad() int {
 // for enumeration of keys (e.g. by the rebuilding wrapper), which uses
 // fragment index 0 as the canonical sighting of a key.
 func (bd *BasicDict) Scan(fn func(key pdm.Word, fragIdx int, frag []pdm.Word)) {
+	defer bd.reg.m.Span("scan")()
 	for y := 0; y < bd.buckets; y++ {
 		addrs := bd.bucketAddrs(y, nil)
 		for _, blk := range bd.reg.m.BatchRead(addrs) {

@@ -228,6 +228,7 @@ func (op *OneProbeDict) fieldsOf(li int, x pdm.Word, blocks [][]pdm.Word) [][]pd
 // Lookup returns a copy of x's satellite and whether x is present, in
 // exactly one parallel I/O — present, absent, shallow or deep.
 func (op *OneProbeDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	defer op.m.Span("lookup")()
 	membBlocks, levelBlocks := op.probe(x)
 	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)
 	if !ok {
@@ -256,6 +257,7 @@ func (op *OneProbeDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	if uint64(x) >= op.cfg.Universe {
 		return fmt.Errorf("core: key %d outside universe %d", x, op.cfg.Universe)
 	}
+	defer op.m.Span("insert")()
 	membBlocks, levelBlocks := op.probe(x)
 
 	var writes []pdm.BlockWrite
@@ -347,6 +349,7 @@ func (op *OneProbeDict) releaseInBlocks(x pdm.Word, membSat []pdm.Word, levelBlo
 // Delete removes x in exactly two parallel I/Os, reporting whether it
 // was present.
 func (op *OneProbeDict) Delete(x pdm.Word) bool {
+	defer op.m.Span("delete")()
 	membBlocks, levelBlocks := op.probe(x)
 	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)
 	if !ok {

@@ -108,6 +108,10 @@ type Dict struct {
 	cfg        DictConfig
 	generation uint64
 
+	// hook is re-applied to every machine a rebuild creates, so traces
+	// span generations.
+	hook pdm.Hook
+
 	active rebuildable
 	next   rebuildable
 
@@ -142,6 +146,7 @@ func (d *Dict) newStructure(capacity int) (rebuildable, error) {
 	if d.cfg.OneProbe {
 		levels := 3
 		m := pdm.NewMachine(pdm.Config{D: (levels + 1) * d.cfg.Degree, B: d.cfg.BlockSize})
+		m.SetHook(d.hook)
 		return NewOneProbe(m, OneProbeConfig{
 			Capacity: capacity,
 			SatWords: d.cfg.SatWords,
@@ -151,6 +156,7 @@ func (d *Dict) newStructure(capacity int) (rebuildable, error) {
 		})
 	}
 	m := pdm.NewMachine(pdm.Config{D: 2 * d.cfg.Degree, B: d.cfg.BlockSize})
+	m.SetHook(d.hook)
 	return NewDynamic(m, DynamicConfig{
 		Capacity: capacity,
 		SatWords: d.cfg.SatWords,
@@ -178,6 +184,17 @@ func (d *Dict) Stats() DictStats {
 
 // Migrating reports whether a rebuild is in progress.
 func (d *Dict) Migrating() bool { return d.next != nil }
+
+// SetHook attaches h to the machines of both live structures and to
+// every machine created by future rebuilds. A nil h detaches. Not safe
+// to call concurrently with operations.
+func (d *Dict) SetHook(h pdm.Hook) {
+	d.hook = h
+	d.active.machine().SetHook(h)
+	if d.next != nil {
+		d.next.machine().SetHook(h)
+	}
+}
 
 // measure runs op and charges max(active I/Os, next I/Os) — the two
 // structures live on disjoint disks and work in parallel.
@@ -299,6 +316,10 @@ func (d *Dict) migrateStep() {
 	if d.next == nil {
 		return
 	}
+	// Migration I/O lands on both machines; tag it on each so per-tag
+	// breakdowns separate rebuild traffic from the foreground operation.
+	defer d.active.machine().Span("rebuild")()
+	defer d.next.machine().Span("rebuild")()
 	memb := d.active.membership()
 	moved, probes := 0, 0
 	for moved < d.cfg.MigrateBatch && probes < 4*d.cfg.MigrateBatch && d.active.Len() > 0 {

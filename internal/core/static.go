@@ -154,6 +154,7 @@ func BuildStatic(m *pdm.Machine, cfg StaticConfig, recs []bucket.Record) (*Stati
 	if err := sd.layout(); err != nil {
 		return nil, err
 	}
+	defer m.Span("build")()
 	start := m.Stats()
 	if err := sd.construct(recs); err != nil {
 		return nil, err
@@ -268,6 +269,7 @@ func (sd *StaticDict) fieldSlot(j int) int {
 // blocks holding Γ(x)'s fields; CaseA additionally reads the d
 // membership buckets in the same batch, on its other d disks.
 func (sd *StaticDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	defer sd.m.Span("lookup")()
 	d := sd.d
 	addrs := make([]pdm.Addr, 0, 2*d)
 	if sd.memb != nil {

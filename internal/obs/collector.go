@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pdmdict/internal/pdm"
+)
+
+// TagStats accumulates I/O attributed to one span tag.
+type TagStats struct {
+	Batches int64 `json:"batches"`
+	Steps   int64 `json:"steps"`  // parallel I/O steps
+	Blocks  int64 `json:"blocks"` // block transfers
+}
+
+// Window is a per-disk transfer tally over a fixed span of parallel
+// I/O steps, for watching skew evolve over time.
+type Window struct {
+	StartStep int64   `json:"start_step"` // cumulative step count at window open
+	EndStep   int64   `json:"end_step"`
+	PerDisk   []int64 `json:"per_disk"`
+}
+
+// Collector aggregates hook events into metrics: global counters, a
+// depth histogram, per-tag totals, and per-disk transfer tallies both
+// lifetime and over recent step windows. It implements pdm.Hook and is
+// safe for concurrent use.
+type Collector struct {
+	// WindowSteps is how many parallel I/O steps one skew window spans;
+	// MaxWindows bounds how many closed windows are retained. Both must
+	// be set before the first event (NewCollector picks defaults).
+	WindowSteps int64
+	MaxWindows  int
+
+	Depth Hist // batch depth (= parallel I/O steps per batch)
+
+	mu      sync.Mutex
+	events  int64
+	reads   int64 // read batches
+	writes  int64 // write batches
+	steps   int64 // cumulative parallel I/O steps
+	blocks  int64 // cumulative block transfers
+	tags    map[string]*TagStats
+	perDisk []int64 // lifetime, grown on demand
+	cur     Window  // open window
+	windows []Window
+}
+
+// NewCollector returns a collector with default windowing (1024 steps
+// per window, 64 windows retained).
+func NewCollector() *Collector {
+	return &Collector{
+		WindowSteps: 1024,
+		MaxWindows:  64,
+		tags:        map[string]*TagStats{},
+	}
+}
+
+// Event implements pdm.Hook.
+func (c *Collector) Event(e pdm.Event) {
+	c.Depth.Observe(int64(e.Depth))
+	c.mu.Lock()
+	c.events++
+	if e.Kind == pdm.EventWrite {
+		c.writes++
+	} else {
+		c.reads++
+	}
+	c.steps += int64(e.Steps)
+	c.blocks += int64(len(e.Addrs))
+
+	tag := e.Tag
+	if tag == "" {
+		tag = "(untagged)"
+	}
+	ts := c.tags[tag]
+	if ts == nil {
+		ts = &TagStats{}
+		c.tags[tag] = ts
+	}
+	ts.Batches++
+	ts.Steps += int64(e.Steps)
+	ts.Blocks += int64(len(e.Addrs))
+
+	for _, a := range e.Addrs {
+		for a.Disk >= len(c.perDisk) {
+			c.perDisk = append(c.perDisk, 0)
+			c.cur.PerDisk = append(c.cur.PerDisk, 0)
+		}
+		c.perDisk[a.Disk]++
+		c.cur.PerDisk[a.Disk]++
+	}
+	if c.steps-c.cur.StartStep >= c.WindowSteps {
+		c.cur.EndStep = c.steps
+		c.windows = append(c.windows, c.cur)
+		if len(c.windows) > c.MaxWindows {
+			c.windows = c.windows[len(c.windows)-c.MaxWindows:]
+		}
+		c.cur = Window{StartStep: c.steps, PerDisk: make([]int64, len(c.perDisk))}
+	}
+	c.mu.Unlock()
+}
+
+// Tags returns a copy of the per-tag totals.
+func (c *Collector) Tags() map[string]TagStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]TagStats, len(c.tags))
+	for k, v := range c.tags {
+		out[k] = *v
+	}
+	return out
+}
+
+// PerDisk returns the lifetime block-transfer tally per disk.
+func (c *Collector) PerDisk() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.perDisk...)
+}
+
+// Windows returns the retained closed skew windows, oldest first.
+func (c *Collector) Windows() []Window {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Window, len(c.windows))
+	for i, w := range c.windows {
+		w.PerDisk = append([]int64(nil), w.PerDisk...)
+		out[i] = w
+	}
+	return out
+}
+
+// Totals returns (batches, reads, writes, steps, blocks).
+func (c *Collector) Totals() (events, reads, writes, steps, blocks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events, c.reads, c.writes, c.steps, c.blocks
+}
+
+// RenderTags writes an aligned per-tag I/O breakdown, heaviest first.
+func (c *Collector) RenderTags(sb *strings.Builder) {
+	tags := c.Tags()
+	names := make([]string, 0, len(tags))
+	for name := range tags {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := tags[names[i]], tags[names[j]]
+		if a.Steps != b.Steps {
+			return a.Steps > b.Steps
+		}
+		return names[i] < names[j]
+	})
+	_, _, _, steps, _ := c.Totals()
+	fmt.Fprintf(sb, "%-24s %10s %10s %10s %7s\n", "tag", "batches", "pIOs", "blocks", "share")
+	for _, name := range names {
+		t := tags[name]
+		share := 0.0
+		if steps > 0 {
+			share = 100 * float64(t.Steps) / float64(steps)
+		}
+		fmt.Fprintf(sb, "%-24s %10d %10d %10d %6.1f%%\n",
+			name, t.Batches, t.Steps, t.Blocks, share)
+	}
+}
+
+// RenderPerDisk writes the lifetime per-disk transfer tallies with a
+// skew figure (max/mean; 1.00 = perfectly balanced).
+func (c *Collector) RenderPerDisk(sb *strings.Builder) {
+	perDisk := c.PerDisk()
+	var total, max int64
+	for _, v := range perDisk {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	fmt.Fprintf(sb, "%-6s %12s %7s\n", "disk", "blocks", "share")
+	for d, v := range perDisk {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(v) / float64(total)
+		}
+		fmt.Fprintf(sb, "%-6d %12d %6.1f%%\n", d, v, share)
+	}
+	if total > 0 && len(perDisk) > 0 {
+		mean := float64(total) / float64(len(perDisk))
+		fmt.Fprintf(sb, "skew (max/mean): %.2f\n", float64(max)/mean)
+	}
+}
+
+// String renders the full collector state as text.
+func (c *Collector) String() string {
+	var sb strings.Builder
+	events, reads, writes, steps, blocks := c.Totals()
+	fmt.Fprintf(&sb, "batches=%d (reads=%d writes=%d) pIOs=%d blocks=%d\n",
+		events, reads, writes, steps, blocks)
+	c.RenderTags(&sb)
+	c.RenderPerDisk(&sb)
+	return sb.String()
+}
+
+// expvarState is the JSON shape exported by Publish.
+type expvarState struct {
+	Batches int64               `json:"batches"`
+	Reads   int64               `json:"reads"`
+	Writes  int64               `json:"writes"`
+	Steps   int64               `json:"parallel_ios"`
+	Blocks  int64               `json:"blocks"`
+	Depth   Summary             `json:"depth"`
+	Tags    map[string]TagStats `json:"tags"`
+	PerDisk []int64             `json:"per_disk"`
+}
+
+// Publish registers the collector with expvar under the given name.
+// expvar panics on duplicate names, so publish each name once per
+// process.
+func (c *Collector) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any {
+		events, reads, writes, steps, blocks := c.Totals()
+		return expvarState{
+			Batches: events,
+			Reads:   reads,
+			Writes:  writes,
+			Steps:   steps,
+			Blocks:  blocks,
+			Depth:   c.Depth.Summarize("batch_depth"),
+			Tags:    c.Tags(),
+			PerDisk: c.PerDisk(),
+		}
+	}))
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"pdmdict/internal/pdm"
+)
+
+// jsonlEvent is the on-disk shape of one trace line. Addresses are
+// [disk, block] pairs to keep traces compact.
+type jsonlEvent struct {
+	Kind  string   `json:"k"` // "read" or "write"
+	Tag   string   `json:"tag,omitempty"`
+	Steps int      `json:"steps"`
+	Depth int      `json:"depth"`
+	Addrs [][2]int `json:"addrs"`
+}
+
+// JSONLWriter streams events to w, one JSON object per line. It
+// buffers internally; call Close (or Flush) before reading the output.
+// Safe for concurrent use.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter wraps w in a trace writer.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements pdm.Hook. Encoding errors are sticky and reported
+// by Close.
+func (w *JSONLWriter) Event(e pdm.Event) {
+	line := jsonlEvent{
+		Kind:  e.Kind.String(),
+		Tag:   e.Tag,
+		Steps: e.Steps,
+		Depth: e.Depth,
+		Addrs: make([][2]int, len(e.Addrs)),
+	}
+	for i, a := range e.Addrs {
+		line.Addrs[i] = [2]int{a.Disk, a.Block}
+	}
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = w.enc.Encode(line)
+	}
+	w.mu.Unlock()
+}
+
+// Flush forces buffered lines out to the underlying writer.
+func (w *JSONLWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Close flushes and returns the first error seen, if any. It does not
+// close the underlying writer.
+func (w *JSONLWriter) Close() error { return w.Flush() }
+
+// ReadEvents parses a JSONL trace back into events.
+func ReadEvents(r io.Reader) ([]pdm.Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []pdm.Event
+	for {
+		var line jsonlEvent
+		if err := dec.Decode(&line); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		e := pdm.Event{
+			Tag:   line.Tag,
+			Steps: line.Steps,
+			Depth: line.Depth,
+			Addrs: make([]pdm.Addr, len(line.Addrs)),
+		}
+		if line.Kind == "write" {
+			e.Kind = pdm.EventWrite
+		}
+		for i, a := range line.Addrs {
+			e.Addrs[i] = pdm.Addr{Disk: a[0], Block: a[1]}
+		}
+		out = append(out, e)
+	}
+}
+
+// Replay re-issues a recorded trace against m, batch for batch,
+// reproducing the trace's I/O cost profile (block contents are not
+// recorded, so writes store zero blocks). It returns the stats delta
+// the replay produced.
+func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
+	before := m.Stats()
+	for _, e := range events {
+		end := func() {}
+		if e.Tag != "" {
+			end = m.Span(e.Tag)
+		}
+		if e.Kind == pdm.EventWrite {
+			writes := make([]pdm.BlockWrite, len(e.Addrs))
+			for i, a := range e.Addrs {
+				writes[i] = pdm.BlockWrite{Addr: a}
+			}
+			m.BatchWrite(writes)
+		} else {
+			m.BatchRead(e.Addrs)
+		}
+		end()
+	}
+	return m.Stats().Sub(before)
+}

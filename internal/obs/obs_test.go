@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"pdmdict/internal/pdm"
+)
+
+func TestHistBucketsAndQuantiles(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	h.Observe(-7) // clamps to zero
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	bs := h.Buckets()
+	// zeros:2, [1,1]:2, [2,3]:2, [4,7]:1, [64,127]:1
+	want := []HistBucket{
+		{0, 0, 2}, {1, 1, 2}, {2, 3, 2}, {4, 7, 1}, {64, 127, 1},
+	}
+	if len(bs) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", bs, want)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, bs[i], want[i])
+		}
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("p50 = %d, want 3 (upper edge of the median bucket)", q)
+	}
+	if q := h.Quantile(1.0); q != 127 {
+		t.Errorf("p100 = %d, want 127", q)
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	s := h.Summarize("x")
+	if s.Name != "x" || s.Total != 8 || s.Max != 127 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !strings.Contains(h.String(), "64-127") {
+		t.Errorf("render missing bucket label:\n%s", h.String())
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i % 17)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Total() != 8000 {
+		t.Errorf("Total = %d, want 8000", h.Total())
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Event(pdm.Event{Steps: i, Addrs: []pdm.Addr{{Disk: i}}})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || r.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3/5", len(evs), r.Total())
+	}
+	for i, e := range evs {
+		if e.Steps != i+2 {
+			t.Errorf("event %d steps = %d, want %d (oldest-first)", i, e.Steps, i+2)
+		}
+	}
+}
+
+func TestRingCopiesAddrs(t *testing.T) {
+	r := NewRing(2)
+	addrs := []pdm.Addr{{Disk: 1, Block: 2}}
+	r.Event(pdm.Event{Addrs: addrs})
+	addrs[0] = pdm.Addr{Disk: 9, Block: 9} // caller reuses its slice
+	if got := r.Events()[0].Addrs[0]; got != (pdm.Addr{Disk: 1, Block: 2}) {
+		t.Errorf("ring aliased caller slice: %v", got)
+	}
+}
+
+func TestJSONLRoundTripAndReplay(t *testing.T) {
+	m := pdm.NewMachine(pdm.Config{D: 4, B: 2})
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	m.SetHook(w)
+
+	end := m.Span("insert")
+	m.BatchWrite([]pdm.BlockWrite{
+		{Addr: pdm.Addr{Disk: 0, Block: 0}, Data: []pdm.Word{1}},
+		{Addr: pdm.Addr{Disk: 0, Block: 1}, Data: []pdm.Word{2}},
+	})
+	end()
+	m.BatchRead([]pdm.Addr{{Disk: 0, Block: 0}, {Disk: 1, Block: 0}})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events, want 2", len(events))
+	}
+	if events[0].Kind != pdm.EventWrite || events[0].Tag != "insert" ||
+		events[0].Steps != 2 || len(events[0].Addrs) != 2 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Kind != pdm.EventRead || events[1].Tag != "" || events[1].Steps != 1 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+
+	// Replaying the trace on a fresh machine reproduces its I/O cost.
+	fresh := pdm.NewMachine(pdm.Config{D: 4, B: 2})
+	delta := Replay(fresh, events)
+	if want := m.Stats(); delta.ParallelIOs != want.ParallelIOs ||
+		delta.BlockReads != want.BlockReads || delta.BlockWrites != want.BlockWrites ||
+		delta.MaxBatch != want.MaxBatch {
+		t.Errorf("replay delta %+v, want cost profile of %+v", delta, want)
+	}
+}
+
+func TestTeeFansOutAndSkipsNil(t *testing.T) {
+	var a, b Collector
+	a.tags, b.tags = map[string]*TagStats{}, map[string]*TagStats{}
+	tee := Tee(&a, nil, &b)
+	tee.Event(pdm.Event{Steps: 1, Addrs: []pdm.Addr{{}}})
+	if na, _, _, _, _ := a.Totals(); na != 1 {
+		t.Error("first hook missed event")
+	}
+	if nb, _, _, _, _ := b.Totals(); nb != 1 {
+		t.Error("second hook missed event")
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	c.WindowSteps = 2 // close a window every 2 steps
+	m := pdm.NewMachine(pdm.Config{D: 2, B: 2})
+	m.SetHook(c)
+
+	end := m.Span("insert")
+	m.BatchWrite([]pdm.BlockWrite{
+		{Addr: pdm.Addr{Disk: 0, Block: 0}, Data: []pdm.Word{1}},
+		{Addr: pdm.Addr{Disk: 1, Block: 0}, Data: []pdm.Word{2}},
+	})
+	end()
+	end = m.Span("lookup")
+	m.BatchRead([]pdm.Addr{{Disk: 0, Block: 0}})
+	m.BatchRead([]pdm.Addr{{Disk: 0, Block: 0}})
+	end()
+
+	events, reads, writes, steps, blocks := c.Totals()
+	if events != 3 || reads != 2 || writes != 1 || steps != 3 || blocks != 4 {
+		t.Errorf("totals = %d %d %d %d %d, want 3 2 1 3 4",
+			events, reads, writes, steps, blocks)
+	}
+	tags := c.Tags()
+	if tags["insert"].Blocks != 2 || tags["lookup"].Batches != 2 {
+		t.Errorf("tags = %+v", tags)
+	}
+	if pd := c.PerDisk(); len(pd) != 2 || pd[0] != 3 || pd[1] != 1 {
+		t.Errorf("perDisk = %v, want [3 1]", pd)
+	}
+	if ws := c.Windows(); len(ws) == 0 || ws[0].EndStep < 2 {
+		t.Errorf("windows = %+v, want at least one closed window", ws)
+	} else if sum := ws[0].PerDisk[0] + ws[0].PerDisk[1]; sum == 0 {
+		t.Errorf("window has no transfers: %+v", ws[0])
+	}
+	out := c.String()
+	for _, want := range []string{"insert", "lookup", "skew (max/mean)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorGrowsDisksAcrossMachines(t *testing.T) {
+	// One collector observing two machines with different D must grow
+	// its per-disk tallies to the widest machine.
+	c := NewCollector()
+	small := pdm.NewMachine(pdm.Config{D: 2, B: 2})
+	big := pdm.NewMachine(pdm.Config{D: 6, B: 2})
+	small.SetHook(c)
+	big.SetHook(c)
+	small.BatchRead([]pdm.Addr{{Disk: 1, Block: 0}})
+	big.BatchRead([]pdm.Addr{{Disk: 5, Block: 0}})
+	if pd := c.PerDisk(); len(pd) != 6 || pd[1] != 1 || pd[5] != 1 {
+		t.Errorf("perDisk = %v, want len 6 with disks 1 and 5 hit", pd)
+	}
+}
+
+func TestCollectorExpvarShape(t *testing.T) {
+	c := NewCollector()
+	c.Event(pdm.Event{Kind: pdm.EventRead, Tag: "lookup", Steps: 1,
+		Addrs: []pdm.Addr{{Disk: 0, Block: 0}}})
+	// Marshal the same value Publish would export, without registering
+	// a global expvar name (duplicate names panic across tests).
+	events, reads, writes, steps, blocks := c.Totals()
+	blob, err := json.Marshal(expvarState{
+		Batches: events, Reads: reads, Writes: writes, Steps: steps,
+		Blocks: blocks, Depth: c.Depth.Summarize("batch_depth"),
+		Tags: c.Tags(), PerDisk: c.PerDisk(),
+	})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, want := range []string{`"parallel_ios":1`, `"lookup"`, `"per_disk":[1]`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("expvar JSON missing %s: %s", want, blob)
+		}
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	m := pdm.NewMachine(pdm.Config{D: 4, B: 2})
+	m.SetHook(c)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				end := m.Span("op")
+				m.BatchRead([]pdm.Addr{{Disk: g % 4, Block: i % 8}})
+				end()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if events, _, _, _, _ := c.Totals(); events != 800 {
+		t.Errorf("events = %d, want 800", events)
+	}
+	if c.Depth.Total() != 800 {
+		t.Errorf("depth samples = %d, want 800", c.Depth.Total())
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync"
+
+	"pdmdict/internal/pdm"
+)
+
+// Ring is a fixed-capacity event buffer that keeps the most recent
+// events, overwriting the oldest once full. It copies each event's
+// address slice (the machine only guarantees it during the hook call),
+// so retained events stay valid. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []pdm.Event
+	next  int
+	total int64
+}
+
+// NewRing returns a ring holding up to n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]pdm.Event, 0, n)}
+}
+
+// Event implements pdm.Hook.
+func (r *Ring) Event(e pdm.Event) {
+	e.Addrs = append([]pdm.Addr(nil), e.Addrs...)
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []pdm.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]pdm.Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total returns how many events have passed through, including those
+// already overwritten.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

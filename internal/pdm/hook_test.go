@@ -1,0 +1,218 @@
+package pdm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// recordingHook copies every event it sees (including the Addrs slice,
+// which is only valid during the call).
+type recordingHook struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (h *recordingHook) Event(e Event) {
+	cp := e
+	cp.Addrs = append([]Addr(nil), e.Addrs...)
+	h.mu.Lock()
+	h.events = append(h.events, cp)
+	h.mu.Unlock()
+}
+
+func (h *recordingHook) all() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.events...)
+}
+
+func TestHookSeesReadsAndWrites(t *testing.T) {
+	m := NewMachine(Config{D: 4, B: 2})
+	h := &recordingHook{}
+	m.SetHook(h)
+
+	// Depth-2 read: two blocks on disk 1, one on disk 0.
+	m.BatchRead([]Addr{{1, 0}, {1, 1}, {0, 0}})
+	m.BatchWrite([]BlockWrite{{Addr: Addr{2, 3}, Data: []Word{7}}})
+
+	evs := h.all()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	r := evs[0]
+	if r.Kind != EventRead || r.Steps != 2 || r.Depth != 2 || len(r.Addrs) != 3 {
+		t.Errorf("read event = %+v, want kind=read steps=2 depth=2 |addrs|=3", r)
+	}
+	w := evs[1]
+	if w.Kind != EventWrite || w.Steps != 1 || w.Depth != 1 || len(w.Addrs) != 1 {
+		t.Errorf("write event = %+v, want kind=write steps=1 depth=1 |addrs|=1", w)
+	}
+	if w.Addrs[0] != (Addr{2, 3}) {
+		t.Errorf("write event addr = %v, want 2:3", w.Addrs[0])
+	}
+	if EventRead.String() != "read" || EventWrite.String() != "write" {
+		t.Error("EventKind strings wrong")
+	}
+}
+
+func TestHookSkipsEmptyBatches(t *testing.T) {
+	m := NewMachine(Config{D: 2, B: 2})
+	h := &recordingHook{}
+	m.SetHook(h)
+	m.BatchRead(nil)
+	m.BatchWrite(nil)
+	if n := len(h.all()); n != 0 {
+		t.Errorf("empty batches fired %d events, want 0", n)
+	}
+}
+
+func TestSpanTagsJoin(t *testing.T) {
+	m := NewMachine(Config{D: 2, B: 2})
+	h := &recordingHook{}
+	m.SetHook(h)
+
+	end := m.Span("insert")
+	m.BatchRead([]Addr{{0, 0}})
+	endProbe := m.Span("probe")
+	m.BatchRead([]Addr{{0, 0}})
+	endProbe()
+	m.BatchWrite([]BlockWrite{{Addr: Addr{1, 0}, Data: []Word{1}}})
+	end()
+	m.BatchRead([]Addr{{0, 0}}) // outside any span
+
+	want := []string{"insert", "insert.probe", "insert", ""}
+	evs := h.all()
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		if evs[i].Tag != w {
+			t.Errorf("event %d tag = %q, want %q", i, evs[i].Tag, w)
+		}
+	}
+}
+
+func TestSpanWithNilHookAllocatesNothing(t *testing.T) {
+	m := NewMachine(Config{D: 2, B: 2})
+	if avg := testing.AllocsPerRun(1000, func() {
+		end := m.Span("lookup")
+		end()
+	}); avg != 0 {
+		t.Errorf("nil-hook Span allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestBatchWithNilHookAddsNoAllocations(t *testing.T) {
+	m := NewMachine(Config{D: 2, B: 2})
+	addrs := []Addr{{0, 0}, {1, 0}}
+	m.BatchRead(addrs) // materialize the blocks up front
+	// 3 allocations are inherent to BatchRead's copy-out contract: the
+	// outer slice plus one copy per block. The nil-hook tracing path must
+	// not add to them.
+	if avg := testing.AllocsPerRun(1000, func() {
+		end := m.Span("lookup")
+		m.BatchRead(addrs)
+		end()
+	}); avg != 3 {
+		t.Errorf("nil-hook traced read allocates %.1f objects, want 3 (the block copies)", avg)
+	}
+}
+
+func TestSetHookNilStopsEvents(t *testing.T) {
+	m := NewMachine(Config{D: 2, B: 2})
+	h := &recordingHook{}
+	m.SetHook(h)
+	m.BatchRead([]Addr{{0, 0}})
+	m.SetHook(nil)
+	m.BatchRead([]Addr{{0, 0}})
+	if n := len(h.all()); n != 1 {
+		t.Errorf("events after hook removal: got %d total, want 1", n)
+	}
+}
+
+func TestStatsSubReportsWindowedMaxBatch(t *testing.T) {
+	m := NewMachine(Config{D: 4, B: 2})
+	// Lifetime worst: a depth-3 batch.
+	m.BatchRead([]Addr{{0, 0}, {0, 1}, {0, 2}})
+	before := m.Stats()
+	// Window contains only a depth-2 batch.
+	m.BatchRead([]Addr{{1, 0}, {1, 1}})
+	delta := m.Stats().Sub(before)
+	if delta.MaxBatch != 2 {
+		t.Errorf("windowed MaxBatch = %d, want 2 (lifetime is 3)", delta.MaxBatch)
+	}
+	if m.Stats().MaxBatch != 3 {
+		t.Errorf("lifetime MaxBatch = %d, want 3", m.Stats().MaxBatch)
+	}
+	// An empty window has no worst batch.
+	now := m.Stats()
+	if d := now.Sub(now); d.MaxBatch != 0 {
+		t.Errorf("empty-window MaxBatch = %d, want 0", d.MaxBatch)
+	}
+}
+
+func TestDepthCountsHistogram(t *testing.T) {
+	m := NewMachine(Config{D: 4, B: 2})
+	m.BatchRead([]Addr{{0, 0}})                 // depth 1
+	m.BatchRead([]Addr{{0, 0}, {1, 0}})         // depth 1
+	m.BatchRead([]Addr{{2, 0}, {2, 1}})         // depth 2
+	m.BatchWrite([]BlockWrite{{Addr: Addr{3, 0}}}) // depth 1
+	s := m.Stats()
+	if s.DepthCounts[0] != 3 || s.DepthCounts[1] != 1 {
+		t.Errorf("DepthCounts = [%d %d ...], want [3 1 ...]", s.DepthCounts[0], s.DepthCounts[1])
+	}
+}
+
+func TestDepthCountsSaturate(t *testing.T) {
+	m := NewMachine(Config{D: 1, B: 1})
+	addrs := make([]Addr, DepthBuckets+10)
+	for i := range addrs {
+		addrs[i] = Addr{0, i}
+	}
+	before := m.Stats()
+	m.BatchRead(addrs)
+	s := m.Stats()
+	if s.DepthCounts[DepthBuckets-1] != 1 {
+		t.Errorf("overdeep batch not counted in the saturation bucket: %v", s.DepthCounts[DepthBuckets-1])
+	}
+	if s.MaxBatch != len(addrs) {
+		t.Errorf("lifetime MaxBatch = %d, want %d (exact)", s.MaxBatch, len(addrs))
+	}
+	if d := s.Sub(before); d.MaxBatch != DepthBuckets {
+		t.Errorf("windowed MaxBatch = %d, want saturation cap %d", d.MaxBatch, DepthBuckets)
+	}
+}
+
+// countingHook only counts, so it is cheap enough for the race test.
+type countingHook struct{ n atomic.Int64 }
+
+func (h *countingHook) Event(Event) { h.n.Add(1) }
+
+func TestHookAndSpansConcurrent(t *testing.T) {
+	m := NewMachine(Config{D: 4, B: 4})
+	h := &countingHook{}
+	m.SetHook(h)
+	var wg sync.WaitGroup
+	const goroutines, iters = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				end := m.Span("op")
+				a := Addr{Disk: g % 4, Block: i % 8}
+				m.BatchWrite([]BlockWrite{{Addr: a, Data: []Word{Word(g)}}})
+				m.BatchRead([]Addr{a})
+				end()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.n.Load(); got != goroutines*iters*2 {
+		t.Errorf("hook saw %d events, want %d", got, goroutines*iters*2)
+	}
+	if got := m.Stats().ParallelIOs; got != goroutines*iters*2 {
+		t.Errorf("ParallelIOs = %d, want %d", got, goroutines*iters*2)
+	}
+}

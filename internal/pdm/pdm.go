@@ -84,6 +84,11 @@ type Addr struct {
 // String formats the address as disk:block.
 func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Disk, a.Block) }
 
+// DepthBuckets is the resolution of Stats.DepthCounts: batch depths
+// 1..DepthBuckets are counted exactly; deeper batches saturate into the
+// last bucket.
+const DepthBuckets = 64
+
 // Stats is a snapshot of the machine's I/O counters.
 type Stats struct {
 	// ParallelIOs is the number of parallel I/O steps performed.
@@ -94,19 +99,85 @@ type Stats struct {
 	BlockWrites int64
 	// MaxBatch is the largest per-disk queue depth seen in any single
 	// batch; values above 1 indicate a batch that was not truly parallel.
+	// In a Stats returned by Sub it covers only the window between the
+	// two snapshots (capped at DepthBuckets); otherwise it is the
+	// lifetime maximum.
 	MaxBatch int
+	// DepthCounts[i] counts the non-empty batches whose per-disk queue
+	// depth was i+1 (the last bucket also absorbs anything deeper). The
+	// cumulative counts let Sub recover the worst batch of a window, and
+	// double as a per-batch depth histogram.
+	DepthCounts [DepthBuckets]int64
 }
 
 // Sub returns the difference s - t, counter by counter. It is the usual
 // way to measure the cost of an operation: snapshot before, snapshot
-// after, subtract.
+// after, subtract. The returned MaxBatch is the deepest batch of the
+// window itself — recovered from the DepthCounts deltas, not the
+// lifetime maximum — so deltas report the window's worst batch even
+// when an earlier batch was deeper.
 func (s Stats) Sub(t Stats) Stats {
-	return Stats{
+	out := Stats{
 		ParallelIOs: s.ParallelIOs - t.ParallelIOs,
 		BlockReads:  s.BlockReads - t.BlockReads,
 		BlockWrites: s.BlockWrites - t.BlockWrites,
-		MaxBatch:    s.MaxBatch,
 	}
+	for i := range s.DepthCounts {
+		out.DepthCounts[i] = s.DepthCounts[i] - t.DepthCounts[i]
+	}
+	for i := DepthBuckets - 1; i >= 0; i-- {
+		if out.DepthCounts[i] > 0 {
+			out.MaxBatch = i + 1
+			break
+		}
+	}
+	return out
+}
+
+// EventKind distinguishes the direction of a traced batch.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventRead EventKind = iota
+	EventWrite
+)
+
+// String returns "read" or "write".
+func (k EventKind) String() string {
+	if k == EventWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Event describes one accounted batch: what was transferred, what it
+// cost, and which structure layer issued it (the innermost span tag at
+// issue time, path-joined with dots — e.g. "insert.probe").
+//
+// Addrs aliases the caller's batch and is valid only for the duration
+// of the Hook call; a sink that retains events must copy it.
+type Event struct {
+	// Kind is the batch direction.
+	Kind EventKind
+	// Tag is the span path active when the batch was issued ("" when
+	// untagged).
+	Tag string
+	// Addrs are the batch's block addresses, in request order.
+	Addrs []Addr
+	// Steps is the parallel-I/O cost charged for the batch.
+	Steps int
+	// Depth is the deepest per-disk queue of the batch.
+	Depth int
+}
+
+// Hook receives one Event per non-empty batch. Implementations must be
+// safe for concurrent use (the machine is); they run outside the
+// machine's lock, so a hook may itself read machine state, but the I/O
+// it observes is already accounted. A nil hook (the default) costs one
+// predictable branch and zero allocations per batch.
+type Hook interface {
+	Event(Event)
 }
 
 // Machine is a simulated parallel disk system.
@@ -117,6 +188,10 @@ type Machine struct {
 	disks   [][][]Word // disks[d][b] is the content of block b of disk d; nil = never written
 	stats   Stats
 	perDisk []int64 // block transfers per disk (reads + writes)
+
+	hook    Hook     // nil = no tracing
+	spans   []string // span stack; each entry is the dot-joined path
+	endSpan func()   // shared pop closure, allocated once
 }
 
 // NewMachine returns a machine with the given configuration. It panics if
@@ -126,11 +201,55 @@ func NewMachine(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:     cfg,
 		disks:   make([][][]Word, cfg.D),
 		perDisk: make([]int64, cfg.D),
 	}
+	m.endSpan = func() {
+		m.mu.Lock()
+		if n := len(m.spans); n > 0 {
+			m.spans = m.spans[:n-1]
+		}
+		m.mu.Unlock()
+	}
+	return m
+}
+
+// SetHook installs (or, with nil, removes) the machine's event hook.
+// Batches issued concurrently with SetHook may or may not reach the new
+// hook; attach hooks before starting traffic for a complete trace.
+func (m *Machine) SetHook(h Hook) {
+	m.mu.Lock()
+	m.hook = h
+	m.mu.Unlock()
+}
+
+// noopEndSpan is what Span hands back when no hook is installed, so the
+// untraced path allocates nothing.
+var noopEndSpan = func() {}
+
+// Span pushes tag onto the machine's span stack and returns the
+// function that pops it (call it when the spanned phase ends, typically
+// via defer). Events fired while the span is open carry the dot-joined
+// path of open tags, attributing I/O to structure layers — e.g. a batch
+// inside Span("probe") inside Span("insert") is tagged "insert.probe".
+//
+// With no hook installed, Span is a single branch returning a shared
+// no-op; with concurrent users the stack is shared, so attribution
+// under concurrency is best-effort (race-free, but interleaved).
+func (m *Machine) Span(tag string) func() {
+	m.mu.Lock()
+	if m.hook == nil {
+		m.mu.Unlock()
+		return noopEndSpan
+	}
+	if n := len(m.spans); n > 0 {
+		tag = m.spans[n-1] + "." + tag
+	}
+	m.spans = append(m.spans, tag)
+	m.mu.Unlock()
+	return m.endSpan
 }
 
 // Config returns the machine's configuration.
@@ -229,15 +348,8 @@ func (m *Machine) BatchRead(addrs []Addr) [][]Word {
 	}
 	steps, depth := m.batchCost(addrs)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.ParallelIOs += int64(steps)
+	m.accountLocked(steps, depth, addrs)
 	m.stats.BlockReads += int64(len(addrs))
-	if depth > m.stats.MaxBatch {
-		m.stats.MaxBatch = depth
-	}
-	for _, a := range addrs {
-		m.perDisk[a.Disk]++
-	}
 	out := make([][]Word, len(addrs))
 	for i, a := range addrs {
 		src := m.blockLocked(a)
@@ -245,7 +357,46 @@ func (m *Machine) BatchRead(addrs []Addr) [][]Word {
 		copy(dst, src)
 		out[i] = dst
 	}
+	hook, tag := m.hookLocked(len(addrs))
+	m.mu.Unlock()
+	if hook != nil {
+		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
+	}
 	return out
+}
+
+// accountLocked applies a batch's cost to the counters. Callers hold
+// m.mu.
+func (m *Machine) accountLocked(steps, depth int, addrs []Addr) {
+	m.stats.ParallelIOs += int64(steps)
+	if depth > m.stats.MaxBatch {
+		m.stats.MaxBatch = depth
+	}
+	if depth > 0 {
+		i := depth - 1
+		if i >= DepthBuckets {
+			i = DepthBuckets - 1
+		}
+		m.stats.DepthCounts[i]++
+	}
+	for _, a := range addrs {
+		m.perDisk[a.Disk]++
+	}
+}
+
+// hookLocked returns the hook to fire for a batch of n addresses (nil
+// when tracing is off or the batch is empty) and the current span tag.
+// Callers hold m.mu and invoke the hook after unlocking, so hooks may
+// touch the machine without deadlocking.
+func (m *Machine) hookLocked(n int) (Hook, string) {
+	if m.hook == nil || n == 0 {
+		return nil, ""
+	}
+	tag := ""
+	if len(m.spans) > 0 {
+		tag = m.spans[len(m.spans)-1]
+	}
+	return m.hook, tag
 }
 
 // BlockWrite names one block write of a batch.
@@ -269,18 +420,16 @@ func (m *Machine) BatchWrite(writes []BlockWrite) {
 	}
 	steps, depth := m.batchCost(addrs)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.ParallelIOs += int64(steps)
+	m.accountLocked(steps, depth, addrs)
 	m.stats.BlockWrites += int64(len(writes))
-	if depth > m.stats.MaxBatch {
-		m.stats.MaxBatch = depth
-	}
-	for _, a := range addrs {
-		m.perDisk[a.Disk]++
-	}
 	for _, w := range writes {
 		blk := m.blockLocked(w.Addr)
 		copy(blk, w.Data)
+	}
+	hook, tag := m.hookLocked(len(addrs))
+	m.mu.Unlock()
+	if hook != nil {
+		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
 	}
 }
 

@@ -12,9 +12,16 @@ import (
 // themselves as a small metadata header followed by their machine's
 // snapshot (see internal/core's persist.go), which is enough to restore
 // them exactly: all durable state lives in the blocks.
+//
+// Version 2 added the observability counters (per-disk transfer tallies
+// and the per-batch depth histogram); version-1 snapshots are still
+// readable and restore with those counters zeroed.
 
 // snapshotMagic identifies the format; the trailing digit is a version.
-var snapshotMagic = [4]byte{'P', 'D', 'M', '1'}
+var (
+	snapshotMagicV1 = [4]byte{'P', 'D', 'M', '1'}
+	snapshotMagic   = [4]byte{'P', 'D', 'M', '2'}
+)
 
 // WriteSnapshot serializes the machine to w.
 func (m *Machine) WriteSnapshot(w io.Writer) error {
@@ -34,6 +41,12 @@ func (m *Machine) WriteSnapshot(w io.Writer) error {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.stats.DepthCounts[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.perDisk); err != nil {
+		return err
 	}
 	for _, disk := range m.disks {
 		if err := binary.Write(bw, binary.LittleEndian, uint64(len(disk))); err != nil {
@@ -58,14 +71,14 @@ func (m *Machine) WriteSnapshot(w io.Writer) error {
 }
 
 // ReadSnapshot restores a machine from a snapshot produced by
-// WriteSnapshot.
+// WriteSnapshot (current or version-1 format).
 func ReadSnapshot(r io.Reader) (*Machine, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("pdm: reading snapshot magic: %w", err)
 	}
-	if magic != snapshotMagic {
+	if magic != snapshotMagic && magic != snapshotMagicV1 {
 		return nil, fmt.Errorf("pdm: not a machine snapshot (magic %q)", magic)
 	}
 	head := make([]uint64, 7)
@@ -84,6 +97,14 @@ func ReadSnapshot(r io.Reader) (*Machine, error) {
 		BlockReads:  int64(head[4]),
 		BlockWrites: int64(head[5]),
 		MaxBatch:    int(head[6]),
+	}
+	if magic == snapshotMagic {
+		if err := binary.Read(br, binary.LittleEndian, m.stats.DepthCounts[:]); err != nil {
+			return nil, fmt.Errorf("pdm: reading depth counts: %w", err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, m.perDisk); err != nil {
+			return nil, fmt.Errorf("pdm: reading per-disk tallies: %w", err)
+		}
 	}
 	for d := 0; d < cfg.D; d++ {
 		var nBlocks uint64

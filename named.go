@@ -129,5 +129,13 @@ func (nd *NamedDict) Delete(name string) bool {
 // Len returns the number of stored names.
 func (nd *NamedDict) Len() int { return nd.d.Len() }
 
+// SetHook attaches an observability hook to the underlying dictionary,
+// if it supports one (all structures in this package do).
+func (nd *NamedDict) SetHook(h IOHook) {
+	if hooked, ok := nd.d.(Hooked); ok {
+		hooked.SetHook(h)
+	}
+}
+
 // IOStats returns the underlying dictionary's traffic.
 func (nd *NamedDict) IOStats() IOStats { return nd.d.IOStats() }

@@ -127,6 +127,30 @@ func (s machineStats) ResetIOStats() { s.m.ResetStats() }
 // instrumentation.
 func (s machineStats) Machine() *pdm.Machine { return s.m }
 
+// SetHook attaches an observability hook to the underlying machine; a
+// nil hook detaches (the default, with near-zero overhead). Sinks and
+// metrics collectors live in internal/obs.
+func (s machineStats) SetHook(h IOHook) { s.m.SetHook(h) }
+
+// IOEvent is one traced batch: op kind, span tag, addresses, and cost.
+// The Addrs slice is only valid during the hook call — sinks that
+// retain events must copy it.
+type IOEvent = pdm.Event
+
+// IOHook receives one IOEvent per non-empty batch a machine executes.
+// Implementations must be safe for concurrent use and must not call
+// back into the machine's batch methods.
+type IOHook = pdm.Hook
+
+// Hooked is satisfied by every structure in this package; it attaches
+// an observability hook to the structure's machine(s). Use a type
+// assertion when holding a Dictionary:
+//
+//	if h, ok := dict.(Hooked); ok { h.SetHook(collector) }
+type Hooked interface {
+	SetHook(IOHook)
+}
+
 // ---------------------------------------------------------------------
 // Fully dynamic dictionary (the flagship).
 
@@ -199,6 +223,12 @@ func (d *Dict) IOStats() IOStats {
 	s := d.d.Stats()
 	return IOStats{ParallelIOs: s.ParallelIOs}
 }
+
+// SetHook attaches an observability hook to the machines of both live
+// structures and to every machine created by future rebuilds, so traces
+// span generations. A nil hook detaches. Not safe to call concurrently
+// with operations.
+func (d *Dict) SetHook(h IOHook) { d.d.SetHook(h) }
 
 // WorstOpIOs returns the largest single-operation cost observed — the
 // worst-case guarantee that distinguishes this structure from hashing.

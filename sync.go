@@ -60,3 +60,14 @@ func (s *SyncDict) IOStats() IOStats {
 	defer s.mu.RUnlock()
 	return s.d.IOStats()
 }
+
+// SetHook attaches an observability hook to the underlying dictionary,
+// if it supports one. The write lock excludes in-flight operations, so
+// this is safe to call at any time.
+func (s *SyncDict) SetHook(h IOHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hooked, ok := s.d.(Hooked); ok {
+		hooked.SetHook(h)
+	}
+}
