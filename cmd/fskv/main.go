@@ -1,25 +1,38 @@
-// Command fskv is a small interactive key-value shell over the fully
-// dynamic dictionary — the paper's Section 1.2 file-system use case
-// ("let keys consist of a file name and a block number"). It reads
-// commands from stdin and reports the parallel-I/O cost of each.
+// Command fskv is a small interactive key-value shell over the paper's
+// dictionaries — the Section 1.2 file-system use case ("let keys
+// consist of a file name and a block number"). It reads commands from
+// stdin and reports the parallel-I/O cost of each.
 //
 // Commands:
 //
 //	put <file> <block#> <text…>   store a block
 //	get <file> <block#>           fetch a block
 //	del <file> <block#>           delete a block
+//	fail <disk>                   inject a fail-stop fault on a disk
+//	heal <disk>                   stop failing a disk (data NOT repaired)
+//	repair <disk>                 rebuild a disk from surviving replicas
+//	scrub                         verify every block, clear degraded flag
 //	stats                         I/O counters so far
 //	quit
 //
-// Unknown commands print a usage error.
+// Unknown commands and malformed arguments print a usage line; the
+// shell stays alive.
+//
+// By default the store is the fully dynamic dictionary. With
+// -replicas k (k ≥ 2) it is the Section 4.1 dictionary in replicate
+// mode: k full copies of every record on k distinct disks, so get keeps
+// answering — through the checked, degraded-read path — with up to k−1
+// disks failed, and repair rebuilds a failed disk bit-identically from
+// the survivors. scrub and repair require -replicas; put and del use
+// the fault-oblivious write path regardless (a write during a failure
+// lands everywhere, so repair or scrub afterwards).
 //
 // stats reports, beyond the block count and total parallel I/Os, the
+// fault state (degraded flag, failed disks, fault event count) and the
 // hook-based observability view of the store: a per-tag breakdown
-// (lookup / insert / insert.probe / delete / rebuild, with batch
-// counts, parallel I/Os, block transfers, and each tag's share) and
-// the per-disk transfer tallies with a skew figure (max/mean; 1.00 is
-// perfectly balanced — the quantity the paper's deterministic load
-// balancing bounds).
+// (lookup / insert / fault.* / …) and the per-disk transfer tallies
+// with a skew figure (max/mean; 1.00 is perfectly balanced — the
+// quantity the paper's deterministic load balancing bounds).
 //
 // Names are handled by the NamedDict adapter: hashed to word keys, as
 // the paper suggests ("the name can be easily hashed as well"), with
@@ -29,12 +42,14 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
 	"pdmdict"
+	"pdmdict/internal/fault"
 	"pdmdict/internal/obs"
 )
 
@@ -67,29 +82,92 @@ func decode(sat []pdmdict.Word) string {
 	return string(b)
 }
 
+// store is what the shell needs from either backing dictionary.
+type store interface {
+	Insert(name string, sat []pdmdict.Word) error
+	LookupTry(name string) ([]pdmdict.Word, bool, error)
+	Delete(name string) bool
+	Len() int
+	IOStats() pdmdict.IOStats
+}
+
 func main() {
-	base, err := pdmdict.New(pdmdict.Options{
-		Capacity: 1024,
-		SatWords: pdmdict.NamedSatWords(blockWords),
-		Seed:     1,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fskv:", err)
+	replicas := flag.Int("replicas", 0,
+		"replicate each record onto this many distinct disks (≥2 enables degraded reads, repair, scrub)")
+	flag.Parse()
+
+	var (
+		dict     store
+		basic    *pdmdict.Basic // non-nil iff -replicas ≥ 2
+		degraded func() bool
+		faults   func() int64
+		disks    int
+	)
+	collector := obs.NewCollector()
+	plan := fault.NewPlan(1)
+	switch {
+	case *replicas >= 2:
+		b, err := pdmdict.NewBasic(pdmdict.BasicOptions{
+			Options: pdmdict.Options{
+				Capacity:  1024,
+				SatWords:  pdmdict.NamedSatWords(blockWords),
+				BlockSize: 512,
+				Seed:      1,
+			},
+			Replicas: *replicas,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fskv:", err)
+			os.Exit(1)
+		}
+		b.SetHook(collector)
+		b.SetFaultInjector(plan)
+		basic = b
+		dict = pdmdict.NewNamed(b, blockWords)
+		degraded, faults = b.Degraded, b.FaultCount
+		disks = b.Machine().D()
+	case *replicas == 0 || *replicas == 1:
+		base, err := pdmdict.New(pdmdict.Options{
+			Capacity: 1024,
+			SatWords: pdmdict.NamedSatWords(blockWords),
+			Seed:     1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fskv:", err)
+			os.Exit(1)
+		}
+		base.SetHook(collector)
+		base.SetFaultInjector(plan)
+		dict = pdmdict.NewNamed(base, blockWords)
+		degraded = base.Degraded
+		faults = func() int64 { return 0 }
+		disks = 2 * 20 // Dict default: membership + cascade on 2d disks
+	default:
+		fmt.Fprintln(os.Stderr, "fskv: -replicas must be ≥ 2 (or 0 to disable)")
 		os.Exit(1)
 	}
-	collector := obs.NewCollector()
-	base.SetHook(collector)
-	dict := pdmdict.NewNamed(base, blockWords)
 
-	fmt.Println("fskv: deterministic dictionary file store (put/get/del/stats/quit)")
+	mode := "dynamic store"
+	if basic != nil {
+		mode = fmt.Sprintf("replicated store (%d copies, tolerates %d failed disks)", *replicas, *replicas-1)
+	}
+	fmt.Printf("fskv: deterministic dictionary file store, %s (put/get/del/fail/heal/repair/scrub/stats/quit)\n", mode)
 	sc := bufio.NewScanner(os.Stdin)
-	parseBlock := func(s string) (uint64, bool) {
+	parseBlock := func(s, usage string) (uint64, bool) {
 		blk, err := strconv.ParseUint(s, 10, 32)
 		if err != nil {
-			fmt.Println("bad block number:", err)
+			fmt.Printf("bad block number %q\nusage: %s\n", s, usage)
 			return 0, false
 		}
 		return blk, true
+	}
+	parseDisk := func(s, usage string) (int, bool) {
+		d, err := strconv.Atoi(s)
+		if err != nil || d < 0 || d >= disks {
+			fmt.Printf("bad disk %q (store has disks 0..%d)\nusage: %s\n", s, disks-1, usage)
+			return 0, false
+		}
+		return d, true
 	}
 	for {
 		fmt.Print("> ")
@@ -103,11 +181,12 @@ func main() {
 		before := dict.IOStats().ParallelIOs
 		switch fields[0] {
 		case "put":
+			const usage = "put <file> <block#> <text…>"
 			if len(fields) < 4 {
-				fmt.Println("usage: put <file> <block#> <text…>")
+				fmt.Println("usage:", usage)
 				continue
 			}
-			blk, ok := parseBlock(fields[2])
+			blk, ok := parseBlock(fields[2], usage)
 			if !ok {
 				continue
 			}
@@ -117,35 +196,101 @@ func main() {
 			}
 			fmt.Printf("stored (%d parallel I/Os)\n", dict.IOStats().ParallelIOs-before)
 		case "get":
+			const usage = "get <file> <block#>"
 			if len(fields) != 3 {
-				fmt.Println("usage: get <file> <block#>")
+				fmt.Println("usage:", usage)
 				continue
 			}
-			blk, ok := parseBlock(fields[2])
+			blk, ok := parseBlock(fields[2], usage)
 			if !ok {
 				continue
 			}
-			sat, found := dict.Lookup(blockName(fields[1], blk))
+			sat, found, err := dict.LookupTry(blockName(fields[1], blk))
 			cost := dict.IOStats().ParallelIOs - before
-			if !found {
+			switch {
+			case err != nil:
+				fmt.Printf("read inconclusive (%d parallel I/Os): %v\n", cost, err)
+			case !found:
 				fmt.Printf("not found (%d parallel I/Os)\n", cost)
-				continue
+			default:
+				fmt.Printf("%q (%d parallel I/Os)\n", decode(sat), cost)
 			}
-			fmt.Printf("%q (%d parallel I/Os)\n", decode(sat), cost)
 		case "del":
+			const usage = "del <file> <block#>"
 			if len(fields) != 3 {
-				fmt.Println("usage: del <file> <block#>")
+				fmt.Println("usage:", usage)
 				continue
 			}
-			blk, ok := parseBlock(fields[2])
+			blk, ok := parseBlock(fields[2], usage)
 			if !ok {
 				continue
 			}
 			deleted := dict.Delete(blockName(fields[1], blk))
 			fmt.Printf("deleted=%v (%d parallel I/Os)\n", deleted, dict.IOStats().ParallelIOs-before)
+		case "fail":
+			const usage = "fail <disk>"
+			if len(fields) != 2 {
+				fmt.Println("usage:", usage)
+				continue
+			}
+			d, ok := parseDisk(fields[1], usage)
+			if !ok {
+				continue
+			}
+			plan.FailDisk(d)
+			fmt.Printf("disk %d failed (fail-stop); failed disks: %v\n", d, plan.FailedDisks())
+		case "heal":
+			const usage = "heal <disk>"
+			if len(fields) != 2 {
+				fmt.Println("usage:", usage)
+				continue
+			}
+			d, ok := parseDisk(fields[1], usage)
+			if !ok {
+				continue
+			}
+			plan.HealDisk(d)
+			fmt.Printf("disk %d healed (contents unchanged — run: repair %d)\n", d, d)
+		case "repair":
+			const usage = "repair <disk>"
+			if len(fields) != 2 {
+				fmt.Println("usage:", usage)
+				continue
+			}
+			d, ok := parseDisk(fields[1], usage)
+			if !ok {
+				continue
+			}
+			if basic == nil {
+				fmt.Println("repair needs the replicated store: rerun with -replicas 2")
+				continue
+			}
+			if plan.Failed(d) {
+				fmt.Printf("disk %d is still failed — heal %d first\n", d, d)
+				continue
+			}
+			if err := basic.Repair(d); err != nil {
+				fmt.Println("repair failed:", err)
+				continue
+			}
+			fmt.Printf("disk %d rebuilt from replicas (%d parallel I/Os)\n", d, dict.IOStats().ParallelIOs-before)
+		case "scrub":
+			if basic == nil {
+				fmt.Println("scrub needs the replicated store: rerun with -replicas 2")
+				continue
+			}
+			bad := basic.Scrub()
+			cost := dict.IOStats().ParallelIOs - before
+			if len(bad) == 0 {
+				fmt.Printf("scrub clean: all blocks verified (%d parallel I/Os)\n", cost)
+			} else {
+				fmt.Printf("scrub found %d bad blocks (%d parallel I/Os): %v\n", len(bad), cost, bad)
+			}
 		case "stats":
 			fmt.Printf("blocks stored: %d, total parallel I/Os: %d\n",
 				dict.Len(), dict.IOStats().ParallelIOs)
+			fmt.Printf("degraded: %v, failed disks: %v, fault events: %d\n",
+				degraded(), plan.FailedDisks(), faults())
 			var sb strings.Builder
 			sb.WriteString("per-tag I/O breakdown:\n")
 			collector.RenderTags(&sb)
@@ -155,7 +300,7 @@ func main() {
 		case "quit", "exit":
 			return
 		default:
-			fmt.Printf("unknown command %q — commands: put get del stats quit\n", fields[0])
+			fmt.Printf("unknown command %q — commands: put get del fail heal repair scrub stats quit\n", fields[0])
 		}
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pdmbench [-run regexp] [-md | -csv | -json] [-list] [-o file]
+//	pdmbench [-run regexp | -faults] [-md | -csv | -json] [-list] [-o file]
 //
 // -json emits the run as one JSON document (an array of tables) that
 // also carries the per-operation parallel-I/O histograms (log₂ buckets,
@@ -36,9 +36,18 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV (for plotting pipelines)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document incl. per-op I/O histograms")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		faults   = flag.Bool("faults", false, "run the fault-tolerance scenario (shorthand for -run E14-faults)")
 		outPath  = flag.String("o", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
+
+	if *faults {
+		if *pattern != "" {
+			fmt.Fprintln(os.Stderr, "pdmbench: -faults and -run are mutually exclusive")
+			os.Exit(1)
+		}
+		*pattern = "^E14-faults"
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

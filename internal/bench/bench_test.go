@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"E1-fig1", "E2-lemma3", "E3-unique", "E4-thm6", "E5-thm7",
 		"E6-explicit", "E7-tails", "E8-btree", "E9-bandwidth", "E10-rebuild",
-		"E11-seqcache", "E12-scaling", "E13-space",
+		"E11-seqcache", "E12-scaling", "E13-space", "E14-faults",
 		"A1-ablate-striping", "A2-ablate-cascade", "A3-ablate-k", "A4-oneprobe",
 	}
 	for _, id := range want {

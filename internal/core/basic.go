@@ -40,6 +40,19 @@ type BasicConfig struct {
 	// fixes the bucket array (Slack is then ignored), and its left size
 	// overrides Universe.
 	Graph expander.Striped
+	// Replicate reinterprets K as a replication count: instead of
+	// splitting the satellite into K fragments, the dictionary stores K
+	// full copies of (key, satellite) in K *distinct* stripes of Γ(x) —
+	// i.e. on K distinct disks. This is the fault-tolerance reading of
+	// the paper's k-of-d placement (Lemma 3): any K−1 disk failures
+	// leave a live copy of every key, so degraded lookups (LookupTry)
+	// stay correct and Repair can rebuild a lost disk from survivors.
+	// Each stored record's tag word encodes the replica's rank and the
+	// full stripe set, making repair deterministic; buckets are kept in
+	// a canonical sorted layout so repaired blocks are bit-identical to
+	// what was lost. Requires a striped layout (no HeadModel) and
+	// d ≤ 56 (the stripe mask shares the tag word with the rank).
+	Replicate bool
 	// HeadModel lays buckets out round-robin over the disks instead of
 	// stripe-per-disk, for machines running the parallel disk *head*
 	// model (Section 5's closing remark: "If we implement the described
@@ -54,6 +67,10 @@ type BasicConfig struct {
 	// defaults to a seeded unstriped family. Ignored otherwise.
 	UnstripedGraph expander.Graph
 }
+
+// maxConfigSlack bounds every Slack-like sizing factor; configs beyond
+// it come from corrupt snapshots, not real use.
+const maxConfigSlack = 1 << 20
 
 func (c *BasicConfig) normalize() error {
 	if c.Capacity <= 0 {
@@ -77,8 +94,10 @@ func (c *BasicConfig) normalize() error {
 	if c.Slack == 0 {
 		c.Slack = 4
 	}
-	if c.Slack < 1 {
-		return fmt.Errorf("core: Slack %v below 1", c.Slack)
+	// The negated comparison also rejects NaN, which a corrupt snapshot
+	// can smuggle into any float field.
+	if !(c.Slack >= 1 && c.Slack <= maxConfigSlack) {
+		return fmt.Errorf("core: Slack %v outside [1, %d]", c.Slack, maxConfigSlack)
 	}
 	if c.Universe == 0 {
 		c.Universe = 1 << 63
@@ -121,9 +140,21 @@ func newBasicAt(reg region, cfg BasicConfig) (*BasicDict, error) {
 	if cfg.K > d {
 		return nil, fmt.Errorf("core: K=%d exceeds degree d=%d", cfg.K, d)
 	}
+	if cfg.Replicate {
+		if cfg.HeadModel {
+			return nil, fmt.Errorf("core: Replicate requires the striped layout (no HeadModel)")
+		}
+		if d > maxReplicateDegree {
+			return nil, fmt.Errorf("core: Replicate supports d ≤ %d, got %d", maxReplicateDegree, d)
+		}
+	}
 	fragWords := 0
 	if cfg.SatWords > 0 {
-		fragWords = ceilDiv(cfg.SatWords, cfg.K)
+		if cfg.Replicate {
+			fragWords = cfg.SatWords // each "fragment" is a full copy
+		} else {
+			fragWords = ceilDiv(cfg.SatWords, cfg.K)
+		}
 	}
 	codec := bucket.Codec{B: reg.m.B(), SatWords: 1 + fragWords} // sat = [fragIdx, frag...]
 	perBlock := codec.Capacity()
@@ -254,32 +285,85 @@ func (bd *BasicDict) readNeighborhood(x pdm.Word) [][][]pdm.Word {
 // probeAddrs(x)) exactly as Lookup would, without any I/O.
 func (bd *BasicDict) lookupInBlocks(x pdm.Word, flat [][]pdm.Word) ([]pdm.Word, bool) {
 	frags, _ := bd.findFragments(x, bd.groupNeighborhood(flat))
-	if len(frags) != bd.cfg.K {
+	if !bd.present(frags) {
 		return nil, false
 	}
 	return bd.assemble(frags), true
 }
 
-// bucketLoad counts the records across a bucket's blocks.
+// bucketLoad counts the records across a bucket's blocks, skipping nil
+// blocks (failed degraded-mode reads).
 func (bd *BasicDict) bucketLoad(blocks [][]pdm.Word) int {
 	n := 0
 	for _, blk := range blocks {
+		if blk == nil {
+			continue
+		}
 		n += bd.codec.Count(blk)
 	}
 	return n
 }
 
+// maxReplicateDegree bounds d in Replicate mode: the tag word packs the
+// replica rank into its low 8 bits and the stripe mask above them.
+const maxReplicateDegree = 56
+
+// replicaTag packs a replica's identity into the record's tag word:
+// rank in the low 8 bits, the stripe mask (which of the d neighbors
+// hold copies) above. The rank is redundant — it is the replica's
+// position within the mask — but storing it keeps the tag, and with it
+// the canonical bucket layout, a pure function of (key, stripe).
+func replicaTag(rank int, mask uint64) pdm.Word {
+	return pdm.Word(uint64(rank) | mask<<8)
+}
+
+// replicaRank is the rank encoded by replicaTag for stripe s: the
+// number of mask bits below s.
+func replicaRank(mask uint64, s int) int {
+	return popcount(mask & (1<<uint(s) - 1))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// fragIndex extracts a record's fragment index (fragment mode) or
+// replica rank (replicate mode) from the tag word.
+func (bd *BasicDict) fragIndex(tag pdm.Word) int {
+	if bd.cfg.Replicate {
+		return int(tag & 0xff)
+	}
+	return int(tag)
+}
+
+// present reports whether a fragment set proves the key stored: all K
+// fragments in fragment mode, any one replica in replicate mode.
+func (bd *BasicDict) present(frags map[int][]pdm.Word) bool {
+	if bd.cfg.Replicate {
+		return len(frags) > 0
+	}
+	return len(frags) == bd.cfg.K
+}
+
 // findFragments collects x's fragments from a neighborhood, as
-// frag-index → data. It also reports which stripes held at least one
-// fragment.
+// frag-index → data (replica rank → data in replicate mode). It also
+// reports which stripes held at least one fragment. Nil blocks (failed
+// degraded-mode reads) are skipped.
 func (bd *BasicDict) findFragments(x pdm.Word, hood [][][]pdm.Word) (map[int][]pdm.Word, map[int]bool) {
 	frags := make(map[int][]pdm.Word)
 	touched := make(map[int]bool)
 	for i, blocks := range hood {
 		for _, blk := range blocks {
+			if blk == nil {
+				continue
+			}
 			for _, rec := range bd.codec.Decode(blk) {
 				if rec.Key == x {
-					frags[int(rec.Sat[0])] = rec.Sat[1:]
+					frags[bd.fragIndex(rec.Sat[0])] = rec.Sat[1:]
 					touched[i] = true
 				}
 			}
@@ -334,7 +418,7 @@ func (bd *BasicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
 	defer bd.reg.m.Span("lookup")()
 	hood := bd.readNeighborhood(x)
 	frags, _ := bd.findFragments(x, hood)
-	if len(frags) != bd.cfg.K {
+	if !bd.present(frags) {
 		return nil, false
 	}
 	return bd.assemble(frags), true
@@ -347,6 +431,15 @@ func (bd *BasicDict) Contains(x pdm.Word) bool {
 }
 
 func (bd *BasicDict) assemble(frags map[int][]pdm.Word) []pdm.Word {
+	if bd.cfg.Replicate {
+		// Every replica carries the full satellite; any one will do.
+		for _, f := range frags {
+			out := make([]pdm.Word, bd.cfg.SatWords)
+			copy(out, f)
+			return out
+		}
+		return nil // unreachable: callers gate on present()
+	}
 	sat := make([]pdm.Word, 0, bd.cfg.K*bd.fragWords)
 	for j := 0; j < bd.cfg.K; j++ {
 		sat = append(sat, frags[j]...)
@@ -407,10 +500,15 @@ func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word)
 		loads[i] = bd.bucketLoad(blocks)
 	}
 	caps := bd.cfg.BucketBlocks * bd.codec.Capacity()
+	// Greedy least-loaded placement of Section 3. In replicate mode the
+	// K choices must be distinct stripes (= distinct disks — that is the
+	// fault-tolerance guarantee); in fragment mode repeats are allowed.
+	chosen := make([]int, 0, bd.cfg.K)
+	taken := make(map[int]bool, bd.cfg.K)
 	for j := 0; j < bd.cfg.K; j++ {
 		best := -1
 		for i := range loads {
-			if loads[i] >= caps {
+			if loads[i] >= caps || (bd.cfg.Replicate && taken[i]) {
 				continue
 			}
 			if best == -1 || loads[i] < loads[best] {
@@ -418,17 +516,33 @@ func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word)
 			}
 		}
 		if best == -1 {
-			// No neighbor has room. The on-disk buckets are untouched,
-			// but if x was present we have removed its fragments from
-			// the in-memory copies — return those removals as writes so
-			// the structure stays consistent (x is then gone).
+			// No eligible neighbor has room. The on-disk buckets are
+			// untouched, but if x was present we have removed its
+			// fragments from the in-memory copies — return those removals
+			// as writes so the structure stays consistent (x is then gone).
 			if existing {
 				bd.n--
 				return bd.collectWrites(x, hood, dirty), ErrFull
 			}
 			return nil, ErrFull
 		}
-		frag := bd.fragment(sat, j)
+		chosen = append(chosen, best)
+		taken[best] = true
+		loads[best]++
+	}
+	var mask uint64
+	if bd.cfg.Replicate {
+		for _, s := range chosen {
+			mask |= 1 << uint(s)
+		}
+	}
+	for j, best := range chosen {
+		var frag []pdm.Word
+		if bd.cfg.Replicate {
+			frag = bd.replica(sat, replicaRank(mask, best), mask)
+		} else {
+			frag = bd.fragment(sat, j)
+		}
 		placed := false
 		for _, blk := range hood[best] {
 			// AppendAlways, not Append: two fragments of x may share a
@@ -441,7 +555,6 @@ func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word)
 		if !placed {
 			panic("core: load accounting disagrees with block contents")
 		}
-		loads[best]++
 		dirty[best] = true
 	}
 	if !existing {
@@ -462,6 +575,15 @@ func (bd *BasicDict) fragment(sat []pdm.Word, j int) []pdm.Word {
 	return frag
 }
 
+// replica returns a full copy of the satellite prefixed by its replica
+// tag (rank + stripe mask).
+func (bd *BasicDict) replica(sat []pdm.Word, rank int, mask uint64) []pdm.Word {
+	frag := make([]pdm.Word, 1+bd.fragWords)
+	frag[0] = replicaTag(rank, mask)
+	copy(frag[1:], sat)
+	return frag
+}
+
 // collectWrites turns the modified buckets into a write batch. With a
 // striped graph, distinct neighbors live on distinct disks, so issuing
 // the batch is one parallel I/O (times BucketBlocks); in the head model
@@ -469,10 +591,23 @@ func (bd *BasicDict) fragment(sat []pdm.Word, j int) []pdm.Word {
 func (bd *BasicDict) collectWrites(x pdm.Word, hood [][][]pdm.Word, dirty map[int]bool) []pdm.BlockWrite {
 	ns := bd.neighbors(x)
 	var writes []pdm.BlockWrite
-	for i := range dirty {
+	// Ordered iteration: the write batch (and so the event trace) must
+	// not depend on map iteration order.
+	for i := range hood {
+		if !dirty[i] {
+			continue
+		}
 		disk, row := bd.bucketPos(ns[i])
 		base := row * bd.cfg.BucketBlocks
-		for b, blk := range hood[i] {
+		blocks := hood[i]
+		if bd.cfg.Replicate {
+			// Canonical layout: a dirty bucket is always rewritten as the
+			// sorted sequential packing of its record set, so its blocks
+			// are a pure function of the records — the property Repair's
+			// bit-identical reconstruction rests on.
+			blocks = bd.canonicalBlocks(blocks)
+		}
+		for b, blk := range blocks {
 			writes = append(writes, pdm.BlockWrite{Addr: bd.reg.addr(disk, base+b), Data: blk})
 		}
 	}

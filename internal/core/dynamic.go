@@ -53,20 +53,22 @@ func (c *DynamicConfig) normalize() error {
 	if c.Epsilon == 0 {
 		c.Epsilon = 0.5
 	}
-	if c.Epsilon < 0 {
-		return fmt.Errorf("core: negative Epsilon")
+	// Negated comparisons so NaN (possible in a corrupt snapshot's float
+	// fields) is rejected rather than silently propagated into sizing.
+	if !(c.Epsilon > 0 && c.Epsilon <= maxConfigSlack) {
+		return fmt.Errorf("core: Epsilon %v outside (0, %d]", c.Epsilon, maxConfigSlack)
 	}
 	if c.Ratio == 0 {
 		c.Ratio = 0.9 / (1 + 1/c.Epsilon)
 	}
-	if c.Ratio <= 0 || c.Ratio >= 1 {
+	if !(c.Ratio > 0 && c.Ratio < 1) {
 		return fmt.Errorf("core: Ratio %v outside (0,1)", c.Ratio)
 	}
 	if c.Slack == 0 {
 		c.Slack = 6
 	}
-	if c.Slack < 1 {
-		return fmt.Errorf("core: Slack %v below 1", c.Slack)
+	if !(c.Slack >= 1 && c.Slack <= maxConfigSlack) {
+		return fmt.Errorf("core: Slack %v outside [1, %d]", c.Slack, maxConfigSlack)
 	}
 	if c.Universe == 0 {
 		c.Universe = 1 << 63

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pdmdict/internal/fault"
+	"pdmdict/internal/pdm"
+)
+
+// subsets returns every size-element subset of {0..d-1}.
+func subsets(d, size int) [][]int {
+	if size == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == size {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i <= d-(size-len(cur)); i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func buildReplicated(t *testing.T, d, b, n, k int) (*pdm.Machine, *BasicDict) {
+	t.Helper()
+	m := pdm.NewMachine(pdm.Config{D: d, B: b})
+	bd, err := NewBasic(m, BasicConfig{Capacity: n, SatWords: 3, K: k, Replicate: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewBasic(k=%d): %v", k, err)
+	}
+	for i := 0; i < n; i++ {
+		key := pdm.Word(i)*2654435761 + 1
+		if err := bd.Insert(key, []pdm.Word{pdm.Word(i), key, key ^ 0xabc}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return m, bd
+}
+
+// The replication guarantee: a k-replicated dictionary answers every
+// lookup correctly under EVERY (k−1)-subset of failed disks, for every
+// k from 2 to d.
+func TestReplicatedLookupUnderAllFailureSubsets(t *testing.T) {
+	const d, b, n = 6, 64, 250
+	for k := 2; k <= d; k++ {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			m, bd := buildReplicated(t, d, b, n, k)
+			plan := fault.NewPlan(1)
+			m.SetFaultInjector(plan)
+			for _, failed := range subsets(d, k-1) {
+				plan.Reset()
+				for _, disk := range failed {
+					plan.FailDisk(disk)
+				}
+				for i := 0; i < n; i++ {
+					key := pdm.Word(i)*2654435761 + 1
+					sat, ok, err := bd.LookupTry(key)
+					if err != nil || !ok {
+						t.Fatalf("failed=%v key %d: ok=%v err=%v", failed, i, ok, err)
+					}
+					if sat[0] != pdm.Word(i) || sat[1] != key || sat[2] != key^0xabc {
+						t.Fatalf("failed=%v key %d: wrong satellite %v", failed, i, sat)
+					}
+				}
+				// An absent key must never be reported present; with disks
+				// down it may legitimately be inconclusive instead.
+				if sat, ok, err := bd.LookupTry(0xdeadbeef); ok {
+					t.Fatalf("failed=%v: absent key found: %v %v", failed, sat, err)
+				}
+			}
+		})
+	}
+}
+
+// With k disks failed (one more than tolerated), some lookups must
+// surface an error rather than claim a definitive absence.
+func TestBeyondToleranceIsInconclusiveNotWrong(t *testing.T) {
+	const d, b, n, k = 6, 64, 250, 2
+	m, bd := buildReplicated(t, d, b, n, k)
+	plan := fault.NewPlan(1)
+	m.SetFaultInjector(plan)
+	plan.FailDisk(0)
+	plan.FailDisk(1)
+	sawErr := false
+	for i := 0; i < n; i++ {
+		key := pdm.Word(i)*2654435761 + 1
+		sat, ok, err := bd.LookupTry(key)
+		switch {
+		case ok && sat[1] != key:
+			t.Fatalf("key %d: wrong data under excess failures", i)
+		case !ok && err == nil:
+			t.Fatalf("key %d: definitive absence with %d disks failed", i, k)
+		case err != nil:
+			if !errors.Is(err, pdm.ErrDiskFailed) {
+				t.Fatalf("key %d: error does not wrap ErrDiskFailed: %v", i, err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("no lookup was inconclusive with both replica stripes failed")
+	}
+}
+
+// Repair must restore a wiped disk bit-identically: canonical bucket
+// layout makes block contents a pure function of the record set.
+func TestRepairBitIdentical(t *testing.T) {
+	const d, b, n = 6, 64, 250
+	for _, k := range []int{2, 3, d} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			m, bd := buildReplicated(t, d, b, n, k)
+			blocks := bd.BlocksPerDisk()
+			for _, disk := range []int{0, d - 1} {
+				before := make([][]pdm.Word, blocks)
+				for blk := 0; blk < blocks; blk++ {
+					before[blk] = m.Peek(pdm.Addr{Disk: disk, Block: blk})
+				}
+				m.WipeDisk(disk)
+				if err := bd.Repair(disk); err != nil {
+					t.Fatalf("Repair(%d): %v", disk, err)
+				}
+				for blk := 0; blk < blocks; blk++ {
+					after := m.Peek(pdm.Addr{Disk: disk, Block: blk})
+					for w := range after {
+						if after[w] != before[blk][w] {
+							t.Fatalf("disk %d block %d word %d: %#x != %#x",
+								disk, blk, w, after[w], before[blk][w])
+						}
+					}
+				}
+			}
+			if bad := bd.Scrub(); len(bad) != 0 {
+				t.Fatalf("scrub after repair found %v", bad)
+			}
+			if m.Degraded() {
+				t.Fatal("clean scrub did not clear the degraded flag")
+			}
+		})
+	}
+}
+
+// Repair with a disk failed mid-way must not mask the failure.
+func TestRepairAbortsOnPermanentError(t *testing.T) {
+	const d, b, n, k = 6, 64, 100, 2
+	m, bd := buildReplicated(t, d, b, n, k)
+	plan := fault.NewPlan(1)
+	m.SetFaultInjector(plan)
+	plan.FailDisk(1) // a surviving source disk is down too
+	m.WipeDisk(0)
+	if err := bd.Repair(0); err == nil {
+		t.Fatal("Repair succeeded while a source disk was failed")
+	}
+}
+
+// Transient faults are retried invisibly; lookups stay correct.
+func TestLookupTryRetriesTransient(t *testing.T) {
+	const d, b, n, k = 6, 64, 250, 2
+	m, bd := buildReplicated(t, d, b, n, k)
+	plan := fault.NewPlan(99)
+	m.SetFaultInjector(plan)
+	plan.SetTransient(0.3)
+	for i := 0; i < n; i++ {
+		key := pdm.Word(i)*2654435761 + 1
+		sat, ok, err := bd.LookupTry(key)
+		if err != nil || !ok || sat[1] != key {
+			t.Fatalf("key %d under transient faults: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if m.FaultCount() == 0 {
+		t.Fatal("transient plan injected nothing at p=0.3")
+	}
+}
+
+// A corrupted replica is detected by its checksum and the lookup falls
+// through to the intact copy; a scrub pinpoints the bad block.
+func TestCorruptReplicaIsMaskedAndScrubFindsIt(t *testing.T) {
+	const d, b, n, k = 6, 64, 100, 2
+	m, bd := buildReplicated(t, d, b, n, k)
+	// Find a materialized block to corrupt.
+	var victim pdm.Addr
+	found := false
+	for blk := 0; blk < bd.BlocksPerDisk() && !found; blk++ {
+		a := pdm.Addr{Disk: 0, Block: blk}
+		for _, w := range m.Peek(a) {
+			if w != 0 {
+				victim, found = a, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no materialized block on disk 0")
+	}
+	plan := fault.NewPlan(5)
+	m.SetFaultInjector(plan)
+	plan.CorruptAt(victim, 17)
+	for i := 0; i < n; i++ {
+		key := pdm.Word(i)*2654435761 + 1
+		sat, ok, err := bd.LookupTry(key)
+		if err != nil || !ok || sat[1] != key {
+			t.Fatalf("key %d with one corrupt replica: ok=%v err=%v", i, ok, err)
+		}
+	}
+	bad := bd.Scrub()
+	if len(bad) != 1 || bad[0] != victim {
+		t.Fatalf("scrub = %v, want [%v]", bad, victim)
+	}
+}

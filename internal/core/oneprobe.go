@@ -89,13 +89,14 @@ func (c *OneProbeConfig) normalize() error {
 	if c.Slack == 0 {
 		c.Slack = 6
 	}
-	if c.Slack < 1 {
-		return fmt.Errorf("core: Slack %v below 1", c.Slack)
+	// Negated comparisons reject NaN from corrupt snapshot float fields.
+	if !(c.Slack >= 1 && c.Slack <= maxConfigSlack) {
+		return fmt.Errorf("core: Slack %v outside [1, %d]", c.Slack, maxConfigSlack)
 	}
 	if c.Ratio == 0 {
 		c.Ratio = 0.25
 	}
-	if c.Ratio <= 0 || c.Ratio >= 1 {
+	if !(c.Ratio > 0 && c.Ratio < 1) {
 		return fmt.Errorf("core: Ratio %v outside (0,1)", c.Ratio)
 	}
 	if c.Universe == 0 {

@@ -44,11 +44,14 @@ func readSection(r io.Reader) (*bytes.Reader, error) {
 	if n > maxSection {
 		return nil, fmt.Errorf("core: section length %d implausible; corrupt snapshot", n)
 	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
+	// The length field is untrusted: stream the body in, so a huge value
+	// fails at the stream's real end instead of sizing one giant
+	// allocation up front.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		return nil, fmt.Errorf("core: reading section body: %w", err)
 	}
-	return bytes.NewReader(data), nil
+	return bytes.NewReader(buf.Bytes()), nil
 }
 
 // encodeHeader gob-encodes v into one framed section.
@@ -72,13 +75,25 @@ func writeMachine(w io.Writer, m *pdm.Machine) error {
 	return writeSection(w, m.WriteSnapshot)
 }
 
-// readMachine reads one framed machine snapshot.
+// readMachine reads one framed machine snapshot. pdm.ReadSnapshot
+// validates the embedded pdm.Config (and rejects implausible
+// dimensions) before allocating any disk state, so corrupt headers fail
+// with a clear error here instead of an index panic later.
 func readMachine(r io.Reader) (*pdm.Machine, error) {
 	sec, err := readSection(r)
 	if err != nil {
 		return nil, err
 	}
 	return pdm.ReadSnapshot(sec)
+}
+
+// checkCount validates an untrusted element count from a snapshot
+// header against a structural bound.
+func checkCount(what string, n, max int) error {
+	if n < 0 || n > max {
+		return fmt.Errorf("core: snapshot %s = %d outside [0,%d]; corrupt snapshot", what, n, max)
+	}
+	return nil
 }
 
 // basicHeader is the durable metadata of a BasicDict.
@@ -117,8 +132,15 @@ func LoadBasic(r io.Reader) (*BasicDict, *pdm.Machine, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if h.Disk0 < 0 || h.NDisks < 1 || h.Block0 < 0 || h.Disk0+h.NDisks > m.D() {
+		return nil, nil, fmt.Errorf("core: snapshot region [%d,%d)+%d outside machine of %d disks; corrupt snapshot",
+			h.Disk0, h.Disk0+h.NDisks, h.Block0, m.D())
+	}
 	bd, err := newBasicAt(region{m: m, disk0: h.Disk0, nDisks: h.NDisks, block0: h.Block0}, h.Cfg)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkCount("key count", h.N, bd.cfg.Capacity); err != nil {
 		return nil, nil, err
 	}
 	bd.n = h.N
@@ -160,9 +182,18 @@ func LoadDynamic(r io.Reader) (*DynamicDict, *pdm.Machine, error) {
 	if len(h.LevelCounts) != len(dd.levels) {
 		return nil, nil, fmt.Errorf("core: snapshot has %d levels, layout has %d", len(h.LevelCounts), len(dd.levels))
 	}
+	if err := checkCount("key count", h.N, dd.cfg.Capacity); err != nil {
+		return nil, nil, err
+	}
+	if err := checkCount("membership count", h.MembN, dd.memb.cfg.Capacity); err != nil {
+		return nil, nil, err
+	}
 	dd.n = h.N
 	dd.memb.n = h.MembN
 	for i := range dd.levels {
+		if err := checkCount("level count", h.LevelCounts[i], dd.cfg.Capacity); err != nil {
+			return nil, nil, err
+		}
 		dd.levels[i].count = h.LevelCounts[i]
 	}
 	return dd, m, nil
@@ -190,6 +221,11 @@ func LoadStatic(r io.Reader) (*StaticDict, *pdm.Machine, error) {
 	if err := decodeHeader(r, &h); err != nil {
 		return nil, nil, fmt.Errorf("core: decoding StaticDict header: %w", err)
 	}
+	// layout() trusts the config (the build path normalized it), so a
+	// loaded one must be re-validated before any sizing math runs on it.
+	if err := h.Cfg.normalize(); err != nil {
+		return nil, nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+	}
 	m, err := readMachine(r)
 	if err != nil {
 		return nil, nil, err
@@ -197,6 +233,9 @@ func LoadStatic(r io.Reader) (*StaticDict, *pdm.Machine, error) {
 	d := m.D()
 	if h.Cfg.Case == CaseA {
 		d = m.D() / 2
+	}
+	if h.N < 0 {
+		return nil, nil, fmt.Errorf("core: snapshot key count %d negative; corrupt snapshot", h.N)
 	}
 	sd := &StaticDict{m: m, cfg: h.Cfg, d: d, n: h.N, t: ceilDiv(2*d, 3), ConstructionIOs: h.Build}
 	if err := sd.layout(); err != nil {
@@ -243,9 +282,18 @@ func LoadOneProbe(r io.Reader) (*OneProbeDict, *pdm.Machine, error) {
 	if len(h.LevelCounts) != len(op.levels) {
 		return nil, nil, fmt.Errorf("core: snapshot has %d levels, layout has %d", len(h.LevelCounts), len(op.levels))
 	}
+	if err := checkCount("key count", h.N, op.cfg.Capacity); err != nil {
+		return nil, nil, err
+	}
+	if err := checkCount("membership count", h.MembN, op.memb.cfg.Capacity); err != nil {
+		return nil, nil, err
+	}
 	op.n = h.N
 	op.memb.n = h.MembN
 	for i := range op.levels {
+		if err := checkCount("level count", h.LevelCounts[i], op.cfg.Capacity); err != nil {
+			return nil, nil, err
+		}
 		op.levels[i].count = h.LevelCounts[i]
 	}
 	return op, m, nil
@@ -286,6 +334,9 @@ func LoadDict(r io.Reader) (*Dict, error) {
 	}
 	if err := h.Cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if h.CurBucket < 0 {
+		return nil, fmt.Errorf("core: snapshot migration cursor %d negative; corrupt snapshot", h.CurBucket)
 	}
 	d := &Dict{
 		cfg: h.Cfg, generation: h.Generation,

@@ -112,6 +112,10 @@ type Dict struct {
 	// span generations.
 	hook pdm.Hook
 
+	// injector, like hook, follows the dictionary across rebuild
+	// generations.
+	injector pdm.FaultInjector
+
 	active rebuildable
 	next   rebuildable
 
@@ -147,6 +151,7 @@ func (d *Dict) newStructure(capacity int) (rebuildable, error) {
 		levels := 3
 		m := pdm.NewMachine(pdm.Config{D: (levels + 1) * d.cfg.Degree, B: d.cfg.BlockSize})
 		m.SetHook(d.hook)
+		m.SetFaultInjector(d.injector)
 		return NewOneProbe(m, OneProbeConfig{
 			Capacity: capacity,
 			SatWords: d.cfg.SatWords,
@@ -157,6 +162,7 @@ func (d *Dict) newStructure(capacity int) (rebuildable, error) {
 	}
 	m := pdm.NewMachine(pdm.Config{D: 2 * d.cfg.Degree, B: d.cfg.BlockSize})
 	m.SetHook(d.hook)
+	m.SetFaultInjector(d.injector)
 	return NewDynamic(m, DynamicConfig{
 		Capacity: capacity,
 		SatWords: d.cfg.SatWords,
@@ -194,6 +200,26 @@ func (d *Dict) SetHook(h pdm.Hook) {
 	if d.next != nil {
 		d.next.machine().SetHook(h)
 	}
+}
+
+// SetFaultInjector attaches fi to the machines of both live structures
+// and to every machine created by future rebuilds. A nil fi detaches.
+// Not safe to call concurrently with operations.
+func (d *Dict) SetFaultInjector(fi pdm.FaultInjector) {
+	d.injector = fi
+	d.active.machine().SetFaultInjector(fi)
+	if d.next != nil {
+		d.next.machine().SetFaultInjector(fi)
+	}
+}
+
+// Degraded reports whether either live structure's machine has observed
+// a data-threatening fault since its degraded flag was last cleared.
+func (d *Dict) Degraded() bool {
+	if d.active.machine().Degraded() {
+		return true
+	}
+	return d.next != nil && d.next.machine().Degraded()
 }
 
 // measure runs op and charges max(active I/Os, next I/Os) — the two

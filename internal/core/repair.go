@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pdmdict/internal/bucket"
+	"pdmdict/internal/pdm"
+)
+
+// Degraded-mode operation and repair. The replicate-mode BasicDict
+// (BasicConfig.Replicate) stores K full copies of every key on K
+// distinct disks, so it tolerates up to K−1 disk failures: LookupTry
+// answers from any surviving replica, Repair rebuilds a lost disk's
+// stripe from the survivors, and Scrub sweeps the whole structure with
+// verified reads. Transient errors are absorbed by re-issuing just the
+// failed addresses, up to faultRetries extra accounted batches — the
+// model's analogue of retry-with-backoff.
+
+// faultRetries bounds how many follow-up batches a degraded operation
+// issues for transiently failed addresses.
+const faultRetries = 3
+
+// tryRead is TryBatchRead plus transient-error retry: addresses that
+// failed transiently are re-issued (as their own accounted batches) up
+// to faultRetries times. The returned slice has nil entries for
+// accesses that never succeeded; the error, if any, lists exactly those
+// entries with indices into the original batch.
+func tryRead(m *pdm.Machine, addrs []pdm.Addr) ([][]pdm.Word, error) {
+	blocks, err := m.TryBatchRead(addrs)
+	for attempt := 0; err != nil && attempt < faultRetries; attempt++ {
+		be, ok := pdm.AsBatchError(err)
+		if !ok {
+			return blocks, err
+		}
+		var retryIdx []int
+		var retryAddrs []pdm.Addr
+		var permanent []pdm.BlockError
+		for _, b := range be.Blocks {
+			if errors.Is(b.Err, pdm.ErrTransient) {
+				retryIdx = append(retryIdx, b.Index)
+				retryAddrs = append(retryAddrs, b.Addr)
+			} else {
+				permanent = append(permanent, b)
+			}
+		}
+		if len(retryAddrs) == 0 {
+			return blocks, err
+		}
+		got, rerr := m.TryBatchRead(retryAddrs)
+		for i, j := range retryIdx {
+			blocks[j] = got[i]
+		}
+		if rerr == nil {
+			if len(permanent) == 0 {
+				return blocks, nil
+			}
+			return blocks, &pdm.BatchError{Blocks: permanent}
+		}
+		rbe, ok := pdm.AsBatchError(rerr)
+		if !ok {
+			return blocks, rerr
+		}
+		merged := permanent
+		for _, b := range rbe.Blocks {
+			merged = append(merged, pdm.BlockError{Index: retryIdx[b.Index], Addr: b.Addr, Err: b.Err})
+		}
+		err = &pdm.BatchError{Blocks: merged}
+	}
+	return blocks, err
+}
+
+// tryWrite is TryBatchWrite plus the same transient-error retry.
+func tryWrite(m *pdm.Machine, writes []pdm.BlockWrite) error {
+	err := m.TryBatchWrite(writes)
+	for attempt := 0; err != nil && attempt < faultRetries; attempt++ {
+		be, ok := pdm.AsBatchError(err)
+		if !ok {
+			return err
+		}
+		var retryIdx []int
+		var retryWrites []pdm.BlockWrite
+		var permanent []pdm.BlockError
+		for _, b := range be.Blocks {
+			if errors.Is(b.Err, pdm.ErrTransient) {
+				retryIdx = append(retryIdx, b.Index)
+				retryWrites = append(retryWrites, writes[b.Index])
+			} else {
+				permanent = append(permanent, b)
+			}
+		}
+		if len(retryWrites) == 0 {
+			return err
+		}
+		rerr := m.TryBatchWrite(retryWrites)
+		if rerr == nil {
+			if len(permanent) == 0 {
+				return nil
+			}
+			return &pdm.BatchError{Blocks: permanent}
+		}
+		rbe, ok := pdm.AsBatchError(rerr)
+		if !ok {
+			return rerr
+		}
+		merged := permanent
+		for _, b := range rbe.Blocks {
+			merged = append(merged, pdm.BlockError{Index: retryIdx[b.Index], Addr: b.Addr, Err: b.Err})
+		}
+		err = &pdm.BatchError{Blocks: merged}
+	}
+	return err
+}
+
+// canonicalBlocks re-encodes a bucket's blocks into the canonical
+// layout: records sorted by (key, tag word), packed sequentially from
+// block 0. Canonical blocks are a pure function of the record set, so
+// two encodings of the same records are bit-identical — the invariant
+// replica-based repair depends on. Nil blocks contribute no records.
+func (bd *BasicDict) canonicalBlocks(blocks [][]pdm.Word) [][]pdm.Word {
+	var recs []bucket.Record
+	for _, blk := range blocks {
+		if blk == nil {
+			continue
+		}
+		for _, r := range bd.codec.Decode(blk) {
+			recs = append(recs, bucket.Record{Key: r.Key, Sat: append([]pdm.Word(nil), r.Sat...)})
+		}
+	}
+	return bd.encodeCanonical(recs, len(blocks))
+}
+
+// encodeCanonical lays a record set out canonically over nBlocks fresh
+// blocks.
+func (bd *BasicDict) encodeCanonical(recs []bucket.Record, nBlocks int) [][]pdm.Word {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].Sat[0] < recs[j].Sat[0]
+	})
+	per := bd.codec.Capacity()
+	if len(recs) > nBlocks*per {
+		panic(fmt.Sprintf("core: %d records exceed bucket capacity %d", len(recs), nBlocks*per))
+	}
+	out := make([][]pdm.Word, nBlocks)
+	for b := range out {
+		lo := b * per
+		if lo > len(recs) {
+			lo = len(recs)
+		}
+		hi := lo + per
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		out[b] = bd.codec.Encode(recs[lo:hi])
+	}
+	return out
+}
+
+// LookupTry is Lookup through the fault layer: the d buckets of Γ(x)
+// are read with verified reads (transient failures retried), and the
+// answer is assembled from whatever survives. In replicate mode any one
+// live replica suffices, so the answer stays correct under up to K−1
+// failed disks; in fragment mode all K fragments are still required.
+// The error is non-nil only when the surviving data cannot settle the
+// query — the caller knows the answer is unavailable rather than
+// "absent".
+func (bd *BasicDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
+	defer bd.reg.m.Span("lookup")()
+	addrs := bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen()))
+	flat, err := tryRead(bd.reg.m, addrs)
+	frags, _ := bd.findFragments(x, bd.groupNeighborhood(flat))
+	if bd.present(frags) {
+		return bd.assemble(frags), true, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("core: degraded lookup for key %d inconclusive: %w", x, err)
+	}
+	return nil, false, nil
+}
+
+// ContainsTry reports presence through the fault layer; see LookupTry.
+func (bd *BasicDict) ContainsTry(x pdm.Word) (bool, error) {
+	_, ok, err := bd.LookupTry(x)
+	return ok, err
+}
+
+// Repair rebuilds every bucket of one stripe (= one disk of the
+// dictionary's region, in replicate mode always one physical disk) from
+// the replicas on the surviving stripes, writing the canonical encoding
+// of each reconstructed bucket. After a fail-stop + WipeDisk (blank
+// replacement drive), a successful Repair leaves the stripe
+// bit-identical to what was lost, because every bucket was canonical
+// before the failure too.
+//
+// Cost: v/d read rows (each one parallel I/O per BucketBlocks layer,
+// spanning the d−1 surviving disks) plus v/d bucket writes on the
+// repaired disk — O(v/d · BucketBlocks) parallel I/Os total.
+//
+// Repair requires Replicate mode with K ≥ 2 (otherwise there are no
+// surviving copies to rebuild from) and fails if a surviving replica
+// cannot be read even after retries.
+func (bd *BasicDict) Repair(disk int) error {
+	if !bd.cfg.Replicate {
+		return fmt.Errorf("core: Repair requires Replicate mode")
+	}
+	if bd.cfg.K < 2 {
+		return fmt.Errorf("core: Repair needs K ≥ 2 replicas, have %d", bd.cfg.K)
+	}
+	if disk < 0 || disk >= bd.reg.nDisks {
+		return fmt.Errorf("core: Repair disk %d out of [0,%d)", disk, bd.reg.nDisks)
+	}
+	defer bd.reg.m.Span("repair")()
+	d := bd.reg.nDisks
+	ss := bd.striped.StripeSize()
+
+	// Sweep the surviving stripes row by row, collecting every record
+	// whose stripe mask says it also lived on the repaired disk.
+	rows := make([][]bucket.Record, ss)
+	seen := make([]map[pdm.Word]bool, ss)
+	for r := 0; r < ss; r++ {
+		var addrs []pdm.Addr
+		for t := 0; t < d; t++ {
+			if t == disk {
+				continue
+			}
+			addrs = bd.bucketAddrs(t*ss+r, addrs)
+		}
+		blocks, err := tryRead(bd.reg.m, addrs)
+		if err != nil {
+			return fmt.Errorf("core: Repair of disk %d: surviving stripe unreadable: %w", disk, err)
+		}
+		for _, blk := range blocks {
+			for _, rec := range bd.codec.Decode(blk) {
+				mask := uint64(rec.Sat[0]) >> 8
+				if mask&(1<<uint(disk)) == 0 {
+					continue
+				}
+				y := bd.neighbors(rec.Key)[disk]
+				tDisk, row := bd.bucketPos(y)
+				if tDisk != disk {
+					// The mask claims a replica on a stripe the graph does
+					// not map this key to — a damaged record slipped past
+					// the checksum. Skip it rather than corrupt the stripe.
+					continue
+				}
+				if seen[row] == nil {
+					seen[row] = make(map[pdm.Word]bool)
+				}
+				if seen[row][rec.Key] {
+					continue // another survivor already contributed this key
+				}
+				seen[row][rec.Key] = true
+				sat := make([]pdm.Word, 1+bd.fragWords)
+				sat[0] = replicaTag(replicaRank(mask, disk), mask)
+				copy(sat[1:], rec.Sat[1:])
+				rows[row] = append(rows[row], bucket.Record{Key: rec.Key, Sat: sat})
+			}
+		}
+	}
+
+	// Rewrite the whole stripe — reconstructed buckets and empty ones
+	// alike, so stale blocks from before the failure cannot survive.
+	for r := 0; r < ss; r++ {
+		blocks := bd.encodeCanonical(rows[r], bd.cfg.BucketBlocks)
+		addrs := bd.bucketAddrs(disk*ss+r, nil)
+		writes := make([]pdm.BlockWrite, len(addrs))
+		for i, a := range addrs {
+			writes[i] = pdm.BlockWrite{Addr: a, Data: blocks[i]}
+		}
+		if err := tryWrite(bd.reg.m, writes); err != nil {
+			return fmt.Errorf("core: Repair of disk %d: rewriting bucket %d: %w", disk, disk*ss+r, err)
+		}
+	}
+	return nil
+}
+
+// Scrub sweeps every bucket of the dictionary with verified reads (one
+// row of buckets per batch — one parallel I/O per BucketBlocks layer)
+// and returns the addresses whose blocks are unreadable or fail their
+// checksum, after transient retries. A completely clean scrub clears
+// the machine's degraded flag.
+func (bd *BasicDict) Scrub() []pdm.Addr {
+	defer bd.reg.m.Span("scrub")()
+	d := bd.reg.nDisks
+	rows := ceilDiv(bd.buckets, d)
+	var bad []pdm.Addr
+	for r := 0; r < rows; r++ {
+		var addrs []pdm.Addr
+		for t := 0; t < d; t++ {
+			var y int
+			if bd.striped != nil {
+				y = t*bd.striped.StripeSize() + r
+			} else {
+				y = r*d + t
+			}
+			if y >= bd.buckets {
+				continue
+			}
+			addrs = bd.bucketAddrs(y, addrs)
+		}
+		_, err := tryRead(bd.reg.m, addrs)
+		if err == nil {
+			continue
+		}
+		if be, ok := pdm.AsBatchError(err); ok {
+			for _, b := range be.Blocks {
+				bad = append(bad, b.Addr)
+			}
+		}
+	}
+	if len(bad) == 0 {
+		bd.reg.m.ClearDegraded()
+	}
+	return bad
+}
+
+// LookupTry is the one-probe structure's degraded lookup: the single
+// probe batch goes through the fault layer with transient retries.
+// Membership (K = 1) and retrieval fields are not replicated, so a
+// fail-stopped disk in the group a key needs makes that key unavailable
+// (reported as an error, never as a wrong answer); transient faults and
+// stalls are absorbed.
+func (op *OneProbeDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
+	defer op.m.Span("lookup")()
+	addrs := op.memb.probeAddrs(x, make([]pdm.Addr, 0, (len(op.levels)+1)*op.d))
+	membLen := len(addrs)
+	for li := range op.levels {
+		lv := &op.levels[li]
+		for i := 0; i < op.d; i++ {
+			j := lv.graph.StripeNeighbor(uint64(x), i)
+			addrs = append(addrs, lv.reg.addr(i, j/op.fieldsPerBlock))
+		}
+	}
+	flat, err := tryRead(op.m, addrs)
+	membSat, ok := op.memb.lookupInBlocks(x, flat[:membLen])
+	if !ok {
+		if err != nil {
+			return nil, false, fmt.Errorf("core: degraded lookup for key %d inconclusive: %w", x, err)
+		}
+		return nil, false, nil
+	}
+	level := int(membSat[0] >> 8)
+	if level >= len(op.levels) {
+		return nil, false, nil
+	}
+	blocks := flat[membLen+level*op.d : membLen+(level+1)*op.d]
+	for _, blk := range blocks {
+		if blk == nil {
+			return nil, false, fmt.Errorf("core: degraded lookup for key %d: level %d fields unavailable: %w", x, level, err)
+		}
+	}
+	head := int(membSat[0] & 0xFF)
+	sat, found := decodeChain(op.fieldBits, op.cfg.SatWords, op.fieldsOf(level, x, blocks), head)
+	return sat, found, nil
+}

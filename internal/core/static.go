@@ -79,8 +79,9 @@ func (c *StaticConfig) normalize() error {
 	if c.Slack == 0 {
 		c.Slack = 6
 	}
-	if c.Slack < 1 {
-		return fmt.Errorf("core: Slack %v below 1", c.Slack)
+	// NaN-proof: the negated form also rejects NaN from corrupt snapshots.
+	if !(c.Slack >= 1 && c.Slack <= maxConfigSlack) {
+		return fmt.Errorf("core: Slack %v outside [1, %d]", c.Slack, maxConfigSlack)
 	}
 	if c.Universe == 0 {
 		c.Universe = 1 << 63

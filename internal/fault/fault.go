@@ -1,0 +1,201 @@
+// Package fault provides the standard deterministic fault injector for
+// the parallel-disk machine: a seedable Plan that fail-stops whole
+// disks, fails reads transiently with a configured probability, flips
+// scheduled bits (latent corruption), and stalls accesses — all
+// reproducibly. The same seed, configuration, and access sequence
+// produce the same fault decisions, so a workload's JSONL trace
+// (including its fault.* events) is bit-for-bit repeatable; that is the
+// property the trace-determinism tests pin down.
+//
+// A Plan implements pdm.FaultInjector. Its Access method is called by
+// the machine with the machine's lock held, so it never calls back into
+// the machine; it is safe for concurrent use with the mutator methods
+// (FailDisk, SetTransient, ...), though reproducibility naturally
+// requires the mutations themselves to happen at deterministic points
+// of the workload.
+package fault
+
+import (
+	"sort"
+	"sync"
+
+	"pdmdict/internal/pdm"
+)
+
+// mix64 is the SplitMix64 finalizer — the same full-avalanche mixer the
+// expander family uses. Counter-indexed: decision i of a Plan is a pure
+// function of (seed, i).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// probBits converts a probability in [0,1] to a 64-bit threshold such
+// that a uniform uint64 falls below it with that probability.
+func probBits(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ^uint64(0)
+	default:
+		return uint64(p * float64(1<<63) * 2)
+	}
+}
+
+// Plan is a deterministic fault schedule. The zero value injects
+// nothing; configure it with the mutator methods and install it with
+// Machine.SetFaultInjector (or pdmdict's SetFaultInjector).
+type Plan struct {
+	mu   sync.Mutex
+	seed uint64
+	ctr  uint64 // accesses decided so far; indexes the random stream
+
+	failed map[int]bool // fail-stopped disks
+
+	transientBits uint64 // per-read transient-failure threshold
+	writeBits     uint64 // per-write transient-failure threshold
+
+	stallBits  uint64 // per-access stall threshold
+	stallSteps int    // extra parallel-I/O steps per stall
+
+	corrupt map[pdm.Addr][]uint // scheduled one-shot bit flips, FIFO per addr
+}
+
+// NewPlan returns an empty plan drawing its random stream from seed.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{seed: seed}
+}
+
+// FailDisk marks a disk fail-stopped: every access to it (read or
+// write) is denied until HealDisk.
+func (p *Plan) FailDisk(disk int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed == nil {
+		p.failed = make(map[int]bool)
+	}
+	p.failed[disk] = true
+}
+
+// HealDisk clears a disk's fail-stop. The simulator keeps the disk's
+// data intact across the outage; use Machine.WipeDisk to model a blank
+// replacement drive instead.
+func (p *Plan) HealDisk(disk int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.failed, disk)
+}
+
+// Failed reports whether a disk is currently fail-stopped.
+func (p *Plan) Failed(disk int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed[disk]
+}
+
+// FailedDisks returns the fail-stopped disks in ascending order.
+func (p *Plan) FailedDisks() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.failed))
+	for d := range p.failed {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetTransient makes each read access fail transiently with probability
+// prob (retries draw fresh randomness and may succeed).
+func (p *Plan) SetTransient(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.transientBits = probBits(prob)
+}
+
+// SetTransientWrites makes each write access fail transiently with
+// probability prob.
+func (p *Plan) SetTransientWrites(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writeBits = probBits(prob)
+}
+
+// SetStall makes each access stall with probability prob, charging
+// steps extra parallel I/Os when it does.
+func (p *Plan) SetStall(prob float64, steps int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stallBits = probBits(prob)
+	p.stallSteps = steps
+}
+
+// CorruptAt schedules a one-shot bit flip: the next access to addr
+// flips the given bit of the stored block (mod the block's bit width),
+// leaving the checksum stale so a later verified read detects it.
+// Multiple scheduled flips for the same address fire in FIFO order, one
+// per access.
+func (p *Plan) CorruptAt(addr pdm.Addr, bit uint) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.corrupt == nil {
+		p.corrupt = make(map[pdm.Addr][]uint)
+	}
+	p.corrupt[addr] = append(p.corrupt[addr], bit)
+}
+
+// Access implements pdm.FaultInjector. Decision priority: fail-stop,
+// then scheduled corruption, then transient failure, then stall. Every
+// call consumes exactly one position of the random stream regardless of
+// outcome, so earlier decisions never shift later ones.
+func (p *Plan) Access(kind pdm.EventKind, a pdm.Addr) pdm.Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := mix64(p.seed ^ mix64(p.ctr))
+	p.ctr++
+	if p.failed[a.Disk] {
+		return pdm.Fault{Kind: pdm.FaultFailStop}
+	}
+	if bits, ok := p.corrupt[a]; ok && len(bits) > 0 {
+		bit := bits[0]
+		if len(bits) == 1 {
+			delete(p.corrupt, a)
+		} else {
+			p.corrupt[a] = bits[1:]
+		}
+		return pdm.Fault{Kind: pdm.FaultCorrupt, Bit: bit}
+	}
+	threshold := p.transientBits
+	if kind == pdm.EventWrite {
+		threshold = p.writeBits
+	}
+	if threshold > 0 && r < threshold {
+		return pdm.Fault{Kind: pdm.FaultTransient}
+	}
+	if p.stallBits > 0 && mix64(r) < p.stallBits {
+		return pdm.Fault{Kind: pdm.FaultStall, Stall: p.stallSteps}
+	}
+	return pdm.Fault{Kind: pdm.FaultNone}
+}
+
+// Reset rewinds the plan's random stream to the beginning and clears
+// all scheduled and standing faults, restoring the state NewPlan
+// returned. Replaying the same workload after Reset reproduces the same
+// decisions.
+func (p *Plan) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ctr = 0
+	p.failed = nil
+	p.corrupt = nil
+	p.transientBits = 0
+	p.writeBits = 0
+	p.stallBits = 0
+	p.stallSteps = 0
+}

@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"testing"
+
+	"pdmdict/internal/pdm"
+)
+
+// Two plans with the same seed and configuration must make identical
+// decisions on the same access sequence — the determinism the JSONL
+// trace reproducibility rests on.
+func TestPlanDeterministic(t *testing.T) {
+	mk := func() *Plan {
+		p := NewPlan(42)
+		p.SetTransient(0.3)
+		p.SetStall(0.2, 3)
+		p.FailDisk(2)
+		p.CorruptAt(pdm.Addr{Disk: 1, Block: 5}, 17)
+		return p
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		addr := pdm.Addr{Disk: i % 5, Block: i % 11}
+		kind := pdm.EventKind(i % 2)
+		fa, fb := a.Access(kind, addr), b.Access(kind, addr)
+		if fa != fb {
+			t.Fatalf("access %d: plans diverge: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+// Reset must rewind the stream so a replay reproduces the decisions.
+func TestPlanResetReplays(t *testing.T) {
+	p := NewPlan(7)
+	p.SetTransient(0.5)
+	var first []pdm.Fault
+	for i := 0; i < 500; i++ {
+		first = append(first, p.Access(pdm.EventRead, pdm.Addr{Disk: i % 3, Block: i}))
+	}
+	p.Reset()
+	p.SetTransient(0.5)
+	for i := 0; i < 500; i++ {
+		f := p.Access(pdm.EventRead, pdm.Addr{Disk: i % 3, Block: i})
+		if f != first[i] {
+			t.Fatalf("access %d after Reset: got %+v, want %+v", i, f, first[i])
+		}
+	}
+}
+
+func TestFailHeal(t *testing.T) {
+	p := NewPlan(1)
+	p.FailDisk(3)
+	if !p.Failed(3) || p.Failed(0) {
+		t.Fatalf("Failed() wrong after FailDisk(3)")
+	}
+	if got := p.Access(pdm.EventWrite, pdm.Addr{Disk: 3}); got.Kind != pdm.FaultFailStop {
+		t.Fatalf("access to failed disk: got %v, want failstop", got.Kind)
+	}
+	if ds := p.FailedDisks(); len(ds) != 1 || ds[0] != 3 {
+		t.Fatalf("FailedDisks = %v, want [3]", ds)
+	}
+	p.HealDisk(3)
+	if got := p.Access(pdm.EventRead, pdm.Addr{Disk: 3}); got.Kind == pdm.FaultFailStop {
+		t.Fatalf("access after heal still fail-stopped")
+	}
+}
+
+// The transient rate must land near the configured probability, and
+// apply only to the configured direction.
+func TestTransientRate(t *testing.T) {
+	p := NewPlan(99)
+	p.SetTransient(0.25)
+	const n = 20000
+	reads, writes := 0, 0
+	for i := 0; i < n; i++ {
+		if p.Access(pdm.EventRead, pdm.Addr{Disk: 0, Block: i}).Kind == pdm.FaultTransient {
+			reads++
+		}
+		if p.Access(pdm.EventWrite, pdm.Addr{Disk: 0, Block: i}).Kind == pdm.FaultTransient {
+			writes++
+		}
+	}
+	rate := float64(reads) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("transient read rate %.3f, want ≈0.25", rate)
+	}
+	if writes != 0 {
+		t.Fatalf("got %d transient writes with only SetTransient configured", writes)
+	}
+}
+
+// Scheduled corruptions fire once each, FIFO, on the right address.
+func TestCorruptAtFIFO(t *testing.T) {
+	p := NewPlan(0)
+	target := pdm.Addr{Disk: 1, Block: 2}
+	p.CorruptAt(target, 10)
+	p.CorruptAt(target, 20)
+	if f := p.Access(pdm.EventRead, pdm.Addr{Disk: 0, Block: 0}); f.Kind != pdm.FaultNone {
+		t.Fatalf("unrelated address corrupted: %+v", f)
+	}
+	if f := p.Access(pdm.EventRead, target); f.Kind != pdm.FaultCorrupt || f.Bit != 10 {
+		t.Fatalf("first access: got %+v, want corrupt bit 10", f)
+	}
+	if f := p.Access(pdm.EventWrite, target); f.Kind != pdm.FaultCorrupt || f.Bit != 20 {
+		t.Fatalf("second access: got %+v, want corrupt bit 20", f)
+	}
+	if f := p.Access(pdm.EventRead, target); f.Kind != pdm.FaultNone {
+		t.Fatalf("third access: corruption did not expire: %+v", f)
+	}
+}
+
+func TestStall(t *testing.T) {
+	p := NewPlan(5)
+	p.SetStall(1.0, 4)
+	f := p.Access(pdm.EventRead, pdm.Addr{})
+	if f.Kind != pdm.FaultStall || f.Stall != 4 {
+		t.Fatalf("got %+v, want stall of 4", f)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdmdict/internal/core"
+	"pdmdict/internal/fault"
+	"pdmdict/internal/pdm"
+)
+
+// Fault injection is deterministic end to end: the same seed and the
+// same workload must produce byte-identical JSONL traces, fault.*
+// events included.
+func TestFaultTraceDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		w := NewJSONLWriter(&buf)
+		m := pdm.NewMachine(pdm.Config{D: 8, B: 32})
+		m.SetHook(w)
+		bd, err := core.NewBasic(m, core.BasicConfig{
+			Capacity: 200, SatWords: 1, K: 2, Replicate: true, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if err := bd.Insert(pdm.Word(i)*97+1, []pdm.Word{pdm.Word(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		plan := fault.NewPlan(42)
+		plan.SetTransient(0.1)
+		plan.SetStall(0.05, 3)
+		plan.FailDisk(2)
+		m.SetFaultInjector(plan)
+		for i := 0; i < 200; i++ {
+			if _, ok, err := bd.LookupTry(pdm.Word(i)*97 + 1); err != nil || !ok {
+				t.Fatalf("lookup %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	t1, t2 := run(), run()
+	if t1 != t2 {
+		t.Fatal("identical seed+workload produced different JSONL traces")
+	}
+	if !strings.Contains(t1, `"tag":"fault.failstop"`) ||
+		!strings.Contains(t1, `"tag":"fault.transient"`) {
+		t.Fatalf("trace lacks fault.* events:\n%.400s", t1)
+	}
+	// The trace round-trips: fault events are ordinary events.
+	evs, err := ReadEvents(strings.NewReader(t1))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	faults := 0
+	for _, e := range evs {
+		if strings.HasPrefix(e.Tag, "fault.") {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("round-tripped trace lost the fault events")
+	}
+}

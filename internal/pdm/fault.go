@@ -1,0 +1,412 @@
+package pdm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+)
+
+// Fault layer. The simulated machine can be wired to a FaultInjector
+// that decides, per block access, whether the access succeeds, fails, or
+// is corrupted. Faults surface only through the error-returning batch
+// methods (TryBatchRead / TryBatchWrite); the classic infallible
+// BatchRead / BatchWrite bypass injection entirely, so structures that
+// have not been taught degraded-mode operation keep seeing a perfect
+// machine. Every block additionally carries a CRC32 checksum, updated on
+// every write and verified on every Try read, so latent corruption (bit
+// flips injected between a write and a later read) is detected rather
+// than silently returned.
+//
+// Each injected fault is also reported through the machine's
+// observability hook as an Event tagged "fault.<kind>" ("fault.failstop",
+// "fault.transient", "fault.corrupt", "fault.stall", "fault.checksum").
+// The batch's own event carries only the base cost; a stall's extra
+// steps ride on its fault.stall event, so per-tag step sums still
+// partition the machine's total parallel I/Os. With a deterministic
+// injector the fault event sequence is reproducible bit for bit.
+
+// Errors a faulted block access can carry.
+var (
+	// ErrDiskFailed marks an access to a fail-stopped disk.
+	ErrDiskFailed = errors.New("pdm: disk failed")
+	// ErrTransient marks an access that failed this time but may succeed
+	// if retried.
+	ErrTransient = errors.New("pdm: transient I/O error")
+	// ErrChecksum marks a read whose block content does not match its
+	// stored checksum (detected corruption).
+	ErrChecksum = errors.New("pdm: block checksum mismatch")
+)
+
+// FaultKind classifies what a FaultInjector does to one block access.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultNone lets the access through untouched.
+	FaultNone FaultKind = iota
+	// FaultFailStop denies the access: the disk is down (fail-stop).
+	FaultFailStop
+	// FaultTransient fails this access only; a retry may succeed.
+	FaultTransient
+	// FaultCorrupt flips one bit of the stored block (the checksum is
+	// left stale, so the damage is detectable, not silent) before the
+	// access proceeds; a read of the damaged block reports ErrChecksum.
+	FaultCorrupt
+	// FaultStall lets the access through but charges extra parallel-I/O
+	// steps (a slow disk, a timeout served late).
+	FaultStall
+)
+
+// String names the fault kind as used in event tags.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultFailStop:
+		return "failstop"
+	case FaultTransient:
+		return "transient"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind FaultKind
+	// Bit is the bit offset to flip for FaultCorrupt (taken modulo the
+	// block's bit width).
+	Bit uint
+	// Stall is the extra parallel-I/O cost for FaultStall.
+	Stall int
+}
+
+// FaultInjector decides the fate of each block access issued through the
+// Try batch methods. Access is called once per address, in batch order,
+// while the machine's lock is held: implementations must be fast, must
+// not call back into the machine, and must be deterministic if
+// reproducible traces are wanted (see internal/fault for the standard
+// seedable implementation).
+type FaultInjector interface {
+	Access(kind EventKind, a Addr) Fault
+}
+
+// BlockError describes one failed access within a Try batch.
+type BlockError struct {
+	// Index is the position of the access in the batch.
+	Index int
+	// Addr is the block address.
+	Addr Addr
+	// Err is ErrDiskFailed, ErrTransient, or ErrChecksum.
+	Err error
+}
+
+// Error formats the single-block failure.
+func (e BlockError) Error() string { return fmt.Sprintf("%v: %v", e.Addr, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is.
+func (e BlockError) Unwrap() error { return e.Err }
+
+// BatchError aggregates the failed accesses of one Try batch. Successful
+// accesses of the same batch still carry their data; callers recover by
+// inspecting Blocks and falling back to surviving replicas.
+type BatchError struct {
+	Blocks []BlockError
+}
+
+// Error summarizes the batch failure.
+func (e *BatchError) Error() string {
+	if len(e.Blocks) == 1 {
+		return "pdm: 1 block access failed: " + e.Blocks[0].Error()
+	}
+	parts := make([]string, 0, len(e.Blocks))
+	for _, b := range e.Blocks {
+		parts = append(parts, b.Error())
+	}
+	return fmt.Sprintf("pdm: %d block accesses failed: %s", len(e.Blocks), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes the per-block errors, so errors.Is(err, ErrDiskFailed)
+// and friends see through a BatchError even when it is itself wrapped.
+func (e *BatchError) Unwrap() []error {
+	errs := make([]error, len(e.Blocks))
+	for i := range e.Blocks {
+		errs[i] = &e.Blocks[i]
+	}
+	return errs
+}
+
+// AsBatchError extracts a *BatchError from err, if it is one.
+func AsBatchError(err error) (*BatchError, bool) {
+	var be *BatchError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}
+
+// crcBlock checksums a block's words (little-endian) with CRC-32/IEEE.
+func crcBlock(blk []Word) uint32 {
+	var buf [8]byte
+	sum := uint32(0)
+	for _, w := range blk {
+		binary.LittleEndian.PutUint64(buf[:], uint64(w))
+		sum = crc32.Update(sum, crc32.IEEETable, buf[:])
+	}
+	return sum
+}
+
+// SetFaultInjector installs (or, with nil, removes) the machine's fault
+// injector. Only the Try batch methods consult it; see the package
+// comment at the top of this file.
+func (m *Machine) SetFaultInjector(fi FaultInjector) {
+	m.mu.Lock()
+	m.injector = fi
+	m.mu.Unlock()
+}
+
+// Degraded reports whether any data-threatening fault (fail-stop,
+// transient error, corruption, or checksum mismatch — stalls don't
+// count) has been observed since the last ClearDegraded. Dictionaries
+// surface this as their degraded-mode flag.
+func (m *Machine) Degraded() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.degraded
+}
+
+// ClearDegraded resets the degraded flag. Repair machinery calls it
+// after a clean scrub.
+func (m *Machine) ClearDegraded() {
+	m.mu.Lock()
+	m.degraded = false
+	m.mu.Unlock()
+}
+
+// FaultCount returns the number of fault events observed (injected
+// faults plus checksum mismatches) over the machine's lifetime.
+func (m *Machine) FaultCount() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.faults
+}
+
+// sumLocked returns a pointer to the checksum slot of a block, growing
+// the per-disk slice in lockstep with the disk. A freshly materialized
+// slot holds the CRC of an all-zero block, matching what blockLocked
+// materializes. Callers hold m.mu.
+func (m *Machine) sumLocked(a Addr) *uint32 {
+	sums := m.sums[a.Disk]
+	for len(sums) <= a.Block {
+		sums = append(sums, m.zeroSum)
+	}
+	m.sums[a.Disk] = sums
+	return &sums[a.Block]
+}
+
+// corruptLocked flips one stored bit of a block without touching its
+// checksum, leaving detectable latent damage. Callers hold m.mu.
+func (m *Machine) corruptLocked(a Addr, bit uint) {
+	blk := m.blockLocked(a)
+	bits := uint(len(blk)) * 64
+	bit %= bits
+	blk[bit/64] ^= 1 << (bit % 64)
+}
+
+// verifyLocked reports whether a block's content matches its stored
+// checksum. Unmaterialized blocks are trivially valid. Callers hold m.mu.
+func (m *Machine) verifyLocked(a Addr) bool {
+	disk := m.disks[a.Disk]
+	if a.Block >= len(disk) || disk[a.Block] == nil {
+		return true
+	}
+	return crcBlock(disk[a.Block]) == *m.sumLocked(a)
+}
+
+// faultEvent builds the hook event for one injected or detected fault.
+// Only stalls carry cost: their extra steps are charged to the
+// fault.stall tag rather than the issuing batch's tag, so per-tag sums
+// still partition the machine's total.
+func faultEvent(kind EventKind, a Addr, fk string, stall int) Event {
+	return Event{Kind: kind, Tag: "fault." + fk, Addrs: []Addr{a}, Steps: stall, Depth: stall}
+}
+
+// TryBatchRead is BatchRead with fault injection and checksum
+// verification. It returns the blocks in request order; entries whose
+// access failed (fail-stopped disk, transient error, checksum mismatch)
+// are nil, and the error is a *BatchError listing them. The batch is
+// accounted like BatchRead — failed accesses still cost their I/O (the
+// arm moved, the timeout elapsed) and count as block reads; stalls add
+// extra steps on top of the batch cost.
+func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
+	for _, a := range addrs {
+		m.checkAddr(a)
+	}
+	steps, depth := m.batchCost(addrs)
+	m.mu.Lock()
+	out := make([][]Word, len(addrs))
+	var berrs []BlockError
+	var fevents []Event
+	extra := 0
+	degrading := false
+	for i, a := range addrs {
+		var f Fault
+		if m.injector != nil {
+			f = m.injector.Access(EventRead, a)
+		}
+		switch f.Kind {
+		case FaultFailStop:
+			berrs = append(berrs, BlockError{Index: i, Addr: a, Err: ErrDiskFailed})
+			fevents = append(fevents, faultEvent(EventRead, a, "failstop", 0))
+			degrading = true
+			continue
+		case FaultTransient:
+			berrs = append(berrs, BlockError{Index: i, Addr: a, Err: ErrTransient})
+			fevents = append(fevents, faultEvent(EventRead, a, "transient", 0))
+			degrading = true
+			continue
+		case FaultCorrupt:
+			m.corruptLocked(a, f.Bit)
+			fevents = append(fevents, faultEvent(EventRead, a, "corrupt", 0))
+			degrading = true
+		case FaultStall:
+			extra += f.Stall
+			fevents = append(fevents, faultEvent(EventRead, a, "stall", f.Stall))
+		}
+		if !m.verifyLocked(a) {
+			berrs = append(berrs, BlockError{Index: i, Addr: a, Err: ErrChecksum})
+			fevents = append(fevents, faultEvent(EventRead, a, "checksum", 0))
+			degrading = true
+			continue
+		}
+		src := m.blockLocked(a)
+		dst := make([]Word, m.cfg.B)
+		copy(dst, src)
+		out[i] = dst
+	}
+	m.accountLocked(steps+extra, depth, addrs)
+	m.stats.BlockReads += int64(len(addrs))
+	m.faults += int64(len(fevents))
+	if degrading {
+		m.degraded = true
+	}
+	hook, tag := m.hookLocked(len(addrs))
+	m.mu.Unlock()
+	if hook != nil {
+		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
+		for _, e := range fevents {
+			hook.Event(e)
+		}
+	}
+	if len(berrs) > 0 {
+		return out, &BatchError{Blocks: berrs}
+	}
+	return out, nil
+}
+
+// TryBatchWrite is BatchWrite with fault injection: writes hitting a
+// fail-stopped disk or a transient fault are NOT applied and are
+// reported in the returned *BatchError; a corruption fault flips a
+// stored bit after the write lands (leaving the checksum stale); stalls
+// charge extra steps. Applied writes update their block's checksum.
+func (m *Machine) TryBatchWrite(writes []BlockWrite) error {
+	addrs := make([]Addr, len(writes))
+	for i, w := range writes {
+		m.checkAddr(w.Addr)
+		if len(w.Data) > m.cfg.B {
+			panic(fmt.Sprintf("pdm: write of %d words exceeds block size %d", len(w.Data), m.cfg.B))
+		}
+		addrs[i] = w.Addr
+	}
+	steps, depth := m.batchCost(addrs)
+	m.mu.Lock()
+	var berrs []BlockError
+	var fevents []Event
+	extra := 0
+	degrading := false
+	for i, w := range writes {
+		var f Fault
+		if m.injector != nil {
+			f = m.injector.Access(EventWrite, w.Addr)
+		}
+		switch f.Kind {
+		case FaultFailStop:
+			berrs = append(berrs, BlockError{Index: i, Addr: w.Addr, Err: ErrDiskFailed})
+			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "failstop", 0))
+			degrading = true
+			continue
+		case FaultTransient:
+			berrs = append(berrs, BlockError{Index: i, Addr: w.Addr, Err: ErrTransient})
+			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "transient", 0))
+			degrading = true
+			continue
+		case FaultStall:
+			extra += f.Stall
+			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "stall", f.Stall))
+		}
+		blk := m.blockLocked(w.Addr)
+		copy(blk, w.Data)
+		*m.sumLocked(w.Addr) = crcBlock(blk)
+		if f.Kind == FaultCorrupt {
+			m.corruptLocked(w.Addr, f.Bit)
+			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "corrupt", 0))
+			degrading = true
+		}
+	}
+	m.accountLocked(steps+extra, depth, addrs)
+	m.stats.BlockWrites += int64(len(writes))
+	m.faults += int64(len(fevents))
+	if degrading {
+		m.degraded = true
+	}
+	hook, tag := m.hookLocked(len(addrs))
+	m.mu.Unlock()
+	if hook != nil {
+		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
+		for _, e := range fevents {
+			hook.Event(e)
+		}
+	}
+	if len(berrs) > 0 {
+		return &BatchError{Blocks: berrs}
+	}
+	return nil
+}
+
+// WipeDisk discards every block (and checksum) of one disk, simulating
+// the swap-in of a blank replacement drive. No I/O is accounted; the
+// rebuild that follows (a dictionary's Repair) is where the cost lives.
+func (m *Machine) WipeDisk(disk int) {
+	m.checkAddr(Addr{Disk: disk})
+	m.mu.Lock()
+	m.disks[disk] = nil
+	m.sums[disk] = nil
+	m.mu.Unlock()
+}
+
+// VerifyChecksums scans every materialized block and returns the
+// addresses whose content does not match the stored checksum. Like Peek
+// it performs no accounted I/O — it is the ground-truth diagnostic;
+// dictionaries implement accounted scrubs on top of TryBatchRead.
+func (m *Machine) VerifyChecksums() []Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var bad []Addr
+	for d, disk := range m.disks {
+		for b, blk := range disk {
+			if blk == nil {
+				continue
+			}
+			if crcBlock(blk) != *m.sumLocked(Addr{Disk: d, Block: b}) {
+				bad = append(bad, Addr{Disk: d, Block: b})
+			}
+		}
+	}
+	return bad
+}

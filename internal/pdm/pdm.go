@@ -186,12 +186,17 @@ type Machine struct {
 
 	mu      sync.RWMutex
 	disks   [][][]Word // disks[d][b] is the content of block b of disk d; nil = never written
+	sums    [][]uint32 // sums[d][b] is the CRC32 of block b of disk d, kept in lockstep with disks
+	zeroSum uint32     // CRC32 of an all-zero block (what blockLocked materializes)
 	stats   Stats
 	perDisk []int64 // block transfers per disk (reads + writes)
 
-	hook    Hook     // nil = no tracing
-	spans   []string // span stack; each entry is the dot-joined path
-	endSpan func()   // shared pop closure, allocated once
+	hook     Hook     // nil = no tracing
+	spans    []string // span stack; each entry is the dot-joined path
+	endSpan  func()   // shared pop closure, allocated once
+	injector FaultInjector // nil = faultless machine
+	degraded bool          // any data-threatening fault since last ClearDegraded
+	faults   int64         // lifetime fault event count
 }
 
 // NewMachine returns a machine with the given configuration. It panics if
@@ -204,6 +209,8 @@ func NewMachine(cfg Config) *Machine {
 	m := &Machine{
 		cfg:     cfg,
 		disks:   make([][][]Word, cfg.D),
+		sums:    make([][]uint32, cfg.D),
+		zeroSum: crcBlock(make([]Word, cfg.B)),
 		perDisk: make([]int64, cfg.D),
 	}
 	m.endSpan = func() {
@@ -341,7 +348,9 @@ func (m *Machine) blockLocked(a Addr) []Word {
 // BatchRead performs one batched read of the given blocks and returns
 // their contents, in request order. The returned slices are copies; the
 // caller owns them. The batch is accounted under the machine's cost
-// model.
+// model. BatchRead is the fault-oblivious path: it never consults the
+// fault injector and skips checksum verification — use TryBatchRead for
+// fault-aware reads.
 func (m *Machine) BatchRead(addrs []Addr) [][]Word {
 	for _, a := range addrs {
 		m.checkAddr(a)
@@ -408,7 +417,9 @@ type BlockWrite struct {
 // BatchWrite performs one batched write. Each write stores len(Data)
 // words at the start of the addressed block (the model transfers whole
 // blocks; partial Data is a convenience that leaves the block tail as it
-// was). The batch is accounted under the machine's cost model.
+// was). The batch is accounted under the machine's cost model. Like all
+// writes it maintains the per-block checksums, but it never consults the
+// fault injector — use TryBatchWrite for fault-aware writes.
 func (m *Machine) BatchWrite(writes []BlockWrite) {
 	addrs := make([]Addr, len(writes))
 	for i, w := range writes {
@@ -425,6 +436,7 @@ func (m *Machine) BatchWrite(writes []BlockWrite) {
 	for _, w := range writes {
 		blk := m.blockLocked(w.Addr)
 		copy(blk, w.Data)
+		*m.sumLocked(w.Addr) = crcBlock(blk)
 	}
 	hook, tag := m.hookLocked(len(addrs))
 	m.mu.Unlock()

@@ -91,6 +91,12 @@ func ReadSnapshot(r io.Reader) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("pdm: snapshot carries invalid config: %w", err)
 	}
+	// Plausibility caps: the header fields come off an untrusted stream,
+	// and D and B size up-front allocations. Anything beyond these bounds
+	// is a corrupt (or hostile) snapshot, not a machine we ever built.
+	if cfg.D > maxSnapshotDisks || cfg.B > maxSnapshotBlockWords {
+		return nil, fmt.Errorf("pdm: snapshot config implausible (D=%d, B=%d)", cfg.D, cfg.B)
+	}
 	m := NewMachine(cfg)
 	m.stats = Stats{
 		ParallelIOs: int64(head[3]),
@@ -111,22 +117,49 @@ func ReadSnapshot(r io.Reader) (*Machine, error) {
 		if err := binary.Read(br, binary.LittleEndian, &nBlocks); err != nil {
 			return nil, fmt.Errorf("pdm: reading disk %d: %w", d, err)
 		}
-		disk := make([][]Word, nBlocks)
-		for b := range disk {
+		// nBlocks is untrusted: grow the disk incrementally, so a huge
+		// length field fails at the stream's real end instead of sizing
+		// one giant allocation up front.
+		disk := make([][]Word, 0, minUint64(nBlocks, 4096))
+		sums := make([]uint32, 0, cap(disk))
+		for b := uint64(0); b < nBlocks; b++ {
 			present, err := br.ReadByte()
 			if err != nil {
 				return nil, fmt.Errorf("pdm: reading disk %d block %d: %w", d, b, err)
 			}
 			if present == 0 {
+				disk = append(disk, nil)
+				sums = append(sums, m.zeroSum)
 				continue
 			}
 			blk := make([]Word, cfg.B)
 			if err := binary.Read(br, binary.LittleEndian, blk); err != nil {
 				return nil, fmt.Errorf("pdm: reading disk %d block %d: %w", d, b, err)
 			}
-			disk[b] = blk
+			disk = append(disk, blk)
+			// Checksums are not persisted: recompute them, so loading a
+			// snapshot always yields a machine whose blocks verify (any
+			// latent corruption present at save time is thereby blessed —
+			// scrub before saving if that matters).
+			sums = append(sums, crcBlock(blk))
 		}
 		m.disks[d] = disk
+		m.sums[d] = sums
 	}
 	return m, nil
+}
+
+// Snapshot plausibility bounds for untrusted streams: comfortably above
+// any configuration the experiments use, far below anything that could
+// size a damaging allocation.
+const (
+	maxSnapshotDisks      = 1 << 20
+	maxSnapshotBlockWords = 1 << 21 // 16 MiB per block
+)
+
+func minUint64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }

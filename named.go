@@ -109,6 +109,35 @@ func (nd *NamedDict) Lookup(name string) ([]Word, bool) {
 	return sat, true
 }
 
+// TryLookuper is satisfied by structures that offer a fault-aware
+// lookup path (currently Basic with Replicas ≥ 2).
+type TryLookuper interface {
+	LookupTry(key Word) ([]Word, bool, error)
+}
+
+// LookupTry is the fault-aware Lookup: when the underlying dictionary
+// supports degraded reads it is used (surviving replicas answer even
+// with failed disks), otherwise this falls back to the plain Lookup. A
+// non-nil error means the result is inconclusive, never a definitive
+// absence.
+func (nd *NamedDict) LookupTry(name string) ([]Word, bool, error) {
+	tl, ok := nd.d.(TryLookuper)
+	if !ok {
+		sat, found := nd.Lookup(name)
+		return sat, found, nil
+	}
+	raw, found, err := tl.LookupTry(hashName(name))
+	if !found {
+		return nil, false, err
+	}
+	if nd.decodeName(raw) != name {
+		return nil, false, nil
+	}
+	sat := make([]Word, nd.satWords)
+	copy(sat, raw[nd.nameWords:])
+	return sat, true, nil
+}
+
 // Contains reports whether name is present.
 func (nd *NamedDict) Contains(name string) bool {
 	_, ok := nd.Lookup(name)

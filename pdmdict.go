@@ -132,6 +132,26 @@ func (s machineStats) Machine() *pdm.Machine { return s.m }
 // metrics collectors live in internal/obs.
 func (s machineStats) SetHook(h IOHook) { s.m.SetHook(h) }
 
+// SetFaultInjector attaches a fault injector to the underlying machine;
+// nil detaches (the default). Fault events flow through the hook under
+// "fault.*" tags.
+func (s machineStats) SetFaultInjector(fi FaultInjector) { s.m.SetFaultInjector(fi) }
+
+// Degraded reports whether the machine has observed a data-threatening
+// fault (fail-stop, transient, corruption, or checksum mismatch — not a
+// stall) since the flag was last cleared.
+func (s machineStats) Degraded() bool { return s.m.Degraded() }
+
+// ClearDegraded resets the degraded flag, e.g. after a repair.
+func (s machineStats) ClearDegraded() { s.m.ClearDegraded() }
+
+// FaultCount returns the number of fault events observed, stalls
+// included.
+func (s machineStats) FaultCount() int64 { return s.m.FaultCount() }
+
+// Addr names one block: a disk index and a block index on that disk.
+type Addr = pdm.Addr
+
 // IOEvent is one traced batch: op kind, span tag, addresses, and cost.
 // The Addrs slice is only valid during the hook call — sinks that
 // retain events must copy it.
@@ -150,6 +170,45 @@ type IOHook = pdm.Hook
 type Hooked interface {
 	SetHook(IOHook)
 }
+
+// ---------------------------------------------------------------------
+// Fault injection.
+
+// FaultInjector decides, per block access, whether a fault fires. It is
+// consulted by the fault-aware batch paths (TryBatchRead/TryBatchWrite,
+// which back LookupTry, Repair, and Scrub); the plain Lookup/Insert
+// paths are fault-oblivious. Implementations must not call back into
+// the machine. A deterministic, seedable implementation lives in
+// internal/fault and is used by the fskv and pdmbench commands; any
+// type returning Fault values works here.
+type FaultInjector = pdm.FaultInjector
+
+// Fault is one injected fault: its kind, the bit to flip for
+// FaultCorrupt, and the extra parallel-I/O steps for FaultStall.
+type Fault = pdm.Fault
+
+// FaultKind enumerates the fault taxonomy.
+type FaultKind = pdm.FaultKind
+
+// The fault kinds: no fault, fail-stop disk (access denied, data
+// intact), transient error (retry may succeed), silent bit corruption
+// (caught by block checksums on read), and a stall charged as extra
+// parallel I/O steps.
+const (
+	FaultNone      = pdm.FaultNone
+	FaultFailStop  = pdm.FaultFailStop
+	FaultTransient = pdm.FaultTransient
+	FaultCorrupt   = pdm.FaultCorrupt
+	FaultStall     = pdm.FaultStall
+)
+
+// Sentinel errors reported by the fault-aware paths; match with
+// errors.Is. LookupTry wraps these when a lookup is inconclusive.
+var (
+	ErrDiskFailed = pdm.ErrDiskFailed
+	ErrTransient  = pdm.ErrTransient
+	ErrChecksum   = pdm.ErrChecksum
+)
 
 // ---------------------------------------------------------------------
 // Fully dynamic dictionary (the flagship).
@@ -230,6 +289,15 @@ func (d *Dict) IOStats() IOStats {
 // with operations.
 func (d *Dict) SetHook(h IOHook) { d.d.SetHook(h) }
 
+// SetFaultInjector attaches a fault injector to the machines of both
+// live structures and to every machine created by future rebuilds. A
+// nil injector detaches. Not safe to call concurrently with operations.
+func (d *Dict) SetFaultInjector(fi FaultInjector) { d.d.SetFaultInjector(fi) }
+
+// Degraded reports whether either live structure's machine has observed
+// a data-threatening fault since its flag was last cleared.
+func (d *Dict) Degraded() bool { return d.d.Degraded() }
+
 // WorstOpIOs returns the largest single-operation cost observed — the
 // worst-case guarantee that distinguishes this structure from hashing.
 func (d *Dict) WorstOpIOs() int64 { return d.d.Stats().WorstOp }
@@ -264,6 +332,14 @@ type BasicOptions struct {
 	// the machine allows any D blocks per parallel I/O, so no striped
 	// expander is needed.
 	HeadModel bool
+	// Replicas stores that many full copies of every record, each on a
+	// distinct disk, instead of splitting satellites into fragments: the
+	// dictionary then tolerates Replicas−1 fail-stop disk failures
+	// (LookupTry answers from any surviving copy, and Repair rebuilds a
+	// failed disk from the others). 0 or 1 disables replication.
+	// Mutually exclusive with K and HeadModel; requires Replicas ≤ d and
+	// d ≤ 56.
+	Replicas int
 }
 
 // NewBasic creates a Section 4.1 dictionary on d disks.
@@ -272,8 +348,7 @@ func NewBasic(opts BasicOptions) (*Basic, error) {
 	if opts.HeadModel {
 		model = pdm.DiskHead
 	}
-	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize(), Model: model})
-	d, err := core.NewBasic(m, core.BasicConfig{
+	cfg := core.BasicConfig{
 		Capacity:     opts.Capacity,
 		SatWords:     opts.SatWords,
 		K:            opts.K,
@@ -281,7 +356,16 @@ func NewBasic(opts BasicOptions) (*Basic, error) {
 		HeadModel:    opts.HeadModel,
 		Universe:     opts.Universe,
 		Seed:         opts.Seed,
-	})
+	}
+	if opts.Replicas > 1 {
+		if opts.K != 0 && opts.K != opts.Replicas {
+			return nil, fmt.Errorf("pdmdict: Replicas and K are mutually exclusive")
+		}
+		cfg.K = opts.Replicas
+		cfg.Replicate = true
+	}
+	m := pdm.NewMachine(pdm.Config{D: opts.degree(), B: opts.blockSize(), Model: model})
+	d, err := core.NewBasic(m, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -327,6 +411,27 @@ func (b *Basic) BulkLoad(recs []Record) error {
 func (b *Basic) LookupBatch(keys []Word) ([][]Word, []bool) {
 	return b.d.LookupBatch(keys)
 }
+
+// LookupTry is the fault-aware Lookup: it goes through the machine's
+// checked read path, retries transient errors, and with Replicas ≥ 2
+// answers from any surviving copy. A non-nil error means the lookup was
+// inconclusive — the key was not found but some candidate bucket was
+// unreadable — never that the key is absent.
+func (b *Basic) LookupTry(key Word) ([]Word, bool, error) { return b.d.LookupTry(key) }
+
+// ContainsTry is the fault-aware Contains; see LookupTry.
+func (b *Basic) ContainsTry(key Word) (bool, error) { return b.d.ContainsTry(key) }
+
+// Repair rebuilds every bucket of the given disk from the surviving
+// replicas on other disks, then rewrites the disk; it requires
+// Replicas ≥ 2. After a fail-stop disk is healed (the injector stops
+// failing it), Repair restores its contents bit-identically.
+func (b *Basic) Repair(disk int) error { return b.d.Repair(disk) }
+
+// Scrub reads every bucket through the checked path and returns the
+// addresses that failed (checksum mismatch or unreadable). A clean
+// scrub clears the machine's degraded flag.
+func (b *Basic) Scrub() []Addr { return b.d.Scrub() }
 
 // ---------------------------------------------------------------------
 // Direct addressing (the tiny-universe special case).
