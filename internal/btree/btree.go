@@ -16,6 +16,7 @@ package btree
 import (
 	"fmt"
 
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -159,7 +160,7 @@ func (t *Tree) intChild(node []pdm.Word, i int) int {
 // Lookup returns a copy of key's satellite and whether it is present.
 // Cost: Height() parallel I/Os.
 func (t *Tree) Lookup(key pdm.Word) ([]pdm.Word, bool) {
-	defer t.span("lookup")()
+	defer t.span(obs.TagLookup)()
 	node := t.readNode(t.root)
 	for node[0] == nodeInternal {
 		count := int(node[1])
@@ -193,7 +194,7 @@ func (t *Tree) Insert(key pdm.Word, sat []pdm.Word) error {
 	if len(sat) != t.cfg.SatWords {
 		return fmt.Errorf("btree: satellite of %d words, config says %d", len(sat), t.cfg.SatWords)
 	}
-	defer t.span("insert")()
+	defer t.span(obs.TagInsert)()
 	rootNode := t.readNode(t.root)
 	if t.isFull(rootNode) {
 		// Grow: new root above the split halves.
@@ -401,7 +402,7 @@ func (t *Tree) rangeNode(id int, lo, hi pdm.Word, fn func(pdm.Word, []pdm.Word) 
 // deleted records is reclaimed on later inserts into the same leaf —
 // sufficient for a baseline whose role is read-path comparison.
 func (t *Tree) Delete(key pdm.Word) bool {
-	defer t.span("delete")()
+	defer t.span(obs.TagDelete)()
 	id := t.root
 	node := t.readNode(id)
 	for node[0] == nodeInternal {

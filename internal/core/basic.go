@@ -5,6 +5,7 @@ import (
 
 	"pdmdict/internal/bucket"
 	"pdmdict/internal/expander"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -380,7 +381,7 @@ func (bd *BasicDict) findFragments(x pdm.Word, hood [][][]pdm.Word) (map[int][]p
 // shared buckets are read once. Results are positionally aligned with
 // keys.
 func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
-	defer bd.reg.m.Span("lookup")()
+	defer bd.reg.m.Span(obs.TagLookup)()
 	uniq := make(map[pdm.Addr]int) // addr → index into fetch list
 	var addrs []pdm.Addr
 	perKey := make([][]int, len(keys)) // key → its blocks' fetch indices
@@ -415,7 +416,7 @@ func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 // Cost: one batched read of the d buckets of Γ(x) — a single parallel
 // I/O when BucketBlocks is 1.
 func (bd *BasicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
-	defer bd.reg.m.Span("lookup")()
+	defer bd.reg.m.Span(obs.TagLookup)()
 	hood := bd.readNeighborhood(x)
 	frags, _ := bd.findFragments(x, hood)
 	if !bd.present(frags) {
@@ -452,8 +453,8 @@ func (bd *BasicDict) assemble(frags map[int][]pdm.Word) []pdm.Word {
 // batched write of the modified buckets (a single parallel I/O, since
 // the touched buckets lie in distinct stripes).
 func (bd *BasicDict) Insert(x pdm.Word, sat []pdm.Word) error {
-	defer bd.reg.m.Span("insert")()
-	endProbe := bd.reg.m.Span("probe")
+	defer bd.reg.m.Span(obs.TagInsert)()
+	endProbe := bd.reg.m.Span(obs.TagProbe)
 	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
 	endProbe()
 	writes, err := bd.insertWrites(x, sat, flat)
@@ -617,7 +618,7 @@ func (bd *BasicDict) collectWrites(x pdm.Word, hood [][][]pdm.Word, dirty map[in
 // Delete removes x and reports whether it was present. Cost: one read
 // batch plus, when present, one write batch.
 func (bd *BasicDict) Delete(x pdm.Word) bool {
-	defer bd.reg.m.Span("delete")()
+	defer bd.reg.m.Span(obs.TagDelete)()
 	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
 	writes, ok := bd.deleteWrites(x, flat)
 	if len(writes) > 0 {
@@ -656,6 +657,7 @@ func (bd *BasicDict) MaxLoad() int {
 		disk, row := bd.bucketPos(y)
 		load := 0
 		for b := 0; b < bd.cfg.BucketBlocks; b++ {
+			//lint:pdm-allow iocharge: diagnostics-only scan, documented as unaccounted
 			blk := bd.reg.m.Peek(bd.reg.addr(disk, row*bd.cfg.BucketBlocks+b))
 			load += bd.codec.Count(blk)
 		}
@@ -672,7 +674,7 @@ func (bd *BasicDict) MaxLoad() int {
 // for enumeration of keys (e.g. by the rebuilding wrapper), which uses
 // fragment index 0 as the canonical sighting of a key.
 func (bd *BasicDict) Scan(fn func(key pdm.Word, fragIdx int, frag []pdm.Word)) {
-	defer bd.reg.m.Span("scan")()
+	defer bd.reg.m.Span(obs.TagScan)()
 	for y := 0; y < bd.buckets; y++ {
 		addrs := bd.bucketAddrs(y, nil)
 		for _, blk := range bd.reg.m.BatchRead(addrs) {

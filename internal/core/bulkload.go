@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pdmdict/internal/bucket"
 	"pdmdict/internal/extsort"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -50,7 +52,7 @@ func (bd *BasicDict) BulkLoad(recs []bucket.Record, scratchBlock0, memStripes in
 	if len(recs) == 0 {
 		return nil
 	}
-	defer bd.reg.m.Span("bulkload")()
+	defer bd.reg.m.Span(obs.TagBulkload)()
 
 	// The dictionary's own region may span only a subset of the
 	// machine's disks; scratch stripes span them all, which is fine —
@@ -104,10 +106,15 @@ func (bd *BasicDict) BulkLoad(recs []bucket.Record, scratchBlock0, memStripes in
 		if curRow < 0 {
 			return
 		}
+		disks := make([]int, 0, len(blocks))
+		for disk := range blocks {
+			disks = append(disks, disk)
+		}
+		sort.Ints(disks) // fix batch order: map order would leak into the trace
 		var writes []pdm.BlockWrite
-		for disk, blks := range blocks {
+		for _, disk := range disks {
 			base := curRow * bd.cfg.BucketBlocks
-			for b, blk := range blks {
+			for b, blk := range blocks[disk] {
 				writes = append(writes, pdm.BlockWrite{Addr: bd.reg.addr(disk, base+b), Data: blk})
 			}
 			delete(blocks, disk)

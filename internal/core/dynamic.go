@@ -6,6 +6,7 @@ import (
 
 	"pdmdict/internal/bitpack"
 	"pdmdict/internal/expander"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -252,7 +253,7 @@ func (dd *DynamicDict) fieldsOf(lv *dynLevel, x pdm.Word, blocks [][]pdm.Word) [
 
 // Lookup returns a copy of x's satellite and whether x is present.
 func (dd *DynamicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
-	defer dd.m.Span("lookup")()
+	defer dd.m.Span(obs.TagLookup)()
 	// First parallel I/O: membership probe + A_1 fields, disjoint disks.
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
 	membLen := len(addrs)
@@ -296,7 +297,7 @@ func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	if uint64(x) >= dd.cfg.Universe {
 		return fmt.Errorf("core: key %d outside universe %d", x, dd.cfg.Universe)
 	}
-	defer dd.m.Span("insert")()
+	defer dd.m.Span(obs.TagInsert)()
 
 	// First parallel I/O: membership + A_1.
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
@@ -425,7 +426,7 @@ func (dd *DynamicDict) releaseChain(x pdm.Word, membSat []pdm.Word, level0Blocks
 // Delete removes x and reports whether it was present. Cost: one read
 // batch, one extra read for deep keys, one write batch.
 func (dd *DynamicDict) Delete(x pdm.Word) bool {
-	defer dd.m.Span("delete")()
+	defer dd.m.Span(obs.TagDelete)()
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
 	membLen := len(addrs)
 	addrs = dd.levelAddrs(&dd.levels[0], x, addrs)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pdmdict/internal/expander"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -229,7 +230,7 @@ func (op *OneProbeDict) fieldsOf(li int, x pdm.Word, blocks [][]pdm.Word) [][]pd
 // Lookup returns a copy of x's satellite and whether x is present, in
 // exactly one parallel I/O — present, absent, shallow or deep.
 func (op *OneProbeDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
-	defer op.m.Span("lookup")()
+	defer op.m.Span(obs.TagLookup)()
 	membBlocks, levelBlocks := op.probe(x)
 	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)
 	if !ok {
@@ -258,7 +259,7 @@ func (op *OneProbeDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	if uint64(x) >= op.cfg.Universe {
 		return fmt.Errorf("core: key %d outside universe %d", x, op.cfg.Universe)
 	}
-	defer op.m.Span("insert")()
+	defer op.m.Span(obs.TagInsert)()
 	membBlocks, levelBlocks := op.probe(x)
 
 	var writes []pdm.BlockWrite
@@ -350,7 +351,7 @@ func (op *OneProbeDict) releaseInBlocks(x pdm.Word, membSat []pdm.Word, levelBlo
 // Delete removes x in exactly two parallel I/Os, reporting whether it
 // was present.
 func (op *OneProbeDict) Delete(x pdm.Word) bool {
-	defer op.m.Span("delete")()
+	defer op.m.Span(obs.TagDelete)()
 	membBlocks, levelBlocks := op.probe(x)
 	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)
 	if !ok {

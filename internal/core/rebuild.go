@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -344,8 +345,8 @@ func (d *Dict) migrateStep() {
 	}
 	// Migration I/O lands on both machines; tag it on each so per-tag
 	// breakdowns separate rebuild traffic from the foreground operation.
-	defer d.active.machine().Span("rebuild")()
-	defer d.next.machine().Span("rebuild")()
+	defer d.active.machine().Span(obs.TagRebuild)()
+	defer d.next.machine().Span(obs.TagRebuild)()
 	memb := d.active.membership()
 	moved, probes := 0, 0
 	for moved < d.cfg.MigrateBatch && probes < 4*d.cfg.MigrateBatch && d.active.Len() > 0 {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"pdmdict/internal/bucket"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -168,7 +169,7 @@ func (bd *BasicDict) encodeCanonical(recs []bucket.Record, nBlocks int) [][]pdm.
 // query — the caller knows the answer is unavailable rather than
 // "absent".
 func (bd *BasicDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
-	defer bd.reg.m.Span("lookup")()
+	defer bd.reg.m.Span(obs.TagLookup)()
 	addrs := bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen()))
 	flat, err := tryRead(bd.reg.m, addrs)
 	frags, _ := bd.findFragments(x, bd.groupNeighborhood(flat))
@@ -212,7 +213,7 @@ func (bd *BasicDict) Repair(disk int) error {
 	if disk < 0 || disk >= bd.reg.nDisks {
 		return fmt.Errorf("core: Repair disk %d out of [0,%d)", disk, bd.reg.nDisks)
 	}
-	defer bd.reg.m.Span("repair")()
+	defer bd.reg.m.Span(obs.TagRepair)()
 	d := bd.reg.nDisks
 	ss := bd.striped.StripeSize()
 
@@ -283,7 +284,7 @@ func (bd *BasicDict) Repair(disk int) error {
 // checksum, after transient retries. A completely clean scrub clears
 // the machine's degraded flag.
 func (bd *BasicDict) Scrub() []pdm.Addr {
-	defer bd.reg.m.Span("scrub")()
+	defer bd.reg.m.Span(obs.TagScrub)()
 	d := bd.reg.nDisks
 	rows := ceilDiv(bd.buckets, d)
 	var bad []pdm.Addr
@@ -324,7 +325,7 @@ func (bd *BasicDict) Scrub() []pdm.Addr {
 // (reported as an error, never as a wrong answer); transient faults and
 // stalls are absorbed.
 func (op *OneProbeDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
-	defer op.m.Span("lookup")()
+	defer op.m.Span(obs.TagLookup)()
 	addrs := op.memb.probeAddrs(x, make([]pdm.Addr, 0, (len(op.levels)+1)*op.d))
 	membLen := len(addrs)
 	for li := range op.levels {

@@ -9,6 +9,7 @@ import (
 	"pdmdict/internal/bucket"
 	"pdmdict/internal/expander"
 	"pdmdict/internal/extsort"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -155,7 +156,7 @@ func BuildStatic(m *pdm.Machine, cfg StaticConfig, recs []bucket.Record) (*Stati
 	if err := sd.layout(); err != nil {
 		return nil, err
 	}
-	defer m.Span("build")()
+	defer m.Span(obs.TagBuild)()
 	start := m.Stats()
 	if err := sd.construct(recs); err != nil {
 		return nil, err
@@ -270,7 +271,7 @@ func (sd *StaticDict) fieldSlot(j int) int {
 // blocks holding Γ(x)'s fields; CaseA additionally reads the d
 // membership buckets in the same batch, on its other d disks.
 func (sd *StaticDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
-	defer sd.m.Span("lookup")()
+	defer sd.m.Span(obs.TagLookup)()
 	d := sd.d
 	addrs := make([]pdm.Addr, 0, 2*d)
 	if sd.memb != nil {
@@ -635,9 +636,14 @@ func (sd *StaticDict) fillArray(bs *buildState) error {
 		if curRow < 0 || len(blocks) == 0 {
 			return
 		}
+		stripes := make([]int, 0, len(blocks))
+		for stripe := range blocks {
+			stripes = append(stripes, stripe)
+		}
+		sort.Ints(stripes) // fix batch order: map order would leak into the trace
 		writes := make([]pdm.BlockWrite, 0, len(blocks))
-		for stripe, blk := range blocks {
-			writes = append(writes, pdm.BlockWrite{Addr: sd.arr.addr(stripe, curRow), Data: blk})
+		for _, stripe := range stripes {
+			writes = append(writes, pdm.BlockWrite{Addr: sd.arr.addr(stripe, curRow), Data: blocks[stripe]})
 		}
 		sd.m.BatchWrite(writes)
 		for k := range blocks {

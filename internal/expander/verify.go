@@ -160,7 +160,13 @@ func examine(g Graph, s []uint64, rep *Report) {
 // the worst expansion observed. It is a statistical audit suitable for
 // the large universes the dictionaries actually use.
 func EstimateExpansion(g Graph, sizes []int, trials int, seed int64) Report {
-	rng := rand.New(rand.NewSource(seed))
+	return EstimateExpansionRNG(g, sizes, trials, rand.New(rand.NewSource(seed)))
+}
+
+// EstimateExpansionRNG is EstimateExpansion drawing from a
+// caller-threaded source, so a composite experiment can run several
+// audits off one seeded stream instead of inventing correlated seeds.
+func EstimateExpansionRNG(g Graph, sizes []int, trials int, rng *rand.Rand) Report {
 	rep := Report{MinGammaRatio: math.Inf(1)}
 	for _, n := range sizes {
 		for t := 0; t < trials; t++ {
@@ -213,7 +219,12 @@ func CommonNeighbors(g Graph, x, y uint64) int {
 // common neighbors" — with ε < 1/2, a stored key's ⌈2d/3⌉ fields always
 // outvote any impostor. This audit measures that margin.
 func MaxPairwiseCommon(g Graph, pairs int, seed int64) int {
-	rng := rand.New(rand.NewSource(seed))
+	return MaxPairwiseCommonRNG(g, pairs, rand.New(rand.NewSource(seed)))
+}
+
+// MaxPairwiseCommonRNG is MaxPairwiseCommon drawing from a
+// caller-threaded source.
+func MaxPairwiseCommonRNG(g Graph, pairs int, rng *rand.Rand) int {
 	max := 0
 	u := g.LeftSize()
 	for i := 0; i < pairs; i++ {

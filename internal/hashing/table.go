@@ -3,6 +3,7 @@ package hashing
 import (
 	"fmt"
 
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -147,7 +148,7 @@ func (t *Table) findInChain(key pdm.Word, visit func(stripe int, data []pdm.Word
 // one parallel I/O per stripe in x's bucket chain (exactly one in the
 // no-overflow regime).
 func (t *Table) Lookup(x pdm.Word) ([]pdm.Word, bool) {
-	defer t.m.Span("lookup")()
+	defer t.m.Span(obs.TagLookup)()
 	sat, ok := t.findInChain(x, nil)
 	if !ok {
 		return nil, false
@@ -171,7 +172,7 @@ func (t *Table) Insert(x pdm.Word, sat []pdm.Word) error {
 	if len(sat) != t.cfg.SatWords {
 		return fmt.Errorf("hashing: satellite of %d words, config says %d", len(sat), t.cfg.SatWords)
 	}
-	defer t.m.Span("insert")()
+	defer t.m.Span(obs.TagInsert)()
 	type seen struct {
 		stripe int
 		data   []pdm.Word
@@ -217,7 +218,7 @@ func (t *Table) Insert(x pdm.Word, sat []pdm.Word) error {
 
 // Delete removes x and reports whether it was present.
 func (t *Table) Delete(x pdm.Word) bool {
-	defer t.m.Span("delete")()
+	defer t.m.Span(obs.TagDelete)()
 	var lastStripe int
 	var lastData []pdm.Word
 	sat, ok := t.findInChain(x, func(stripe int, data []pdm.Word) {

@@ -3,6 +3,7 @@ package hashing
 import (
 	"fmt"
 
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -110,7 +111,7 @@ func (tl *TwoLevel) cellOf(x pdm.Word) (stripe, off int) {
 // Cost: one parallel I/O for the primary cell; one more only when the
 // cell carries a collision marker.
 func (tl *TwoLevel) Lookup(x pdm.Word) ([]pdm.Word, bool) {
-	defer tl.m.Span("lookup")()
+	defer tl.m.Span(obs.TagLookup)()
 	stripe, off := tl.cellOf(x)
 	data := tl.m.ReadStripe(stripe)
 	cell := data[off : off+2+tl.cfg.SatWords]
@@ -141,7 +142,7 @@ func (tl *TwoLevel) Insert(x pdm.Word, sat []pdm.Word) error {
 	if len(sat) != tl.cfg.SatWords {
 		return fmt.Errorf("hashing: satellite of %d words, config says %d", len(sat), tl.cfg.SatWords)
 	}
-	defer tl.m.Span("insert")()
+	defer tl.m.Span(obs.TagInsert)()
 	stripe, off := tl.cellOf(x)
 	data := tl.m.ReadStripe(stripe)
 	cell := data[off : off+2+tl.cfg.SatWords]
@@ -190,7 +191,7 @@ func (tl *TwoLevel) Insert(x pdm.Word, sat []pdm.Word) error {
 // are left in place (the cell stays routed to the secondary), matching
 // the structure's no-unmarking description in the paper.
 func (tl *TwoLevel) Delete(x pdm.Word) bool {
-	defer tl.m.Span("delete")()
+	defer tl.m.Span(obs.TagDelete)()
 	stripe, off := tl.cellOf(x)
 	data := tl.m.ReadStripe(stripe)
 	cell := data[off : off+2+tl.cfg.SatWords]

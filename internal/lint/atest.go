@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// atest is this package's miniature analysistest: it loads a fixture
+// package from testdata/src/<path>, runs one analyzer over it, and
+// compares the surviving diagnostics against `// want "regexp"`
+// comments in the fixture source. Each want comment expects, on its own
+// line, one diagnostic whose message matches the (quoted) regular
+// expression; several expectations may share a line:
+//
+//	m.Peek(a) // want `bypasses parallel-I/O accounting`
+//
+// Lines carrying a //lint:pdm-allow waiver expect no diagnostic at all
+// (suppression happens before comparison), which is how the escape
+// hatch itself is tested.
+func runFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	runFixtureSuite(t, []*Analyzer{a}, path)
+}
+
+// runFixtureSuite is runFixture over several analyzers at once, for
+// fixtures (like the suppression one) whose waivers span rules.
+func runFixtureSuite(t *testing.T, suite []*Analyzer, path string) {
+	t.Helper()
+	loader := NewLoader("testdata/src", "")
+	pkg, err := loader.Load(path, true)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := Run(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, suite)
+	if err != nil {
+		t.Fatalf("running suite on %s: %v", path, err)
+	}
+
+	wants := collectWants(t, pkg)
+	got := map[token.Position][]Diagnostic{}
+	for _, d := range diags {
+		key := token.Position{Filename: d.Pos.Filename, Line: d.Pos.Line}
+		got[key] = append(got[key], d)
+	}
+
+	for key, res := range wants {
+		ds := got[key]
+		delete(got, key)
+		if len(ds) != len(res) {
+			t.Errorf("%s:%d: want %d diagnostic(s), got %d: %v", key.Filename, key.Line, len(res), len(ds), ds)
+			continue
+		}
+		for _, re := range res {
+			matched := false
+			for _, d := range ds {
+				if re.MatchString(d.Message) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matching %q in %v", key.Filename, key.Line, re, ds)
+			}
+		}
+	}
+	for key, ds := range got {
+		for _, d := range ds {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", key.Filename, key.Line, d.Rule, d.Message)
+		}
+	}
+}
+
+// wantRE extracts the quoted expectations of a want comment: either
+// double-quoted or backquoted regexps after the word "want".
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// collectWants gathers the want expectations of every fixture file,
+// keyed by (filename, line).
+func collectWants(t *testing.T, pkg *Package) map[token.Position][]*regexp.Regexp {
+	t.Helper()
+	wants := map[token.Position][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// An expectation either opens the comment or follows an
+				// embedded "// want" (a waiver comment can carry one,
+				// since a line holds only a single // comment).
+				if !strings.HasPrefix(text, "want ") {
+					if j := strings.Index(text, "// want "); j >= 0 {
+						text = text[j+len("// "):]
+					} else {
+						continue
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := token.Position{Filename: pos.Filename, Line: pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					expr := m[1]
+					if m[2] != "" {
+						expr = m[2]
+					} else if expr != "" {
+						// A double-quoted expectation is a Go string:
+						// unescape it before compiling.
+						var err error
+						expr, err = unquote(expr)
+						if err != nil {
+							t.Fatalf("%s: bad want string %q: %v", key, m[1], err)
+						}
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquote interprets s as the contents of a double-quoted Go string.
+func unquote(s string) (string, error) {
+	return strconv.Unquote(`"` + s + `"`)
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestBatchErr(t *testing.T) {
+	runFixture(t, BatchErr, "batcherr/a")
+}

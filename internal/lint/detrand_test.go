@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestDetRandInScope(t *testing.T) {
+	runFixture(t, DetRand, "internal/core")
+}
+
+func TestDetRandOutOfScope(t *testing.T) {
+	runFixture(t, DetRand, "outofscope")
+}

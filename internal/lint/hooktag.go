@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HookTag enforces the tag partition property: every span tag passed to
+// a Span method (pdm.Machine.Span, the cache and B-tree forwarders, or
+// a span-valued field) must reference a constant declared in the
+// internal/obs tag registry. A literal string would open an accounting
+// bucket outside the registered set — a typo splits one phase's I/O
+// across two buckets and no report notices. The machine's own package
+// (pdm) is exempt: it synthesizes composite and fault tags, and the
+// registry test pins those spellings. A method that is itself named
+// Span may forward its own tag parameter (that is what a forwarder is).
+var HookTag = &Analyzer{
+	Name: "hooktag",
+	Doc: "span tags must be constants from the internal/obs tag registry, " +
+		"so per-tag I/O sums partition the machine's total parallel I/Os",
+	Run: runHookTag,
+}
+
+func runHookTag(pass *Pass) error {
+	if pass.Pkg.Name() == "pdm" {
+		// The machine synthesizes its own tags (span joining, fault.*).
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSpanCall(pass.Info, call) || len(call.Args) != 1 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if isObsConst(pass.Info, arg) {
+				return true
+			}
+			if isSpanForwarder(pass.Info, arg, stack) {
+				return true
+			}
+			pass.Reportf(call.Args[0], "span tag must be a constant from the internal/obs tag registry (obs.Tag*); "+
+				"a free-form tag breaks the per-tag partition of total I/O")
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpanCall reports whether call invokes a span opener: a callee named
+// Span (method or function value, e.g. a span field) with signature
+// func(string) func().
+func isSpanCall(info *types.Info, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	if name != "Span" && name != "span" {
+		return false
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if basic, ok := sig.Params().At(0).Type().Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return false
+	}
+	res, ok := sig.Results().At(0).Type().Underlying().(*types.Signature)
+	return ok && res.Params().Len() == 0 && res.Results().Len() == 0
+}
+
+// isObsConst reports whether expr references a constant declared in a
+// package named obs (the tag registry).
+func isObsConst(info *types.Info, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Name() == "obs"
+}
+
+// isSpanForwarder reports whether expr is the tag parameter of an
+// enclosing method itself named Span — the wrapper pattern (e.g.
+// cache.Cache.Span delegating to the machine).
+func isSpanForwarder(info *types.Info, expr ast.Expr, stack []ast.Node) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	fd := enclosingFuncDecl(stack)
+	if fd == nil || fd.Name.Name != "Span" || fd.Type.Params == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, pname := range field.Names {
+			if info.Defs[pname] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

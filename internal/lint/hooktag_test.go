@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHookTag(t *testing.T) {
+	runFixture(t, HookTag, "hooktag/a")
+}

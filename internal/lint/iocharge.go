@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// IOCharge enforces the accounting boundary of the cost model: outside
+// internal/pdm, every block access must flow through the accounted
+// batch methods (BatchRead/BatchWrite/TryBatchRead/TryBatchWrite and
+// the single-block wrappers built on them). The unaccounted escape
+// hatches — Peek and VerifyChecksums, which read backing storage
+// without charging a parallel I/O — are reserved for tests and
+// explicitly waived diagnostics paths; silent use would make Figure 1's
+// measured I/O counts undercount real work. The analyzer also rejects
+// retaining an alias of Event.Addrs, which the machine only guarantees
+// for the duration of the hook call.
+var IOCharge = &Analyzer{
+	Name: "iocharge",
+	Doc: "block access outside internal/pdm must go through the accounted batch methods; " +
+		"Peek/VerifyChecksums bypass parallel-I/O accounting, and retained Event.Addrs alias the machine's batch buffer",
+	Run: runIOCharge,
+}
+
+// uncharged are the Machine methods that touch backing storage without
+// accounting parallel I/Os.
+var uncharged = map[string]bool{
+	"Peek":            true,
+	"VerifyChecksums": true,
+}
+
+func runIOCharge(pass *Pass) error {
+	if pass.Pkg.Name() == "pdm" {
+		// The machine's own package owns the backing storage.
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn != nil && uncharged[fn.Name()] && isMethodOn(fn, "pdm", "Machine") {
+					pass.Reportf(n, "pdm.Machine.%s reads backing storage without charging parallel I/Os; "+
+						"use BatchRead/TryBatchRead, or waive a diagnostics-only path with //lint:pdm-allow iocharge", fn.Name())
+				}
+			case *ast.SelectorExpr:
+				if n.Sel.Name == "Addrs" && isNamed(pass.Info.TypeOf(n.X), "pdm", "Event") {
+					if retainsAlias(n, stack) {
+						pass.Reportf(n, "retaining pdm.Event.Addrs aliases the machine's batch buffer, which is only valid "+
+							"during the hook call; copy it first (append([]pdm.Addr(nil), e.Addrs...))")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// retainsAlias reports whether the Event.Addrs selector at the top of
+// the walk is being stored somewhere that outlives the hook call: as a
+// composite-literal field value, or assigned through a selector or
+// index expression (a field or slot of a longer-lived object). Local
+// reads — ranging, indexing, len, passing onward — are fine.
+func retainsAlias(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.KeyValueExpr:
+		return parent.Value == sel
+	case *ast.CompositeLit:
+		for _, elt := range parent.Elts {
+			if elt == sel {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if rhs != sel || i >= len(parent.Lhs) {
+				continue
+			}
+			switch parent.Lhs[i].(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				return true
+			}
+		}
+	}
+	return false
+}

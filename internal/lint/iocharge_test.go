@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestIOCharge(t *testing.T) {
+	runFixture(t, IOCharge, "iocharge/a")
+}

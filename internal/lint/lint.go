@@ -1,0 +1,222 @@
+// Package lint implements pdmlint, the repo-specific static-analysis
+// suite that guards the invariants the paper's bounds rest on but the
+// compiler cannot see:
+//
+//   - iocharge: all block access outside internal/pdm flows through the
+//     accounted batch methods, so parallel-I/O counts stay exact.
+//   - batcherr: the error result of every fault-aware access is
+//     consulted, so degraded-mode correctness cannot silently rot.
+//   - detrand: no unseeded randomness, wall clock, or order-unstable
+//     map iteration reaches a measured or serialized path, so the same
+//     seed yields byte-identical traces.
+//   - hooktag: every span tag is a constant from the internal/obs tag
+//     registry, so per-tag I/O sums partition the machine's total.
+//
+// The package is a deliberately small stand-in for golang.org/x/tools'
+// go/analysis framework (which this module does not depend on): an
+// Analyzer inspects one type-checked package through a Pass and reports
+// Diagnostics. cmd/pdmlint drives the analyzers either standalone or as
+// a `go vet -vettool` unit checker; analyzers are tested hermetically
+// against fixtures under testdata/src (see atest.go).
+//
+// Any finding can be waived at a deliberate, documented call site with
+// a trailing or preceding comment of the form
+//
+//	//lint:pdm-allow <rule>[,<rule>...]: reason
+//
+// The reason is not parsed but, by convention, mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String formats the diagnostic the way `go vet` prints findings.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and pdm-allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// All returns the full pdmlint suite.
+func All() []*Analyzer {
+	return []*Analyzer{IOCharge, BatchErr, DetRand, HookTag}
+}
+
+// ByName returns the analyzer with the given rule name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding anchored at n.
+func (p *Pass) Reportf(n ast.Node, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(n.Pos()),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing n is a _test.go file.
+func (p *Pass) IsTestFile(n ast.Node) bool {
+	return strings.HasSuffix(p.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// surviving diagnostics (pdm-allow-suppressed findings are dropped),
+// sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = filterAllowed(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// allowKey identifies one (file, line) pair carrying a pdm-allow waiver.
+type allowKey struct {
+	file string
+	line int
+}
+
+// filterAllowed drops diagnostics waived by a //lint:pdm-allow comment
+// on the same line or the line directly above.
+func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	allow := map[allowKey]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules := parseAllow(c.Text)
+				if rules == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := allowKey{pos.Filename, pos.Line}
+				if allow[k] == nil {
+					allow[k] = map[string]bool{}
+				}
+				for _, r := range rules {
+					allow[k][r] = true
+				}
+			}
+		}
+	}
+	if len(allow) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		sameLine := allow[allowKey{d.Pos.Filename, d.Pos.Line}]
+		lineAbove := allow[allowKey{d.Pos.Filename, d.Pos.Line - 1}]
+		if sameLine[d.Rule] || lineAbove[d.Rule] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// parseAllow extracts the rule names from a //lint:pdm-allow comment,
+// or returns nil if the comment is not one.
+func parseAllow(text string) []string {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	const prefix = "lint:pdm-allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	// Everything after a ':' is the human reason.
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	var rules []string
+	for _, f := range fields {
+		if f != "" {
+			rules = append(rules, f)
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	return rules
+}
+
+// inspectWithStack walks root calling fn with each node and the stack of
+// its ancestors (outermost first, not including n itself). If fn returns
+// false the node's children are skipped.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

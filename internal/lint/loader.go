@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages from a directory tree without
+// consulting the network, the build cache, or GOPATH: every import —
+// including standard-library paths — must resolve to a directory under
+// root. Fixture trees satisfy this by shipping tiny fakes of the
+// packages the analyzers match on (pdm, obs, math/rand, time), which
+// keeps analyzer tests hermetic and fast. The real repository is
+// analyzed through the go-vet unit-checker protocol instead (see
+// unitchecker.go), where the toolchain supplies export data.
+type Loader struct {
+	Fset *token.FileSet
+
+	root   string // filesystem root imports resolve under
+	prefix string // optional module path prefix mapped onto root ("" for fixtures)
+
+	pkgs map[string]*types.Package
+}
+
+// NewLoader returns a loader resolving imports under root. A non-empty
+// prefix maps the module path onto root: with prefix "pdmdict", the
+// import "pdmdict/internal/pdm" resolves to root/internal/pdm.
+func NewLoader(root, prefix string) *Loader {
+	return &Loader{
+		Fset:   token.NewFileSet(),
+		root:   root,
+		prefix: prefix,
+		pkgs:   map[string]*types.Package{},
+	}
+}
+
+// dirFor maps an import path to its directory under root.
+func (l *Loader) dirFor(path string) string {
+	rel := path
+	if l.prefix != "" {
+		if path == l.prefix {
+			rel = "."
+		} else if strings.HasPrefix(path, l.prefix+"/") {
+			rel = path[len(l.prefix)+1:]
+		}
+	}
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// parseDir parses the package's files in dir, in sorted name order.
+// Test files are included only when includeTests is set (dependencies
+// never include them).
+func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer for dependency resolution.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	files, err := l.parseDir(l.dirFor(path), false)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w (the loader resolves imports only under %s; fixtures must ship a local fake)", path, err, l.root)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Load type-checks the package at the given import path (resolved under
+// root) with full type information, for analysis.
+func (l *Loader) Load(path string, includeTests bool) (*Package, error) {
+	files, err := l.parseDir(l.dirFor(path), includeTests)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVettoolRepoIsClean builds cmd/pdmlint and runs it over the whole
+// repository through `go vet -vettool`: the tree must carry zero
+// diagnostics, and the run exercises the vettool protocol (version
+// probe, flag probe, per-unit config with gc export data) end to end
+// against the real toolchain.
+func TestVettoolRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds and re-vets the repo; skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not available: %v", err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "pdmlint")
+	build := exec.Command(goTool, "build", "-o", bin, "./cmd/pdmlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pdmlint: %v\n%s", err, out)
+	}
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	var buf bytes.Buffer
+	vet.Stdout = &buf
+	vet.Stderr = &buf
+	if err := vet.Run(); err != nil {
+		t.Errorf("pdmlint is not clean over the repository: %v\n%s", err, buf.String())
+	}
+}

@@ -1,0 +1,38 @@
+package a
+
+import "pdmfix/pdm"
+
+type dict struct{}
+
+func (dict) LookupTry(k pdm.Word) ([]pdm.Word, bool, error) { return nil, false, nil }
+func (dict) ContainsTry(k pdm.Word) (bool, error)           { return false, nil }
+func (dict) Lookup(k pdm.Word) ([]pdm.Word, bool)           { return nil, false }
+
+func bad(m *pdm.Machine, d dict, addrs []pdm.Addr) {
+	m.TryBatchRead(addrs)      // want `discarded`
+	m.TryBatchWrite(nil)       // want `discarded`
+	defer m.TryBatchWrite(nil) // want `go/defer`
+	go m.TryBatchRead(addrs)   // want `go/defer`
+
+	blocks, _ := m.TryBatchRead(addrs) // want `blank identifier`
+	_ = blocks
+	sat, ok, _ := d.LookupTry(1) // want `blank identifier`
+	_, _ = sat, ok
+	has, _ := d.ContainsTry(2) // want `blank identifier`
+	_ = has
+
+	d.Lookup(1) // ok: the infallible path has no error to consult
+}
+
+func good(m *pdm.Machine, d dict, addrs []pdm.Addr) error {
+	if _, err := m.TryBatchRead(addrs); err != nil {
+		return err
+	}
+	if err := m.TryBatchWrite(nil); err != nil {
+		return err
+	}
+	if _, _, err := d.LookupTry(1); err != nil {
+		return err
+	}
+	return m.TryBatchWrite(nil) // ok: the error propagates to the caller
+}

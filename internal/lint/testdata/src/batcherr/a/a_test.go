@@ -1,0 +1,9 @@
+package a
+
+import "pdmfix/pdm"
+
+// batcherr applies to tests too: a degraded-mode test that drops the
+// error is not testing degraded mode.
+func inTest(m *pdm.Machine) {
+	m.TryBatchRead(nil) // want `discarded`
+}

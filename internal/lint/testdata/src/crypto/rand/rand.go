@@ -1,0 +1,4 @@
+// Package rand fakes crypto/rand; detrand rejects its import outright.
+package rand
+
+func Read(b []byte) (int, error) { return len(b), nil }

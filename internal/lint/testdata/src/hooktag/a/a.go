@@ -1,0 +1,36 @@
+package a
+
+import (
+	"pdmfix/obs"
+	"pdmfix/pdm"
+)
+
+const localTag = "local"
+
+type wrapped struct {
+	m    *pdm.Machine
+	span func(tag string) func()
+}
+
+func ops(m *pdm.Machine, w *wrapped) {
+	defer m.Span(obs.TagLookup)() // ok: registry constant
+	defer m.Span("lookup")()      // want `internal/obs tag registry`
+	defer m.Span(localTag)()      // want `internal/obs tag registry`
+	defer w.span(obs.TagInsert)() // ok: registry constant through a field
+	defer w.span("insert")()      // want `internal/obs tag registry`
+}
+
+// Span forwards its own tag parameter: the wrapper pattern is allowed,
+// the call sites of the wrapper are checked instead.
+func (w *wrapped) Span(tag string) func() { return w.m.Span(tag) }
+
+// leak is not a Span forwarder: routing a free-form string into the
+// machine opens an unregistered accounting bucket.
+func leak(m *pdm.Machine, tag string) func() {
+	return m.Span(tag) // want `internal/obs tag registry`
+}
+
+func dynamic(m *pdm.Machine, e pdm.Event) {
+	end := m.Span(e.Tag) // want `internal/obs tag registry`
+	end()
+}

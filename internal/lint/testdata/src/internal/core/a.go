@@ -1,0 +1,63 @@
+package core
+
+import (
+	crand "crypto/rand" // want `crypto/rand`
+	"math/rand"
+	"time"
+
+	"pdmfix/pdm"
+)
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: constructors are the sanctioned path
+	return rng.Intn(10)                   // ok: method on an explicitly seeded *rand.Rand
+}
+
+func global() int {
+	rand.Seed(1)       // want `process-global`
+	_ = rand.Float64() // want `process-global`
+	_ = rand.Perm(4)   // want `process-global`
+	return rand.Intn(3) // want `process-global`
+}
+
+func clock() int64 {
+	t := time.Now()   // want `wall clock`
+	_ = time.Since(t) // want `wall clock`
+	return t.Unix()
+}
+
+func fill(b []byte) {
+	crand.Read(b)
+}
+
+type enc struct{}
+
+func (enc) Encode(v interface{}) error { return nil }
+
+func dumpSorted(e enc, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: keys are collected, sorted elsewhere, then emitted
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		e.Encode(k)
+	}
+}
+
+func dumpUnsorted(e enc, m map[string]int) {
+	for k, v := range m { // want `map iteration order`
+		_ = v
+		e.Encode(k)
+	}
+}
+
+func batchFromMap(m *pdm.Machine, dirty map[int]bool) []pdm.Addr {
+	var addrs []pdm.Addr
+	for d := range dirty { // want `map iteration order`
+		addrs = append(addrs, pdm.Addr{Disk: d})
+	}
+	return addrs
+}
+
+func sortStrings([]string) {}

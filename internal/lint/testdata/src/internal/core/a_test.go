@@ -1,0 +1,12 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// detrand exempts test files: tests may use ambient entropy and clocks.
+func inTest() int {
+	_ = time.Now()
+	return rand.Intn(3)
+}

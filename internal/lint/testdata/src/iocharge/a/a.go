@@ -1,0 +1,28 @@
+package a
+
+import "pdmfix/pdm"
+
+func uncharged(m *pdm.Machine, a pdm.Addr) {
+	m.Peek(a)                  // want `without charging parallel I/Os`
+	m.VerifyChecksums()        // want `without charging parallel I/Os`
+	m.BatchRead([]pdm.Addr{a}) // ok: accounted path
+	_ = m.BatchRead            // ok: method value, not a call
+}
+
+type sink struct {
+	addrs []pdm.Addr
+	last  pdm.Event
+	byTag map[string][]pdm.Addr
+}
+
+func (s *sink) Event(e pdm.Event) {
+	s.addrs = e.Addrs                              // want `aliases the machine's batch buffer`
+	s.last = pdm.Event{Tag: e.Tag, Addrs: e.Addrs} // want `aliases the machine's batch buffer`
+	s.byTag[e.Tag] = e.Addrs                       // want `aliases the machine's batch buffer`
+	local := e.Addrs                               // ok: local read within the hook call
+	_ = local
+	s.addrs = append([]pdm.Addr(nil), e.Addrs...) // ok: copied
+	for _, a := range e.Addrs {                   // ok: read-only iteration
+		_ = a
+	}
+}

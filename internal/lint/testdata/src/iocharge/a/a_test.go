@@ -1,0 +1,10 @@
+package a
+
+import "pdmfix/pdm"
+
+// Tests may use the unaccounted accessors freely: that is what they are
+// for. No diagnostics expected in this file.
+func peekInTest(m *pdm.Machine, a pdm.Addr) []pdm.Word {
+	m.VerifyChecksums()
+	return m.Peek(a)
+}

@@ -1,0 +1,24 @@
+// Package rand fakes math/rand for the detrand fixtures (the loader
+// resolves every import, stdlib paths included, under testdata/src).
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func (r *Rand) Intn(n int) int      { return 0 }
+func (r *Rand) Uint64() uint64      { return 0 }
+func (r *Rand) Float64() float64    { return 0 }
+func (r *Rand) Perm(n int) []int    { return nil }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func Int() int                            { return 0 }
+func Intn(n int) int                      { return 0 }
+func Uint64() uint64                      { return 0 }
+func Float64() float64                    { return 0 }
+func Perm(n int) []int                    { return nil }
+func Shuffle(n int, swap func(i, j int))  {}
+func Seed(seed int64)                     {}

@@ -1,0 +1,15 @@
+// Package outofscope sits outside the deterministic core
+// (internal/{core,pdm,fault,expander,loadbalance,obs}), so detrand
+// leaves it alone. No diagnostics expected.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func global() int {
+	rand.Seed(1)
+	_ = time.Now()
+	return rand.Intn(3)
+}

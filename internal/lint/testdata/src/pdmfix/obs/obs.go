@@ -1,0 +1,9 @@
+// Package obs is a fixture-sized fake of the tag registry: hooktag
+// accepts any constant declared in a package named obs.
+package obs
+
+const (
+	TagLookup = "lookup"
+	TagInsert = "insert"
+	TagProbe  = "probe"
+)

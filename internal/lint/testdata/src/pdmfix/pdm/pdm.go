@@ -1,0 +1,32 @@
+// Package pdm is a fixture-sized fake of pdmdict/internal/pdm: the
+// analyzers match on package name, type names, and method signatures,
+// so this is all they need.
+package pdm
+
+type Word = uint64
+
+type Addr struct{ Disk, Block int }
+
+type BlockWrite struct {
+	Addr Addr
+	Data []Word
+}
+
+type Event struct {
+	Tag   string
+	Addrs []Addr
+	Steps int
+	Depth int
+}
+
+type Hook interface{ Event(Event) }
+
+type Machine struct{}
+
+func (m *Machine) BatchRead(addrs []Addr) [][]Word             { return nil }
+func (m *Machine) BatchWrite(writes []BlockWrite)              {}
+func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) { return nil, nil }
+func (m *Machine) TryBatchWrite(writes []BlockWrite) error     { return nil }
+func (m *Machine) Peek(a Addr) []Word                          { return nil }
+func (m *Machine) VerifyChecksums() []Addr                     { return nil }
+func (m *Machine) Span(tag string) func()                      { return func() {} }

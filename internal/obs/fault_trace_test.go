@@ -1,4 +1,4 @@
-package obs
+package obs_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 
 	"pdmdict/internal/core"
 	"pdmdict/internal/fault"
+	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
 
@@ -16,7 +17,7 @@ import (
 func TestFaultTraceDeterministic(t *testing.T) {
 	run := func() string {
 		var buf bytes.Buffer
-		w := NewJSONLWriter(&buf)
+		w := obs.NewJSONLWriter(&buf)
 		m := pdm.NewMachine(pdm.Config{D: 8, B: 32})
 		m.SetHook(w)
 		bd, err := core.NewBasic(m, core.BasicConfig{
@@ -54,7 +55,7 @@ func TestFaultTraceDeterministic(t *testing.T) {
 		t.Fatalf("trace lacks fault.* events:\n%.400s", t1)
 	}
 	// The trace round-trips: fault events are ordinary events.
-	evs, err := ReadEvents(strings.NewReader(t1))
+	evs, err := obs.ReadEvents(strings.NewReader(t1))
 	if err != nil {
 		t.Fatalf("ReadEvents: %v", err)
 	}

@@ -105,7 +105,7 @@ func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 	for _, e := range events {
 		end := func() {}
 		if e.Tag != "" {
-			end = m.Span(e.Tag)
+			end = m.Span(e.Tag) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
 		}
 		if e.Kind == pdm.EventWrite {
 			writes := make([]pdm.BlockWrite, len(e.Addrs))

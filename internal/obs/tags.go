@@ -1,0 +1,105 @@
+package obs
+
+import "sort"
+
+// Tag registry. Every span tag passed to (*pdm.Machine).Span — and every
+// fault tag the machine synthesizes itself — must be one of the
+// constants below. The registry is what makes per-tag accounting a
+// *partition* of the machine's total parallel I/Os: a tag outside the
+// registered set would open a cost bucket no report knows about, and a
+// typo ("lokup") would silently split one logical phase across two
+// buckets. The pdmlint hooktag analyzer enforces at build time that
+// every Span call site references one of these constants.
+//
+// The machine dot-joins nested span tags ("insert" inside "probe"
+// becomes "insert.probe"); IsRegisteredTag accepts such composites when
+// every path component is itself registered.
+const (
+	// Dictionary operation phases.
+	TagLookup   = "lookup"
+	TagInsert   = "insert"
+	TagDelete   = "delete"
+	TagProbe    = "probe"
+	TagScan     = "scan"
+	TagBuild    = "build"
+	TagBulkload = "bulkload"
+	TagRehash   = "rehash"
+	TagRebuild  = "rebuild"
+	TagRepair   = "repair"
+	TagScrub    = "scrub"
+
+	// Fault events synthesized by the machine itself (internal/pdm
+	// builds these as "fault." + FaultKind.String(); obs_tags_test
+	// asserts the two spellings never drift apart).
+	TagFaultFailstop  = "fault.failstop"
+	TagFaultTransient = "fault.transient"
+	TagFaultCorrupt   = "fault.corrupt"
+	TagFaultStall     = "fault.stall"
+	TagFaultChecksum  = "fault.checksum"
+
+	// TagUntagged is the bucket collectors report untagged batches
+	// under; it is never passed to Span.
+	TagUntagged = "(untagged)"
+)
+
+// registeredTags is the closed set of valid tags and tag components.
+var registeredTags = map[string]bool{
+	TagLookup:   true,
+	TagInsert:   true,
+	TagDelete:   true,
+	TagProbe:    true,
+	TagScan:     true,
+	TagBuild:    true,
+	TagBulkload: true,
+	TagRehash:   true,
+	TagRebuild:  true,
+	TagRepair:   true,
+	TagScrub:    true,
+
+	TagFaultFailstop:  true,
+	TagFaultTransient: true,
+	TagFaultCorrupt:   true,
+	TagFaultStall:     true,
+	TagFaultChecksum:  true,
+
+	TagUntagged: true,
+}
+
+// RegisteredTags returns the registry in sorted order.
+func RegisteredTags() []string {
+	out := make([]string, 0, len(registeredTags))
+	for t := range registeredTags {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsRegisteredTag reports whether tag is registered. A dot-joined span
+// path ("insert.probe") is registered when every component is; the
+// fault tags are registered verbatim (their dot is part of the name,
+// not a span join).
+func IsRegisteredTag(tag string) bool {
+	if registeredTags[tag] {
+		return true
+	}
+	// Decompose a span path left to right, preferring the longest
+	// registered component at each step so "fault.stall" inside a
+	// "lookup" span ("lookup.fault.stall") still decomposes.
+	for len(tag) > 0 {
+		matched := ""
+		for t := range registeredTags {
+			if len(t) > len(matched) && (tag == t || (len(tag) > len(t) && tag[:len(t)] == t && tag[len(t)] == '.')) {
+				matched = t
+			}
+		}
+		if matched == "" {
+			return false
+		}
+		if len(matched) == len(tag) {
+			return true
+		}
+		tag = tag[len(matched)+1:]
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+
+	"pdmdict/internal/pdm"
+)
+
+// The machine synthesizes fault tags as "fault." + FaultKind.String();
+// the registry must spell them identically or per-tag sums stop
+// partitioning the total.
+func TestFaultTagsMatchMachineSpelling(t *testing.T) {
+	want := map[pdm.FaultKind]string{
+		pdm.FaultFailStop:  TagFaultFailstop,
+		pdm.FaultTransient: TagFaultTransient,
+		pdm.FaultCorrupt:   TagFaultCorrupt,
+		pdm.FaultStall:     TagFaultStall,
+	}
+	for kind, tag := range want {
+		if got := "fault." + kind.String(); got != tag {
+			t.Errorf("machine spells %v events %q, registry says %q", kind, got, tag)
+		}
+	}
+	if !IsRegisteredTag("fault.checksum") {
+		t.Errorf("fault.checksum (detected corruption) missing from registry")
+	}
+}
+
+func TestRegisteredTagsSorted(t *testing.T) {
+	tags := RegisteredTags()
+	if !sort.StringsAreSorted(tags) {
+		t.Errorf("RegisteredTags not sorted: %v", tags)
+	}
+	seen := map[string]bool{}
+	for _, tag := range tags {
+		if seen[tag] {
+			t.Errorf("duplicate tag %q", tag)
+		}
+		seen[tag] = true
+		if !IsRegisteredTag(tag) {
+			t.Errorf("IsRegisteredTag(%q) = false for a registry member", tag)
+		}
+	}
+}
+
+func TestIsRegisteredTagComposites(t *testing.T) {
+	cases := []struct {
+		tag  string
+		want bool
+	}{
+		{"lookup", true},
+		{"insert.probe", true},
+		{"lookup.fault.stall", true}, // fault event inside a lookup span
+		{"fault.stall", true},
+		{"", false},
+		{"lokup", false},
+		{"insert.probing", false},
+		{"fault.", false},
+		{"fault.unknown", false},
+	}
+	for _, c := range cases {
+		if got := IsRegisteredTag(c.tag); got != c.want {
+			t.Errorf("IsRegisteredTag(%q) = %v, want %v", c.tag, got, c.want)
+		}
+	}
+}

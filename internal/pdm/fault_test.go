@@ -172,7 +172,9 @@ func TestFaultEventsDeterministic(t *testing.T) {
 			{Disk: 1, Block: 0}: {Kind: FaultStall, Stall: 2},
 		}})
 		for i := 0; i < 3; i++ {
-			m.TryBatchRead([]Addr{{Disk: 0, Block: 1}, {Disk: 1, Block: 0}, {Disk: 2, Block: 0}})
+			if _, err := m.TryBatchRead([]Addr{{Disk: 0, Block: 1}, {Disk: 1, Block: 0}, {Disk: 2, Block: 0}}); err == nil {
+				t.Fatal("expected fail-stop fault to surface as a batch error")
+			}
 		}
 		return h.lines, m.Stats().ParallelIOs
 	}
@@ -200,8 +202,12 @@ func TestEventStepsPartitionTotal(t *testing.T) {
 		{Disk: 2, Block: 0}: {Kind: FaultFailStop},
 	}})
 	for i := 0; i < 4; i++ {
-		m.TryBatchRead([]Addr{{Disk: 0, Block: 0}, {Disk: 1, Block: 0}, {Disk: 2, Block: 0}})
-		m.TryBatchWrite([]BlockWrite{{Addr: Addr{Disk: 0, Block: 1}, Data: []Word{1}}})
+		if _, err := m.TryBatchRead([]Addr{{Disk: 0, Block: 0}, {Disk: 1, Block: 0}, {Disk: 2, Block: 0}}); err == nil {
+			t.Fatal("expected fail-stop fault to surface as a batch error")
+		}
+		if err := m.TryBatchWrite([]BlockWrite{{Addr: Addr{Disk: 0, Block: 1}, Data: []Word{1}}}); err != nil {
+			t.Fatalf("unfaulted write failed: %v", err)
+		}
 	}
 	if got := m.Stats().ParallelIOs; h.steps != got {
 		t.Fatalf("event step sum %d != accounted total %d", h.steps, got)

@@ -154,9 +154,9 @@ func TestStatsSubReportsWindowedMaxBatch(t *testing.T) {
 
 func TestDepthCountsHistogram(t *testing.T) {
 	m := NewMachine(Config{D: 4, B: 2})
-	m.BatchRead([]Addr{{0, 0}})                 // depth 1
-	m.BatchRead([]Addr{{0, 0}, {1, 0}})         // depth 1
-	m.BatchRead([]Addr{{2, 0}, {2, 1}})         // depth 2
+	m.BatchRead([]Addr{{0, 0}})                    // depth 1
+	m.BatchRead([]Addr{{0, 0}, {1, 0}})            // depth 1
+	m.BatchRead([]Addr{{2, 0}, {2, 1}})            // depth 2
 	m.BatchWrite([]BlockWrite{{Addr: Addr{3, 0}}}) // depth 1
 	s := m.Stats()
 	if s.DepthCounts[0] != 3 || s.DepthCounts[1] != 1 {

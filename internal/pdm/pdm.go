@@ -191,9 +191,9 @@ type Machine struct {
 	stats   Stats
 	perDisk []int64 // block transfers per disk (reads + writes)
 
-	hook     Hook     // nil = no tracing
-	spans    []string // span stack; each entry is the dot-joined path
-	endSpan  func()   // shared pop closure, allocated once
+	hook     Hook          // nil = no tracing
+	spans    []string      // span stack; each entry is the dot-joined path
+	endSpan  func()        // shared pop closure, allocated once
 	injector FaultInjector // nil = faultless machine
 	degraded bool          // any data-threatening fault since last ClearDegraded
 	faults   int64         // lifetime fault event count

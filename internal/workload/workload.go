@@ -15,7 +15,13 @@ import (
 
 // Uniform returns n distinct keys drawn uniformly from [0, universe).
 func Uniform(n int, universe uint64, seed int64) []pdm.Word {
-	rng := rand.New(rand.NewSource(seed))
+	return UniformRNG(n, universe, rand.New(rand.NewSource(seed)))
+}
+
+// UniformRNG is Uniform drawing from a caller-threaded source, so a
+// composite experiment can generate several workloads off one seeded
+// stream instead of inventing correlated seeds.
+func UniformRNG(n int, universe uint64, rng *rand.Rand) []pdm.Word {
 	seen := make(map[pdm.Word]struct{}, n)
 	keys := make([]pdm.Word, 0, n)
 	for len(keys) < n {
@@ -43,7 +49,11 @@ func Sequential(n int, lo pdm.Word) []pdm.Word {
 // "webmail or http servers … highly random fashion" read mix of the
 // paper's motivation, skewed as real object stores are.
 func ZipfAccesses(keys []pdm.Word, m int, s float64, seed int64) []pdm.Word {
-	rng := rand.New(rand.NewSource(seed))
+	return ZipfAccessesRNG(keys, m, s, rand.New(rand.NewSource(seed)))
+}
+
+// ZipfAccessesRNG is ZipfAccesses drawing from a caller-threaded source.
+func ZipfAccessesRNG(keys []pdm.Word, m int, s float64, rng *rand.Rand) []pdm.Word {
 	z := rand.NewZipf(rng, s, 1, uint64(len(keys)-1))
 	out := make([]pdm.Word, m)
 	for i := range out {
@@ -97,7 +107,11 @@ var WriteHeavy = Mix{Lookup: 20, Insert: 60, Delete: 20}
 // fresh keys from the set in order (wrapping), lookups and deletes
 // target previously inserted keys (or miss, with probability missRate).
 func Ops(keys []pdm.Word, m int, mix Mix, missRate float64, seed int64) []Op {
-	rng := rand.New(rand.NewSource(seed))
+	return OpsRNG(keys, m, mix, missRate, rand.New(rand.NewSource(seed)))
+}
+
+// OpsRNG is Ops drawing from a caller-threaded source.
+func OpsRNG(keys []pdm.Word, m int, mix Mix, missRate float64, rng *rand.Rand) []Op {
 	total := mix.Lookup + mix.Insert + mix.Delete
 	if total <= 0 {
 		panic("workload: empty mix")
@@ -140,7 +154,12 @@ func Ops(keys []pdm.Word, m int, mix Mix, missRate float64, seed int64) []Op {
 // drives a hash table's worst case (all keys in one chain) while the
 // deterministic dictionaries are oblivious to it.
 func CollidingKeys(bucketOf func(pdm.Word) int, pilot pdm.Word, n int, universe uint64, seed int64) []pdm.Word {
-	rng := rand.New(rand.NewSource(seed))
+	return CollidingKeysRNG(bucketOf, pilot, n, universe, rand.New(rand.NewSource(seed)))
+}
+
+// CollidingKeysRNG is CollidingKeys drawing from a caller-threaded
+// source.
+func CollidingKeysRNG(bucketOf func(pdm.Word) int, pilot pdm.Word, n int, universe uint64, rng *rand.Rand) []pdm.Word {
 	target := bucketOf(pilot)
 	seen := map[pdm.Word]struct{}{pilot: {}}
 	keys := []pdm.Word{pilot}
