@@ -27,6 +27,11 @@
 // the fault-oblivious write path regardless (a write during a failure
 // lands everywhere, so repair or scrub afterwards).
 //
+// With -serve addr the shell also serves live observability endpoints
+// while it runs: Prometheus /metrics, /healthz (503 once the store is
+// degraded), /debug/events (recent I/O events as trace JSONL), and the
+// standard /debug/pprof profiles.
+//
 // stats reports, beyond the block count and total parallel I/Os, the
 // fault state (degraded flag, failed disks, fault event count) and the
 // hook-based observability view of the store: a per-tag breakdown
@@ -94,6 +99,8 @@ type store interface {
 func main() {
 	replicas := flag.Int("replicas", 0,
 		"replicate each record onto this many distinct disks (≥2 enables degraded reads, repair, scrub)")
+	serve := flag.String("serve", "",
+		"serve live /metrics, /healthz, /debug/events, and /debug/pprof on this address (e.g. :8080 or 127.0.0.1:0)")
 	flag.Parse()
 
 	var (
@@ -104,6 +111,8 @@ func main() {
 		disks    int
 	)
 	collector := obs.NewCollector()
+	ring := obs.NewRing(256)
+	hook := obs.Tee(collector, ring)
 	plan := fault.NewPlan(1)
 	switch {
 	case *replicas >= 2:
@@ -120,7 +129,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fskv:", err)
 			os.Exit(1)
 		}
-		b.SetHook(collector)
+		b.SetHook(hook)
 		b.SetFaultInjector(plan)
 		basic = b
 		dict = pdmdict.NewNamed(b, blockWords)
@@ -136,7 +145,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fskv:", err)
 			os.Exit(1)
 		}
-		base.SetHook(collector)
+		base.SetHook(hook)
 		base.SetFaultInjector(plan)
 		dict = pdmdict.NewNamed(base, blockWords)
 		degraded = base.Degraded
@@ -145,6 +154,21 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "fskv: -replicas must be ≥ 2 (or 0 to disable)")
 		os.Exit(1)
+	}
+
+	if *serve != "" {
+		srv := &obs.Server{
+			Collector: collector,
+			Ring:      ring,
+			Healthy:   func() bool { return !degraded() },
+		}
+		addr, stop, err := srv.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fskv:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("serving metrics on http://%s/metrics (health: /healthz, profiles: /debug/pprof/)\n", addr)
 	}
 
 	mode := "dynamic store"
@@ -294,6 +318,8 @@ func main() {
 			var sb strings.Builder
 			sb.WriteString("per-tag I/O breakdown:\n")
 			collector.RenderTags(&sb)
+			sb.WriteString("per-operation cost (modeled latency):\n")
+			collector.RenderOps(&sb)
 			sb.WriteString("per-disk transfers:\n")
 			collector.RenderPerDisk(&sb)
 			fmt.Print(sb.String())

@@ -4,20 +4,25 @@
 //
 // Usage:
 //
-//	pdmbench [-run regexp | -faults] [-md | -csv | -json] [-list] [-o file]
+//	pdmbench [-run regexp | -faults] [-md | -csv | -json] [-list]
+//	         [-out file] [-serve addr]
 //
-// -json emits the run as one JSON document (an array of tables) that
-// also carries the per-operation parallel-I/O histograms (log₂ buckets,
-// p50/p99/max) behind the summary rows — the text formats print only
-// the aggregates.
+// -json emits the run as one JSON document — {"schema_version": N,
+// "tables": [...]} — that also carries the per-operation parallel-I/O
+// histograms (log₂ buckets, p50/p99/max) behind the summary rows; the
+// text formats print only the aggregates. -out (alias -o) writes the
+// output to a file. -serve exposes live /metrics, /healthz, and
+// /debug/pprof endpoints while the suite runs: every machine the
+// experiments build reports into the served collector.
 //
 // Examples:
 //
 //	pdmbench -list                 # show the experiment index
 //	pdmbench -run fig1             # regenerate Figure 1
 //	pdmbench -run 'E[0-9]+' -md    # all E-experiments as markdown
-//	pdmbench -run tails -json      # E7 with full I/O histograms
-//	pdmbench -o results.txt        # full suite into a file
+//	pdmbench -run fig1 -json -out bench.json   # machine-readable report
+//	pdmbench -out results.txt                  # full suite into a file
+//	pdmbench -serve :8080                      # watch the run live
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"os"
 
 	"pdmdict/internal/bench"
+	"pdmdict/internal/obs"
 )
 
 func main() {
@@ -37,8 +43,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON document incl. per-op I/O histograms")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		faults   = flag.Bool("faults", false, "run the fault-tolerance scenario (shorthand for -run E14-faults)")
-		outPath  = flag.String("o", "", "write output to this file instead of stdout")
+		outPath  = flag.String("out", "", "write output to this file instead of stdout")
+		serve    = flag.String("serve", "", "serve live /metrics, /healthz, and /debug/pprof on this address while running")
 	)
+	flag.StringVar(outPath, "o", "", "alias for -out")
 	flag.Parse()
 
 	if *faults {
@@ -65,6 +73,20 @@ func main() {
 		}
 		defer f.Close()
 		out = f
+	}
+
+	if *serve != "" {
+		collector := obs.NewCollector()
+		ring := obs.NewRing(1024)
+		bench.SetHook(obs.Tee(collector, ring))
+		srv := &obs.Server{Collector: collector, Ring: ring}
+		addr, stop, err := srv.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdmbench:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "pdmbench: serving metrics on http://%s/metrics\n", addr)
 	}
 
 	format := bench.FormatText

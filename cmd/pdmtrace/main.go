@@ -9,12 +9,19 @@
 //	         [-in trace.txt | -gen N -mix read|write] [-capacity C]
 //	         [-sat words] [-degree d] [-block B] [-seed s] [-out trace.txt]
 //	         [-hist] [-trace events.jsonl]
+//	pdmtrace -spans events.jsonl [-topk K]
 //
 // -hist prints log₂-bucketed histograms of parallel I/Os per operation
 // plus a per-tag I/O breakdown and per-disk skew (via the hook-based
 // collector). -trace streams every I/O batch as one JSON object per
 // line — op kind, span tag, steps, depth, block addresses — replayable
 // with obs.Replay to reproduce the cost profile.
+//
+// -spans analyzes a recorded event trace offline: it folds the trace's
+// span events into per-operation records and prints per-tag parallel
+// I/O and modeled-latency quantiles, the top-K most expensive spans,
+// and a disk-skew timeline. Malformed traces are reported as file:line
+// and exit nonzero.
 //
 // Examples:
 //
@@ -51,8 +58,18 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "structure seed")
 		hist       = flag.Bool("hist", false, "print per-op I/O histograms, per-tag breakdown, and per-disk skew")
 		tracePath  = flag.String("trace", "", "stream I/O events to this JSONL file")
+		spansPath  = flag.String("spans", "", "analyze a recorded JSONL event trace: per-tag quantiles, top-K spans, skew timeline")
+		topk       = flag.Int("topk", 10, "how many expensive spans -spans reports")
 	)
 	flag.Parse()
+
+	if *spansPath != "" {
+		if err := runSpans(*spansPath, *topk, obs.CostModel{}, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pdmtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ops, err := loadOps(*inPath, *gen, *mix, *capacity)
 	if err != nil {

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"pdmdict/internal/obs"
+	"pdmdict/internal/pdm"
+)
+
+// runSpans is the -spans analyzer: it loads a recorded I/O event trace
+// (the JSONL that -trace writes), folds the span events back into
+// per-operation records, and reports per-tag step/latency quantiles, a
+// top-K of the most expensive operations, and a disk-skew timeline.
+// Malformed traces are reported as file:line and a non-nil error.
+func runSpans(path string, topk int, cost obs.CostModel, w io.Writer) error {
+	if cost == (obs.CostModel{}) {
+		// Resolve the default here so the report header shows the
+		// constants the latencies were actually computed with.
+		cost = obs.DefaultCostModel
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		var pe *obs.ParseError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("%s:%d: %v", path, pe.Line, pe.Err)
+		}
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	recs := obs.FoldSpans(events, cost)
+	if len(recs) == 0 {
+		fmt.Fprintf(w, "%s: %d events, no spans (record with a version %d trace)\n",
+			path, len(events), obs.TraceVersion)
+		return nil
+	}
+
+	fmt.Fprintf(w, "%s: %d events, %d spans\n", path, len(events), len(recs))
+	perTagQuantiles(w, recs, cost)
+	topK(w, recs, topk)
+	skewTimeline(w, events)
+	return nil
+}
+
+// tagAgg collects the spans of one tag for exact offline quantiles.
+type tagAgg struct {
+	steps   []int64
+	latency []time.Duration
+	faults  int64
+	blocks  int64
+}
+
+func perTagQuantiles(w io.Writer, recs []obs.OpRecord, cost obs.CostModel) {
+	agg := map[string]*tagAgg{}
+	for _, r := range recs {
+		a := agg[r.Tag]
+		if a == nil {
+			a = &tagAgg{}
+			agg[r.Tag] = a
+		}
+		a.steps = append(a.steps, r.Steps)
+		a.latency = append(a.latency, r.Latency)
+		a.faults += r.Faults
+		a.blocks += r.Blocks
+	}
+	tags := make([]string, 0, len(agg))
+	for tag := range agg {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+
+	fmt.Fprintf(w, "\nper-tag span cost (modeled latency: %v/step + %v/block)\n",
+		cost.StepCost, cost.BlockCost)
+	fmt.Fprintf(w, "%-24s %8s %10s %6s %6s %6s %12s %12s %7s\n",
+		"tag", "count", "avg pIOs", "p50", "p99", "max", "avg latency", "p99 latency", "faults")
+	for _, tag := range tags {
+		a := agg[tag]
+		sort.Slice(a.steps, func(i, j int) bool { return a.steps[i] < a.steps[j] })
+		sort.Slice(a.latency, func(i, j int) bool { return a.latency[i] < a.latency[j] })
+		n := len(a.steps)
+		var stepSum int64
+		for _, s := range a.steps {
+			stepSum += s
+		}
+		var latSum time.Duration
+		for _, l := range a.latency {
+			latSum += l
+		}
+		q := func(p float64) int64 { return a.steps[int(p*float64(n-1))] }
+		lq := func(p float64) time.Duration { return a.latency[int(p*float64(n-1))] }
+		fmt.Fprintf(w, "%-24s %8d %10.3f %6d %6d %6d %12s %12s %7d\n",
+			tag, n, float64(stepSum)/float64(n), q(0.5), q(0.99), a.steps[n-1],
+			(latSum / time.Duration(n)).Round(time.Microsecond),
+			lq(0.99).Round(time.Microsecond), a.faults)
+	}
+}
+
+func topK(w io.Writer, recs []obs.OpRecord, k int) {
+	byCost := append([]obs.OpRecord(nil), recs...)
+	sort.Slice(byCost, func(i, j int) bool {
+		a, b := byCost[i], byCost[j]
+		if a.Steps != b.Steps {
+			return a.Steps > b.Steps
+		}
+		if a.Blocks != b.Blocks {
+			return a.Blocks > b.Blocks
+		}
+		return a.ID < b.ID
+	})
+	if k > len(byCost) {
+		k = len(byCost)
+	}
+	fmt.Fprintf(w, "\ntop %d most expensive spans\n", k)
+	fmt.Fprintf(w, "%-6s %-24s %8s %8s %8s %12s %10s\n",
+		"span", "tag", "pIOs", "blocks", "faults", "latency", "steps")
+	for _, r := range byCost[:k] {
+		fmt.Fprintf(w, "%-6d %-24s %8d %8d %8d %12s [%d,%d)\n",
+			r.ID, r.Tag, r.Steps, r.Blocks, r.Faults,
+			r.Latency.Round(time.Microsecond), r.BeginStep, r.EndStep)
+	}
+}
+
+// skewTimeline replays the batch events through a Collector sized to
+// ~16 windows and prints how disk skew (max/mean transfers) evolved.
+func skewTimeline(w io.Writer, events []pdm.Event) {
+	var totalSteps int64
+	for _, e := range events {
+		if !e.Kind.IsSpan() {
+			totalSteps += int64(e.Steps)
+		}
+	}
+	if totalSteps == 0 {
+		return
+	}
+	c := obs.NewCollector()
+	c.WindowSteps = (totalSteps + 15) / 16
+	c.MaxWindows = 16
+	for _, e := range events {
+		c.Event(e)
+	}
+	windows := c.Windows()
+	if len(windows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ndisk skew timeline (max/mean transfers per %d-step window)\n", c.WindowSteps)
+	fmt.Fprintf(w, "%-18s %10s %6s\n", "steps", "blocks", "skew")
+	for _, win := range windows {
+		var sum, max int64
+		for _, v := range win.PerDisk {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		skew := 0.0
+		if sum > 0 && len(win.PerDisk) > 0 {
+			skew = float64(max) * float64(len(win.PerDisk)) / float64(sum)
+		}
+		fmt.Fprintf(w, "[%8d,%8d) %10d %6.2f\n", win.StartStep, win.EndStep, sum, skew)
+	}
+}

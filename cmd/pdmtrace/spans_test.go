@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdmdict"
+	"pdmdict/internal/obs"
+)
+
+func TestRunSpansReportsMalformedLineAndFails(t *testing.T) {
+	var out strings.Builder
+	err := runSpans(filepath.Join("testdata", "truncated.jsonl"), 5, obs.CostModel{}, &out)
+	if err == nil {
+		t.Fatal("truncated trace must return an error (main exits nonzero)")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "truncated.jsonl:4") {
+		t.Errorf("error %q does not point at file:line (want ...truncated.jsonl:4)", msg)
+	}
+}
+
+func TestRunSpansMissingFileFails(t *testing.T) {
+	if err := runSpans(filepath.Join("testdata", "no-such.jsonl"), 5, obs.CostModel{}, &strings.Builder{}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRunSpansAnalyzesRecordedTrace(t *testing.T) {
+	// Record a real workload — the dictionary wraps every operation in a
+	// span — then analyze the trace and check the report has per-tag
+	// quantiles, the top-K table, and the skew timeline.
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewJSONLWriter(f)
+	dict, err := pdmdict.New(pdmdict.Options{Capacity: 256, SatWords: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict.SetHook(w)
+	for i := 0; i < 64; i++ {
+		if err := dict.Insert(pdmdict.Word(i+1), []pdmdict.Word{pdmdict.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		dict.Lookup(pdmdict.Word(i + 1))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runSpans(path, 5, obs.CostModel{}, &out); err != nil {
+		t.Fatalf("runSpans: %v", err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"per-tag span cost", "insert", "lookup",
+		"top 5 most expensive spans", "disk skew timeline",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}

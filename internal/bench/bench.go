@@ -142,6 +142,18 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// ReportSchemaVersion identifies the JSON document shape pdmbench
+// emits. Version 1 was a bare array of tables; version 2 wrapped it in
+// a Report so the schema can evolve without breaking consumers. Bump
+// this whenever Report or Table changes shape.
+const ReportSchemaVersion = 2
+
+// Report is the top-level JSON document of a -json run.
+type Report struct {
+	SchemaVersion int     `json:"schema_version"`
+	Tables        []Table `json:"tables"`
+}
+
 // Format selects a Table rendering.
 type Format int
 
@@ -150,9 +162,9 @@ const (
 	FormatText Format = iota
 	FormatMarkdown
 	FormatCSV
-	// FormatJSON emits the whole run as one JSON document — an array of
-	// Table objects, including the per-operation I/O histograms that the
-	// text formats omit.
+	// FormatJSON emits the whole run as one JSON document — a Report
+	// carrying schema_version and the Table objects, including the
+	// per-operation I/O histograms that the text formats omit.
 	FormatJSON
 )
 
@@ -193,7 +205,7 @@ func RunFormat(pattern string, w io.Writer, format Format) ([]Table, error) {
 	if format == FormatJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(all); err != nil {
+		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: all}); err != nil {
 			return nil, fmt.Errorf("bench: encoding JSON: %w", err)
 		}
 	}

@@ -54,7 +54,7 @@ func runSeqCache() []Table {
 	var results []result
 
 	runBTree := func(pattern string, accesses []pdm.Word, cacheBlocks int) {
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		var store btree.Storage = m
 		var cc *cache.Cache
 		name := "B-tree (no cache)"
@@ -88,7 +88,7 @@ func runSeqCache() []Table {
 	}
 
 	runDict := func(pattern string, accesses []pdm.Word) {
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: 1, Seed: 202})
 		if err != nil {
 			panic(err)

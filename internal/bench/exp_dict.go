@@ -38,14 +38,14 @@ func runThm6() []Table {
 			if cs == core.CaseA {
 				disks = 2 * d
 			}
-			m := pdm.NewMachine(pdm.Config{D: disks, B: b})
+			m := newMachine(pdm.Config{D: disks, B: b})
 			sd, err := core.BuildStatic(m, core.StaticConfig{SatWords: sat, Case: cs, Seed: uint64(n)}, recs)
 			if err != nil {
 				panic(err)
 			}
 
 			// Baseline: sort nd two-word records on an identical machine.
-			ms := pdm.NewMachine(pdm.Config{D: disks, B: b})
+			ms := newMachine(pdm.Config{D: disks, B: b})
 			v := &extsort.Vec{M: ms, Start: 0, RecWords: 2, N: n * d}
 			data := make([]pdm.Word, v.Words())
 			rng := rand.New(rand.NewSource(int64(n) + 1))
@@ -92,7 +92,7 @@ func runThm7() []Table {
 	n := 4096
 	for _, eps := range []float64{0.5, 0.25, 0.1} {
 		d := int(6*(1+1/eps)) + 2 // minimal degree satisfying the theorem
-		m := pdm.NewMachine(pdm.Config{D: 2 * d, B: 64})
+		m := newMachine(pdm.Config{D: 2 * d, B: 64})
 		dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: 1, Epsilon: eps, Seed: uint64(d)})
 		if err != nil {
 			panic(err)
@@ -135,7 +135,7 @@ func runThm7() []Table {
 		Title:   "level occupancy decay (ɛ=0.5): the geometric cascade of §4.3",
 		Columns: []string{"level", "keys", "fraction"},
 	}
-	m := pdm.NewMachine(pdm.Config{D: 40, B: 64})
+	m := newMachine(pdm.Config{D: 40, B: 64})
 	dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: 1, Seed: 99})
 	if err != nil {
 		panic(err)
@@ -173,7 +173,7 @@ func runBTree() []Table {
 		probe := workload.ZipfAccesses(keys, 2000, 1.2, int64(n))
 
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			tr, err := btree.New(m, btree.Config{SatWords: 1})
 			if err != nil {
 				panic(err)
@@ -190,7 +190,7 @@ func runBTree() []Table {
 			t.AddRow("B-tree (block nodes)", n, hit.avg(), hit.max(), fmt.Sprintf("height=%d fanout=%d", tr.Height(), tr.Fanout()))
 		}
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			tr, err := btree.New(m, btree.Config{SatWords: 1, Striped: true})
 			if err != nil {
 				panic(err)
@@ -207,7 +207,7 @@ func runBTree() []Table {
 			t.AddRow("B-tree (striped nodes)", n, hit.avg(), hit.max(), fmt.Sprintf("height=%d fanout=%d", tr.Height(), tr.Fanout()))
 		}
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: 1, Seed: uint64(n)})
 			if err != nil {
 				panic(err)
@@ -286,7 +286,7 @@ func runAblateCascade() []Table {
 	}
 	n := 2048
 	for _, slack := range []float64{1.5, 2, 4, 6} {
-		m := pdm.NewMachine(pdm.Config{D: 40, B: 64})
+		m := newMachine(pdm.Config{D: 40, B: 64})
 		dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: 1, Slack: slack, Seed: 91})
 		if err != nil {
 			panic(err)
@@ -340,7 +340,7 @@ func runAblateK() []Table {
 	n, d, b := 512, 16, 64
 	for _, k := range []int{1, 4, d / 2} {
 		sigma := 4 * k // satellite scales with the fragment count
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: sigma, K: k, Seed: uint64(k)})
 		if err != nil {
 			panic(err)

@@ -167,7 +167,7 @@ func runAblateStriping() []Table {
 	probes := expander.SampleSet(u, 400, rand.New(rand.NewSource(71)))
 
 	probeCost := func(g expander.Graph, model pdm.Model, mapAddr func(y int) pdm.Addr) (float64, int64) {
-		m := pdm.NewMachine(pdm.Config{D: d, B: b, Model: model})
+		m := newMachine(pdm.Config{D: d, B: b, Model: model})
 		var mt meter
 		buf := make([]int, 0, g.Degree())
 		for _, x := range probes {
@@ -224,7 +224,7 @@ func runAblateStriping() []Table {
 	n := 400
 	keys := expander.SampleSet(1<<44, n, rand.New(rand.NewSource(73)))
 	runDict := func(name string, model pdm.Model, headMode bool) {
-		m := pdm.NewMachine(pdm.Config{D: 12, B: 64, Model: model})
+		m := newMachine(pdm.Config{D: 12, B: 64, Model: model})
 		bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: 1, HeadModel: headMode, Seed: 74})
 		if err != nil {
 			panic(err)

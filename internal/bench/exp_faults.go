@@ -52,7 +52,7 @@ func runFaults() []Table {
 
 	keys := workload.Uniform(n, 1<<62, seed)
 	build := func(k int) (*pdm.Machine, *core.BasicDict, *fault.Plan) {
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		bd, err := core.NewBasic(m, core.BasicConfig{
 			Capacity: n, SatWords: 2, K: k, Replicate: true, Seed: seed,
 		})

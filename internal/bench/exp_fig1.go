@@ -59,7 +59,7 @@ func fig1Runners(n, d, b, satWords int, seed uint64) []runner {
 	sw := d * b // one table's stripe width in words
 
 	{ // [7]: bucketed hashing, Θ(log n) buckets — O(1) whp.
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		t, err := hashing.NewTable(m, hashing.DGMConfig(n, satWords, seed))
 		if err != nil {
 			panic(err)
@@ -73,7 +73,7 @@ func fig1Runners(n, d, b, satWords int, seed uint64) []runner {
 		})
 	}
 	{ // Section 4.1 BasicDict, k = 1.
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: satWords, Seed: seed})
 		if err != nil {
 			panic(err)
@@ -88,7 +88,7 @@ func fig1Runners(n, d, b, satWords int, seed uint64) []runner {
 		})
 	}
 	{ // Cuckoo hashing [13].
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		c, err := hashing.NewCuckoo(m, hashing.CuckooConfig{Capacity: n, SatWords: satWords, Seed: seed})
 		if err != nil {
 			panic(err)
@@ -103,7 +103,7 @@ func fig1Runners(n, d, b, satWords int, seed uint64) []runner {
 		})
 	}
 	{ // [7] + trick.
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		tl, err := hashing.NewTwoLevel(m, hashing.TwoLevelConfig{Capacity: n, SatWords: satWords, Seed: seed})
 		if err != nil {
 			panic(err)
@@ -118,7 +118,7 @@ func fig1Runners(n, d, b, satWords int, seed uint64) []runner {
 		})
 	}
 	{ // Section 4.3 dynamic cascade (on 2d disks, like the paper's 2d).
-		m := pdm.NewMachine(pdm.Config{D: 2 * d, B: b})
+		m := newMachine(pdm.Config{D: 2 * d, B: b})
 		dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: satWords, Seed: seed})
 		if err != nil {
 			panic(err)
@@ -209,7 +209,7 @@ func runTails() []Table {
 	// dictionary — an adversary who knows the (deterministic) structure
 	// still cannot hurt it beyond its worst-case bound.
 	seedTable := func() (*hashing.Table, *pdm.Machine) {
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		tab, err := hashing.NewTable(m, hashing.TableConfig{Capacity: n, Seed: 52})
 		if err != nil {
 			panic(err)
@@ -225,7 +225,7 @@ func runTails() []Table {
 			cost: func() int64 { return m.Stats().ParallelIOs }}
 	}
 	mkBasic := func() runner {
-		m := pdm.NewMachine(pdm.Config{D: d, B: b})
+		m := newMachine(pdm.Config{D: d, B: b})
 		bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, Seed: 54})
 		if err != nil {
 			panic(err)
@@ -234,7 +234,7 @@ func runTails() []Table {
 			cost: func() int64 { return m.Stats().ParallelIOs }}
 	}
 	mkDyn := func() runner {
-		m := pdm.NewMachine(pdm.Config{D: 2 * d, B: b})
+		m := newMachine(pdm.Config{D: 2 * d, B: b})
 		dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, Seed: 55})
 		if err != nil {
 			panic(err)
@@ -278,7 +278,7 @@ func runBandwidth() []Table {
 
 		// §4.1 with k = d/2: bandwidth O(BD/log n).
 		if sigma <= sw/2/log2(n)*d/2 { // conservative feasibility guard
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: sigma, K: d / 2, Seed: 61})
 			if err == nil {
 				r := runner{insert: bd.Insert, lookup: bd.Contains,
@@ -289,7 +289,7 @@ func runBandwidth() []Table {
 		}
 		// Cuckoo: bandwidth BD/2.
 		if 2+sigma <= sw/2 {
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			c, err := hashing.NewCuckoo(m, hashing.CuckooConfig{Capacity: n, SatWords: sigma, Seed: 62})
 			if err == nil {
 				r := runner{insert: c.Insert, lookup: c.Contains,
@@ -300,7 +300,7 @@ func runBandwidth() []Table {
 		}
 		// §4.3 dynamic: bandwidth O(BD) at 1+ɛ average.
 		{
-			m := pdm.NewMachine(pdm.Config{D: 2 * d, B: b})
+			m := newMachine(pdm.Config{D: 2 * d, B: b})
 			dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: sigma, Seed: 63})
 			if err == nil {
 				r := runner{insert: dd.Insert, lookup: dd.Contains,
@@ -311,7 +311,7 @@ func runBandwidth() []Table {
 		}
 		// [7]+trick: bandwidth O(BD) at 1+ɛ average.
 		if 2+sigma <= sw {
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			tl, err := hashing.NewTwoLevel(m, hashing.TwoLevelConfig{Capacity: n, SatWords: sigma, Seed: 64})
 			if err == nil {
 				r := runner{insert: tl.Insert, lookup: tl.Contains,

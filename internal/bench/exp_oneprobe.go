@@ -43,7 +43,7 @@ func runOneProbe() []Table {
 	}
 
 	{ // Theorem 7 cascade (2d disks) with tight slack so deep keys exist.
-		m := pdm.NewMachine(pdm.Config{D: 2 * d, B: b})
+		m := newMachine(pdm.Config{D: 2 * d, B: b})
 		dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: sigma, Epsilon: 0.9, Slack: 3, Seed: 302})
 		if err != nil {
 			panic(err)
@@ -67,7 +67,7 @@ func runOneProbe() []Table {
 			deepOf(dd.LevelCounts()), dd.BlocksPerDisk())
 	}
 	{ // Section 6 one-probe (4d disks, 3 levels).
-		m := pdm.NewMachine(pdm.Config{D: 4 * d, B: b})
+		m := newMachine(pdm.Config{D: 4 * d, B: b})
 		op, err := core.NewOneProbe(m, core.OneProbeConfig{Capacity: n, SatWords: sigma, Slack: 3, Seed: 303})
 		if err != nil {
 			panic(err)

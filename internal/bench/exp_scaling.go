@@ -43,7 +43,7 @@ func runScaling() []Table {
 		row := []interface{}{n}
 
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, Seed: uint64(n)})
 			if err != nil {
 				panic(err)
@@ -60,7 +60,7 @@ func runScaling() []Table {
 			row = append(row, float64(m.Stats().ParallelIOs)/float64(len(probes)))
 		}
 		{
-			m := pdm.NewMachine(pdm.Config{D: 2 * d, B: b})
+			m := newMachine(pdm.Config{D: 2 * d, B: b})
 			dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, Epsilon: 0.9, Seed: uint64(n)})
 			if err != nil {
 				panic(err)
@@ -77,7 +77,7 @@ func runScaling() []Table {
 			row = append(row, float64(m.Stats().ParallelIOs)/float64(len(probes)))
 		}
 		for _, striped := range []bool{false, true} {
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			tr, err := btree.New(m, btree.Config{Striped: striped})
 			if err != nil {
 				panic(err)

@@ -40,7 +40,7 @@ func runSpace() []Table {
 		}
 
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			bd, err := core.NewBasic(m, core.BasicConfig{Capacity: n, SatWords: sigma, Seed: 501})
 			if err != nil {
 				panic(err)
@@ -54,7 +54,7 @@ func runSpace() []Table {
 			row = append(row, float64(bd.BlocksPerDisk()*d*b)/float64(n))
 		}
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			recs := makeStaticRecords(keys, sigma)
 			sd, err := core.BuildStatic(m, core.StaticConfig{SatWords: sigma, Seed: 502}, recs)
 			if err != nil {
@@ -63,7 +63,7 @@ func runSpace() []Table {
 			row = append(row, float64(sd.BlocksPerDisk()*d*b)/float64(n))
 		}
 		{
-			m := pdm.NewMachine(pdm.Config{D: 2 * d, B: b})
+			m := newMachine(pdm.Config{D: 2 * d, B: b})
 			dd, err := core.NewDynamic(m, core.DynamicConfig{Capacity: n, SatWords: sigma, Epsilon: 0.9, Seed: 503})
 			if err != nil {
 				panic(err)
@@ -76,7 +76,7 @@ func runSpace() []Table {
 			row = append(row, float64(dd.BlocksPerDisk()*2*d*b)/float64(n))
 		}
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			tab, err := hashing.NewTable(m, hashing.TableConfig{Capacity: n, SatWords: sigma, Seed: 504})
 			if err != nil {
 				panic(err)
@@ -89,7 +89,7 @@ func runSpace() []Table {
 			row = append(row, perKey(m))
 		}
 		{
-			m := pdm.NewMachine(pdm.Config{D: d, B: b})
+			m := newMachine(pdm.Config{D: d, B: b})
 			tr, err := btree.New(m, btree.Config{SatWords: sigma})
 			if err != nil {
 				panic(err)

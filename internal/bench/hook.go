@@ -1,0 +1,24 @@
+package bench
+
+import "pdmdict/internal/pdm"
+
+// suiteHook, when set, is attached to every machine the experiments
+// build, so a whole run can be observed live (cmd/pdmbench -serve
+// wires the obs collector behind its /metrics endpoint here). The
+// suite is single-goroutine per experiment, so a plain variable
+// suffices; set it before Run.
+var suiteHook pdm.Hook
+
+// SetHook attaches h to every machine subsequently built by the
+// experiments (nil detaches).
+func SetHook(h pdm.Hook) { suiteHook = h }
+
+// newMachine is how every experiment builds its parallel-disk machine:
+// pdm.NewMachine plus the suite hook.
+func newMachine(cfg pdm.Config) *pdm.Machine {
+	m := pdm.NewMachine(cfg)
+	if suiteHook != nil {
+		m.SetHook(suiteHook)
+	}
+	return m
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden file:
+//
+//	go test ./internal/bench -run ReportSchemaGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestReportSchemaGolden(t *testing.T) {
+	tab := Table{
+		ID:      "EX-schema",
+		Title:   "schema fixture",
+		Columns: []string{"metric", "value"},
+		Notes:   []string{"fixed content — exercises every serialized field"},
+	}
+	tab.AddRow("avg", 1.25)
+	tab.AddHist("pIOs/op", []int64{1, 1, 2, 4})
+	report := Report{SchemaVersion: ReportSchemaVersion, Tables: []Table{tab}}
+	got, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "report_schema.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report JSON schema drifted from %s; if intended, bump ReportSchemaVersion and rerun with -update\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+func TestRunFormatJSONCarriesSchemaVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunFormat("^E5-thm7$", &buf, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a Report document: %v", err)
+	}
+	if report.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", report.SchemaVersion, ReportSchemaVersion)
+	}
+	if len(report.Tables) == 0 {
+		t.Error("report has no tables")
+	}
+}

@@ -13,12 +13,16 @@ import (
 // non-test code it rejects (1) the process-global math/rand functions
 // (only seeded *rand.Rand generators are allowed — the constructors
 // rand.New/NewSource/NewZipf/NewPCG/NewChaCha8 pass), (2) crypto/rand,
-// (3) the wall clock (time.Now/Since/Until), and (4) iteration over a
+// (3) the wall clock (time.Now/Since/Until) — whether called directly
+// or passed as a function value (e.g. handing time.Now to the
+// machine's SetWallClock from inside a measured package; wall clocks
+// are injected from cmd/ and test code only), and (4) iteration over a
 // map that feeds order-sensitive output: a loop body that emits
-// (Encode/Write/Fprintf/...) or builds an I/O batch (append of
-// pdm.Addr/pdm.BlockWrite elements) observes Go's randomized map order,
-// which would leak into traces, snapshots, or the machine's event
-// stream.
+// (Encode/Write/Fprintf/...), renders the /metrics exposition
+// (sample/histogramSeries), or builds an I/O batch (append of
+// pdm.Addr/pdm.BlockWrite elements) observes Go's randomized map
+// order, which would leak into traces, snapshots, metrics scrapes, or
+// the machine's event stream.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc: "no unseeded randomness, wall clock, or map-ordered serialization in the measured packages; " +
@@ -48,6 +52,9 @@ var emitNames = map[string]bool{
 	"Fprint": true, "Fprintf": true, "Fprintln": true,
 	"Print": true, "Printf": true, "Println": true,
 	"Event": true, "Emit": true, "Record": true,
+	// The /metrics exposition helpers (internal/obs/serve.go): scrapes
+	// must be byte-identical across runs, like traces.
+	"sample": true, "histogramSeries": true,
 }
 
 func runDetRand(pass *Pass) error {
@@ -63,7 +70,7 @@ func runDetRand(pass *Pass) error {
 				pass.Reportf(imp, "crypto/rand is nondeterministic by design; measured packages must thread a seeded *rand.Rand")
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				fn := calleeFunc(pass.Info, n)
@@ -86,6 +93,8 @@ func runDetRand(pass *Pass) error {
 						pass.Reportf(n, "time.%s reads the wall clock on a measured path; inject a logical clock or pass timestamps in from outside the measured packages", fn.Name())
 					}
 				}
+			case *ast.SelectorExpr:
+				checkClockValue(pass, n, stack)
 			case *ast.RangeStmt:
 				checkMapRange(pass, n)
 			}
@@ -93,6 +102,29 @@ func runDetRand(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkClockValue flags time.Now/Since/Until referenced as a function
+// value rather than called — the shape of smuggling a wall clock into
+// an injection point (SetWallClock and friends) from inside a measured
+// package. Direct calls are reported by the CallExpr case instead.
+func checkClockValue(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+	default:
+		return
+	}
+	// Skip the Fun position of a direct call — already reported above.
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			return
+		}
+	}
+	pass.Reportf(sel, "time.%s passed as a value hands a wall clock to a measured path; clocks are injected from cmd/ or test code only", fn.Name())
 }
 
 // checkMapRange flags a range over a map whose body feeds

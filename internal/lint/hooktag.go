@@ -14,6 +14,13 @@ import (
 // (pdm) is exempt: it synthesizes composite and fault tags, and the
 // registry test pins those spellings. A method that is itself named
 // Span may forward its own tag parameter (that is what a forwarder is).
+//
+// The same property guards the second emission point: code that builds
+// pdm.Event values directly (synthetic events fed to hooks, replayed
+// or decoded traces) must not spell the Tag field as a string literal
+// or a constant from outside the registry. Forwarding a tag that
+// already exists — e.Tag from a decoded line, a variable — is fine;
+// minting a fresh spelling inline is how buckets leak.
 var HookTag = &Analyzer{
 	Name: "hooktag",
 	Doc: "span tags must be constants from the internal/obs tag registry, " +
@@ -31,23 +38,58 @@ func runHookTag(pass *Pass) error {
 			continue
 		}
 		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || !isSpanCall(pass.Info, call) || len(call.Args) != 1 {
-				return true
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isSpanCall(pass.Info, n) || len(n.Args) != 1 {
+					return true
+				}
+				arg := ast.Unparen(n.Args[0])
+				if isObsConst(pass.Info, arg) {
+					return true
+				}
+				if isSpanForwarder(pass.Info, arg, stack) {
+					return true
+				}
+				pass.Reportf(n.Args[0], "span tag must be a constant from the internal/obs tag registry (obs.Tag*); "+
+					"a free-form tag breaks the per-tag partition of total I/O")
+			case *ast.CompositeLit:
+				checkEventLit(pass, n)
 			}
-			arg := ast.Unparen(call.Args[0])
-			if isObsConst(pass.Info, arg) {
-				return true
-			}
-			if isSpanForwarder(pass.Info, arg, stack) {
-				return true
-			}
-			pass.Reportf(call.Args[0], "span tag must be a constant from the internal/obs tag registry (obs.Tag*); "+
-				"a free-form tag breaks the per-tag partition of total I/O")
 			return true
 		})
 	}
 	return nil
+}
+
+// checkEventLit flags pdm.Event composite literals whose Tag field is
+// spelled inline — a string literal or a constant declared outside the
+// obs registry. Dynamic tags (forwarding e.Tag, a parameter) pass: the
+// check is about minting new spellings, not moving existing ones.
+func checkEventLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.Info.TypeOf(lit)
+	if t == nil || !isNamed(t, "pdm", "Event") {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Tag" {
+			continue
+		}
+		v := ast.Unparen(kv.Value)
+		if isObsConst(pass.Info, v) {
+			return
+		}
+		tv, ok := pass.Info.Types[v]
+		if ok && tv.Value != nil { // a compile-time constant not from obs
+			pass.Reportf(kv.Value, "Event.Tag spelled inline; use a constant from the internal/obs tag registry (obs.Tag*) "+
+				"so synthetic events stay inside the per-tag partition")
+		}
+		return
+	}
 }
 
 // isSpanCall reports whether call invokes a span opener: a callee named

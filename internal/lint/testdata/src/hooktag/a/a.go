@@ -34,3 +34,15 @@ func dynamic(m *pdm.Machine, e pdm.Event) {
 	end := m.Span(e.Tag) // want `internal/obs tag registry`
 	end()
 }
+
+// synth builds pdm.Event values directly — the second emission point.
+// Minting a fresh tag spelling inline leaks an accounting bucket;
+// forwarding an existing tag (a field, a parameter) is fine.
+func synth(h pdm.Hook, e pdm.Event, tag string) {
+	h.Event(pdm.Event{Tag: "fault.bogus"}) // want `Event.Tag spelled inline`
+	h.Event(pdm.Event{Tag: localTag})      // want `Event.Tag spelled inline`
+	h.Event(pdm.Event{Tag: obs.TagProbe})  // ok: registry constant
+	h.Event(pdm.Event{Tag: e.Tag})         // ok: forwards a recorded tag
+	h.Event(pdm.Event{Tag: tag, Steps: 1}) // ok: dynamic tag from the caller
+	h.Event(pdm.Event{Steps: 2, Depth: 1}) // ok: no Tag field at all
+}

@@ -26,6 +26,12 @@ func clock() int64 {
 	return t.Unix()
 }
 
+func smuggleClock(m *pdm.Machine) {
+	m.SetWallClock(time.Now) // want `passed as a value`
+	f := time.Since          // want `passed as a value`
+	_ = f
+}
+
 func fill(b []byte) {
 	crand.Read(b)
 }
@@ -58,6 +64,14 @@ func batchFromMap(m *pdm.Machine, dirty map[int]bool) []pdm.Addr {
 		addrs = append(addrs, pdm.Addr{Disk: d})
 	}
 	return addrs
+}
+
+func sample(name, labels string, v float64) {}
+
+func scrapeUnsorted(tags map[string]int) {
+	for tag, n := range tags { // want `map iteration order`
+		sample("pdm_tag_total", tag, float64(n))
+	}
 }
 
 func sortStrings([]string) {}

@@ -13,10 +13,13 @@ type BlockWrite struct {
 }
 
 type Event struct {
-	Tag   string
-	Addrs []Addr
-	Steps int
-	Depth int
+	Tag    string
+	Addrs  []Addr
+	Steps  int
+	Depth  int
+	Span   uint64
+	Parent uint64
+	Step   int64
 }
 
 type Hook interface{ Event(Event) }
@@ -30,3 +33,4 @@ func (m *Machine) TryBatchWrite(writes []BlockWrite) error     { return nil }
 func (m *Machine) Peek(a Addr) []Word                          { return nil }
 func (m *Machine) VerifyChecksums() []Addr                     { return nil }
 func (m *Machine) Span(tag string) func()                      { return func() {} }
+func (m *Machine) SetWallClock(now any)                        {}

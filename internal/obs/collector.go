@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pdmdict/internal/pdm"
 )
@@ -25,10 +26,25 @@ type Window struct {
 	PerDisk   []int64 `json:"per_disk"`
 }
 
+// OpAgg aggregates the completed operations (root spans) of one tag:
+// counts, parallel-I/O-step and modeled-latency histograms, and exact
+// sums for the /metrics histograms' _sum series.
+type OpAgg struct {
+	Count           int64 `json:"count"`
+	StepSum         int64 `json:"step_sum"`
+	BlockSum        int64 `json:"block_sum"`
+	FaultSum        int64 `json:"fault_sum"`
+	LatencySumNanos int64 `json:"latency_sum_ns"`
+	WallSumNanos    int64 `json:"wall_sum_ns"`
+	Steps           *Hist `json:"-"` // steps per operation
+	LatencyMicros   *Hist `json:"-"` // modeled latency per operation, µs
+}
+
 // Collector aggregates hook events into metrics: global counters, a
-// depth histogram, per-tag totals, and per-disk transfer tallies both
-// lifetime and over recent step windows. It implements pdm.Hook and is
-// safe for concurrent use.
+// depth histogram, per-tag totals, per-disk transfer tallies both
+// lifetime and over recent step windows, and — by folding the span
+// events — per-operation records aggregated into per-tag step/latency
+// histograms. It implements pdm.Hook and is safe for concurrent use.
 type Collector struct {
 	// WindowSteps is how many parallel I/O steps one skew window spans;
 	// MaxWindows bounds how many closed windows are retained. Both must
@@ -36,18 +52,26 @@ type Collector struct {
 	WindowSteps int64
 	MaxWindows  int
 
+	// Cost converts per-operation step/block counts into the modeled
+	// latency behind Ops and the /metrics latency histograms. The zero
+	// value means DefaultCostModel. Set before the first event.
+	Cost CostModel
+
 	Depth Hist // batch depth (= parallel I/O steps per batch)
 
-	mu      sync.Mutex
-	events  int64
-	reads   int64 // read batches
-	writes  int64 // write batches
-	steps   int64 // cumulative parallel I/O steps
-	blocks  int64 // cumulative block transfers
-	tags    map[string]*TagStats
-	perDisk []int64 // lifetime, grown on demand
-	cur     Window  // open window
-	windows []Window
+	mu       sync.Mutex
+	events   int64
+	reads    int64 // read batches
+	writes   int64 // write batches
+	steps    int64 // cumulative parallel I/O steps
+	blocks   int64 // cumulative block transfers
+	depthSum int64 // sum of per-batch depths (for the /metrics histogram's _sum)
+	tags     map[string]*TagStats
+	perDisk  []int64 // lifetime, grown on demand
+	cur      Window  // open window
+	windows  []Window
+	folder   SpanFolder        // reconstructs operations from span events
+	ops      map[string]*OpAgg // per-tag aggregates over root spans
 }
 
 // NewCollector returns a collector with default windowing (1024 steps
@@ -62,8 +86,15 @@ func NewCollector() *Collector {
 
 // Event implements pdm.Hook.
 func (c *Collector) Event(e pdm.Event) {
+	if e.Kind.IsSpan() {
+		c.mu.Lock()
+		c.foldLocked(e)
+		c.mu.Unlock()
+		return
+	}
 	c.Depth.Observe(int64(e.Depth))
 	c.mu.Lock()
+	c.foldLocked(e) // attribute the batch to its open span, if any
 	c.events++
 	if e.Kind == pdm.EventWrite {
 		c.writes++
@@ -72,10 +103,14 @@ func (c *Collector) Event(e pdm.Event) {
 	}
 	c.steps += int64(e.Steps)
 	c.blocks += int64(len(e.Addrs))
+	c.depthSum += int64(e.Depth)
 
 	tag := e.Tag
 	if tag == "" {
 		tag = "(untagged)"
+	}
+	if c.tags == nil {
+		c.tags = map[string]*TagStats{}
 	}
 	ts := c.tags[tag]
 	if ts == nil {
@@ -103,6 +138,63 @@ func (c *Collector) Event(e pdm.Event) {
 		c.cur = Window{StartStep: c.steps, PerDisk: make([]int64, len(c.perDisk))}
 	}
 	c.mu.Unlock()
+}
+
+// foldLocked feeds one event to the span folder and, when a root span
+// (one dictionary operation) completes, rolls it into the per-tag
+// operation aggregates. Callers hold c.mu.
+func (c *Collector) foldLocked(e pdm.Event) {
+	c.folder.Cost = c.Cost
+	rec := c.folder.Fold(e)
+	if rec == nil || rec.Parent != 0 {
+		return // nothing closed, or a nested phase rather than an operation
+	}
+	if c.ops == nil {
+		c.ops = map[string]*OpAgg{}
+	}
+	agg := c.ops[rec.Tag]
+	if agg == nil {
+		agg = &OpAgg{Steps: &Hist{}, LatencyMicros: &Hist{}}
+		c.ops[rec.Tag] = agg
+	}
+	agg.Count++
+	agg.StepSum += rec.Steps
+	agg.BlockSum += rec.Blocks
+	agg.FaultSum += rec.Faults
+	agg.LatencySumNanos += int64(rec.Latency)
+	agg.WallSumNanos += rec.WallNanos
+	agg.Steps.Observe(rec.Steps)
+	agg.LatencyMicros.Observe(rec.Latency.Microseconds())
+}
+
+// Ops returns the per-tag operation aggregates (root spans only). The
+// returned map is fresh but shares the histogram pointers, which are
+// safe for concurrent use.
+func (c *Collector) Ops() map[string]*OpAgg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*OpAgg, len(c.ops))
+	for k, v := range c.ops {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// OpenSpans returns how many spans are currently open — a liveness
+// diagnostic (a steadily growing value means unbalanced Span calls).
+func (c *Collector) OpenSpans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.folder.Open()
+}
+
+// DepthSum returns the sum of every observed batch depth — the exact
+// _sum companion to the Depth histogram.
+func (c *Collector) DepthSum() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.depthSum
 }
 
 // Tags returns a copy of the per-tag totals.
@@ -166,6 +258,30 @@ func (c *Collector) RenderTags(sb *strings.Builder) {
 		}
 		fmt.Fprintf(sb, "%-24s %10d %10d %10d %6.1f%%\n",
 			name, t.Batches, t.Steps, t.Blocks, share)
+	}
+}
+
+// RenderOps writes an aligned per-operation summary: for each tag with
+// completed root spans, the operation count, average and p99 parallel
+// I/O steps, and average modeled latency.
+func (c *Collector) RenderOps(sb *strings.Builder) {
+	ops := c.Ops()
+	names := make([]string, 0, len(ops))
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(sb, "%-24s %10s %10s %8s %12s\n", "op", "count", "avg pIOs", "p99", "avg latency")
+	for _, name := range names {
+		a := ops[name]
+		if a.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(sb, "%-24s %10d %10.3f %8d %12s\n",
+			name, a.Count,
+			float64(a.StepSum)/float64(a.Count),
+			a.Steps.Quantile(0.99),
+			(time.Duration(a.LatencySumNanos) / time.Duration(a.Count)).Round(time.Microsecond))
 	}
 }
 

@@ -2,26 +2,44 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"pdmdict/internal/pdm"
 )
 
+// TraceVersion is the trace format written by JSONLWriter. Version 3
+// added a header line and first-class span events; headerless traces
+// (versions 1 and 2, batch events only) still load.
+const TraceVersion = 3
+
 // jsonlEvent is the on-disk shape of one trace line. Addresses are
-// [disk, block] pairs to keep traces compact.
+// [disk, block] pairs to keep traces compact. Span lines reuse the
+// struct with k = "span_begin" / "span_end" and carry span/parent ids
+// plus the machine's parallel-I/O step counter; batch lines carry the
+// id of their innermost open span. Wall-clock durations are excluded
+// by construction — pdm.Event.WallNanos has no field here — so traces
+// stay byte-identical across runs of the same seed and workload. The
+// header line reuses the struct too, with k = "trace" and v set.
 type jsonlEvent struct {
-	Kind  string   `json:"k"` // "read" or "write"
-	Tag   string   `json:"tag,omitempty"`
-	Steps int      `json:"steps"`
-	Depth int      `json:"depth"`
-	Addrs [][2]int `json:"addrs"`
+	Kind    string   `json:"k"`
+	Version int      `json:"v,omitempty"`
+	Tag     string   `json:"tag,omitempty"`
+	Steps   int      `json:"steps,omitempty"`
+	Depth   int      `json:"depth,omitempty"`
+	Span    uint64   `json:"span,omitempty"`
+	Parent  uint64   `json:"parent,omitempty"`
+	Step    int64    `json:"step,omitempty"`
+	Addrs   [][2]int `json:"addrs,omitempty"`
 }
 
-// JSONLWriter streams events to w, one JSON object per line. It
-// buffers internally; call Close (or Flush) before reading the output.
-// Safe for concurrent use.
+// JSONLWriter streams events to w, one JSON object per line, after a
+// version header line. It buffers internally; call Close (or Flush)
+// before reading the output. Safe for concurrent use.
 type JSONLWriter struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
@@ -29,24 +47,33 @@ type JSONLWriter struct {
 	err error
 }
 
-// NewJSONLWriter wraps w in a trace writer.
+// NewJSONLWriter wraps w in a trace writer and writes the trace
+// header. Header write errors are sticky and reported by Close, like
+// event errors.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	bw := bufio.NewWriter(w)
-	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	jw := &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	jw.err = jw.enc.Encode(jsonlEvent{Kind: "trace", Version: TraceVersion})
+	return jw
 }
 
 // Event implements pdm.Hook. Encoding errors are sticky and reported
 // by Close.
 func (w *JSONLWriter) Event(e pdm.Event) {
 	line := jsonlEvent{
-		Kind:  e.Kind.String(),
-		Tag:   e.Tag,
-		Steps: e.Steps,
-		Depth: e.Depth,
-		Addrs: make([][2]int, len(e.Addrs)),
+		Kind:   e.Kind.String(),
+		Tag:    e.Tag,
+		Steps:  e.Steps,
+		Depth:  e.Depth,
+		Span:   e.Span,
+		Parent: e.Parent,
+		Step:   e.Step,
 	}
-	for i, a := range e.Addrs {
-		line.Addrs[i] = [2]int{a.Disk, a.Block}
+	if len(e.Addrs) > 0 {
+		line.Addrs = make([][2]int, len(e.Addrs))
+		for i, a := range e.Addrs {
+			line.Addrs[i] = [2]int{a.Disk, a.Block}
+		}
 	}
 	w.mu.Lock()
 	if w.err == nil {
@@ -69,54 +96,138 @@ func (w *JSONLWriter) Flush() error {
 // close the underlying writer.
 func (w *JSONLWriter) Close() error { return w.Flush() }
 
-// ReadEvents parses a JSONL trace back into events.
+// ParseError reports a malformed trace line with its 1-based line
+// number, so tools can point at the exact spot in the file.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+// Error formats the failure with its line number.
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+
+// Unwrap exposes the underlying cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ReadEvents parses a JSONL trace back into events. It accepts the
+// current versioned format and headerless version 1/2 traces, and
+// rejects unknown event kinds and future versions. Errors are
+// *ParseError carrying the offending line number.
 func ReadEvents(r io.Reader) ([]pdm.Event, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 	var out []pdm.Event
-	for {
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
 		var line jsonlEvent
-		if err := dec.Decode(&line); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return out, err
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		if err := dec.Decode(&line); err != nil {
+			return out, &ParseError{Line: lineno, Err: err}
+		}
+		if dec.More() {
+			return out, &ParseError{Line: lineno, Err: fmt.Errorf("trailing data after JSON object")}
 		}
 		e := pdm.Event{
-			Tag:   line.Tag,
-			Steps: line.Steps,
-			Depth: line.Depth,
-			Addrs: make([]pdm.Addr, len(line.Addrs)),
+			Tag:    line.Tag,
+			Steps:  line.Steps,
+			Depth:  line.Depth,
+			Span:   line.Span,
+			Parent: line.Parent,
+			Step:   line.Step,
 		}
-		if line.Kind == "write" {
+		switch line.Kind {
+		case "trace":
+			if lineno != 1 {
+				return out, &ParseError{Line: lineno, Err: fmt.Errorf("trace header not on first line")}
+			}
+			if line.Version > TraceVersion {
+				return out, &ParseError{Line: lineno, Err: fmt.Errorf("trace version %d not supported (max %d)", line.Version, TraceVersion)}
+			}
+			continue
+		case "read":
+			e.Kind = pdm.EventRead
+		case "write":
 			e.Kind = pdm.EventWrite
+		case "span_begin":
+			e.Kind = pdm.EventSpanBegin
+		case "span_end":
+			e.Kind = pdm.EventSpanEnd
+		default:
+			return out, &ParseError{Line: lineno, Err: fmt.Errorf("unknown event kind %q", line.Kind)}
 		}
-		for i, a := range line.Addrs {
-			e.Addrs[i] = pdm.Addr{Disk: a[0], Block: a[1]}
+		if len(line.Addrs) > 0 {
+			e.Addrs = make([]pdm.Addr, len(line.Addrs))
+			for i, a := range line.Addrs {
+				e.Addrs[i] = pdm.Addr{Disk: a[0], Block: a[1]}
+			}
 		}
 		out = append(out, e)
 	}
+	if err := sc.Err(); err != nil {
+		return out, &ParseError{Line: lineno + 1, Err: err}
+	}
+	return out, nil
 }
 
 // Replay re-issues a recorded trace against m, batch for batch,
 // reproducing the trace's I/O cost profile (block contents are not
-// recorded, so writes store zero blocks). It returns the stats delta
-// the replay produced.
+// recorded, so writes store zero blocks). Version 3 traces carry span
+// events, and Replay re-opens the recorded spans on m — nesting
+// included — so a replayed machine emits the same span structure the
+// original did; spans left open by a truncated trace are closed at the
+// end. Headerless traces without span events fall back to wrapping
+// each tagged batch in its own span, as earlier versions did. It
+// returns the stats delta the replay produced.
 func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
-	before := m.Stats()
+	hasSpans := false
 	for _, e := range events {
-		end := func() {}
-		if e.Tag != "" {
-			end = m.Span(e.Tag) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
+		if e.Kind.IsSpan() {
+			hasSpans = true
+			break
 		}
-		if e.Kind == pdm.EventWrite {
-			writes := make([]pdm.BlockWrite, len(e.Addrs))
-			for i, a := range e.Addrs {
-				writes[i] = pdm.BlockWrite{Addr: a}
+	}
+	before := m.Stats()
+	var stack []func()
+	for _, e := range events {
+		switch e.Kind {
+		case pdm.EventSpanBegin:
+			// The recorded tag is the span's full dot-joined path; the
+			// machine re-joins nested spans itself, so re-open with the
+			// leaf component only.
+			leaf := e.Tag
+			if i := strings.LastIndexByte(leaf, '.'); i >= 0 {
+				leaf = leaf[i+1:]
 			}
-			m.BatchWrite(writes)
-		} else {
-			m.BatchRead(e.Addrs)
+			stack = append(stack, m.Span(leaf)) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
+		case pdm.EventSpanEnd:
+			if n := len(stack); n > 0 {
+				stack[n-1]()
+				stack = stack[:n-1]
+			}
+		default:
+			end := func() {}
+			if !hasSpans && e.Tag != "" {
+				end = m.Span(e.Tag) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
+			}
+			if e.Kind == pdm.EventWrite {
+				writes := make([]pdm.BlockWrite, len(e.Addrs))
+				for i, a := range e.Addrs {
+					writes[i] = pdm.BlockWrite{Addr: a}
+				}
+				m.BatchWrite(writes)
+			} else {
+				m.BatchRead(e.Addrs)
+			}
+			end()
 		}
-		end()
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		stack[i]()
 	}
 	return m.Stats().Sub(before)
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -112,19 +113,31 @@ func TestJSONLRoundTripAndReplay(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
+	if first, _, _ := strings.Cut(buf.String(), "\n"); !strings.Contains(first, `"k":"trace"`) ||
+		!strings.Contains(first, `"v":3`) {
+		t.Errorf("missing v3 header, first line = %s", first)
+	}
 	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatalf("ReadEvents: %v", err)
 	}
-	if len(events) != 2 {
-		t.Fatalf("read %d events, want 2", len(events))
+	if len(events) != 4 {
+		t.Fatalf("read %d events, want 4 (span_begin, write, span_end, read)", len(events))
 	}
-	if events[0].Kind != pdm.EventWrite || events[0].Tag != "insert" ||
-		events[0].Steps != 2 || len(events[0].Addrs) != 2 {
+	if events[0].Kind != pdm.EventSpanBegin || events[0].Tag != "insert" ||
+		events[0].Span == 0 || events[0].Parent != 0 {
 		t.Errorf("event 0 = %+v", events[0])
 	}
-	if events[1].Kind != pdm.EventRead || events[1].Tag != "" || events[1].Steps != 1 {
+	if events[1].Kind != pdm.EventWrite || events[1].Tag != "insert" ||
+		events[1].Steps != 2 || len(events[1].Addrs) != 2 || events[1].Span != events[0].Span {
 		t.Errorf("event 1 = %+v", events[1])
+	}
+	if events[2].Kind != pdm.EventSpanEnd || events[2].Span != events[0].Span ||
+		events[2].Step != 2 || events[2].WallNanos != 0 {
+		t.Errorf("event 2 = %+v", events[2])
+	}
+	if events[3].Kind != pdm.EventRead || events[3].Tag != "" || events[3].Steps != 1 {
+		t.Errorf("event 3 = %+v", events[3])
 	}
 
 	// Replaying the trace on a fresh machine reproduces its I/O cost.
@@ -134,6 +147,167 @@ func TestJSONLRoundTripAndReplay(t *testing.T) {
 		delta.BlockReads != want.BlockReads || delta.BlockWrites != want.BlockWrites ||
 		delta.MaxBatch != want.MaxBatch {
 		t.Errorf("replay delta %+v, want cost profile of %+v", delta, want)
+	}
+}
+
+func TestJSONLReadsHeaderlessV2Traces(t *testing.T) {
+	// Traces written before the version header (formats 1 and 2) are
+	// plain batch lines; they must still load.
+	trace := `{"k":"write","tag":"insert","steps":2,"depth":2,"addrs":[[0,0],[0,1]]}
+{"k":"read","steps":1,"depth":1,"addrs":[[1,0]]}
+`
+	events, err := ReadEvents(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 2 || events[0].Kind != pdm.EventWrite || events[0].Span != 0 ||
+		events[1].Kind != pdm.EventRead {
+		t.Fatalf("events = %+v", events)
+	}
+	// Headerless traces have no span events, so Replay wraps each tagged
+	// batch in its own span (the old behavior).
+	fresh := pdm.NewMachine(pdm.Config{D: 4, B: 2})
+	var rec eventRecorder
+	fresh.SetHook(&rec)
+	Replay(fresh, events)
+	kinds := rec.kinds()
+	want := []pdm.EventKind{pdm.EventSpanBegin, pdm.EventWrite, pdm.EventSpanEnd, pdm.EventRead}
+	if len(kinds) != len(want) {
+		t.Fatalf("replay emitted %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("replay emitted %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestJSONLParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace string
+		line  int
+		want  string
+	}{
+		{"truncated json", "{\"k\":\"read\",\"steps\":1}\n{\"k\":\"wri", 2, "line 2"},
+		{"unknown kind", "{\"k\":\"read\"}\n{\"k\":\"read\"}\n{\"k\":\"frobnicate\"}\n", 3, "unknown event kind"},
+		{"future version", "{\"k\":\"trace\",\"v\":99}\n", 1, "version 99"},
+		{"misplaced header", "{\"k\":\"read\"}\n{\"k\":\"trace\",\"v\":3}\n", 2, "first line"},
+		{"trailing garbage", "{\"k\":\"read\"} {\"k\":\"read\"}\n", 1, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEvents(strings.NewReader(tc.trace))
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *ParseError", err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d", pe.Line, tc.line)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReplayReproducesSpanStructure(t *testing.T) {
+	// Record a workload with nested spans, replay the trace, and the
+	// replayed machine must emit the same span paths in the same order.
+	run := func(m *pdm.Machine, drive func()) []pdm.Event {
+		var rec eventRecorder
+		m.SetHook(&rec)
+		drive()
+		return rec.events
+	}
+	m := pdm.NewMachine(pdm.Config{D: 2, B: 2})
+	orig := run(m, func() {
+		end := m.Span("insert")
+		inner := m.Span("probe")
+		m.BatchRead([]pdm.Addr{{Disk: 0, Block: 0}})
+		inner()
+		m.BatchWrite([]pdm.BlockWrite{{Addr: pdm.Addr{Disk: 1, Block: 0}}})
+		end()
+	})
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, e := range orig {
+		w.Event(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	fresh := pdm.NewMachine(pdm.Config{D: 2, B: 2})
+	replayed := run(fresh, func() { Replay(fresh, events) })
+	if len(replayed) != len(orig) {
+		t.Fatalf("replay emitted %d events, want %d", len(replayed), len(orig))
+	}
+	for i := range orig {
+		if replayed[i].Kind != orig[i].Kind || replayed[i].Tag != orig[i].Tag ||
+			replayed[i].Span != orig[i].Span || replayed[i].Parent != orig[i].Parent ||
+			replayed[i].Step != orig[i].Step {
+			t.Errorf("event %d = %+v, want %+v", i, replayed[i], orig[i])
+		}
+	}
+}
+
+// eventRecorder captures every hook event in order.
+type eventRecorder struct {
+	mu     sync.Mutex
+	events []pdm.Event
+}
+
+func (r *eventRecorder) Event(e pdm.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *eventRecorder) kinds() []pdm.EventKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]pdm.EventKind, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func TestHistEmptyAndSingleBucket(t *testing.T) {
+	var empty Hist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	s := empty.Summarize("empty")
+	if s.Total != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+	if bs := empty.Buckets(); len(bs) != 0 {
+		t.Errorf("empty buckets = %+v, want none", bs)
+	}
+
+	var single Hist
+	for i := 0; i < 5; i++ {
+		single.Observe(3) // all samples land in the [2,3] bucket
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := single.Quantile(q); got != 3 {
+			t.Errorf("single-bucket Quantile(%v) = %d, want 3", q, got)
+		}
+	}
+	s = single.Summarize("single")
+	if s.Total != 5 || s.P50 != 3 || s.P99 != 3 || s.Max != 3 {
+		t.Errorf("single-bucket summary = %+v", s)
+	}
+	if bs := single.Buckets(); len(bs) != 1 || bs[0] != (HistBucket{2, 3, 5}) {
+		t.Errorf("single-bucket buckets = %+v", bs)
 	}
 }
 

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"pdmdict/internal/pdm"
+)
+
+// Live observability server. Server bundles a Collector (and optionally
+// a Ring and a health predicate) behind an embeddable http.Handler:
+//
+//	/metrics        Prometheus text exposition, hand-rolled — stdlib only
+//	/debug/pprof/*  the standard Go profiler endpoints
+//	/debug/events   the ring buffer's recent events as trace JSONL
+//	/healthz        200 "ok" while Healthy() (503 "degraded" otherwise)
+//
+// The exposition walks sorted tag lists, so /metrics output is a pure,
+// deterministically ordered function of the collector state — scrapes
+// of identical runs are byte-identical, like the traces.
+type Server struct {
+	// Collector supplies every metric series. Required.
+	Collector *Collector
+	// Ring, when set, backs /debug/events.
+	Ring *Ring
+	// Healthy, when set, gates /healthz; nil means always healthy.
+	Healthy func() bool
+}
+
+// Handler returns the mux serving the endpoints above.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/debug/events", s.events)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr (":0" picks a free port) and serves the
+// handler in a background goroutine. It returns the bound address and
+// a stop function that closes the listener.
+func (s *Server) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), srv.Close, nil
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Healthy != nil && !s.Healthy() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "degraded\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) events(w http.ResponseWriter, _ *http.Request) {
+	if s.Ring == nil {
+		http.Error(w, "no event ring attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	jw := NewJSONLWriter(w)
+	for _, e := range s.Ring.Events() {
+		jw.Event(e)
+	}
+	jw.Close() //nolint:errcheck // best-effort debug endpoint
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// writeMetrics renders the Prometheus text exposition format by hand;
+// the repo takes no dependencies, and the format is three line shapes.
+func (s *Server) writeMetrics(w io.Writer) {
+	c := s.Collector
+	_, reads, writes, steps, blocks := c.Totals()
+
+	header(w, "pdm_batches_total", "counter", "Batch I/O operations issued, by kind.")
+	sample(w, "pdm_batches_total", `kind="read"`, float64(reads))
+	sample(w, "pdm_batches_total", `kind="write"`, float64(writes))
+
+	header(w, "pdm_parallel_io_steps_total", "counter", "Cumulative parallel I/O steps (the PDM cost measure).")
+	sample(w, "pdm_parallel_io_steps_total", "", float64(steps))
+
+	header(w, "pdm_block_transfers_total", "counter", "Cumulative block transfers across all disks.")
+	sample(w, "pdm_block_transfers_total", "", float64(blocks))
+
+	// Per-tag batch I/O. Fault events are split out under their own
+	// family: they annotate batches rather than being batches.
+	tags := c.Tags()
+	names := make([]string, 0, len(tags))
+	for name := range tags {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	header(w, "pdm_tag_batches_total", "counter", "Batches attributed to each span tag.")
+	for _, name := range names {
+		if !strings.HasPrefix(name, pdm.FaultTagPrefix) {
+			sample(w, "pdm_tag_batches_total", tagLabel(name), float64(tags[name].Batches))
+		}
+	}
+	header(w, "pdm_tag_steps_total", "counter", "Parallel I/O steps attributed to each span tag.")
+	for _, name := range names {
+		if !strings.HasPrefix(name, pdm.FaultTagPrefix) {
+			sample(w, "pdm_tag_steps_total", tagLabel(name), float64(tags[name].Steps))
+		}
+	}
+	header(w, "pdm_tag_blocks_total", "counter", "Block transfers attributed to each span tag.")
+	for _, name := range names {
+		if !strings.HasPrefix(name, pdm.FaultTagPrefix) {
+			sample(w, "pdm_tag_blocks_total", tagLabel(name), float64(tags[name].Blocks))
+		}
+	}
+	header(w, "pdm_fault_events_total", "counter", "Injected or detected faults, by kind.")
+	for _, name := range names {
+		if kind, ok := strings.CutPrefix(name, pdm.FaultTagPrefix); ok {
+			sample(w, "pdm_fault_events_total", fmt.Sprintf("kind=%q", kind), float64(tags[name].Batches))
+		}
+	}
+
+	// Per-disk transfers and the skew figure the load-balancing theorems
+	// are about (max/mean; 1.0 = perfectly balanced).
+	perDisk := c.PerDisk()
+	header(w, "pdm_disk_transfers_total", "counter", "Block transfers per disk.")
+	var total, max int64
+	for d, v := range perDisk {
+		sample(w, "pdm_disk_transfers_total", fmt.Sprintf(`disk="%d"`, d), float64(v))
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	header(w, "pdm_disk_skew_ratio", "gauge", "Max/mean block transfers across disks (1.0 = balanced).")
+	skew := 0.0
+	if total > 0 && len(perDisk) > 0 {
+		skew = float64(max) * float64(len(perDisk)) / float64(total)
+	}
+	sample(w, "pdm_disk_skew_ratio", "", skew)
+
+	// Batch depth histogram (parallel I/O steps per batch).
+	histogram(w, "pdm_batch_depth", "Parallel I/O steps per batch (critical-path depth).", "", &c.Depth, float64(c.DepthSum()))
+
+	// Per-operation series, folded from span events. Root spans only:
+	// one sample per Lookup/Insert/Delete, nested phases rolled up.
+	ops := c.Ops()
+	opNames := make([]string, 0, len(ops))
+	for name := range ops {
+		opNames = append(opNames, name)
+	}
+	sort.Strings(opNames)
+	header(w, "pdm_ops_total", "counter", "Completed operations (root spans), by tag.")
+	for _, name := range opNames {
+		sample(w, "pdm_ops_total", tagLabel(name), float64(ops[name].Count))
+	}
+	header(w, "pdm_op_faults_total", "counter", "Faults observed inside operations, by tag.")
+	for _, name := range opNames {
+		sample(w, "pdm_op_faults_total", tagLabel(name), float64(ops[name].FaultSum))
+	}
+	header(w, "pdm_op_steps", "histogram", "Parallel I/O steps per operation.")
+	for _, name := range opNames {
+		a := ops[name]
+		histogramSeries(w, "pdm_op_steps", tagLabel(name), a.Steps, 1, float64(a.StepSum), a.Count)
+	}
+	header(w, "pdm_op_latency_seconds", "histogram", "Modeled operation latency under the collector's cost model.")
+	for _, name := range opNames {
+		a := ops[name]
+		histogramSeries(w, "pdm_op_latency_seconds", tagLabel(name), a.LatencyMicros, 1e-6, float64(a.LatencySumNanos)/1e9, a.Count)
+	}
+
+	header(w, "pdm_open_spans", "gauge", "Spans currently open (growth means unbalanced Span calls).")
+	sample(w, "pdm_open_spans", "", float64(c.OpenSpans()))
+}
+
+// header writes the HELP and TYPE lines of one metric family.
+func header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample writes one sample line; labels is a pre-rendered `k="v"` list
+// or empty.
+func sample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %g\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %g\n", name, labels, v)
+}
+
+// tagLabel renders a span tag as an escaped `tag="..."` label.
+func tagLabel(tag string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return `tag="` + r.Replace(tag) + `"`
+}
+
+// histogram writes one full unlabeled histogram family: header plus
+// the bucket/sum/count series.
+func histogram(w io.Writer, name, help, labels string, h *Hist, sum float64) {
+	header(w, name, "histogram", help)
+	histogramSeries(w, name, labels, h, 1, sum, h.Total())
+}
+
+// histogramSeries writes the _bucket/_sum/_count lines of one labeled
+// histogram. Bucket upper bounds are the Hist's power-of-two edges
+// scaled by unit (1e-6 turns microsecond buckets into seconds).
+func histogramSeries(w io.Writer, name, labels string, h *Hist, unit, sum float64, count int64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmt.Sprintf("%g", float64(b.Hi)*unit), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, count)
+	sample(w, name+"_sum", labels, sum)
+	sample(w, name+"_count", labels, float64(count))
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"pdmdict/internal/pdm"
+)
+
+// Cost model. The parallel disk model counts abstract parallel-I/O
+// steps; to reason about a serving system we convert those counts into
+// modeled time with a two-constant disk profile: every parallel I/O
+// step pays one positioning (seek + rotational latency), and every
+// block transferred pays one streaming transfer. Modeled latency is a
+// pure function of the deterministic counters, so it is itself
+// deterministic — unlike wall-clock durations, it can appear in traces
+// and reports without breaking byte-identical reproducibility.
+//
+// The default profile is a 7200 rpm enterprise HDD:
+//
+//	positioning: ~5.8 ms average seek + 4.2 ms average rotational
+//	             latency (half a revolution at 7200 rpm) ≈ 10 ms/step
+//	transfer:    one model block treated as 256 KiB streamed at
+//	             200 MB/s ≈ 1.31 ms/block
+//
+// These constants are documented in DESIGN.md §10; experiments that
+// want an SSD or NVMe profile construct their own CostModel.
+
+// CostModel converts parallel-I/O work into modeled time.
+type CostModel struct {
+	// StepCost is charged once per parallel I/O step (positioning).
+	StepCost time.Duration
+	// BlockCost is charged once per block transferred (streaming).
+	BlockCost time.Duration
+}
+
+// DefaultCostModel is the documented 7200 rpm HDD profile.
+var DefaultCostModel = CostModel{
+	StepCost:  10 * time.Millisecond,
+	BlockCost: 1310 * time.Microsecond,
+}
+
+// orDefault returns the model itself, or DefaultCostModel for the zero
+// value, so zero-valued Collectors and folders work out of the box.
+func (c CostModel) orDefault() CostModel {
+	if c == (CostModel{}) {
+		return DefaultCostModel
+	}
+	return c
+}
+
+// Latency returns the modeled duration of steps parallel I/O steps
+// moving blocks blocks.
+func (c CostModel) Latency(steps, blocks int64) time.Duration {
+	c = c.orDefault()
+	return time.Duration(steps)*c.StepCost + time.Duration(blocks)*c.BlockCost
+}
+
+// OpRecord is one reconstructed span: the I/O charged between its
+// begin and end events, inclusive of nested child spans. Root spans
+// (Parent == 0) are the per-operation records the paper's theorems
+// bound — one Lookup, Insert, or Delete each.
+type OpRecord struct {
+	// ID and Parent identify the span; Parent 0 marks an operation.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Tag is the span's dot-joined path (e.g. "insert.probe").
+	Tag string `json:"tag"`
+	// BeginStep and EndStep are the machine's cumulative parallel-I/O
+	// counter at the span boundaries; Steps is their difference — the
+	// span's parallel-I/O cost, stall charges included.
+	BeginStep int64 `json:"begin_step"`
+	EndStep   int64 `json:"end_step"`
+	Steps     int64 `json:"steps"`
+	// Batches, Blocks, Reads, and Writes count the batch events and
+	// block transfers attributed to the span (children included).
+	Batches int64 `json:"batches"`
+	Blocks  int64 `json:"blocks"`
+	Reads   int64 `json:"reads"`
+	Writes  int64 `json:"writes"`
+	// Faults counts the fault.* events seen inside the span.
+	Faults int64 `json:"faults,omitempty"`
+	// Latency is the modeled duration of the span under the folder's
+	// cost model.
+	Latency time.Duration `json:"latency_ns"`
+	// WallNanos is the span's wall-clock duration when the machine had
+	// an injected clock; 0 otherwise (and always 0 for records folded
+	// from serialized traces, which exclude wall time by construction).
+	WallNanos int64 `json:"wall_ns,omitempty"`
+}
+
+// SpanFolder reconstructs spans from an event stream: feed it every
+// event (in emission order) and it returns one OpRecord per closed
+// span. It tolerates imperfect streams — an end without a begin is
+// dropped, unclosed spans can be flushed with Drain — so it works on
+// truncated traces and on the interleaved streams a shared machine
+// produces under concurrency. Not safe for concurrent use; wrap it in
+// a Collector (which locks) for live folding.
+type SpanFolder struct {
+	// Cost is the model used for OpRecord.Latency; the zero value means
+	// DefaultCostModel.
+	Cost CostModel
+
+	open map[uint64]*OpRecord
+}
+
+// Fold consumes one event. It returns the completed record when e
+// closes a span, and nil otherwise.
+func (f *SpanFolder) Fold(e pdm.Event) *OpRecord {
+	switch e.Kind {
+	case pdm.EventSpanBegin:
+		if f.open == nil {
+			f.open = make(map[uint64]*OpRecord)
+		}
+		f.open[e.Span] = &OpRecord{
+			ID:        e.Span,
+			Parent:    e.Parent,
+			Tag:       e.Tag,
+			BeginStep: e.Step,
+		}
+		return nil
+	case pdm.EventSpanEnd:
+		rec := f.open[e.Span]
+		if rec == nil {
+			return nil // end without begin (truncated stream)
+		}
+		delete(f.open, e.Span)
+		f.close(rec, e.Step, e.WallNanos)
+		return rec
+	default:
+		// A batch or fault event: attribute it to its span and every
+		// open ancestor, so parent records include child I/O.
+		for id := e.Span; id != 0; {
+			rec := f.open[id]
+			if rec == nil {
+				break
+			}
+			if strings.HasPrefix(e.Tag, pdm.FaultTagPrefix) {
+				// Fault events describe the batch they ride on; the
+				// batch itself was already counted. Stall steps reach
+				// the record through the step counter.
+				rec.Faults++
+			} else {
+				rec.Batches++
+				rec.Blocks += int64(len(e.Addrs))
+				if e.Kind == pdm.EventWrite {
+					rec.Writes += int64(len(e.Addrs))
+				} else {
+					rec.Reads += int64(len(e.Addrs))
+				}
+			}
+			id = rec.Parent
+		}
+		return nil
+	}
+}
+
+// close finalizes a record at the given end step.
+func (f *SpanFolder) close(rec *OpRecord, endStep, wallNanos int64) {
+	rec.EndStep = endStep
+	rec.Steps = endStep - rec.BeginStep
+	rec.WallNanos = wallNanos
+	rec.Latency = f.Cost.Latency(rec.Steps, rec.Blocks)
+}
+
+// Open returns the number of spans currently open.
+func (f *SpanFolder) Open() int { return len(f.open) }
+
+// Drain closes every span still open — for truncated traces whose end
+// events were lost — using the given final step counter, and returns
+// the records ordered by span ID. The folder is empty afterwards.
+func (f *SpanFolder) Drain(endStep int64) []OpRecord {
+	out := make([]OpRecord, 0, len(f.open))
+	for _, rec := range f.open {
+		f.close(rec, endStep, 0)
+		out = append(out, *rec)
+	}
+	f.open = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FoldSpans reconstructs every closed span of a recorded event stream
+// (Drain-ing any left open at the end) under the given cost model —
+// the offline entry point used by pdmtrace -spans.
+func FoldSpans(events []pdm.Event, cost CostModel) []OpRecord {
+	f := SpanFolder{Cost: cost}
+	var out []OpRecord
+	var lastStep int64
+	for _, e := range events {
+		if e.Kind.IsSpan() && e.Step > lastStep {
+			lastStep = e.Step
+		}
+		if rec := f.Fold(e); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	return append(out, f.Drain(lastStep)...)
+}

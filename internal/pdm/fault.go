@@ -39,6 +39,11 @@ var (
 	ErrChecksum = errors.New("pdm: block checksum mismatch")
 )
 
+// FaultTagPrefix prefixes the tag of every fault event the machine
+// synthesizes ("fault." + FaultKind.String()); sinks use it to tell
+// fault events apart from the batches they ride on.
+const FaultTagPrefix = "fault."
+
 // FaultKind classifies what a FaultInjector does to one block access.
 type FaultKind uint8
 
@@ -234,7 +239,7 @@ func (m *Machine) verifyLocked(a Addr) bool {
 // fault.stall tag rather than the issuing batch's tag, so per-tag sums
 // still partition the machine's total.
 func faultEvent(kind EventKind, a Addr, fk string, stall int) Event {
-	return Event{Kind: kind, Tag: "fault." + fk, Addrs: []Addr{a}, Steps: stall, Depth: stall}
+	return Event{Kind: kind, Tag: FaultTagPrefix + fk, Addrs: []Addr{a}, Steps: stall, Depth: stall}
 }
 
 // TryBatchRead is BatchRead with fault injection and checksum
@@ -296,11 +301,12 @@ func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
 	if degrading {
 		m.degraded = true
 	}
-	hook, tag := m.hookLocked(len(addrs))
+	hook, tag, span := m.hookLocked(len(addrs))
 	m.mu.Unlock()
 	if hook != nil {
-		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
+		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
 		for _, e := range fevents {
+			e.Span = span
 			hook.Event(e)
 		}
 	}
@@ -365,11 +371,12 @@ func (m *Machine) TryBatchWrite(writes []BlockWrite) error {
 	if degrading {
 		m.degraded = true
 	}
-	hook, tag := m.hookLocked(len(addrs))
+	hook, tag, span := m.hookLocked(len(addrs))
 	m.mu.Unlock()
 	if hook != nil {
-		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
+		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
 		for _, e := range fevents {
+			e.Span = span
 			hook.Event(e)
 		}
 	}

@@ -81,14 +81,116 @@ func TestSpanTagsJoin(t *testing.T) {
 	end()
 	m.BatchRead([]Addr{{0, 0}}) // outside any span
 
-	want := []string{"insert", "insert.probe", "insert", ""}
-	evs := h.all()
-	if len(evs) != len(want) {
-		t.Fatalf("got %d events, want %d", len(evs), len(want))
+	type want struct {
+		kind EventKind
+		tag  string
 	}
-	for i, w := range want {
-		if evs[i].Tag != w {
-			t.Errorf("event %d tag = %q, want %q", i, evs[i].Tag, w)
+	wants := []want{
+		{EventSpanBegin, "insert"},
+		{EventRead, "insert"},
+		{EventSpanBegin, "insert.probe"},
+		{EventRead, "insert.probe"},
+		{EventSpanEnd, "insert.probe"},
+		{EventWrite, "insert"},
+		{EventSpanEnd, "insert"},
+		{EventRead, ""},
+	}
+	evs := h.all()
+	if len(evs) != len(wants) {
+		t.Fatalf("got %d events, want %d", len(evs), len(wants))
+	}
+	for i, w := range wants {
+		if evs[i].Kind != w.kind || evs[i].Tag != w.tag {
+			t.Errorf("event %d = kind %v tag %q, want kind %v tag %q",
+				i, evs[i].Kind, evs[i].Tag, w.kind, w.tag)
+		}
+	}
+}
+
+func TestSpanEventsCarryIDsAndSteps(t *testing.T) {
+	m := NewMachine(Config{D: 2, B: 2})
+	h := &recordingHook{}
+	m.SetHook(h)
+
+	end := m.Span("insert")
+	m.BatchRead([]Addr{{0, 0}}) // 1 step
+	endProbe := m.Span("probe")
+	m.BatchRead([]Addr{{0, 0}, {1, 0}}) // 1 step
+	endProbe()
+	end()
+
+	evs := h.all()
+	// [span_begin insert][read][span_begin probe][read][span_end probe][span_end insert]
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6", len(evs))
+	}
+	bi, bp, ep, ei := evs[0], evs[2], evs[4], evs[5]
+	if bi.Span == 0 || bi.Parent != 0 {
+		t.Errorf("root begin = id %d parent %d, want nonzero id, parent 0", bi.Span, bi.Parent)
+	}
+	if bp.Parent != bi.Span {
+		t.Errorf("nested span parent = %d, want %d", bp.Parent, bi.Span)
+	}
+	if ep.Span != bp.Span || ei.Span != bi.Span {
+		t.Errorf("end ids (%d, %d) do not match begin ids (%d, %d)", ep.Span, ei.Span, bp.Span, bi.Span)
+	}
+	if bi.Step != 0 || bp.Step != 1 || ep.Step != 2 || ei.Step != 2 {
+		t.Errorf("step timestamps = %d %d %d %d, want 0 1 2 2", bi.Step, bp.Step, ep.Step, ei.Step)
+	}
+	// Batch events carry the innermost open span's ID.
+	if evs[1].Span != bi.Span || evs[3].Span != bp.Span {
+		t.Errorf("batch span ids = %d %d, want %d %d", evs[1].Span, evs[3].Span, bi.Span, bp.Span)
+	}
+	if bi.WallNanos != 0 || ei.WallNanos != 0 {
+		t.Error("wall nanos nonzero without an injected clock")
+	}
+}
+
+func TestSpanWallClockInjection(t *testing.T) {
+	m := NewMachine(Config{D: 2, B: 2})
+	h := &recordingHook{}
+	m.SetHook(h)
+	var tick int64
+	m.SetWallClock(func() int64 { tick += 5; return tick })
+
+	end := m.Span("lookup")
+	m.BatchRead([]Addr{{0, 0}})
+	end()
+
+	evs := h.all()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].WallNanos != 0 {
+		t.Errorf("begin WallNanos = %d, want 0", evs[0].WallNanos)
+	}
+	if evs[2].WallNanos != 5 {
+		t.Errorf("end WallNanos = %d, want 5 (one clock tick)", evs[2].WallNanos)
+	}
+}
+
+func TestSpanIDsDeterministic(t *testing.T) {
+	run := func() []Event {
+		m := NewMachine(Config{D: 2, B: 2})
+		h := &recordingHook{}
+		m.SetHook(h)
+		for i := 0; i < 3; i++ {
+			end := m.Span("insert")
+			m.BatchWrite([]BlockWrite{{Addr: Addr{i % 2, i}, Data: []Word{Word(i)}}})
+			inner := m.Span("probe")
+			m.BatchRead([]Addr{{i % 2, i}})
+			inner()
+			end()
+		}
+		return h.all()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Span != b[i].Span || a[i].Parent != b[i].Parent || a[i].Step != b[i].Step {
+			t.Errorf("event %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
 		}
 	}
 }
@@ -209,8 +311,9 @@ func TestHookAndSpansConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if got := h.n.Load(); got != goroutines*iters*2 {
-		t.Errorf("hook saw %d events, want %d", got, goroutines*iters*2)
+	// Each iteration fires span_begin + write + read + span_end.
+	if got := h.n.Load(); got != goroutines*iters*4 {
+		t.Errorf("hook saw %d events, want %d", got, goroutines*iters*4)
 	}
 	if got := m.Stats().ParallelIOs; got != goroutines*iters*2 {
 		t.Errorf("ParallelIOs = %d, want %d", got, goroutines*iters*2)

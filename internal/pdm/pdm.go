@@ -134,41 +134,78 @@ func (s Stats) Sub(t Stats) Stats {
 	return out
 }
 
-// EventKind distinguishes the direction of a traced batch.
+// EventKind distinguishes the direction of a traced batch, or marks a
+// span boundary.
 type EventKind uint8
 
 // Event kinds.
 const (
 	EventRead EventKind = iota
 	EventWrite
+	// EventSpanBegin and EventSpanEnd bracket one operation span opened
+	// with Span. They carry no addresses; their cost lives in the step
+	// counter timestamps (Event.Step).
+	EventSpanBegin
+	EventSpanEnd
 )
 
-// String returns "read" or "write".
+// String returns "read", "write", "span_begin", or "span_end".
 func (k EventKind) String() string {
-	if k == EventWrite {
+	switch k {
+	case EventWrite:
 		return "write"
+	case EventSpanBegin:
+		return "span_begin"
+	case EventSpanEnd:
+		return "span_end"
+	default:
+		return "read"
 	}
-	return "read"
 }
 
-// Event describes one accounted batch: what was transferred, what it
-// cost, and which structure layer issued it (the innermost span tag at
-// issue time, path-joined with dots — e.g. "insert.probe").
+// IsSpan reports whether the kind marks a span boundary rather than a
+// batch.
+func (k EventKind) IsSpan() bool { return k == EventSpanBegin || k == EventSpanEnd }
+
+// Event describes one accounted batch (what was transferred, what it
+// cost, and which structure layer issued it — the innermost span path at
+// issue time, dot-joined, e.g. "insert.probe") or one span boundary
+// (EventSpanBegin/EventSpanEnd, identifying the operation the following
+// batches belong to).
 //
 // Addrs aliases the caller's batch and is valid only for the duration
 // of the Hook call; a sink that retains events must copy it.
 type Event struct {
-	// Kind is the batch direction.
+	// Kind is the batch direction or the span boundary marker.
 	Kind EventKind
 	// Tag is the span path active when the batch was issued ("" when
-	// untagged).
+	// untagged). For span events it is the span's own dot-joined path.
 	Tag string
-	// Addrs are the batch's block addresses, in request order.
+	// Addrs are the batch's block addresses, in request order (nil for
+	// span events).
 	Addrs []Addr
 	// Steps is the parallel-I/O cost charged for the batch.
 	Steps int
 	// Depth is the deepest per-disk queue of the batch.
 	Depth int
+
+	// Span is the ID of the span this event belongs to: for span events
+	// the span's own ID, for batch and fault events the innermost open
+	// span at issue time (0 = outside any span). IDs are assigned from a
+	// per-machine counter, so equal workloads produce equal IDs.
+	Span uint64
+	// Parent is the enclosing span's ID on span events (0 = root span,
+	// i.e. a top-level dictionary operation).
+	Parent uint64
+	// Step is the machine's cumulative parallel-I/O step counter when a
+	// span event fired — the deterministic timestamp. The I/O cost of a
+	// span is its end Step minus its begin Step.
+	Step int64
+	// WallNanos is the span's wall-clock duration in nanoseconds on
+	// EventSpanEnd, when a wall clock was injected with SetWallClock
+	// (0 otherwise). It is carried for live metrics only and is excluded
+	// from serialized traces by construction, keeping trace determinism.
+	WallNanos int64
 }
 
 // Hook receives one Event per non-empty batch. Implementations must be
@@ -192,11 +229,21 @@ type Machine struct {
 	perDisk []int64 // block transfers per disk (reads + writes)
 
 	hook     Hook          // nil = no tracing
-	spans    []string      // span stack; each entry is the dot-joined path
+	spans    []spanFrame   // span stack, innermost last
+	nextSpan uint64        // span ID counter; IDs start at 1
+	wall     func() int64  // injected wall clock in nanoseconds; nil = no wall timing
 	endSpan  func()        // shared pop closure, allocated once
 	injector FaultInjector // nil = faultless machine
 	degraded bool          // any data-threatening fault since last ClearDegraded
 	faults   int64         // lifetime fault event count
+}
+
+// spanFrame is one open span on the machine's stack.
+type spanFrame struct {
+	id        uint64
+	parent    uint64
+	path      string // dot-joined tag path, e.g. "insert.probe"
+	beginWall int64  // injected-clock nanoseconds at open; 0 without a clock
 }
 
 // NewMachine returns a machine with the given configuration. It panics if
@@ -215,10 +262,28 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m.endSpan = func() {
 		m.mu.Lock()
-		if n := len(m.spans); n > 0 {
-			m.spans = m.spans[:n-1]
+		n := len(m.spans)
+		if n == 0 {
+			m.mu.Unlock()
+			return
+		}
+		f := m.spans[n-1]
+		m.spans = m.spans[:n-1]
+		hook := m.hook
+		ev := Event{
+			Kind:   EventSpanEnd,
+			Tag:    f.path,
+			Span:   f.id,
+			Parent: f.parent,
+			Step:   m.stats.ParallelIOs,
+		}
+		if m.wall != nil {
+			ev.WallNanos = m.wall() - f.beginWall
 		}
 		m.mu.Unlock()
+		if hook != nil {
+			hook.Event(ev)
+		}
 	}
 	return m
 }
@@ -236,26 +301,60 @@ func (m *Machine) SetHook(h Hook) {
 // untraced path allocates nothing.
 var noopEndSpan = func() {}
 
-// Span pushes tag onto the machine's span stack and returns the
-// function that pops it (call it when the spanned phase ends, typically
-// via defer). Events fired while the span is open carry the dot-joined
-// path of open tags, attributing I/O to structure layers — e.g. a batch
-// inside Span("probe") inside Span("insert") is tagged "insert.probe".
+// SetWallClock installs (or, with nil, removes) a wall-clock source, a
+// function returning nanoseconds from an arbitrary epoch. When set,
+// EventSpanEnd events carry the span's wall-clock duration in
+// WallNanos. The machine never reads the clock itself — injecting it
+// keeps the measured packages free of wall-clock calls, and serialized
+// traces omit the field, so determinism guarantees are unaffected.
+func (m *Machine) SetWallClock(now func() int64) {
+	m.mu.Lock()
+	m.wall = now
+	m.mu.Unlock()
+}
+
+// Span opens a span: it pushes tag onto the machine's span stack,
+// fires an EventSpanBegin carrying a fresh span ID, the parent's ID,
+// the dot-joined path, and the current step counter, and returns the
+// function that closes the span (call it when the spanned phase ends,
+// typically via defer; closing fires the matching EventSpanEnd).
+// Batches fired while the span is open carry the dot-joined path of
+// open tags and the innermost span's ID — e.g. a batch inside
+// Span("probe") inside Span("insert") is tagged "insert.probe".
 //
 // With no hook installed, Span is a single branch returning a shared
 // no-op; with concurrent users the stack is shared, so attribution
-// under concurrency is best-effort (race-free, but interleaved).
+// under concurrency is best-effort (race-free, but interleaved — the
+// returned closure ends the innermost open span, not necessarily the
+// one this call opened).
 func (m *Machine) Span(tag string) func() {
 	m.mu.Lock()
-	if m.hook == nil {
+	hook := m.hook
+	if hook == nil {
 		m.mu.Unlock()
 		return noopEndSpan
 	}
+	f := spanFrame{path: tag}
 	if n := len(m.spans); n > 0 {
-		tag = m.spans[n-1] + "." + tag
+		top := m.spans[n-1]
+		f.parent = top.id
+		f.path = top.path + "." + tag
 	}
-	m.spans = append(m.spans, tag)
+	m.nextSpan++
+	f.id = m.nextSpan
+	if m.wall != nil {
+		f.beginWall = m.wall()
+	}
+	m.spans = append(m.spans, f)
+	ev := Event{
+		Kind:   EventSpanBegin,
+		Tag:    f.path,
+		Span:   f.id,
+		Parent: f.parent,
+		Step:   m.stats.ParallelIOs,
+	}
 	m.mu.Unlock()
+	hook.Event(ev)
 	return m.endSpan
 }
 
@@ -366,10 +465,10 @@ func (m *Machine) BatchRead(addrs []Addr) [][]Word {
 		copy(dst, src)
 		out[i] = dst
 	}
-	hook, tag := m.hookLocked(len(addrs))
+	hook, tag, span := m.hookLocked(len(addrs))
 	m.mu.Unlock()
 	if hook != nil {
-		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
+		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
 	}
 	return out
 }
@@ -394,18 +493,18 @@ func (m *Machine) accountLocked(steps, depth int, addrs []Addr) {
 }
 
 // hookLocked returns the hook to fire for a batch of n addresses (nil
-// when tracing is off or the batch is empty) and the current span tag.
-// Callers hold m.mu and invoke the hook after unlocking, so hooks may
-// touch the machine without deadlocking.
-func (m *Machine) hookLocked(n int) (Hook, string) {
+// when tracing is off or the batch is empty), the current span tag, and
+// the innermost open span's ID. Callers hold m.mu and invoke the hook
+// after unlocking, so hooks may touch the machine without deadlocking.
+func (m *Machine) hookLocked(n int) (hook Hook, tag string, span uint64) {
 	if m.hook == nil || n == 0 {
-		return nil, ""
+		return nil, "", 0
 	}
-	tag := ""
 	if len(m.spans) > 0 {
-		tag = m.spans[len(m.spans)-1]
+		top := m.spans[len(m.spans)-1]
+		tag, span = top.path, top.id
 	}
-	return m.hook, tag
+	return m.hook, tag, span
 }
 
 // BlockWrite names one block write of a batch.
@@ -438,10 +537,10 @@ func (m *Machine) BatchWrite(writes []BlockWrite) {
 		copy(blk, w.Data)
 		*m.sumLocked(w.Addr) = crcBlock(blk)
 	}
-	hook, tag := m.hookLocked(len(addrs))
+	hook, tag, span := m.hookLocked(len(addrs))
 	m.mu.Unlock()
 	if hook != nil {
-		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth})
+		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
 	}
 }
 
