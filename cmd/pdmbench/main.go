@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	pdmbench [-run regexp | -faults] [-md | -csv | -json] [-list]
-//	         [-out file] [-serve addr]
+//	pdmbench [-run regexp | -faults | -parallel N] [-md | -csv | -json]
+//	         [-list] [-out file] [-serve addr]
 //
 // -json emits the run as one JSON document — {"schema_version": N,
 // "tables": [...]} — that also carries the per-operation parallel-I/O
@@ -23,6 +23,13 @@
 //	pdmbench -run fig1 -json -out bench.json   # machine-readable report
 //	pdmbench -out results.txt                  # full suite into a file
 //	pdmbench -serve :8080                      # watch the run live
+//	pdmbench -parallel 8                       # multi-client throughput, 1 vs 8 clients
+//	pdmbench -parallel 8 -json -out BENCH_PR5.json
+//
+// -parallel N runs the multi-client throughput mode instead of the
+// experiment suite: N concurrent query streams over one shared
+// dictionary, each paced by the modeled device latency, reported as
+// wall and modeled ops/sec next to a single-client baseline.
 package main
 
 import (
@@ -45,6 +52,9 @@ func main() {
 		faults   = flag.Bool("faults", false, "run the fault-tolerance scenario (shorthand for -run E14-faults)")
 		outPath  = flag.String("out", "", "write output to this file instead of stdout")
 		serve    = flag.String("serve", "", "serve live /metrics, /healthz, and /debug/pprof on this address while running")
+		parallel = flag.Int("parallel", 0, "run the multi-client throughput mode with this many clients (vs a 1-client baseline)")
+		ops      = flag.Int("ops", 0, "throughput mode: total operations per run (default 8000)")
+		seed     = flag.Uint64("seed", 1, "throughput mode: workload seed")
 	)
 	flag.StringVar(outPath, "o", "", "alias for -out")
 	flag.Parse()
@@ -98,6 +108,27 @@ func main() {
 	case *markdown:
 		format = bench.FormatMarkdown
 	}
+
+	if *parallel > 0 {
+		if *pattern != "" {
+			fmt.Fprintln(os.Stderr, "pdmbench: -parallel and -run are mutually exclusive")
+			os.Exit(1)
+		}
+		clients := []int{1}
+		if *parallel > 1 {
+			clients = append(clients, *parallel)
+		}
+		table, _, err := bench.ThroughputTable(bench.ThroughputConfig{TotalOps: *ops, Seed: *seed}, clients)
+		if err == nil {
+			err = bench.WriteTables(out, []bench.Table{table}, format)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if _, err := bench.RunFormat(*pattern, out, format); err != nil {
 		fmt.Fprintln(os.Stderr, "pdmbench:", err)
 		os.Exit(1)

@@ -212,6 +212,31 @@ func RunFormat(pattern string, w io.Writer, format Format) ([]Table, error) {
 	return all, nil
 }
 
+// WriteTables renders tables to w in the given format — the same
+// rendering RunFormat applies, for callers (like pdmbench -parallel)
+// that produce tables outside the experiment registry.
+func WriteTables(w io.Writer, tables []Table, format Format) error {
+	if format == FormatJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: tables}); err != nil {
+			return fmt.Errorf("bench: encoding JSON: %w", err)
+		}
+		return nil
+	}
+	for _, t := range tables {
+		switch format {
+		case FormatMarkdown:
+			fmt.Fprintln(w, t.Markdown())
+		case FormatCSV:
+			fmt.Fprintln(w, t.CSV())
+		default:
+			fmt.Fprintln(w, t.Render())
+		}
+	}
+	return nil
+}
+
 // Experiment is one entry of the suite.
 type Experiment struct {
 	// ID matches DESIGN.md's per-experiment index.

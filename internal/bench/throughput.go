@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pdmdict/internal/bucket"
+	"pdmdict/internal/core"
+	"pdmdict/internal/obs"
+	"pdmdict/internal/pdm"
+)
+
+// Throughput mode (`pdmbench -parallel N`): a multi-client query engine
+// over one shared Section 4.1 dictionary. Each client is a synchronous
+// query stream — issue an operation, wait out its modeled device
+// latency (scaled down by TimeScale so runs finish in seconds), issue
+// the next. The simulated machine itself answers at memory speed, so
+// without pacing a wall clock would only measure Go's memcpy; with it,
+// wall throughput shows what the concurrency machinery actually buys a
+// storage system: N independent streams overlap their waits, and
+// ops/sec grows with N until the host CPU (or lock contention in the
+// sharded machine) saturates. The modeled serial rate — total device
+// time of the I/O issued, no overlap — is reported alongside as the
+// deterministic, host-independent baseline.
+
+// ThroughputConfig parameterizes one throughput run.
+type ThroughputConfig struct {
+	// Clients is the number of concurrent query streams.
+	Clients int
+	// TotalOps is the operation budget, split evenly across clients.
+	TotalOps int
+	// Keys is the number of records preloaded (via BulkLoad) before the
+	// clock starts.
+	Keys int
+	// ReadFrac is the fraction of operations that are lookups; the rest
+	// are inserts of fresh keys. Defaults to 0.95 (read-heavy).
+	ReadFrac float64
+	// TimeScale divides the modeled latencies for pacing: 1000 means one
+	// simulated millisecond costs one real microsecond. Defaults to 250.
+	TimeScale int64
+	// Seed derives the dictionary layout and every client's private key
+	// sequence.
+	Seed uint64
+	// D and B are the machine shape; default 20 disks × 64-word blocks.
+	D, B int
+}
+
+func (c *ThroughputConfig) normalize() error {
+	if c.Clients <= 0 {
+		return fmt.Errorf("bench: Clients = %d, must be positive", c.Clients)
+	}
+	if c.TotalOps == 0 {
+		c.TotalOps = 8000
+	}
+	if c.Keys == 0 {
+		c.Keys = 4096
+	}
+	if c.ReadFrac == 0 {
+		c.ReadFrac = 0.95
+	}
+	if c.ReadFrac < 0 || c.ReadFrac > 1 {
+		return fmt.Errorf("bench: ReadFrac = %v outside [0,1]", c.ReadFrac)
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 250
+	}
+	if c.TimeScale < 1 {
+		return fmt.Errorf("bench: TimeScale = %d, must be positive", c.TimeScale)
+	}
+	if c.D == 0 {
+		c.D = 20
+	}
+	if c.B == 0 {
+		c.B = 64
+	}
+	return nil
+}
+
+// ThroughputResult is one measured run.
+type ThroughputResult struct {
+	Clients          int     `json:"clients"`
+	Ops              int64   `json:"ops"`
+	Lookups          int64   `json:"lookups"`
+	Inserts          int64   `json:"inserts"`
+	WallNanos        int64   `json:"wall_ns"`
+	WallOpsPerSec    float64 `json:"wall_ops_per_sec"`
+	ModeledNanos     int64   `json:"modeled_serial_ns"`
+	ModeledOpsPerSec float64 `json:"modeled_serial_ops_per_sec"`
+	ParallelIOs      int64   `json:"parallel_ios"`
+	BlockReads       int64   `json:"block_reads"`
+	BlockWrites      int64   `json:"block_writes"`
+}
+
+// RunThroughput builds the dictionary, preloads it, and drives
+// cfg.Clients concurrent streams over it.
+func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	var res ThroughputResult
+	if err := cfg.normalize(); err != nil {
+		return res, err
+	}
+	perClient := cfg.TotalOps / cfg.Clients
+	if perClient == 0 {
+		return res, fmt.Errorf("bench: TotalOps %d below Clients %d", cfg.TotalOps, cfg.Clients)
+	}
+
+	// Capacity: preload + every client's private insert range + warmup.
+	capacity := cfg.Keys + cfg.Clients*perClient + 8
+	m := newMachine(pdm.Config{D: cfg.D, B: cfg.B})
+	dict, err := core.NewBasic(m, core.BasicConfig{
+		Capacity: capacity,
+		SatWords: 1,
+		Universe: 1 << 62,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Preload: key space 2i+1 (odd), so fresh insert keys (even, above
+	// the preload range) never collide.
+	recs := make([]bucket.Record, cfg.Keys)
+	for i := range recs {
+		k := pdm.Word(2*i + 1)
+		recs[i] = bucket.Record{Key: k, Sat: []pdm.Word{k * 13}}
+	}
+	if err := dict.BulkLoad(recs, dict.BlocksPerDisk(), 8); err != nil {
+		return res, err
+	}
+
+	// Unit costs, measured on sacrificial keys: every lookup (resp.
+	// fresh insert) on this structure has the same batch shape, so one
+	// sample prices the pacing sleep for all of them.
+	unit := func(op func()) (steps, blocks int64) {
+		before := m.Stats()
+		op()
+		after := m.Stats()
+		return after.ParallelIOs - before.ParallelIOs,
+			(after.BlockReads - before.BlockReads) + (after.BlockWrites - before.BlockWrites)
+	}
+	warmKey := pdm.Word(2*capacity + 2)
+	insSteps, insBlocks := unit(func() {
+		if err = dict.Insert(warmKey, []pdm.Word{1}); err != nil {
+			err = fmt.Errorf("bench: warmup insert: %w", err)
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	lookSteps, lookBlocks := unit(func() { dict.Lookup(warmKey) })
+	insPace := time.Duration(obs.DefaultCostModel.Latency(insSteps, insBlocks).Nanoseconds() / cfg.TimeScale)
+	lookPace := time.Duration(obs.DefaultCostModel.Latency(lookSteps, lookBlocks).Nanoseconds() / cfg.TimeScale)
+
+	base := m.Stats()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Clients)
+	var lookups, inserts int64
+	counts := make([]struct{ looks, ins int64 }, cfg.Clients)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(c)*7919 + 1))
+			nextFresh := pdm.Word(2 * (cfg.Keys + c*perClient + 1)) // even: disjoint from preload and other clients
+			for i := 0; i < perClient; i++ {
+				if rng.Float64() < cfg.ReadFrac {
+					k := pdm.Word(2*rng.Intn(cfg.Keys) + 1)
+					sat, ok := dict.Lookup(k)
+					if !ok || sat[0] != k*13 {
+						errs <- fmt.Errorf("bench: client %d lookup %d: ok=%v sat=%v", c, k, ok, sat)
+						return
+					}
+					counts[c].looks++
+					time.Sleep(lookPace)
+				} else {
+					if err := dict.Insert(nextFresh, []pdm.Word{nextFresh * 13}); err != nil {
+						errs <- fmt.Errorf("bench: client %d insert %d: %w", c, nextFresh, err)
+						return
+					}
+					nextFresh += 2
+					counts[c].ins++
+					time.Sleep(insPace)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return res, err
+	}
+	for _, ct := range counts {
+		lookups += ct.looks
+		inserts += ct.ins
+	}
+
+	s := m.Stats()
+	res.Clients = cfg.Clients
+	res.Lookups = lookups
+	res.Inserts = inserts
+	res.Ops = lookups + inserts
+	res.WallNanos = wall.Nanoseconds()
+	res.WallOpsPerSec = float64(res.Ops) / wall.Seconds()
+	res.ParallelIOs = s.ParallelIOs - base.ParallelIOs
+	res.BlockReads = s.BlockReads - base.BlockReads
+	res.BlockWrites = s.BlockWrites - base.BlockWrites
+	modeled := obs.DefaultCostModel.Latency(res.ParallelIOs, res.BlockReads+res.BlockWrites)
+	res.ModeledNanos = modeled.Nanoseconds()
+	if modeled > 0 {
+		res.ModeledOpsPerSec = float64(res.Ops) / modeled.Seconds()
+	}
+	return res, nil
+}
+
+// ThroughputTable runs the workload once per client count and renders
+// the comparison (speedup is wall ops/sec relative to the first row).
+func ThroughputTable(cfg ThroughputConfig, clientCounts []int) (Table, []ThroughputResult, error) {
+	t := Table{
+		ID: "T1-parallel",
+		Title: fmt.Sprintf("multi-client throughput: §4.1 dictionary, %d keys, %.0f%% reads, modeled latency ÷%d",
+			nz(cfg.Keys, 4096), nzf(cfg.ReadFrac, 0.95)*100, nz64(cfg.TimeScale, 250)),
+		Columns: []string{"clients", "ops", "wall ms", "wall ops/s", "modeled serial ops/s", "speedup"},
+	}
+	var results []ThroughputResult
+	var baseline float64
+	for _, n := range clientCounts {
+		c := cfg
+		c.Clients = n
+		r, err := RunThroughput(c)
+		if err != nil {
+			return t, nil, err
+		}
+		results = append(results, r)
+		if baseline == 0 {
+			baseline = r.WallOpsPerSec
+		}
+		t.AddRow(r.Clients, r.Ops,
+			fmt.Sprintf("%.0f", float64(r.WallNanos)/1e6),
+			fmt.Sprintf("%.0f", r.WallOpsPerSec),
+			fmt.Sprintf("%.1f", r.ModeledOpsPerSec),
+			fmt.Sprintf("%.2fx", r.WallOpsPerSec/baseline))
+	}
+	t.Notes = append(t.Notes,
+		"each client is a synchronous stream paced by the DESIGN.md §10 HDD cost model (scaled); speedup is latency hiding across streams",
+		"modeled serial ops/s assumes no overlap — the single-stream device-bound rate, independent of the host")
+	return t, results, nil
+}
+
+func nz(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func nz64(v, def int64) int64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func nzf(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+func TestRunThroughputSmall(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		Clients:   4,
+		TotalOps:  200,
+		Keys:      256,
+		TimeScale: 1 << 40, // pacing sleeps round to zero: keep the test fast
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 200 {
+		t.Errorf("Ops = %d, want 200", res.Ops)
+	}
+	if res.Lookups+res.Inserts != res.Ops {
+		t.Errorf("lookups %d + inserts %d != ops %d", res.Lookups, res.Inserts, res.Ops)
+	}
+	if res.WallOpsPerSec <= 0 || res.ModeledOpsPerSec <= 0 {
+		t.Errorf("non-positive rates: %+v", res)
+	}
+	// Read-heavy means mostly lookups even on a short run.
+	if res.Lookups < res.Inserts {
+		t.Errorf("read-heavy run did %d lookups vs %d inserts", res.Lookups, res.Inserts)
+	}
+}
+
+func TestThroughputTableRejectsBadConfig(t *testing.T) {
+	if _, _, err := ThroughputTable(ThroughputConfig{ReadFrac: 2}, []int{1}); err == nil {
+		t.Fatal("ReadFrac 2 accepted")
+	}
+	if _, err := RunThroughput(ThroughputConfig{Clients: 0}); err == nil {
+		t.Fatal("Clients 0 accepted")
+	}
+}

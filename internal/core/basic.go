@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pdmdict/internal/bucket"
 	"pdmdict/internal/expander"
@@ -116,7 +117,16 @@ func (c *BasicConfig) normalize() error {
 // touched buckets, also one parallel I/O. Nothing is ever moved after
 // insertion, and there is no index or central directory: operations go
 // directly to the relevant blocks knowing only the graph.
+//
+// The dictionary is safe for concurrent use: lookups (Lookup, Contains,
+// LookupBatch, LookupTry, Scan) share a read lock and run concurrently
+// with each other — the d-choice probes are independent, which is
+// exactly what the sharded machine parallelizes — while updates
+// (Insert, Delete, BulkLoad, Repair) are exclusive. The unexported
+// helpers (probeAddrs, insertWrites, …) take no locks: composite
+// structures call them under their own synchronization.
 type BasicDict struct {
+	mu        sync.RWMutex
 	reg       region
 	graph     expander.Graph
 	striped   expander.Striped // nil in HeadModel mode
@@ -205,7 +215,11 @@ func newBasicAt(reg region, cfg BasicConfig) (*BasicDict, error) {
 }
 
 // Len returns the number of keys stored.
-func (bd *BasicDict) Len() int { return bd.n }
+func (bd *BasicDict) Len() int {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
+	return bd.n
+}
 
 // Capacity returns the configured capacity N.
 func (bd *BasicDict) Capacity() int { return bd.cfg.Capacity }
@@ -381,6 +395,8 @@ func (bd *BasicDict) findFragments(x pdm.Word, hood [][][]pdm.Word) (map[int][]p
 // shared buckets are read once. Results are positionally aligned with
 // keys.
 func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
 	defer bd.reg.m.Span(obs.TagLookup)()
 	uniq := make(map[pdm.Addr]int) // addr → index into fetch list
 	var addrs []pdm.Addr
@@ -416,6 +432,8 @@ func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 // Cost: one batched read of the d buckets of Γ(x) — a single parallel
 // I/O when BucketBlocks is 1.
 func (bd *BasicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
 	defer bd.reg.m.Span(obs.TagLookup)()
 	hood := bd.readNeighborhood(x)
 	frags, _ := bd.findFragments(x, hood)
@@ -453,6 +471,8 @@ func (bd *BasicDict) assemble(frags map[int][]pdm.Word) []pdm.Word {
 // batched write of the modified buckets (a single parallel I/O, since
 // the touched buckets lie in distinct stripes).
 func (bd *BasicDict) Insert(x pdm.Word, sat []pdm.Word) error {
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
 	defer bd.reg.m.Span(obs.TagInsert)()
 	endProbe := bd.reg.m.Span(obs.TagProbe)
 	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
@@ -618,6 +638,8 @@ func (bd *BasicDict) collectWrites(x pdm.Word, hood [][][]pdm.Word, dirty map[in
 // Delete removes x and reports whether it was present. Cost: one read
 // batch plus, when present, one write batch.
 func (bd *BasicDict) Delete(x pdm.Word) bool {
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
 	defer bd.reg.m.Span(obs.TagDelete)()
 	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
 	writes, ok := bd.deleteWrites(x, flat)
@@ -652,6 +674,8 @@ func (bd *BasicDict) deleteWrites(x pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWri
 // MaxLoad scans the structure (without accounting I/O; diagnostics only)
 // and returns the maximum bucket load, the quantity Lemma 3 bounds.
 func (bd *BasicDict) MaxLoad() int {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
 	max := 0
 	for y := 0; y < bd.buckets; y++ {
 		disk, row := bd.bucketPos(y)
@@ -674,6 +698,8 @@ func (bd *BasicDict) MaxLoad() int {
 // for enumeration of keys (e.g. by the rebuilding wrapper), which uses
 // fragment index 0 as the canonical sighting of a key.
 func (bd *BasicDict) Scan(fn func(key pdm.Word, fragIdx int, frag []pdm.Word)) {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
 	defer bd.reg.m.Span(obs.TagScan)()
 	for y := 0; y < bd.buckets; y++ {
 		addrs := bd.bucketAddrs(y, nil)

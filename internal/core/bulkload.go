@@ -27,6 +27,8 @@ import (
 // scratch region starts at block scratchBlock0 on every disk of the
 // dictionary's region and is free for reuse afterwards.
 func (bd *BasicDict) BulkLoad(recs []bucket.Record, scratchBlock0, memStripes int) error {
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
 	if bd.n > 0 {
 		return fmt.Errorf("core: BulkLoad on a non-empty dictionary (%d keys)", bd.n)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pdmdict/internal/bitpack"
 	"pdmdict/internal/expander"
@@ -106,6 +107,7 @@ type dynLevel struct {
 // costs lg l extra bits and caps the worst-case successful search at 2
 // I/Os, strictly inside the theorem's O(log n) bound.
 type DynamicDict struct {
+	mu     sync.RWMutex // lookups shared, updates exclusive
 	m      *pdm.Machine
 	cfg    DynamicConfig
 	d      int
@@ -200,7 +202,11 @@ func (dd *DynamicDict) maxLevels() int {
 }
 
 // Len returns the number of keys stored.
-func (dd *DynamicDict) Len() int { return dd.n }
+func (dd *DynamicDict) Len() int {
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
+	return dd.n
+}
 
 // Capacity returns N.
 func (dd *DynamicDict) Capacity() int { return dd.cfg.Capacity }
@@ -211,6 +217,8 @@ func (dd *DynamicDict) Levels() int { return len(dd.levels) }
 // LevelCounts returns how many keys reside at each level — the
 // geometric decay Theorem 7's averaging argument rests on.
 func (dd *DynamicDict) LevelCounts() []int {
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
 	out := make([]int, len(dd.levels))
 	for i, lv := range dd.levels {
 		out[i] = lv.count
@@ -253,6 +261,8 @@ func (dd *DynamicDict) fieldsOf(lv *dynLevel, x pdm.Word, blocks [][]pdm.Word) [
 
 // Lookup returns a copy of x's satellite and whether x is present.
 func (dd *DynamicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
 	defer dd.m.Span(obs.TagLookup)()
 	// First parallel I/O: membership probe + A_1 fields, disjoint disks.
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
@@ -285,6 +295,91 @@ func (dd *DynamicDict) Contains(x pdm.Word) bool {
 	return ok
 }
 
+// LookupBatch resolves many keys in at most two batched reads: round
+// one fetches every key's membership buckets and A_1 fields together
+// (de-duplicated) in a single parallel I/O, and the keys resident
+// deeper than A_1 — a ≤ Ratio fraction on average — share one second
+// batch. Results are positionally aligned with keys.
+func (dd *DynamicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
+	defer dd.m.Span(obs.TagLookup)()
+	membLen := dd.memb.probeLen()
+	width := membLen + dd.d
+	idx := make([]int32, len(keys)*width)
+	uniq := make(map[pdm.Addr]int32, len(keys)*width)
+	var addrs []pdm.Addr
+	scratch := make([]pdm.Addr, 0, width)
+	for ki, x := range keys {
+		scratch = dd.memb.probeAddrs(x, scratch[:0])
+		scratch = dd.levelAddrs(&dd.levels[0], x, scratch)
+		for i, a := range scratch {
+			j, seen := uniq[a]
+			if !seen {
+				j = int32(len(addrs))
+				uniq[a] = j
+				addrs = append(addrs, a)
+			}
+			idx[ki*width+i] = j
+		}
+	}
+	flat := dd.m.BatchRead(addrs)
+
+	sats := make([][]pdm.Word, len(keys))
+	oks := make([]bool, len(keys))
+	type deepKey struct {
+		ki    int
+		level int
+		head  int
+	}
+	var deep []deepKey
+	uniq2 := make(map[pdm.Addr]int32)
+	var addrs2 []pdm.Addr
+	var idx2 []int32
+	view := make([][]pdm.Word, width)
+	for ki, x := range keys {
+		for i := range view {
+			view[i] = flat[idx[ki*width+i]]
+		}
+		membSat, ok := dd.memb.lookupInBlocks(x, view[:membLen])
+		if !ok {
+			continue
+		}
+		head := int(membSat[0] & 0xFF)
+		level := int(membSat[0] >> 8)
+		if level >= len(dd.levels) {
+			continue
+		}
+		if level == 0 {
+			sats[ki], oks[ki] = decodeChain(dd.fieldBits, dd.cfg.SatWords, dd.fieldsOf(&dd.levels[0], x, view[membLen:]), head)
+			continue
+		}
+		deep = append(deep, deepKey{ki: ki, level: level, head: head})
+		scratch = dd.levelAddrs(&dd.levels[level], x, scratch[:0])
+		for _, a := range scratch {
+			j, seen := uniq2[a]
+			if !seen {
+				j = int32(len(addrs2))
+				uniq2[a] = j
+				addrs2 = append(addrs2, a)
+			}
+			idx2 = append(idx2, j)
+		}
+	}
+	if len(deep) > 0 {
+		flat2 := dd.m.BatchRead(addrs2)
+		blocks := make([][]pdm.Word, dd.d)
+		for di, dk := range deep {
+			for i := range blocks {
+				blocks[i] = flat2[idx2[di*dd.d+i]]
+			}
+			x := keys[dk.ki]
+			sats[dk.ki], oks[dk.ki] = decodeChain(dd.fieldBits, dd.cfg.SatWords, dd.fieldsOf(&dd.levels[dk.level], x, blocks), dk.head)
+		}
+	}
+	return sats, oks
+}
+
 // Insert stores (x, sat). Existing keys are updated in place (their old
 // chain is released first). The insertion is first-fit over the level
 // cascade; ErrFull is returned if no level offers t free fields, which
@@ -297,6 +392,8 @@ func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	if uint64(x) >= dd.cfg.Universe {
 		return fmt.Errorf("core: key %d outside universe %d", x, dd.cfg.Universe)
 	}
+	dd.mu.Lock()
+	defer dd.mu.Unlock()
 	defer dd.m.Span(obs.TagInsert)()
 
 	// First parallel I/O: membership + A_1.
@@ -426,6 +523,8 @@ func (dd *DynamicDict) releaseChain(x pdm.Word, membSat []pdm.Word, level0Blocks
 // Delete removes x and reports whether it was present. Cost: one read
 // batch, one extra read for deep keys, one write batch.
 func (dd *DynamicDict) Delete(x pdm.Word) bool {
+	dd.mu.Lock()
+	defer dd.mu.Unlock()
 	defer dd.m.Span(obs.TagDelete)()
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
 	membLen := len(addrs)

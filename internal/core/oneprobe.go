@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pdmdict/internal/expander"
 	"pdmdict/internal/obs"
@@ -36,6 +37,7 @@ import (
 // the paper's remark "this makes the time for updates non-constant"
 // shows up exactly there.
 type OneProbeDict struct {
+	mu     sync.RWMutex // lookups shared, updates exclusive
 	m      *pdm.Machine
 	cfg    OneProbeConfig
 	d      int
@@ -164,7 +166,11 @@ func NewOneProbe(m *pdm.Machine, cfg OneProbeConfig) (*OneProbeDict, error) {
 }
 
 // Len returns the number of keys stored.
-func (op *OneProbeDict) Len() int { return op.n }
+func (op *OneProbeDict) Len() int {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
+	return op.n
+}
 
 // Capacity returns N.
 func (op *OneProbeDict) Capacity() int { return op.cfg.Capacity }
@@ -174,6 +180,8 @@ func (op *OneProbeDict) Levels() int { return len(op.levels) }
 
 // LevelCounts returns per-level occupancy.
 func (op *OneProbeDict) LevelCounts() []int {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
 	out := make([]int, len(op.levels))
 	for i, lv := range op.levels {
 		out[i] = lv.count
@@ -193,26 +201,93 @@ func (op *OneProbeDict) BlocksPerDisk() int {
 	return b
 }
 
-// probe reads, in ONE parallel I/O, the membership neighborhood and
-// every level's field blocks for x. The returned slices alias the batch
-// result: memb blocks first, then d blocks per level.
-func (op *OneProbeDict) probe(x pdm.Word) (membBlocks [][]pdm.Word, levelBlocks [][][]pdm.Word) {
-	addrs := op.memb.probeAddrs(x, make([]pdm.Addr, 0, (len(op.levels)+1)*op.d))
-	membLen := len(addrs)
+// probeAddrsAll appends the full 1-I/O probe address list for x: the
+// membership neighborhood first, then d field blocks per level.
+func (op *OneProbeDict) probeAddrsAll(x pdm.Word, dst []pdm.Addr) []pdm.Addr {
+	dst = op.memb.probeAddrs(x, dst)
 	for li := range op.levels {
 		lv := &op.levels[li]
 		for i := 0; i < op.d; i++ {
 			j := lv.graph.StripeNeighbor(uint64(x), i)
-			addrs = append(addrs, lv.reg.addr(i, j/op.fieldsPerBlock))
+			dst = append(dst, lv.reg.addr(i, j/op.fieldsPerBlock))
 		}
 	}
+	return dst
+}
+
+// probeWidth is the number of blocks probeAddrsAll contributes per key.
+func (op *OneProbeDict) probeWidth() int { return op.memb.probeLen() + len(op.levels)*op.d }
+
+// probe reads, in ONE parallel I/O, the membership neighborhood and
+// every level's field blocks for x. The returned slices alias the batch
+// result: memb blocks first, then d blocks per level.
+func (op *OneProbeDict) probe(x pdm.Word) (membBlocks [][]pdm.Word, levelBlocks [][][]pdm.Word) {
+	addrs := op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth()))
 	flat := op.m.BatchRead(addrs)
+	membLen := op.memb.probeLen()
 	membBlocks = flat[:membLen]
 	levelBlocks = make([][][]pdm.Word, len(op.levels))
 	for li := range op.levels {
 		levelBlocks[li] = flat[membLen+li*op.d : membLen+(li+1)*op.d]
 	}
 	return membBlocks, levelBlocks
+}
+
+// lookupInFlat resolves x against a pre-fetched probe (the blocks for
+// probeAddrsAll(x), in order), without any I/O.
+func (op *OneProbeDict) lookupInFlat(x pdm.Word, flat [][]pdm.Word) ([]pdm.Word, bool) {
+	membLen := op.memb.probeLen()
+	membSat, ok := op.memb.lookupInBlocks(x, flat[:membLen])
+	if !ok {
+		return nil, false
+	}
+	head := int(membSat[0] & 0xFF)
+	level := int(membSat[0] >> 8)
+	if level >= len(op.levels) {
+		return nil, false
+	}
+	blocks := flat[membLen+level*op.d : membLen+(level+1)*op.d]
+	return decodeChain(op.fieldBits, op.cfg.SatWords, op.fieldsOf(level, x, blocks), head)
+}
+
+// LookupBatch resolves many keys with ONE batched read: every key's
+// probe addresses (membership and all levels) are collected,
+// de-duplicated, and fetched together, so a batch of b lookups costs
+// the deepest per-disk queue of distinct blocks — still one parallel
+// I/O round — instead of b sequential probes. Results are positionally
+// aligned with keys.
+func (op *OneProbeDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
+	defer op.m.Span(obs.TagLookup)()
+	width := op.probeWidth()
+	idx := make([]int32, len(keys)*width)
+	uniq := make(map[pdm.Addr]int32, len(keys)*width)
+	var addrs []pdm.Addr
+	scratch := make([]pdm.Addr, 0, width)
+	for ki, x := range keys {
+		scratch = op.probeAddrsAll(x, scratch[:0])
+		for i, a := range scratch {
+			j, ok := uniq[a]
+			if !ok {
+				j = int32(len(addrs))
+				uniq[a] = j
+				addrs = append(addrs, a)
+			}
+			idx[ki*width+i] = j
+		}
+	}
+	flat := op.m.BatchRead(addrs)
+	sats := make([][]pdm.Word, len(keys))
+	oks := make([]bool, len(keys))
+	view := make([][]pdm.Word, width)
+	for ki, x := range keys {
+		for i := range view {
+			view[i] = flat[idx[ki*width+i]]
+		}
+		sats[ki], oks[ki] = op.lookupInFlat(x, view)
+	}
+	return sats, oks
 }
 
 // fieldsOf extracts x's per-stripe fields at a level from its blocks.
@@ -230,18 +305,11 @@ func (op *OneProbeDict) fieldsOf(li int, x pdm.Word, blocks [][]pdm.Word) [][]pd
 // Lookup returns a copy of x's satellite and whether x is present, in
 // exactly one parallel I/O — present, absent, shallow or deep.
 func (op *OneProbeDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
 	defer op.m.Span(obs.TagLookup)()
-	membBlocks, levelBlocks := op.probe(x)
-	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)
-	if !ok {
-		return nil, false
-	}
-	head := int(membSat[0] & 0xFF)
-	level := int(membSat[0] >> 8)
-	if level >= len(op.levels) {
-		return nil, false
-	}
-	return decodeChain(op.fieldBits, op.cfg.SatWords, op.fieldsOf(level, x, levelBlocks[level]), head)
+	flat := op.m.BatchRead(op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth())))
+	return op.lookupInFlat(x, flat)
 }
 
 // Contains reports presence at the 1-I/O Lookup cost.
@@ -259,6 +327,8 @@ func (op *OneProbeDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	if uint64(x) >= op.cfg.Universe {
 		return fmt.Errorf("core: key %d outside universe %d", x, op.cfg.Universe)
 	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
 	defer op.m.Span(obs.TagInsert)()
 	membBlocks, levelBlocks := op.probe(x)
 
@@ -351,6 +421,8 @@ func (op *OneProbeDict) releaseInBlocks(x pdm.Word, membSat []pdm.Word, levelBlo
 // Delete removes x in exactly two parallel I/Os, reporting whether it
 // was present.
 func (op *OneProbeDict) Delete(x pdm.Word) bool {
+	op.mu.Lock()
+	defer op.mu.Unlock()
 	defer op.m.Span(obs.TagDelete)()
 	membBlocks, levelBlocks := op.probe(x)
 	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)

@@ -109,6 +109,8 @@ type basicHeader struct {
 // running on a caller-supplied graph cannot be snapshotted: the graph's
 // representation is owned by the caller, not by the snapshot format.
 func (bd *BasicDict) Snapshot(w io.Writer) error {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
 	if bd.cfg.Graph != nil || bd.cfg.UnstripedGraph != nil {
 		return fmt.Errorf("core: cannot snapshot a dictionary with a caller-supplied graph")
 	}
@@ -157,7 +159,15 @@ type dynamicHeader struct {
 
 // Snapshot writes the dictionary and its machine to w.
 func (dd *DynamicDict) Snapshot(w io.Writer) error {
-	h := dynamicHeader{Cfg: dd.cfg, N: dd.n, MembN: dd.memb.n, LevelCounts: dd.LevelCounts()}
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
+	// Counts are gathered inline rather than via LevelCounts(): RLock is
+	// held and RWMutex read locks must not nest.
+	counts := make([]int, len(dd.levels))
+	for i := range dd.levels {
+		counts[i] = dd.levels[i].count
+	}
+	h := dynamicHeader{Cfg: dd.cfg, N: dd.n, MembN: dd.memb.n, LevelCounts: counts}
 	if err := encodeHeader(w, h); err != nil {
 		return fmt.Errorf("core: encoding DynamicDict header: %w", err)
 	}
@@ -257,7 +267,13 @@ type oneProbeHeader struct {
 
 // Snapshot writes the dictionary and its machine to w.
 func (op *OneProbeDict) Snapshot(w io.Writer) error {
-	h := oneProbeHeader{Cfg: op.cfg, N: op.n, MembN: op.memb.n, LevelCounts: op.LevelCounts()}
+	op.mu.RLock()
+	defer op.mu.RUnlock()
+	counts := make([]int, len(op.levels))
+	for i := range op.levels {
+		counts[i] = op.levels[i].count
+	}
+	h := oneProbeHeader{Cfg: op.cfg, N: op.n, MembN: op.memb.n, LevelCounts: counts}
 	if err := encodeHeader(w, h); err != nil {
 		return fmt.Errorf("core: encoding OneProbeDict header: %w", err)
 	}
@@ -311,9 +327,14 @@ type dictHeader struct {
 // Snapshot writes the wrapper — both structures during a migration — to
 // w.
 func (d *Dict) Snapshot(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.statsMu.Lock()
+	stats := d.stats
+	d.statsMu.Unlock()
 	if err := encodeHeader(w, dictHeader{
 		Cfg: d.cfg, Generation: d.generation, Migrating: d.next != nil,
-		CurBucket: d.curBucket, Stats: d.stats,
+		CurBucket: d.curBucket, Stats: stats,
 	}); err != nil {
 		return fmt.Errorf("core: encoding Dict header: %w", err)
 	}

@@ -84,6 +84,7 @@ type DictStats struct {
 // and OneProbeDict (Section 6) both satisfy it.
 type rebuildable interface {
 	Lookup(x pdm.Word) ([]pdm.Word, bool)
+	LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool)
 	Insert(x pdm.Word, sat []pdm.Word) error
 	Delete(x pdm.Word) bool
 	Len() int
@@ -106,6 +107,11 @@ func (op *OneProbeDict) membership() *BasicDict { return op.memb }
 // every subsequent operation migrates a constant number of keys, and
 // both structures answer queries in parallel until the old one drains.
 type Dict struct {
+	// mu makes the wrapper safe for concurrent use: lookups (which
+	// mutate nothing but the statsMu-guarded ledger) share a read lock,
+	// while updates — which may swap the active/next structures mid-call
+	// — are exclusive.
+	mu         sync.RWMutex
 	cfg        DictConfig
 	generation uint64
 
@@ -175,6 +181,8 @@ func (d *Dict) newStructure(capacity int) (rebuildable, error) {
 
 // Len returns the number of keys stored across both structures.
 func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n := d.active.Len()
 	if d.next != nil {
 		n += d.next.Len()
@@ -190,12 +198,17 @@ func (d *Dict) Stats() DictStats {
 }
 
 // Migrating reports whether a rebuild is in progress.
-func (d *Dict) Migrating() bool { return d.next != nil }
+func (d *Dict) Migrating() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.next != nil
+}
 
 // SetHook attaches h to the machines of both live structures and to
-// every machine created by future rebuilds. A nil h detaches. Not safe
-// to call concurrently with operations.
+// every machine created by future rebuilds. A nil h detaches.
 func (d *Dict) SetHook(h pdm.Hook) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.hook = h
 	d.active.machine().SetHook(h)
 	if d.next != nil {
@@ -205,8 +218,9 @@ func (d *Dict) SetHook(h pdm.Hook) {
 
 // SetFaultInjector attaches fi to the machines of both live structures
 // and to every machine created by future rebuilds. A nil fi detaches.
-// Not safe to call concurrently with operations.
 func (d *Dict) SetFaultInjector(fi pdm.FaultInjector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.injector = fi
 	d.active.machine().SetFaultInjector(fi)
 	if d.next != nil {
@@ -217,6 +231,8 @@ func (d *Dict) SetFaultInjector(fi pdm.FaultInjector) {
 // Degraded reports whether either live structure's machine has observed
 // a data-threatening fault since its degraded flag was last cleared.
 func (d *Dict) Degraded() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.active.machine().Degraded() {
 		return true
 	}
@@ -225,7 +241,16 @@ func (d *Dict) Degraded() bool {
 
 // measure runs op and charges max(active I/Os, next I/Os) — the two
 // structures live on disjoint disks and work in parallel.
-func (d *Dict) measure(op func() error) error {
+func (d *Dict) measure(op func() error) error { return d.measureN(1, op) }
+
+// measureN is measure for an n-key batch: the ledger gains n Ops but
+// one cost window. With concurrent callers the windows overlap, so a
+// caller's window can include I/O charged by its neighbors — Ops and
+// ParallelIOs totals stay exact per machine, but the per-op attribution
+// is approximate under concurrency (see DESIGN.md §11). WorstOp tracks
+// single-key operations only; a batch's cost is amortized by design and
+// would not be comparable.
+func (d *Dict) measureN(n int, op func() error) error {
 	aBefore := d.active.machine().Stats().ParallelIOs
 	var nBefore int64
 	nextAtStart := d.next
@@ -240,9 +265,9 @@ func (d *Dict) measure(op func() error) error {
 		}
 	}
 	d.statsMu.Lock()
-	d.stats.Ops++
+	d.stats.Ops += int64(n)
 	d.stats.ParallelIOs += cost
-	if cost > d.stats.WorstOp {
+	if n == 1 && cost > d.stats.WorstOp {
 		d.stats.WorstOp = cost
 	}
 	d.statsMu.Unlock()
@@ -251,6 +276,8 @@ func (d *Dict) measure(op func() error) error {
 
 // Lookup returns a copy of x's satellite and whether x is present.
 func (d *Dict) Lookup(x pdm.Word) (sat []pdm.Word, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	d.measure(func() error {
 		if d.next != nil {
 			if sat, ok = d.next.Lookup(x); ok {
@@ -269,8 +296,43 @@ func (d *Dict) Contains(x pdm.Word) bool {
 	return ok
 }
 
+// LookupBatch resolves many keys as one batched operation: each
+// underlying structure answers with its own merged read rounds, and
+// during a migration the draining structure is consulted only for the
+// keys the successor misses. The ledger gains len(keys) Ops but the
+// batch's (amortized) cost.
+func (d *Dict) LookupBatch(keys []pdm.Word) (sats [][]pdm.Word, oks []bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.measureN(len(keys), func() error {
+		if d.next != nil {
+			sats, oks = d.next.LookupBatch(keys)
+			var missKeys []pdm.Word
+			var missIdx []int
+			for i, ok := range oks {
+				if !ok {
+					missKeys = append(missKeys, keys[i])
+					missIdx = append(missIdx, i)
+				}
+			}
+			if len(missKeys) > 0 {
+				ms, mo := d.active.LookupBatch(missKeys)
+				for j, i := range missIdx {
+					sats[i], oks[i] = ms[j], mo[j]
+				}
+			}
+			return nil
+		}
+		sats, oks = d.active.LookupBatch(keys)
+		return nil
+	})
+	return sats, oks
+}
+
 // Insert stores (x, sat), replacing any previous satellite for x.
 func (d *Dict) Insert(x pdm.Word, sat []pdm.Word) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.measure(func() error {
 		if d.next == nil && d.active.Len() >= d.active.Capacity() {
 			if err := d.startMigration(); err != nil {
@@ -304,6 +366,8 @@ func (d *Dict) Insert(x pdm.Word, sat []pdm.Word) error {
 
 // Delete removes x and reports whether it was present.
 func (d *Dict) Delete(x pdm.Word) (present bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.measure(func() error {
 		if d.next != nil && d.next.Delete(x) {
 			present = true

@@ -169,6 +169,8 @@ func (bd *BasicDict) encodeCanonical(recs []bucket.Record, nBlocks int) [][]pdm.
 // query — the caller knows the answer is unavailable rather than
 // "absent".
 func (bd *BasicDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
 	defer bd.reg.m.Span(obs.TagLookup)()
 	addrs := bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen()))
 	flat, err := tryRead(bd.reg.m, addrs)
@@ -213,6 +215,8 @@ func (bd *BasicDict) Repair(disk int) error {
 	if disk < 0 || disk >= bd.reg.nDisks {
 		return fmt.Errorf("core: Repair disk %d out of [0,%d)", disk, bd.reg.nDisks)
 	}
+	bd.mu.Lock()
+	defer bd.mu.Unlock()
 	defer bd.reg.m.Span(obs.TagRepair)()
 	d := bd.reg.nDisks
 	ss := bd.striped.StripeSize()
@@ -284,6 +288,8 @@ func (bd *BasicDict) Repair(disk int) error {
 // checksum, after transient retries. A completely clean scrub clears
 // the machine's degraded flag.
 func (bd *BasicDict) Scrub() []pdm.Addr {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
 	defer bd.reg.m.Span(obs.TagScrub)()
 	d := bd.reg.nDisks
 	rows := ceilDiv(bd.buckets, d)
@@ -325,16 +331,11 @@ func (bd *BasicDict) Scrub() []pdm.Addr {
 // (reported as an error, never as a wrong answer); transient faults and
 // stalls are absorbed.
 func (op *OneProbeDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
 	defer op.m.Span(obs.TagLookup)()
-	addrs := op.memb.probeAddrs(x, make([]pdm.Addr, 0, (len(op.levels)+1)*op.d))
-	membLen := len(addrs)
-	for li := range op.levels {
-		lv := &op.levels[li]
-		for i := 0; i < op.d; i++ {
-			j := lv.graph.StripeNeighbor(uint64(x), i)
-			addrs = append(addrs, lv.reg.addr(i, j/op.fieldsPerBlock))
-		}
-	}
+	addrs := op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth()))
+	membLen := op.memb.probeLen()
 	flat, err := tryRead(op.m, addrs)
 	membSat, ok := op.memb.lookupInBlocks(x, flat[:membLen])
 	if !ok {

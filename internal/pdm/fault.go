@@ -94,10 +94,11 @@ type Fault struct {
 
 // FaultInjector decides the fate of each block access issued through the
 // Try batch methods. Access is called once per address, in batch order,
-// while the machine's lock is held: implementations must be fast, must
-// not call back into the machine, and must be deterministic if
-// reproducible traces are wanted (see internal/fault for the standard
-// seedable implementation).
+// under a machine lock that keeps each batch's draws contiguous even
+// with concurrent Try batches: implementations must be fast, must not
+// call back into the machine, and must be deterministic if reproducible
+// traces are wanted (see internal/fault for the standard seedable
+// implementation).
 type FaultInjector interface {
 	Access(kind EventKind, a Addr) Fault
 }
@@ -171,9 +172,9 @@ func crcBlock(blk []Word) uint32 {
 // injector. Only the Try batch methods consult it; see the package
 // comment at the top of this file.
 func (m *Machine) SetFaultInjector(fi FaultInjector) {
-	m.mu.Lock()
+	m.faultMu.Lock()
 	m.injector = fi
-	m.mu.Unlock()
+	m.faultMu.Unlock()
 }
 
 // Degraded reports whether any data-threatening fault (fail-stop,
@@ -181,57 +182,19 @@ func (m *Machine) SetFaultInjector(fi FaultInjector) {
 // count) has been observed since the last ClearDegraded. Dictionaries
 // surface this as their degraded-mode flag.
 func (m *Machine) Degraded() bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.degraded
+	return m.degraded.Load()
 }
 
 // ClearDegraded resets the degraded flag. Repair machinery calls it
 // after a clean scrub.
 func (m *Machine) ClearDegraded() {
-	m.mu.Lock()
-	m.degraded = false
-	m.mu.Unlock()
+	m.degraded.Store(false)
 }
 
 // FaultCount returns the number of fault events observed (injected
 // faults plus checksum mismatches) over the machine's lifetime.
 func (m *Machine) FaultCount() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.faults
-}
-
-// sumLocked returns a pointer to the checksum slot of a block, growing
-// the per-disk slice in lockstep with the disk. A freshly materialized
-// slot holds the CRC of an all-zero block, matching what blockLocked
-// materializes. Callers hold m.mu.
-func (m *Machine) sumLocked(a Addr) *uint32 {
-	sums := m.sums[a.Disk]
-	for len(sums) <= a.Block {
-		sums = append(sums, m.zeroSum)
-	}
-	m.sums[a.Disk] = sums
-	return &sums[a.Block]
-}
-
-// corruptLocked flips one stored bit of a block without touching its
-// checksum, leaving detectable latent damage. Callers hold m.mu.
-func (m *Machine) corruptLocked(a Addr, bit uint) {
-	blk := m.blockLocked(a)
-	bits := uint(len(blk)) * 64
-	bit %= bits
-	blk[bit/64] ^= 1 << (bit % 64)
-}
-
-// verifyLocked reports whether a block's content matches its stored
-// checksum. Unmaterialized blocks are trivially valid. Callers hold m.mu.
-func (m *Machine) verifyLocked(a Addr) bool {
-	disk := m.disks[a.Disk]
-	if a.Block >= len(disk) || disk[a.Block] == nil {
-		return true
-	}
-	return crcBlock(disk[a.Block]) == *m.sumLocked(a)
+	return m.faults.Load()
 }
 
 // faultEvent builds the hook event for one injected or detected fault.
@@ -242,6 +205,63 @@ func faultEvent(kind EventKind, a Addr, fk string, stall int) Event {
 	return Event{Kind: kind, Tag: FaultTagPrefix + fk, Addrs: []Addr{a}, Steps: stall, Depth: stall}
 }
 
+// drawFaults consults the injector once per address, in batch order,
+// under faultMu so each batch's decision sequence stays contiguous
+// under concurrency. Returns nil when no injector is installed.
+func (m *Machine) drawFaults(kind EventKind, addrs []Addr) []Fault {
+	m.faultMu.Lock()
+	defer m.faultMu.Unlock()
+	if m.injector == nil {
+		return nil
+	}
+	fs := make([]Fault, len(addrs))
+	for i, a := range addrs {
+		fs[i] = m.injector.Access(kind, a)
+	}
+	return fs
+}
+
+// finishTry turns per-access outcomes into the batch's fault events,
+// block errors, stall surcharge, and degraded/fault bookkeeping —
+// sequentially, in batch order, so the emitted event sequence does not
+// depend on how the accesses were scheduled across shards.
+func (m *Machine) finishTry(kind EventKind, addrs []Addr, fs []Fault, res []error) (berrs []BlockError, fevents []Event, extra int) {
+	degrading := false
+	for i, a := range addrs {
+		var f Fault
+		if fs != nil {
+			f = fs[i]
+		}
+		switch f.Kind {
+		case FaultFailStop:
+			fevents = append(fevents, faultEvent(kind, a, "failstop", 0))
+			degrading = true
+		case FaultTransient:
+			fevents = append(fevents, faultEvent(kind, a, "transient", 0))
+			degrading = true
+		case FaultCorrupt:
+			fevents = append(fevents, faultEvent(kind, a, "corrupt", 0))
+			degrading = true
+		case FaultStall:
+			extra += f.Stall
+			fevents = append(fevents, faultEvent(kind, a, "stall", f.Stall))
+		}
+		if res[i] == nil {
+			continue
+		}
+		berrs = append(berrs, BlockError{Index: i, Addr: a, Err: res[i]})
+		if res[i] == ErrChecksum {
+			fevents = append(fevents, faultEvent(kind, a, "checksum", 0))
+			degrading = true
+		}
+	}
+	m.faults.Add(int64(len(fevents)))
+	if degrading {
+		m.degraded.Store(true)
+	}
+	return berrs, fevents, extra
+}
+
 // TryBatchRead is BatchRead with fault injection and checksum
 // verification. It returns the blocks in request order; entries whose
 // access failed (fail-stopped disk, transient error, checksum mismatch)
@@ -250,65 +270,52 @@ func faultEvent(kind EventKind, a Addr, fk string, stall int) Event {
 // arm moved, the timeout elapsed) and count as block reads; stalls add
 // extra steps on top of the batch cost.
 func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
+	out := make([][]Word, len(addrs))
+	if len(addrs) == 0 {
+		return out, nil
+	}
 	for _, a := range addrs {
 		m.checkAddr(a)
 	}
-	steps, depth := m.batchCost(addrs)
-	m.mu.Lock()
-	out := make([][]Word, len(addrs))
-	var berrs []BlockError
-	var fevents []Event
-	extra := 0
-	degrading := false
-	for i, a := range addrs {
+	fs := m.drawFaults(EventRead, addrs)
+	res := make([]error, len(addrs))
+	apply := func(i int) {
+		a := addrs[i]
+		s := &m.shards[a.Disk]
+		s.ios.Add(1)
 		var f Fault
-		if m.injector != nil {
-			f = m.injector.Access(EventRead, a)
+		if fs != nil {
+			f = fs[i]
 		}
 		switch f.Kind {
 		case FaultFailStop:
-			berrs = append(berrs, BlockError{Index: i, Addr: a, Err: ErrDiskFailed})
-			fevents = append(fevents, faultEvent(EventRead, a, "failstop", 0))
-			degrading = true
-			continue
+			res[i] = ErrDiskFailed
+			return
 		case FaultTransient:
-			berrs = append(berrs, BlockError{Index: i, Addr: a, Err: ErrTransient})
-			fevents = append(fevents, faultEvent(EventRead, a, "transient", 0))
-			degrading = true
-			continue
-		case FaultCorrupt:
-			m.corruptLocked(a, f.Bit)
-			fevents = append(fevents, faultEvent(EventRead, a, "corrupt", 0))
-			degrading = true
-		case FaultStall:
-			extra += f.Stall
-			fevents = append(fevents, faultEvent(EventRead, a, "stall", f.Stall))
+			res[i] = ErrTransient
+			return
 		}
-		if !m.verifyLocked(a) {
-			berrs = append(berrs, BlockError{Index: i, Addr: a, Err: ErrChecksum})
-			fevents = append(fevents, faultEvent(EventRead, a, "checksum", 0))
-			degrading = true
-			continue
+		s.mu.Lock()
+		if f.Kind == FaultCorrupt {
+			s.corrupt(a.Block, f.Bit)
 		}
-		src := m.blockLocked(a)
+		if !s.verify(a.Block) {
+			s.mu.Unlock()
+			res[i] = ErrChecksum
+			return
+		}
+		src := s.block(a.Block)
 		dst := make([]Word, m.cfg.B)
 		copy(dst, src)
+		s.mu.Unlock()
 		out[i] = dst
 	}
-	m.accountLocked(steps+extra, depth, addrs)
-	m.stats.BlockReads += int64(len(addrs))
-	m.faults += int64(len(fevents))
-	if degrading {
-		m.degraded = true
-	}
-	hook, tag, span := m.hookLocked(len(addrs))
-	m.mu.Unlock()
-	if hook != nil {
-		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
-		for _, e := range fevents {
-			e.Span = span
-			hook.Event(e)
-		}
+	steps, depth := m.tryRun(addrs, apply)
+	berrs, fevents, extra := m.finishTry(EventRead, addrs, fs, res)
+	m.charge(steps+extra, depth)
+	m.blockReads.Add(int64(len(addrs)))
+	if m.hooked.Load() {
+		m.emit(Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
 	}
 	if len(berrs) > 0 {
 		return out, &BatchError{Blocks: berrs}
@@ -322,6 +329,9 @@ func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
 // stored bit after the write lands (leaving the checksum stale); stalls
 // charge extra steps. Applied writes update their block's checksum.
 func (m *Machine) TryBatchWrite(writes []BlockWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
 	addrs := make([]Addr, len(writes))
 	for i, w := range writes {
 		m.checkAddr(w.Addr)
@@ -330,55 +340,39 @@ func (m *Machine) TryBatchWrite(writes []BlockWrite) error {
 		}
 		addrs[i] = w.Addr
 	}
-	steps, depth := m.batchCost(addrs)
-	m.mu.Lock()
-	var berrs []BlockError
-	var fevents []Event
-	extra := 0
-	degrading := false
-	for i, w := range writes {
+	fs := m.drawFaults(EventWrite, addrs)
+	res := make([]error, len(writes))
+	apply := func(i int) {
+		w := &writes[i]
+		s := &m.shards[w.Addr.Disk]
+		s.ios.Add(1)
 		var f Fault
-		if m.injector != nil {
-			f = m.injector.Access(EventWrite, w.Addr)
+		if fs != nil {
+			f = fs[i]
 		}
 		switch f.Kind {
 		case FaultFailStop:
-			berrs = append(berrs, BlockError{Index: i, Addr: w.Addr, Err: ErrDiskFailed})
-			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "failstop", 0))
-			degrading = true
-			continue
+			res[i] = ErrDiskFailed
+			return
 		case FaultTransient:
-			berrs = append(berrs, BlockError{Index: i, Addr: w.Addr, Err: ErrTransient})
-			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "transient", 0))
-			degrading = true
-			continue
-		case FaultStall:
-			extra += f.Stall
-			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "stall", f.Stall))
+			res[i] = ErrTransient
+			return
 		}
-		blk := m.blockLocked(w.Addr)
+		s.mu.Lock()
+		blk := s.block(w.Addr.Block)
 		copy(blk, w.Data)
-		*m.sumLocked(w.Addr) = crcBlock(blk)
+		s.sums[w.Addr.Block] = crcBlock(blk)
 		if f.Kind == FaultCorrupt {
-			m.corruptLocked(w.Addr, f.Bit)
-			fevents = append(fevents, faultEvent(EventWrite, w.Addr, "corrupt", 0))
-			degrading = true
+			s.corrupt(w.Addr.Block, f.Bit)
 		}
+		s.mu.Unlock()
 	}
-	m.accountLocked(steps+extra, depth, addrs)
-	m.stats.BlockWrites += int64(len(writes))
-	m.faults += int64(len(fevents))
-	if degrading {
-		m.degraded = true
-	}
-	hook, tag, span := m.hookLocked(len(addrs))
-	m.mu.Unlock()
-	if hook != nil {
-		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
-		for _, e := range fevents {
-			e.Span = span
-			hook.Event(e)
-		}
+	steps, depth := m.tryRun(addrs, apply)
+	berrs, fevents, extra := m.finishTry(EventWrite, addrs, fs, res)
+	m.charge(steps+extra, depth)
+	m.blockWrites.Add(int64(len(writes)))
+	if m.hooked.Load() {
+		m.emit(Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
 	}
 	if len(berrs) > 0 {
 		return &BatchError{Blocks: berrs}
@@ -386,15 +380,40 @@ func (m *Machine) TryBatchWrite(writes []BlockWrite) error {
 	return nil
 }
 
+// tryRun executes apply for every access of a Try batch — inline and in
+// batch order for small batches, grouped by shard (batch order within
+// each disk, which is all the fault semantics depend on: accesses to
+// one block always share a disk) and fanned out for large ones — and
+// returns the batch's base cost.
+func (m *Machine) tryRun(addrs []Addr, apply func(i int)) (steps, depth int) {
+	if len(addrs) <= smallBatchMax {
+		steps, depth = m.cost(len(addrs), smallDepth(addrs))
+		for i := range addrs {
+			apply(i)
+		}
+		return steps, depth
+	}
+	sc := m.scratch.Get().(*batchScratch)
+	steps, depth = m.cost(len(addrs), sc.partition(addrs))
+	m.runShards(sc, len(addrs), func(d int32) {
+		for _, i := range sc.segment(d) {
+			apply(int(i))
+		}
+	})
+	m.release(sc)
+	return steps, depth
+}
+
 // WipeDisk discards every block (and checksum) of one disk, simulating
 // the swap-in of a blank replacement drive. No I/O is accounted; the
 // rebuild that follows (a dictionary's Repair) is where the cost lives.
 func (m *Machine) WipeDisk(disk int) {
 	m.checkAddr(Addr{Disk: disk})
-	m.mu.Lock()
-	m.disks[disk] = nil
-	m.sums[disk] = nil
-	m.mu.Unlock()
+	s := &m.shards[disk]
+	s.mu.Lock()
+	s.blocks = nil
+	s.sums = nil
+	s.mu.Unlock()
 }
 
 // VerifyChecksums scans every materialized block and returns the
@@ -402,18 +421,19 @@ func (m *Machine) WipeDisk(disk int) {
 // it performs no accounted I/O — it is the ground-truth diagnostic;
 // dictionaries implement accounted scrubs on top of TryBatchRead.
 func (m *Machine) VerifyChecksums() []Addr {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var bad []Addr
-	for d, disk := range m.disks {
-		for b, blk := range disk {
+	for d := range m.shards {
+		s := &m.shards[d]
+		s.mu.Lock()
+		for b, blk := range s.blocks {
 			if blk == nil {
 				continue
 			}
-			if crcBlock(blk) != *m.sumLocked(Addr{Disk: d, Block: b}) {
+			if crcBlock(blk) != s.sums[b] {
 				bad = append(bad, Addr{Disk: d, Block: b})
 			}
 		}
+		s.mu.Unlock()
 	}
 	return bad
 }

@@ -17,13 +17,23 @@
 // accessed in a single parallel I/O regardless of which device they live
 // on.
 //
-// The machine is safe for concurrent use; all mutation goes through its
-// methods.
+// The machine is safe for concurrent use, and concurrency is the point:
+// storage is sharded per disk (each disk has its own lock and block
+// store), the I/O counters are per-shard and per-machine atomics merged
+// by Stats, and large batches fan their block copies out across a
+// bounded worker pool, so independent clients contend only on the disks
+// they actually touch — the model's own picture of D devices serving a
+// batch in parallel. Batches are not atomic units under concurrent use:
+// two overlapping batches may interleave per block (each single block
+// access is consistent). Event emission is serialized separately, so a
+// trace remains one well-formed, totally ordered stream; see Hook.
 package pdm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Word is the unit of storage: one data item of the model.
@@ -62,6 +72,12 @@ type Config struct {
 	// Model selects the accounting discipline. The zero value is the
 	// standard parallel disk model.
 	Model Model
+	// Workers bounds the worker pool that fans one large batch's block
+	// copies out across shards. 0 selects the default, min(D,
+	// GOMAXPROCS); 1 keeps every batch on its issuing goroutine.
+	// Workers never affects results, accounting, or traces — only
+	// wall-clock parallelism. It is not persisted in snapshots.
+	Workers int
 }
 
 // Validate reports whether the configuration is usable.
@@ -71,6 +87,9 @@ func (c Config) Validate() error {
 	}
 	if c.B <= 0 {
 		return fmt.Errorf("pdm: B must be positive, got %d", c.B)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("pdm: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -201,6 +220,14 @@ type Event struct {
 	// span event fired — the deterministic timestamp. The I/O cost of a
 	// span is its end Step minus its begin Step.
 	Step int64
+	// Seq is the machine-assigned emission sequence number (1, 2, …):
+	// the total order in which events reached the hook. Concurrent
+	// batches serialize through the machine's emission lock, so the
+	// stream a hook sees has no gaps, duplicates, or reorderings. Like
+	// WallNanos it is carried for live consumers only and is excluded
+	// from serialized traces by construction: in a single-threaded run
+	// Seq is implied by position, so traces stay byte-identical by seed.
+	Seq uint64
 	// WallNanos is the span's wall-clock duration in nanoseconds on
 	// EventSpanEnd, when a wall clock was injected with SetWallClock
 	// (0 otherwise). It is carried for live metrics only and is excluded
@@ -208,34 +235,133 @@ type Event struct {
 	WallNanos int64
 }
 
-// Hook receives one Event per non-empty batch. Implementations must be
-// safe for concurrent use (the machine is); they run outside the
-// machine's lock, so a hook may itself read machine state, but the I/O
-// it observes is already accounted. A nil hook (the default) costs one
-// predictable branch and zero allocations per batch.
+// Hook receives one Event per non-empty batch. The machine serializes
+// every emission through one internal lock, so a hook sees a totally
+// ordered stream (Event.Seq is its position) even under concurrent
+// batches, and need not be safe for concurrent use with respect to the
+// machine's own calls. The emission lock is held during the call: a
+// hook may read machine state (Stats, Peek, PerDiskIOs — the I/O it
+// observes is already accounted), but must not issue I/O, open spans,
+// or install hooks from inside Event. A nil hook (the default) costs
+// one predictable branch and zero allocations per batch.
 type Hook interface {
 	Event(Event)
 }
 
+// shard is one disk's storage: its own lock, block store, checksums,
+// and transfer tally. Independent batches touching disjoint disks never
+// contend.
+type shard struct {
+	mu     sync.Mutex
+	blocks [][]Word // blocks[b] is the content of block b; nil = never written
+	sums   []uint32 // sums[b] is the CRC32 of block b, kept in lockstep with blocks
+
+	ios atomic.Int64 // block transfers served (reads + writes), incl. failed Try accesses
+
+	b       int    // block capacity in words (copied from Config.B)
+	zeroSum uint32 // CRC32 of an all-zero block (what block materializes)
+
+	_ [40]byte // pad shards apart so their locks don't false-share
+}
+
+// grow extends the block and checksum arrays to n slots in one step,
+// with geometric capacity growth, so first touch of a high block is
+// amortized O(1) rather than O(n) appends. Callers hold s.mu.
+func (s *shard) grow(n int) {
+	if n <= len(s.blocks) {
+		return
+	}
+	if cap(s.blocks) < n {
+		c := 2 * cap(s.blocks)
+		if c < n {
+			c = n
+		}
+		if c < 8 {
+			c = 8
+		}
+		nb := make([][]Word, len(s.blocks), c)
+		copy(nb, s.blocks)
+		s.blocks = nb
+		ns := make([]uint32, len(s.sums), c)
+		copy(ns, s.sums)
+		s.sums = ns
+	}
+	old := len(s.blocks)
+	s.blocks = s.blocks[:n]
+	s.sums = s.sums[:n]
+	for i := old; i < n; i++ {
+		s.blocks[i] = nil
+		s.sums[i] = s.zeroSum
+	}
+}
+
+// block returns the live slice for a block, allocating it on first
+// touch. A fresh block's checksum slot already holds the all-zero CRC.
+// Callers hold s.mu.
+func (s *shard) block(b int) []Word {
+	if b >= len(s.blocks) {
+		s.grow(b + 1)
+	}
+	if s.blocks[b] == nil {
+		s.blocks[b] = make([]Word, s.b)
+	}
+	return s.blocks[b]
+}
+
+// verify reports whether a block's content matches its stored checksum.
+// Unmaterialized blocks are trivially valid. Callers hold s.mu.
+func (s *shard) verify(b int) bool {
+	if b >= len(s.blocks) || s.blocks[b] == nil {
+		return true
+	}
+	return crcBlock(s.blocks[b]) == s.sums[b]
+}
+
+// corrupt flips one stored bit of a block without touching its
+// checksum, leaving detectable latent damage. Callers hold s.mu.
+func (s *shard) corrupt(b int, bit uint) {
+	blk := s.block(b)
+	bits := uint(len(blk)) * 64
+	bit %= bits
+	blk[bit/64] ^= 1 << (bit % 64)
+}
+
 // Machine is a simulated parallel disk system.
 type Machine struct {
-	cfg Config
+	cfg    Config
+	shards []shard // one per disk
 
-	mu      sync.RWMutex
-	disks   [][][]Word // disks[d][b] is the content of block b of disk d; nil = never written
-	sums    [][]uint32 // sums[d][b] is the CRC32 of block b of disk d, kept in lockstep with disks
-	zeroSum uint32     // CRC32 of an all-zero block (what blockLocked materializes)
-	stats   Stats
-	perDisk []int64 // block transfers per disk (reads + writes)
+	// Batch counters. All atomics, so concurrent batches account
+	// exactly with no shared lock; Stats merges them.
+	pios        atomic.Int64
+	blockReads  atomic.Int64
+	blockWrites atomic.Int64
+	maxBatch    atomic.Int64
+	depthCounts [DepthBuckets]atomic.Int64
 
-	hook     Hook          // nil = no tracing
-	spans    []spanFrame   // span stack, innermost last
-	nextSpan uint64        // span ID counter; IDs start at 1
-	wall     func() int64  // injected wall clock in nanoseconds; nil = no wall timing
-	endSpan  func()        // shared pop closure, allocated once
-	injector FaultInjector // nil = faultless machine
-	degraded bool          // any data-threatening fault since last ClearDegraded
-	faults   int64         // lifetime fault event count
+	workers atomic.Int32 // worker-pool bound for batch fan-out
+	scratch sync.Pool    // *batchScratch, for partitioning large batches
+
+	// emitMu serializes event emission: the span stack, the sequence
+	// counter, and every hook call. hooked mirrors hook != nil so the
+	// untraced fast path is one lock-free load.
+	emitMu   sync.Mutex
+	hooked   atomic.Bool
+	hook     Hook
+	seq      uint64
+	spans    []spanFrame
+	nextSpan uint64       // span ID counter; IDs start at 1
+	wall     func() int64 // injected wall clock in nanoseconds; nil = no wall timing
+	endSpan  func()       // shared pop closure, allocated once
+
+	// faultMu serializes fault-injector consultation so each Try batch
+	// draws its per-access decisions contiguously, in batch order —
+	// what keeps a seeded injector's fault sequence reproducible.
+	faultMu  sync.Mutex
+	injector FaultInjector // guarded by faultMu; nil = faultless machine
+
+	degraded atomic.Bool  // any data-threatening fault since last ClearDegraded
+	faults   atomic.Int64 // lifetime fault event count
 }
 
 // spanFrame is one open span on the machine's stack.
@@ -254,36 +380,49 @@ func NewMachine(cfg Config) *Machine {
 		panic(err)
 	}
 	m := &Machine{
-		cfg:     cfg,
-		disks:   make([][][]Word, cfg.D),
-		sums:    make([][]uint32, cfg.D),
-		zeroSum: crcBlock(make([]Word, cfg.B)),
-		perDisk: make([]int64, cfg.D),
+		cfg:    cfg,
+		shards: make([]shard, cfg.D),
+	}
+	zeroSum := crcBlock(make([]Word, cfg.B))
+	for d := range m.shards {
+		m.shards[d].b = cfg.B
+		m.shards[d].zeroSum = zeroSum
+	}
+	m.SetParallelism(cfg.Workers)
+	m.scratch.New = func() any {
+		return &batchScratch{
+			counts:  make([]int32, cfg.D),
+			offs:    make([]int32, cfg.D),
+			touched: make([]int32, 0, cfg.D),
+		}
 	}
 	m.endSpan = func() {
-		m.mu.Lock()
+		m.emitMu.Lock()
 		n := len(m.spans)
 		if n == 0 {
-			m.mu.Unlock()
+			m.emitMu.Unlock()
 			return
 		}
 		f := m.spans[n-1]
 		m.spans = m.spans[:n-1]
-		hook := m.hook
+		if m.hook == nil {
+			m.emitMu.Unlock()
+			return
+		}
+		m.seq++
 		ev := Event{
 			Kind:   EventSpanEnd,
 			Tag:    f.path,
 			Span:   f.id,
 			Parent: f.parent,
-			Step:   m.stats.ParallelIOs,
+			Step:   m.pios.Load(),
+			Seq:    m.seq,
 		}
 		if m.wall != nil {
 			ev.WallNanos = m.wall() - f.beginWall
 		}
-		m.mu.Unlock()
-		if hook != nil {
-			hook.Event(ev)
-		}
+		m.hook.Event(ev)
+		m.emitMu.Unlock()
 	}
 	return m
 }
@@ -292,9 +431,28 @@ func NewMachine(cfg Config) *Machine {
 // Batches issued concurrently with SetHook may or may not reach the new
 // hook; attach hooks before starting traffic for a complete trace.
 func (m *Machine) SetHook(h Hook) {
-	m.mu.Lock()
+	m.emitMu.Lock()
 	m.hook = h
-	m.mu.Unlock()
+	m.hooked.Store(h != nil)
+	m.emitMu.Unlock()
+}
+
+// SetParallelism bounds the worker pool that fans one batch's block
+// copies out across shards: n workers serve a batch's touched disks
+// concurrently. n <= 0 restores the default, min(D, GOMAXPROCS); n == 1
+// keeps batches on their issuing goroutine. Like Config.Workers it
+// never affects results, accounting, or traces.
+func (m *Machine) SetParallelism(n int) {
+	if n <= 0 {
+		n = m.cfg.D
+		if p := runtime.GOMAXPROCS(0); p < n {
+			n = p
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	m.workers.Store(int32(n))
 }
 
 // noopEndSpan is what Span hands back when no hook is installed, so the
@@ -308,9 +466,9 @@ var noopEndSpan = func() {}
 // keeps the measured packages free of wall-clock calls, and serialized
 // traces omit the field, so determinism guarantees are unaffected.
 func (m *Machine) SetWallClock(now func() int64) {
-	m.mu.Lock()
+	m.emitMu.Lock()
 	m.wall = now
-	m.mu.Unlock()
+	m.emitMu.Unlock()
 }
 
 // Span opens a span: it pushes tag onto the machine's span stack,
@@ -328,10 +486,12 @@ func (m *Machine) SetWallClock(now func() int64) {
 // returned closure ends the innermost open span, not necessarily the
 // one this call opened).
 func (m *Machine) Span(tag string) func() {
-	m.mu.Lock()
-	hook := m.hook
-	if hook == nil {
-		m.mu.Unlock()
+	if !m.hooked.Load() {
+		return noopEndSpan
+	}
+	m.emitMu.Lock()
+	if m.hook == nil {
+		m.emitMu.Unlock()
 		return noopEndSpan
 	}
 	f := spanFrame{path: tag}
@@ -346,16 +506,43 @@ func (m *Machine) Span(tag string) func() {
 		f.beginWall = m.wall()
 	}
 	m.spans = append(m.spans, f)
-	ev := Event{
+	m.seq++
+	m.hook.Event(Event{
 		Kind:   EventSpanBegin,
 		Tag:    f.path,
 		Span:   f.id,
 		Parent: f.parent,
-		Step:   m.stats.ParallelIOs,
-	}
-	m.mu.Unlock()
-	hook.Event(ev)
+		Step:   m.pios.Load(),
+		Seq:    m.seq,
+	})
+	m.emitMu.Unlock()
 	return m.endSpan
+}
+
+// emit fires a batch event, followed by its fault events if any, under
+// the emission lock: the events are stamped with consecutive sequence
+// numbers and the innermost open span, and reach the hook as one
+// contiguous run even when other batches complete concurrently.
+func (m *Machine) emit(ev Event, fevents []Event) {
+	m.emitMu.Lock()
+	if m.hook == nil {
+		m.emitMu.Unlock()
+		return
+	}
+	if n := len(m.spans); n > 0 {
+		top := m.spans[n-1]
+		ev.Tag, ev.Span = top.path, top.id
+	}
+	m.seq++
+	ev.Seq = m.seq
+	m.hook.Event(ev)
+	for i := range fevents {
+		fevents[i].Span = ev.Span
+		m.seq++
+		fevents[i].Seq = m.seq
+		m.hook.Event(fevents[i])
+	}
+	m.emitMu.Unlock()
 }
 
 // Config returns the machine's configuration.
@@ -367,21 +554,33 @@ func (m *Machine) D() int { return m.cfg.D }
 // B returns the block capacity in words.
 func (m *Machine) B() int { return m.cfg.B }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. Each counter is read
+// atomically; a batch completing concurrently is either fully counted
+// or not yet counted in totals, never torn within one counter.
 func (m *Machine) Stats() Stats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats
+	var s Stats
+	s.ParallelIOs = m.pios.Load()
+	s.BlockReads = m.blockReads.Load()
+	s.BlockWrites = m.blockWrites.Load()
+	s.MaxBatch = int(m.maxBatch.Load())
+	for i := range s.DepthCounts {
+		s.DepthCounts[i] = m.depthCounts[i].Load()
+	}
+	return s
 }
 
 // ResetStats zeroes the I/O counters (including the per-disk tallies).
 // Block contents are unaffected.
 func (m *Machine) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
-	for i := range m.perDisk {
-		m.perDisk[i] = 0
+	m.pios.Store(0)
+	m.blockReads.Store(0)
+	m.blockWrites.Store(0)
+	m.maxBatch.Store(0)
+	for i := range m.depthCounts {
+		m.depthCounts[i].Store(0)
+	}
+	for d := range m.shards {
+		m.shards[d].ios.Store(0)
 	}
 }
 
@@ -389,36 +588,169 @@ func (m *Machine) ResetStats() {
 // each disk has served — the skew diagnostic: a striped algorithm keeps
 // these nearly equal, while an unbalanced one hammers a few disks.
 func (m *Machine) PerDiskIOs() []int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]int64, len(m.perDisk))
-	copy(out, m.perDisk)
+	out := make([]int64, len(m.shards))
+	for d := range m.shards {
+		out[d] = m.shards[d].ios.Load()
+	}
 	return out
 }
 
-// batchCost returns the number of parallel I/O steps a batch of addresses
-// costs under the machine's model, and the deepest per-disk queue.
-func (m *Machine) batchCost(addrs []Addr) (steps, depth int) {
-	if len(addrs) == 0 {
-		return 0, 0
+// charge accounts one batch: steps parallel I/Os and one histogram
+// entry at the given depth.
+func (m *Machine) charge(steps, depth int) {
+	m.pios.Add(int64(steps))
+	if depth <= 0 {
+		return
 	}
-	switch m.cfg.Model {
-	case DiskHead:
-		// Any D blocks per step.
-		steps = (len(addrs) + m.cfg.D - 1) / m.cfg.D
-		return steps, steps
-	default:
-		perDisk := make(map[int]int, m.cfg.D)
-		for _, a := range addrs {
-			perDisk[a.Disk]++
+	for {
+		cur := m.maxBatch.Load()
+		if int64(depth) <= cur || m.maxBatch.CompareAndSwap(cur, int64(depth)) {
+			break
 		}
-		for _, c := range perDisk {
-			if c > depth {
-				depth = c
+	}
+	i := depth - 1
+	if i >= DepthBuckets {
+		i = DepthBuckets - 1
+	}
+	m.depthCounts[i].Add(1)
+}
+
+// smallBatchMax bounds the batches served inline: below it, a batch is
+// executed on its issuing goroutine with one short lock per address and
+// its depth computed by allocation-free pairwise counting. Larger
+// batches go through the pooled counting-sort partition (and, past
+// fanoutMinBlocks, the worker pool).
+const smallBatchMax = 32
+
+// fanoutMinBlocks is the smallest batch worth spawning workers for: the
+// copy work must amortize the goroutine handoffs.
+const fanoutMinBlocks = 128
+
+// smallDepth returns the deepest per-disk queue of a small batch by
+// pairwise counting — O(n²) in the batch length but allocation-free,
+// which is what keeps the common d-address dictionary probe at zero
+// bookkeeping allocations.
+func smallDepth(addrs []Addr) int {
+	depth := 0
+	for i, a := range addrs {
+		c := 1
+		for _, rest := range addrs[i+1:] {
+			if rest.Disk == a.Disk {
+				c++
 			}
 		}
-		return depth, depth
+		if c > depth {
+			depth = c
+		}
 	}
+	return depth
+}
+
+// batchScratch is the reusable bookkeeping for partitioning one batch
+// by disk: a counting sort over the addresses. counts is all-zero
+// whenever the scratch is parked in the pool.
+type batchScratch struct {
+	counts  []int32 // per-disk address count (length D)
+	offs    []int32 // per-disk cursor into order (length D)
+	order   []int32 // batch indices grouped by disk, batch order within a disk
+	touched []int32 // disks with at least one address, in first-touch order
+}
+
+// partition groups a batch's indices by disk and returns the deepest
+// per-disk queue. Afterwards segment(d) lists the batch indices
+// addressed to disk d, in batch order.
+func (sc *batchScratch) partition(addrs []Addr) (depth int) {
+	if cap(sc.order) < len(addrs) {
+		sc.order = make([]int32, len(addrs))
+	}
+	sc.order = sc.order[:len(addrs)]
+	sc.touched = sc.touched[:0]
+	for _, a := range addrs {
+		if sc.counts[a.Disk] == 0 {
+			sc.touched = append(sc.touched, int32(a.Disk))
+		}
+		sc.counts[a.Disk]++
+	}
+	off := int32(0)
+	for _, d := range sc.touched {
+		c := sc.counts[d]
+		if int(c) > depth {
+			depth = int(c)
+		}
+		sc.offs[d] = off
+		off += c
+	}
+	for i, a := range addrs {
+		sc.order[sc.offs[a.Disk]] = int32(i)
+		sc.offs[a.Disk]++
+	}
+	return depth
+}
+
+// segment returns the batch indices partition grouped onto disk d, in
+// batch order.
+func (sc *batchScratch) segment(d int32) []int32 {
+	return sc.order[sc.offs[d]-sc.counts[d] : sc.offs[d]]
+}
+
+// release re-zeroes counts (cheaply, via the touched list) and parks
+// the scratch back in the pool.
+func (m *Machine) release(sc *batchScratch) {
+	for _, d := range sc.touched {
+		sc.counts[d] = 0
+	}
+	m.scratch.Put(sc)
+}
+
+// cost returns the parallel-I/O steps and deepest per-disk queue of a
+// partitioned batch under the machine's model.
+func (m *Machine) cost(n, depth int) (int, int) {
+	if m.cfg.Model == DiskHead {
+		// Any D blocks per step.
+		steps := (n + m.cfg.D - 1) / m.cfg.D
+		return steps, steps
+	}
+	return depth, depth
+}
+
+// runShards executes perDisk for every touched disk of a partitioned
+// batch, fanning out across the worker pool when the batch is large
+// enough to pay for the handoffs. Workers pull disks from a shared
+// cursor; the issuing goroutine is always one of them.
+func (m *Machine) runShards(sc *batchScratch, nBlocks int, perDisk func(d int32)) {
+	workers := int(m.workers.Load())
+	if workers > len(sc.touched) {
+		workers = len(sc.touched)
+	}
+	if workers <= 1 || nBlocks < fanoutMinBlocks {
+		for _, d := range sc.touched {
+			perDisk(d)
+		}
+		return
+	}
+	var cursor atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(cursor.Add(1)) - 1
+				if t >= len(sc.touched) {
+					return
+				}
+				perDisk(sc.touched[t])
+			}
+		}()
+	}
+	for {
+		t := int(cursor.Add(1)) - 1
+		if t >= len(sc.touched) {
+			break
+		}
+		perDisk(sc.touched[t])
+	}
+	wg.Wait()
 }
 
 // checkAddr panics on an address outside the machine. Addresses are
@@ -430,20 +762,6 @@ func (m *Machine) checkAddr(a Addr) {
 	}
 }
 
-// blockLocked returns the live slice for a block, allocating it on first
-// touch. Callers hold m.mu.
-func (m *Machine) blockLocked(a Addr) []Word {
-	disk := m.disks[a.Disk]
-	for len(disk) <= a.Block {
-		disk = append(disk, nil)
-	}
-	m.disks[a.Disk] = disk
-	if disk[a.Block] == nil {
-		disk[a.Block] = make([]Word, m.cfg.B)
-	}
-	return disk[a.Block]
-}
-
 // BatchRead performs one batched read of the given blocks and returns
 // their contents, in request order. The returned slices are copies; the
 // caller owns them. The batch is accounted under the machine's cost
@@ -451,60 +769,51 @@ func (m *Machine) blockLocked(a Addr) []Word {
 // fault injector and skips checksum verification — use TryBatchRead for
 // fault-aware reads.
 func (m *Machine) BatchRead(addrs []Addr) [][]Word {
+	out := make([][]Word, len(addrs))
+	if len(addrs) == 0 {
+		return out
+	}
 	for _, a := range addrs {
 		m.checkAddr(a)
 	}
-	steps, depth := m.batchCost(addrs)
-	m.mu.Lock()
-	m.accountLocked(steps, depth, addrs)
-	m.stats.BlockReads += int64(len(addrs))
-	out := make([][]Word, len(addrs))
-	for i, a := range addrs {
-		src := m.blockLocked(a)
-		dst := make([]Word, m.cfg.B)
-		copy(dst, src)
-		out[i] = dst
+	var steps, depth int
+	if len(addrs) <= smallBatchMax {
+		steps, depth = m.cost(len(addrs), smallDepth(addrs))
+		m.charge(steps, depth)
+		for i, a := range addrs {
+			s := &m.shards[a.Disk]
+			s.mu.Lock()
+			src := s.block(a.Block)
+			dst := make([]Word, m.cfg.B)
+			copy(dst, src)
+			s.mu.Unlock()
+			s.ios.Add(1)
+			out[i] = dst
+		}
+	} else {
+		sc := m.scratch.Get().(*batchScratch)
+		steps, depth = m.cost(len(addrs), sc.partition(addrs))
+		m.charge(steps, depth)
+		m.runShards(sc, len(addrs), func(d int32) {
+			s := &m.shards[d]
+			seg := sc.segment(d)
+			s.mu.Lock()
+			for _, i := range seg {
+				src := s.block(addrs[i].Block)
+				dst := make([]Word, m.cfg.B)
+				copy(dst, src)
+				out[i] = dst
+			}
+			s.mu.Unlock()
+			s.ios.Add(int64(len(seg)))
+		})
+		m.release(sc)
 	}
-	hook, tag, span := m.hookLocked(len(addrs))
-	m.mu.Unlock()
-	if hook != nil {
-		hook.Event(Event{Kind: EventRead, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
+	m.blockReads.Add(int64(len(addrs)))
+	if m.hooked.Load() {
+		m.emit(Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, nil)
 	}
 	return out
-}
-
-// accountLocked applies a batch's cost to the counters. Callers hold
-// m.mu.
-func (m *Machine) accountLocked(steps, depth int, addrs []Addr) {
-	m.stats.ParallelIOs += int64(steps)
-	if depth > m.stats.MaxBatch {
-		m.stats.MaxBatch = depth
-	}
-	if depth > 0 {
-		i := depth - 1
-		if i >= DepthBuckets {
-			i = DepthBuckets - 1
-		}
-		m.stats.DepthCounts[i]++
-	}
-	for _, a := range addrs {
-		m.perDisk[a.Disk]++
-	}
-}
-
-// hookLocked returns the hook to fire for a batch of n addresses (nil
-// when tracing is off or the batch is empty), the current span tag, and
-// the innermost open span's ID. Callers hold m.mu and invoke the hook
-// after unlocking, so hooks may touch the machine without deadlocking.
-func (m *Machine) hookLocked(n int) (hook Hook, tag string, span uint64) {
-	if m.hook == nil || n == 0 {
-		return nil, "", 0
-	}
-	if len(m.spans) > 0 {
-		top := m.spans[len(m.spans)-1]
-		tag, span = top.path, top.id
-	}
-	return m.hook, tag, span
 }
 
 // BlockWrite names one block write of a batch.
@@ -520,6 +829,9 @@ type BlockWrite struct {
 // writes it maintains the per-block checksums, but it never consults the
 // fault injector — use TryBatchWrite for fault-aware writes.
 func (m *Machine) BatchWrite(writes []BlockWrite) {
+	if len(writes) == 0 {
+		return
+	}
 	addrs := make([]Addr, len(writes))
 	for i, w := range writes {
 		m.checkAddr(w.Addr)
@@ -528,19 +840,41 @@ func (m *Machine) BatchWrite(writes []BlockWrite) {
 		}
 		addrs[i] = w.Addr
 	}
-	steps, depth := m.batchCost(addrs)
-	m.mu.Lock()
-	m.accountLocked(steps, depth, addrs)
-	m.stats.BlockWrites += int64(len(writes))
-	for _, w := range writes {
-		blk := m.blockLocked(w.Addr)
-		copy(blk, w.Data)
-		*m.sumLocked(w.Addr) = crcBlock(blk)
+	var steps, depth int
+	if len(writes) <= smallBatchMax {
+		steps, depth = m.cost(len(addrs), smallDepth(addrs))
+		m.charge(steps, depth)
+		for _, w := range writes {
+			s := &m.shards[w.Addr.Disk]
+			s.mu.Lock()
+			blk := s.block(w.Addr.Block)
+			copy(blk, w.Data)
+			s.sums[w.Addr.Block] = crcBlock(blk)
+			s.mu.Unlock()
+			s.ios.Add(1)
+		}
+	} else {
+		sc := m.scratch.Get().(*batchScratch)
+		steps, depth = m.cost(len(addrs), sc.partition(addrs))
+		m.charge(steps, depth)
+		m.runShards(sc, len(addrs), func(d int32) {
+			s := &m.shards[d]
+			seg := sc.segment(d)
+			s.mu.Lock()
+			for _, i := range seg {
+				w := &writes[i]
+				blk := s.block(w.Addr.Block)
+				copy(blk, w.Data)
+				s.sums[w.Addr.Block] = crcBlock(blk)
+			}
+			s.mu.Unlock()
+			s.ios.Add(int64(len(seg)))
+		})
+		m.release(sc)
 	}
-	hook, tag, span := m.hookLocked(len(addrs))
-	m.mu.Unlock()
-	if hook != nil {
-		hook.Event(Event{Kind: EventWrite, Tag: tag, Addrs: addrs, Steps: steps, Depth: depth, Span: span})
+	m.blockWrites.Add(int64(len(writes)))
+	if m.hooked.Load() {
+		m.emit(Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, nil)
 	}
 }
 
@@ -558,9 +892,10 @@ func (m *Machine) WriteBlock(a Addr, data []Word) {
 // accounting) any I/O. It exists for tests and invariant checks only.
 func (m *Machine) Peek(a Addr) []Word {
 	m.checkAddr(a)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	src := m.blockLocked(a)
+	s := &m.shards[a.Disk]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src := s.block(a.Block)
 	dst := make([]Word, m.cfg.B)
 	copy(dst, src)
 	return dst
@@ -570,11 +905,12 @@ func (m *Machine) Peek(a Addr) []Word {
 // disk. It is a space-accounting helper; allocation happens lazily on
 // first touch.
 func (m *Machine) BlocksAllocated() []int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	out := make([]int, m.cfg.D)
-	for d, disk := range m.disks {
-		out[d] = len(disk)
+	for d := range m.shards {
+		s := &m.shards[d]
+		s.mu.Lock()
+		out[d] = len(s.blocks)
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -15,7 +15,9 @@ import (
 //
 // Version 2 added the observability counters (per-disk transfer tallies
 // and the per-batch depth histogram); version-1 snapshots are still
-// readable and restore with those counters zeroed.
+// readable and restore with those counters zeroed. Config.Workers is
+// deliberately not persisted: it only tunes wall-clock parallelism, and
+// a restored machine should use the restoring host's defaults.
 
 // snapshotMagic identifies the format; the trailing digit is a version.
 var (
@@ -23,10 +25,22 @@ var (
 	snapshotMagic   = [4]byte{'P', 'D', 'M', '2'}
 )
 
-// WriteSnapshot serializes the machine to w.
+// WriteSnapshot serializes the machine to w. It locks every shard for
+// the duration, so the blocks it writes are a consistent cross-disk
+// point in time; the counters are read atomically just before. For an
+// exact counters-vs-blocks correspondence, snapshot a quiesced machine
+// (dictionaries do: their persist paths hold the structure's write
+// lock).
 func (m *Machine) WriteSnapshot(w io.Writer) error {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	for d := range m.shards {
+		m.shards[d].mu.Lock()
+	}
+	defer func() {
+		for d := range m.shards {
+			m.shards[d].mu.Unlock()
+		}
+	}()
+	stats := m.Stats()
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
@@ -34,21 +48,22 @@ func (m *Machine) WriteSnapshot(w io.Writer) error {
 	}
 	head := []uint64{
 		uint64(m.cfg.D), uint64(m.cfg.B), uint64(m.cfg.Model),
-		uint64(m.stats.ParallelIOs), uint64(m.stats.BlockReads),
-		uint64(m.stats.BlockWrites), uint64(m.stats.MaxBatch),
+		uint64(stats.ParallelIOs), uint64(stats.BlockReads),
+		uint64(stats.BlockWrites), uint64(stats.MaxBatch),
 	}
 	for _, v := range head {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, m.stats.DepthCounts[:]); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, stats.DepthCounts[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, m.perDisk); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, m.PerDiskIOs()); err != nil {
 		return err
 	}
-	for _, disk := range m.disks {
+	for d := range m.shards {
+		disk := m.shards[d].blocks
 		if err := binary.Write(bw, binary.LittleEndian, uint64(len(disk))); err != nil {
 			return err
 		}
@@ -98,20 +113,27 @@ func ReadSnapshot(r io.Reader) (*Machine, error) {
 		return nil, fmt.Errorf("pdm: snapshot config implausible (D=%d, B=%d)", cfg.D, cfg.B)
 	}
 	m := NewMachine(cfg)
-	m.stats = Stats{
-		ParallelIOs: int64(head[3]),
-		BlockReads:  int64(head[4]),
-		BlockWrites: int64(head[5]),
-		MaxBatch:    int(head[6]),
-	}
+	m.pios.Store(int64(head[3]))
+	m.blockReads.Store(int64(head[4]))
+	m.blockWrites.Store(int64(head[5]))
+	m.maxBatch.Store(int64(head[6]))
 	if magic == snapshotMagic {
-		if err := binary.Read(br, binary.LittleEndian, m.stats.DepthCounts[:]); err != nil {
+		var depths [DepthBuckets]int64
+		if err := binary.Read(br, binary.LittleEndian, depths[:]); err != nil {
 			return nil, fmt.Errorf("pdm: reading depth counts: %w", err)
 		}
-		if err := binary.Read(br, binary.LittleEndian, m.perDisk); err != nil {
+		for i, v := range depths {
+			m.depthCounts[i].Store(v)
+		}
+		perDisk := make([]int64, cfg.D)
+		if err := binary.Read(br, binary.LittleEndian, perDisk); err != nil {
 			return nil, fmt.Errorf("pdm: reading per-disk tallies: %w", err)
 		}
+		for d, v := range perDisk {
+			m.shards[d].ios.Store(v)
+		}
 	}
+	zeroSum := m.shards[0].zeroSum
 	for d := 0; d < cfg.D; d++ {
 		var nBlocks uint64
 		if err := binary.Read(br, binary.LittleEndian, &nBlocks); err != nil {
@@ -129,7 +151,7 @@ func ReadSnapshot(r io.Reader) (*Machine, error) {
 			}
 			if present == 0 {
 				disk = append(disk, nil)
-				sums = append(sums, m.zeroSum)
+				sums = append(sums, zeroSum)
 				continue
 			}
 			blk := make([]Word, cfg.B)
@@ -143,8 +165,8 @@ func ReadSnapshot(r io.Reader) (*Machine, error) {
 			// scrub before saving if that matters).
 			sums = append(sums, crcBlock(blk))
 		}
-		m.disks[d] = disk
-		m.sums[d] = sums
+		m.shards[d].blocks = disk
+		m.shards[d].sums = sums
 	}
 	return m, nil
 }

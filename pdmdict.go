@@ -162,6 +162,20 @@ type IOEvent = pdm.Event
 // back into the machine's batch methods.
 type IOHook = pdm.Hook
 
+// BatchLookuper is satisfied by the structures that can answer many
+// lookups in merged read rounds (Dict, Basic, Dynamic, OneProbe, and
+// SyncDict over any of them): the keys' probe addresses are
+// de-duplicated and fetched in one BatchRead per round, so b concurrent
+// queries cost the deepest per-disk queue instead of b sequential
+// probes. Use a type assertion when holding a Dictionary:
+//
+//	if bl, ok := dict.(BatchLookuper); ok { sats, oks := bl.LookupBatch(keys) }
+type BatchLookuper interface {
+	// LookupBatch returns, positionally aligned with keys, a copy of
+	// each key's satellite data and whether it is present.
+	LookupBatch(keys []Word) ([][]Word, []bool)
+}
+
 // Hooked is satisfied by every structure in this package; it attaches
 // an observability hook to the structure's machine(s). Use a type
 // assertion when holding a Dictionary:
@@ -274,6 +288,12 @@ func (d *Dict) Delete(key Word) bool { return d.d.Delete(key) }
 
 // Len returns the number of stored keys.
 func (d *Dict) Len() int { return d.d.Len() }
+
+// LookupBatch resolves many keys as one batched operation — each
+// underlying structure merges the keys' probes into shared read rounds,
+// and during a migration the draining structure is consulted only for
+// the keys the successor misses. Results align positionally with keys.
+func (d *Dict) LookupBatch(keys []Word) ([][]Word, []bool) { return d.d.LookupBatch(keys) }
 
 // IOStats returns the accumulated traffic under the wrapper's parallel
 // cost model (concurrent structures on disjoint disks cost the max, not
@@ -585,6 +605,12 @@ func (d *Dynamic) Len() int { return d.d.Len() }
 // LevelCounts returns the per-level occupancy of the retrieval cascade.
 func (d *Dynamic) LevelCounts() []int { return d.d.LevelCounts() }
 
+// LookupBatch resolves many keys in at most two batched reads: one for
+// every key's membership buckets and first-array fields, one shared by
+// the (rare) keys resident in deeper arrays. Results align positionally
+// with keys.
+func (d *Dynamic) LookupBatch(keys []Word) ([][]Word, []bool) { return d.d.LookupBatch(keys) }
+
 // ---------------------------------------------------------------------
 // Section 6 (Open Problems) exploration.
 
@@ -647,6 +673,12 @@ func (o *OneProbe) Len() int { return o.d.Len() }
 
 // LevelCounts returns the per-level occupancy.
 func (o *OneProbe) LevelCounts() []int { return o.d.LevelCounts() }
+
+// LookupBatch resolves many keys in ONE batched read — the single-probe
+// guarantee extends to whole batches, since every key's membership and
+// field blocks are merged into the same parallel I/O. Results align
+// positionally with keys.
+func (o *OneProbe) LookupBatch(keys []Word) ([][]Word, []bool) { return o.d.LookupBatch(keys) }
 
 // ---------------------------------------------------------------------
 // Baselines (Figure 1 comparators).

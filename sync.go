@@ -47,6 +47,23 @@ func (s *SyncDict) Delete(key Word) bool {
 	return s.d.Delete(key)
 }
 
+// LookupBatch resolves many keys at once. When the wrapped dictionary
+// is a BatchLookuper the probes are merged into shared read rounds;
+// otherwise the keys are looked up one by one under the same read lock.
+func (s *SyncDict) LookupBatch(keys []Word) ([][]Word, []bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if bl, ok := s.d.(BatchLookuper); ok {
+		return bl.LookupBatch(keys)
+	}
+	sats := make([][]Word, len(keys))
+	oks := make([]bool, len(keys))
+	for i, k := range keys {
+		sats[i], oks[i] = s.d.Lookup(k)
+	}
+	return sats, oks
+}
+
 // Len returns the number of stored keys.
 func (s *SyncDict) Len() int {
 	s.mu.RLock()
