@@ -28,9 +28,19 @@
 // lands everywhere, so repair or scrub afterwards).
 //
 // With -serve addr the shell also serves live observability endpoints
-// while it runs: Prometheus /metrics, /healthz (503 once the store is
-// degraded), /debug/events (recent I/O events as trace JSONL), and the
-// standard /debug/pprof profiles.
+// while it runs: Prometheus /metrics (including the exact token-based
+// per-operation families), /healthz (503 once the store is degraded),
+// /debug/events (recent I/O events as trace JSONL), /debug/ops (the
+// accountant's in-flight and recently completed operations), and the
+// standard /debug/pprof profiles. With -trace file every machine event
+// is additionally appended to the file as trace JSONL (the pdmtrace
+// format), so a session can be replayed or folded offline.
+//
+// fskv shuts down gracefully on SIGINT/SIGTERM as well as on EOF or
+// quit: the operation in flight (commands run synchronously) completes
+// and is fully accounted, the trace sink is flushed and closed, and the
+// metrics server stops. A second signal kills the process the usual
+// way (the signal context is restored once shutdown begins).
 //
 // stats reports, beyond the block count and total parallel I/Os, the
 // fault state (degraded flag, failed disks, fault event count) and the
@@ -47,11 +57,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"pdmdict"
 	"pdmdict/internal/fault"
@@ -96,13 +110,40 @@ type store interface {
 	IOStats() pdmdict.IOStats
 }
 
+// config carries the parsed flags into run, so tests can drive the
+// shell without a process.
+type config struct {
+	replicas int
+	serve    string
+	trace    string
+}
+
 func main() {
 	replicas := flag.Int("replicas", 0,
 		"replicate each record onto this many distinct disks (≥2 enables degraded reads, repair, scrub)")
 	serve := flag.String("serve", "",
 		"serve live /metrics, /healthz, /debug/events, and /debug/pprof on this address (e.g. :8080 or 127.0.0.1:0)")
+	trace := flag.String("trace", "",
+		"append every machine event to this file as trace JSONL (flushed on shutdown)")
 	flag.Parse()
 
+	// First SIGINT/SIGTERM cancels the context (graceful drain); stop()
+	// restores default delivery, so a second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, config{replicas: *replicas, serve: *serve, trace: *trace}, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fskv:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole shell: it builds the store, serves the observability
+// endpoints, and processes commands until stdin ends, quit is typed, or
+// ctx is canceled. Shutdown is graceful in every case: commands execute
+// synchronously on this goroutine, so the operation in flight finishes
+// (and is fully charged to its token) before the loop observes the
+// cancellation; then the trace sink is flushed and the server stopped.
+func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) error {
 	var (
 		dict     store
 		basic    *pdmdict.Basic // non-nil iff -replicas ≥ 2
@@ -112,10 +153,32 @@ func main() {
 	)
 	collector := obs.NewCollector()
 	ring := obs.NewRing(256)
-	hook := obs.Tee(collector, ring)
+	acct := obs.NewOpAccountant()
+	hook := obs.Tee(collector, ring, acct)
+
+	var traceSink *obs.JSONLWriter
+	if cfg.trace != "" {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONLWriter(f)
+		hook = obs.Tee(collector, ring, acct, traceSink)
+	}
+	flush := func() error {
+		if traceSink == nil {
+			return nil
+		}
+		if err := traceSink.Flush(); err != nil {
+			return fmt.Errorf("flushing trace %s: %w", cfg.trace, err)
+		}
+		return nil
+	}
+
 	plan := fault.NewPlan(1)
 	switch {
-	case *replicas >= 2:
+	case cfg.replicas >= 2:
 		b, err := pdmdict.NewBasic(pdmdict.BasicOptions{
 			Options: pdmdict.Options{
 				Capacity:  1024,
@@ -123,11 +186,10 @@ func main() {
 				BlockSize: 512,
 				Seed:      1,
 			},
-			Replicas: *replicas,
+			Replicas: cfg.replicas,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fskv:", err)
-			os.Exit(1)
+			return err
 		}
 		b.SetHook(hook)
 		b.SetFaultInjector(plan)
@@ -135,15 +197,14 @@ func main() {
 		dict = pdmdict.NewNamed(b, blockWords)
 		degraded, faults = b.Degraded, b.FaultCount
 		disks = b.Machine().D()
-	case *replicas == 0 || *replicas == 1:
+	case cfg.replicas == 0 || cfg.replicas == 1:
 		base, err := pdmdict.New(pdmdict.Options{
 			Capacity: 1024,
 			SatWords: pdmdict.NamedSatWords(blockWords),
 			Seed:     1,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fskv:", err)
-			os.Exit(1)
+			return err
 		}
 		base.SetHook(hook)
 		base.SetFaultInjector(plan)
@@ -152,35 +213,50 @@ func main() {
 		faults = func() int64 { return 0 }
 		disks = 2 * 20 // Dict default: membership + cascade on 2d disks
 	default:
-		fmt.Fprintln(os.Stderr, "fskv: -replicas must be ≥ 2 (or 0 to disable)")
-		os.Exit(1)
+		return fmt.Errorf("-replicas must be ≥ 2 (or 0 to disable)")
 	}
 
-	if *serve != "" {
+	if cfg.serve != "" {
 		srv := &obs.Server{
-			Collector: collector,
-			Ring:      ring,
-			Healthy:   func() bool { return !degraded() },
+			Collector:  collector,
+			Ring:       ring,
+			Accountant: acct,
+			Healthy:    func() bool { return !degraded() },
 		}
-		addr, stop, err := srv.Serve(*serve)
+		addr, stop, err := srv.Serve(cfg.serve)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fskv:", err)
-			os.Exit(1)
+			return err
 		}
 		defer stop()
-		fmt.Printf("serving metrics on http://%s/metrics (health: /healthz, profiles: /debug/pprof/)\n", addr)
+		fmt.Fprintf(stdout, "serving metrics on http://%s/metrics (health: /healthz, profiles: /debug/pprof/)\n", addr)
 	}
 
 	mode := "dynamic store"
 	if basic != nil {
-		mode = fmt.Sprintf("replicated store (%d copies, tolerates %d failed disks)", *replicas, *replicas-1)
+		mode = fmt.Sprintf("replicated store (%d copies, tolerates %d failed disks)", cfg.replicas, cfg.replicas-1)
 	}
-	fmt.Printf("fskv: deterministic dictionary file store, %s (put/get/del/fail/heal/repair/scrub/stats/quit)\n", mode)
-	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprintf(stdout, "fskv: deterministic dictionary file store, %s (put/get/del/fail/heal/repair/scrub/stats/quit)\n", mode)
+
+	// Feed lines through a channel so the command loop can select on
+	// cancellation; the reader goroutine parks on stdin and exits when
+	// the stream ends or nobody is listening anymore.
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
 	parseBlock := func(s, usage string) (uint64, bool) {
 		blk, err := strconv.ParseUint(s, 10, 32)
 		if err != nil {
-			fmt.Printf("bad block number %q\nusage: %s\n", s, usage)
+			fmt.Fprintf(stdout, "bad block number %q\nusage: %s\n", s, usage)
 			return 0, false
 		}
 		return blk, true
@@ -188,17 +264,29 @@ func main() {
 	parseDisk := func(s, usage string) (int, bool) {
 		d, err := strconv.Atoi(s)
 		if err != nil || d < 0 || d >= disks {
-			fmt.Printf("bad disk %q (store has disks 0..%d)\nusage: %s\n", s, disks-1, usage)
+			fmt.Fprintf(stdout, "bad disk %q (store has disks 0..%d)\nusage: %s\n", s, disks-1, usage)
 			return 0, false
 		}
 		return d, true
 	}
 	for {
-		fmt.Print("> ")
-		if !sc.Scan() {
-			return
+		fmt.Fprint(stdout, "> ")
+		var (
+			line string
+			ok   bool
+		)
+		select {
+		case <-ctx.Done():
+			// The previous command already completed synchronously —
+			// there is nothing half-charged to wait for.
+			fmt.Fprintln(stdout, "\nfskv: signal received; drained in-flight operations, flushing trace")
+			return flush()
+		case line, ok = <-lines:
+			if !ok {
+				return flush()
+			}
 		}
-		fields := strings.Fields(sc.Text())
+		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
@@ -207,7 +295,7 @@ func main() {
 		case "put":
 			const usage = "put <file> <block#> <text…>"
 			if len(fields) < 4 {
-				fmt.Println("usage:", usage)
+				fmt.Fprintln(stdout, "usage:", usage)
 				continue
 			}
 			blk, ok := parseBlock(fields[2], usage)
@@ -215,14 +303,14 @@ func main() {
 				continue
 			}
 			if err := dict.Insert(blockName(fields[1], blk), encode(strings.Join(fields[3:], " "))); err != nil {
-				fmt.Println("put failed:", err)
+				fmt.Fprintln(stdout, "put failed:", err)
 				continue
 			}
-			fmt.Printf("stored (%d parallel I/Os)\n", dict.IOStats().ParallelIOs-before)
+			fmt.Fprintf(stdout, "stored (%d parallel I/Os)\n", dict.IOStats().ParallelIOs-before)
 		case "get":
 			const usage = "get <file> <block#>"
 			if len(fields) != 3 {
-				fmt.Println("usage:", usage)
+				fmt.Fprintln(stdout, "usage:", usage)
 				continue
 			}
 			blk, ok := parseBlock(fields[2], usage)
@@ -233,16 +321,16 @@ func main() {
 			cost := dict.IOStats().ParallelIOs - before
 			switch {
 			case err != nil:
-				fmt.Printf("read inconclusive (%d parallel I/Os): %v\n", cost, err)
+				fmt.Fprintf(stdout, "read inconclusive (%d parallel I/Os): %v\n", cost, err)
 			case !found:
-				fmt.Printf("not found (%d parallel I/Os)\n", cost)
+				fmt.Fprintf(stdout, "not found (%d parallel I/Os)\n", cost)
 			default:
-				fmt.Printf("%q (%d parallel I/Os)\n", decode(sat), cost)
+				fmt.Fprintf(stdout, "%q (%d parallel I/Os)\n", decode(sat), cost)
 			}
 		case "del":
 			const usage = "del <file> <block#>"
 			if len(fields) != 3 {
-				fmt.Println("usage:", usage)
+				fmt.Fprintln(stdout, "usage:", usage)
 				continue
 			}
 			blk, ok := parseBlock(fields[2], usage)
@@ -250,11 +338,11 @@ func main() {
 				continue
 			}
 			deleted := dict.Delete(blockName(fields[1], blk))
-			fmt.Printf("deleted=%v (%d parallel I/Os)\n", deleted, dict.IOStats().ParallelIOs-before)
+			fmt.Fprintf(stdout, "deleted=%v (%d parallel I/Os)\n", deleted, dict.IOStats().ParallelIOs-before)
 		case "fail":
 			const usage = "fail <disk>"
 			if len(fields) != 2 {
-				fmt.Println("usage:", usage)
+				fmt.Fprintln(stdout, "usage:", usage)
 				continue
 			}
 			d, ok := parseDisk(fields[1], usage)
@@ -262,11 +350,11 @@ func main() {
 				continue
 			}
 			plan.FailDisk(d)
-			fmt.Printf("disk %d failed (fail-stop); failed disks: %v\n", d, plan.FailedDisks())
+			fmt.Fprintf(stdout, "disk %d failed (fail-stop); failed disks: %v\n", d, plan.FailedDisks())
 		case "heal":
 			const usage = "heal <disk>"
 			if len(fields) != 2 {
-				fmt.Println("usage:", usage)
+				fmt.Fprintln(stdout, "usage:", usage)
 				continue
 			}
 			d, ok := parseDisk(fields[1], usage)
@@ -274,11 +362,11 @@ func main() {
 				continue
 			}
 			plan.HealDisk(d)
-			fmt.Printf("disk %d healed (contents unchanged — run: repair %d)\n", d, d)
+			fmt.Fprintf(stdout, "disk %d healed (contents unchanged — run: repair %d)\n", d, d)
 		case "repair":
 			const usage = "repair <disk>"
 			if len(fields) != 2 {
-				fmt.Println("usage:", usage)
+				fmt.Fprintln(stdout, "usage:", usage)
 				continue
 			}
 			d, ok := parseDisk(fields[1], usage)
@@ -286,34 +374,34 @@ func main() {
 				continue
 			}
 			if basic == nil {
-				fmt.Println("repair needs the replicated store: rerun with -replicas 2")
+				fmt.Fprintln(stdout, "repair needs the replicated store: rerun with -replicas 2")
 				continue
 			}
 			if plan.Failed(d) {
-				fmt.Printf("disk %d is still failed — heal %d first\n", d, d)
+				fmt.Fprintf(stdout, "disk %d is still failed — heal %d first\n", d, d)
 				continue
 			}
 			if err := basic.Repair(d); err != nil {
-				fmt.Println("repair failed:", err)
+				fmt.Fprintln(stdout, "repair failed:", err)
 				continue
 			}
-			fmt.Printf("disk %d rebuilt from replicas (%d parallel I/Os)\n", d, dict.IOStats().ParallelIOs-before)
+			fmt.Fprintf(stdout, "disk %d rebuilt from replicas (%d parallel I/Os)\n", d, dict.IOStats().ParallelIOs-before)
 		case "scrub":
 			if basic == nil {
-				fmt.Println("scrub needs the replicated store: rerun with -replicas 2")
+				fmt.Fprintln(stdout, "scrub needs the replicated store: rerun with -replicas 2")
 				continue
 			}
 			bad := basic.Scrub()
 			cost := dict.IOStats().ParallelIOs - before
 			if len(bad) == 0 {
-				fmt.Printf("scrub clean: all blocks verified (%d parallel I/Os)\n", cost)
+				fmt.Fprintf(stdout, "scrub clean: all blocks verified (%d parallel I/Os)\n", cost)
 			} else {
-				fmt.Printf("scrub found %d bad blocks (%d parallel I/Os): %v\n", len(bad), cost, bad)
+				fmt.Fprintf(stdout, "scrub found %d bad blocks (%d parallel I/Os): %v\n", len(bad), cost, bad)
 			}
 		case "stats":
-			fmt.Printf("blocks stored: %d, total parallel I/Os: %d\n",
+			fmt.Fprintf(stdout, "blocks stored: %d, total parallel I/Os: %d\n",
 				dict.Len(), dict.IOStats().ParallelIOs)
-			fmt.Printf("degraded: %v, failed disks: %v, fault events: %d\n",
+			fmt.Fprintf(stdout, "degraded: %v, failed disks: %v, fault events: %d\n",
 				degraded(), plan.FailedDisks(), faults())
 			var sb strings.Builder
 			sb.WriteString("per-tag I/O breakdown:\n")
@@ -322,11 +410,11 @@ func main() {
 			collector.RenderOps(&sb)
 			sb.WriteString("per-disk transfers:\n")
 			collector.RenderPerDisk(&sb)
-			fmt.Print(sb.String())
+			fmt.Fprint(stdout, sb.String())
 		case "quit", "exit":
-			return
+			return flush()
 		default:
-			fmt.Printf("unknown command %q — commands: put get del fail heal repair scrub stats quit\n", fields[0])
+			fmt.Fprintf(stdout, "unknown command %q — commands: put get del fail heal repair scrub stats quit\n", fields[0])
 		}
 	}
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pdmdict/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the shell's
+// output while run executes on another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunCanceledContext is the graceful-shutdown contract: canceling
+// the context (what SIGINT/SIGTERM do via signal.NotifyContext) makes
+// run finish the command in flight, flush the JSONL trace sink, and
+// return nil — with the trace readable and non-empty afterwards.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+
+	inR, inW := io.Pipe()
+	defer inW.Close()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, config{trace: tracePath}, inR, &out) }()
+
+	if _, err := io.WriteString(inW, "put a 1 hello\nget a 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Both commands have completed once the get's answer is printed —
+	// the shell is synchronous — so the cancel below arrives while the
+	// loop is parked between commands, like a real signal would.
+	waitFor(t, "get to answer", func() bool { return strings.Contains(out.String(), `"hello"`) })
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancellation, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+	if got := out.String(); !strings.Contains(got, "drained in-flight operations") {
+		t.Errorf("shutdown message missing from output:\n%s", got)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("trace did not flush cleanly: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace is empty; put/get events were not flushed")
+	}
+}
+
+// TestRunQuitFlushesTrace checks the ordinary exit paths share the same
+// flush: quit (and EOF) must leave a parseable trace behind.
+func TestRunQuitFlushesTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out syncBuffer
+	err := run(context.Background(), config{trace: tracePath},
+		strings.NewReader("put a 1 x\nquit\n"), &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("trace did not flush cleanly: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace is empty")
+	}
+}

@@ -118,9 +118,9 @@ func main() {
 		if *parallel > 1 {
 			clients = append(clients, *parallel)
 		}
-		table, _, err := bench.ThroughputTable(bench.ThroughputConfig{TotalOps: *ops, Seed: *seed}, clients)
+		table, results, err := bench.ThroughputTable(bench.ThroughputConfig{TotalOps: *ops, Seed: *seed}, clients)
 		if err == nil {
-			err = bench.WriteTables(out, []bench.Table{table}, format)
+			err = bench.WriteThroughput(out, []bench.Table{table}, results, format)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pdmbench:", err)

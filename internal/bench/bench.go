@@ -144,14 +144,19 @@ func (t *Table) CSV() string {
 
 // ReportSchemaVersion identifies the JSON document shape pdmbench
 // emits. Version 1 was a bare array of tables; version 2 wrapped it in
-// a Report so the schema can evolve without breaking consumers. Bump
-// this whenever Report or Table changes shape.
-const ReportSchemaVersion = 2
+// a Report so the schema can evolve without breaking consumers; version
+// 3 added p999 to histogram digests and per-operation SLO quantiles to
+// the parallel-throughput tables. Bump this whenever Report or Table
+// changes shape.
+const ReportSchemaVersion = 3
 
 // Report is the top-level JSON document of a -json run.
 type Report struct {
 	SchemaVersion int     `json:"schema_version"`
 	Tables        []Table `json:"tables"`
+	// Throughput carries the raw multi-client results — per-client SLO
+	// digests included — when the run was pdmbench -parallel.
+	Throughput []ThroughputResult `json:"throughput,omitempty"`
 }
 
 // Format selects a Table rendering.
@@ -216,10 +221,17 @@ func RunFormat(pattern string, w io.Writer, format Format) ([]Table, error) {
 // rendering RunFormat applies, for callers (like pdmbench -parallel)
 // that produce tables outside the experiment registry.
 func WriteTables(w io.Writer, tables []Table, format Format) error {
+	return WriteThroughput(w, tables, nil, format)
+}
+
+// WriteThroughput is WriteTables plus the raw throughput results, which
+// only the JSON format carries (the text formats render the tables and
+// the results ride behind them in the Report document).
+func WriteThroughput(w io.Writer, tables []Table, results []ThroughputResult, format Format) error {
 	if format == FormatJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: tables}); err != nil {
+		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: tables, Throughput: results}); err != nil {
 			return fmt.Errorf("bench: encoding JSON: %w", err)
 		}
 		return nil

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -78,6 +79,20 @@ func (c *ThroughputConfig) normalize() error {
 	return nil
 }
 
+// ClientSLO is one client's exact per-operation service-level digest,
+// produced by the obs.OpAccountant attached to the run: every figure
+// comes from token-attributed charges, not from dividing machine totals
+// by operation counts.
+type ClientSLO struct {
+	Client     int     `json:"client"`
+	Ops        int64   `json:"ops"`
+	StepsMean  float64 `json:"steps_mean"`  // exact steps per op, averaged
+	StepsP99   int64   `json:"steps_p99"`   // per-op parallel I/O steps
+	P50Micros  int64   `json:"lat_p50_us"`  // modeled latency quantiles
+	P99Micros  int64   `json:"lat_p99_us"`  // (DESIGN.md §10 cost model)
+	P999Micros int64   `json:"lat_p999_us"` //
+}
+
 // ThroughputResult is one measured run.
 type ThroughputResult struct {
 	Clients          int     `json:"clients"`
@@ -91,6 +106,19 @@ type ThroughputResult struct {
 	ParallelIOs      int64   `json:"parallel_ios"`
 	BlockReads       int64   `json:"block_reads"`
 	BlockWrites      int64   `json:"block_writes"`
+
+	// Exact per-operation accounting (PR 6): OpsAccounted completed
+	// token-carrying operations, their summed steps (which must equal
+	// the per-client sums — the accountant charges each op exactly
+	// once), the batch-inclusive worst per-key cost, and the merged
+	// modeled-latency quantiles across all clients.
+	OpsAccounted   int64       `json:"ops_accounted"`
+	OpStepsMean    float64     `json:"op_steps_mean"`
+	OpWorstPerKey  int64       `json:"op_worst_steps_per_key"`
+	OpLatP50Micros int64       `json:"op_lat_p50_us"`
+	OpLatP99Micros int64       `json:"op_lat_p99_us"`
+	OpLatP999us    int64       `json:"op_lat_p999_us"`
+	PerClient      []ClientSLO `json:"per_client_slo,omitempty"`
 }
 
 // RunThroughput builds the dictionary, preloads it, and drives
@@ -108,6 +136,13 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	// Capacity: preload + every client's private insert range + warmup.
 	capacity := cfg.Keys + cfg.Clients*perClient + 8
 	m := newMachine(pdm.Config{D: cfg.D, B: cfg.B})
+
+	// Exact per-operation accounting: every client request carries an op
+	// token, and the accountant folds the event stream into per-client
+	// SLO aggregates online. Tee preserves the suite hook (-serve).
+	acct := obs.NewOpAccountant()
+	acct.SampleEvery = 64 // flight recorder: sampled, not exhaustive
+	m.SetHook(obs.Tee(suiteHook, acct))
 	dict, err := core.NewBasic(m, core.BasicConfig{
 		Capacity: capacity,
 		SatWords: 1,
@@ -167,7 +202,7 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 			for i := 0; i < perClient; i++ {
 				if rng.Float64() < cfg.ReadFrac {
 					k := pdm.Word(2*rng.Intn(cfg.Keys) + 1)
-					sat, ok := dict.Lookup(k)
+					sat, ok := dict.LookupOp(m.NewOp(c, 1), k)
 					if !ok || sat[0] != k*13 {
 						errs <- fmt.Errorf("bench: client %d lookup %d: ok=%v sat=%v", c, k, ok, sat)
 						return
@@ -175,7 +210,7 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 					counts[c].looks++
 					time.Sleep(lookPace)
 				} else {
-					if err := dict.Insert(nextFresh, []pdm.Word{nextFresh * 13}); err != nil {
+					if err := dict.InsertOp(m.NewOp(c, 1), nextFresh, []pdm.Word{nextFresh * 13}); err != nil {
 						errs <- fmt.Errorf("bench: client %d insert %d: %w", c, nextFresh, err)
 						return
 					}
@@ -212,6 +247,47 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	if modeled > 0 {
 		res.ModeledOpsPerSec = float64(res.Ops) / modeled.Seconds()
 	}
+
+	// Fold the accountant's exact per-client records into the result.
+	// Merging the per-client latency histograms is exact: buckets are
+	// log₂ ranges, so re-observing a bucket's Hi edge Count times lands
+	// every sample back in the same bucket.
+	ops, steps, _, _ := acct.Totals()
+	res.OpsAccounted = ops
+	if ops > 0 {
+		res.OpStepsMean = float64(steps) / float64(ops)
+	}
+	res.OpWorstPerKey = acct.WorstOp()
+	merged := &obs.Hist{}
+	clients := acct.Clients()
+	ids := make([]int, 0, len(clients))
+	for id := range clients {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		agg := clients[id]
+		slo := ClientSLO{
+			Client:     id,
+			Ops:        agg.Count,
+			StepsP99:   agg.Steps.Quantile(0.99),
+			P50Micros:  agg.LatencyMicros.Quantile(0.50),
+			P99Micros:  agg.LatencyMicros.Quantile(0.99),
+			P999Micros: agg.LatencyMicros.Quantile(0.999),
+		}
+		if agg.Count > 0 {
+			slo.StepsMean = float64(agg.StepSum) / float64(agg.Count)
+		}
+		res.PerClient = append(res.PerClient, slo)
+		for _, b := range agg.LatencyMicros.Buckets() {
+			for n := int64(0); n < b.Count; n++ {
+				merged.Observe(b.Hi)
+			}
+		}
+	}
+	res.OpLatP50Micros = merged.Quantile(0.50)
+	res.OpLatP99Micros = merged.Quantile(0.99)
+	res.OpLatP999us = merged.Quantile(0.999)
 	return res, nil
 }
 
@@ -222,7 +298,8 @@ func ThroughputTable(cfg ThroughputConfig, clientCounts []int) (Table, []Through
 		ID: "T1-parallel",
 		Title: fmt.Sprintf("multi-client throughput: §4.1 dictionary, %d keys, %.0f%% reads, modeled latency ÷%d",
 			nz(cfg.Keys, 4096), nzf(cfg.ReadFrac, 0.95)*100, nz64(cfg.TimeScale, 250)),
-		Columns: []string{"clients", "ops", "wall ms", "wall ops/s", "modeled serial ops/s", "speedup"},
+		Columns: []string{"clients", "ops", "wall ms", "wall ops/s", "modeled serial ops/s", "speedup",
+			"op steps", "lat p50 µs", "p99", "p999"},
 	}
 	var results []ThroughputResult
 	var baseline float64
@@ -241,11 +318,14 @@ func ThroughputTable(cfg ThroughputConfig, clientCounts []int) (Table, []Through
 			fmt.Sprintf("%.0f", float64(r.WallNanos)/1e6),
 			fmt.Sprintf("%.0f", r.WallOpsPerSec),
 			fmt.Sprintf("%.1f", r.ModeledOpsPerSec),
-			fmt.Sprintf("%.2fx", r.WallOpsPerSec/baseline))
+			fmt.Sprintf("%.2fx", r.WallOpsPerSec/baseline),
+			fmt.Sprintf("%.2f", r.OpStepsMean),
+			r.OpLatP50Micros, r.OpLatP99Micros, r.OpLatP999us)
 	}
 	t.Notes = append(t.Notes,
 		"each client is a synchronous stream paced by the DESIGN.md §10 HDD cost model (scaled); speedup is latency hiding across streams",
-		"modeled serial ops/s assumes no overlap — the single-stream device-bound rate, independent of the host")
+		"modeled serial ops/s assumes no overlap — the single-stream device-bound rate, independent of the host",
+		"op steps and latency quantiles are exact per-operation figures from token attribution (obs.OpAccountant), merged over all clients; JSON carries the per-client breakdown")
 	return t, results, nil
 }
 

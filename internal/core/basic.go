@@ -291,9 +291,10 @@ func (bd *BasicDict) groupNeighborhood(flat [][]pdm.Word) [][][]pdm.Word {
 
 // readNeighborhood fetches the d buckets of Γ(x) in one batch: one
 // parallel I/O when BucketBlocks is 1, BucketBlocks I/Os otherwise.
-func (bd *BasicDict) readNeighborhood(x pdm.Word) [][][]pdm.Word {
+// The batch is attributed to op (nil = unattributed).
+func (bd *BasicDict) readNeighborhood(op *pdm.Op, x pdm.Word) [][][]pdm.Word {
 	addrs := bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen()))
-	return bd.groupNeighborhood(bd.reg.m.BatchRead(addrs))
+	return bd.groupNeighborhood(bd.reg.m.BatchReadOp(op, addrs))
 }
 
 // lookupInBlocks interprets a pre-fetched neighborhood (the blocks for
@@ -395,9 +396,17 @@ func (bd *BasicDict) findFragments(x pdm.Word, hood [][][]pdm.Word) (map[int][]p
 // shared buckets are read once. Results are positionally aligned with
 // keys.
 func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	return bd.LookupBatchOp(nil, keys)
+}
+
+// LookupBatchOp is LookupBatch attributed to the operation token op:
+// the merged read round and the lookup span carry the op's ID, and the
+// op is charged the batch's exact cost. A nil op keeps the legacy
+// shared-stack attribution.
+func (bd *BasicDict) LookupBatchOp(op *pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool) {
 	bd.mu.RLock()
 	defer bd.mu.RUnlock()
-	defer bd.reg.m.Span(obs.TagLookup)()
+	defer bd.reg.m.OpSpan(op, obs.TagLookup)()
 	uniq := make(map[pdm.Addr]int) // addr → index into fetch list
 	var addrs []pdm.Addr
 	perKey := make([][]int, len(keys)) // key → its blocks' fetch indices
@@ -415,7 +424,7 @@ func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 		}
 		perKey[ki] = idxs
 	}
-	flat := bd.reg.m.BatchRead(addrs)
+	flat := bd.reg.m.BatchReadOp(op, addrs)
 	sats := make([][]pdm.Word, len(keys))
 	oks := make([]bool, len(keys))
 	blocks := make([][]pdm.Word, bd.probeLen())
@@ -432,10 +441,15 @@ func (bd *BasicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 // Cost: one batched read of the d buckets of Γ(x) — a single parallel
 // I/O when BucketBlocks is 1.
 func (bd *BasicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	return bd.LookupOp(nil, x)
+}
+
+// LookupOp is Lookup attributed to the operation token op.
+func (bd *BasicDict) LookupOp(op *pdm.Op, x pdm.Word) ([]pdm.Word, bool) {
 	bd.mu.RLock()
 	defer bd.mu.RUnlock()
-	defer bd.reg.m.Span(obs.TagLookup)()
-	hood := bd.readNeighborhood(x)
+	defer bd.reg.m.OpSpan(op, obs.TagLookup)()
+	hood := bd.readNeighborhood(op, x)
 	frags, _ := bd.findFragments(x, hood)
 	if !bd.present(frags) {
 		return nil, false
@@ -471,17 +485,22 @@ func (bd *BasicDict) assemble(frags map[int][]pdm.Word) []pdm.Word {
 // batched write of the modified buckets (a single parallel I/O, since
 // the touched buckets lie in distinct stripes).
 func (bd *BasicDict) Insert(x pdm.Word, sat []pdm.Word) error {
+	return bd.InsertOp(nil, x, sat)
+}
+
+// InsertOp is Insert attributed to the operation token op.
+func (bd *BasicDict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 	bd.mu.Lock()
 	defer bd.mu.Unlock()
-	defer bd.reg.m.Span(obs.TagInsert)()
-	endProbe := bd.reg.m.Span(obs.TagProbe)
-	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
+	defer bd.reg.m.OpSpan(op, obs.TagInsert)()
+	endProbe := bd.reg.m.OpSpan(op, obs.TagProbe)
+	flat := bd.reg.m.BatchReadOp(op, bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
 	endProbe()
 	writes, err := bd.insertWrites(x, sat, flat)
 	if len(writes) > 0 {
 		// Writes accompany even a failed insert of an existing key: its
 		// old fragments were removed and that removal must land.
-		bd.reg.m.BatchWrite(writes)
+		bd.reg.m.BatchWriteOp(op, writes)
 	}
 	return err
 }
@@ -638,13 +657,18 @@ func (bd *BasicDict) collectWrites(x pdm.Word, hood [][][]pdm.Word, dirty map[in
 // Delete removes x and reports whether it was present. Cost: one read
 // batch plus, when present, one write batch.
 func (bd *BasicDict) Delete(x pdm.Word) bool {
+	return bd.DeleteOp(nil, x)
+}
+
+// DeleteOp is Delete attributed to the operation token op.
+func (bd *BasicDict) DeleteOp(op *pdm.Op, x pdm.Word) bool {
 	bd.mu.Lock()
 	defer bd.mu.Unlock()
-	defer bd.reg.m.Span(obs.TagDelete)()
-	flat := bd.reg.m.BatchRead(bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
+	defer bd.reg.m.OpSpan(op, obs.TagDelete)()
+	flat := bd.reg.m.BatchReadOp(op, bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
 	writes, ok := bd.deleteWrites(x, flat)
 	if len(writes) > 0 {
-		bd.reg.m.BatchWrite(writes)
+		bd.reg.m.BatchWriteOp(op, writes)
 	}
 	return ok
 }

@@ -261,14 +261,21 @@ func (dd *DynamicDict) fieldsOf(lv *dynLevel, x pdm.Word, blocks [][]pdm.Word) [
 
 // Lookup returns a copy of x's satellite and whether x is present.
 func (dd *DynamicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	return dd.LookupOp(nil, x)
+}
+
+// LookupOp is Lookup attributed to the operation token op: the spans
+// and read batches carry the op's ID and the op is charged their exact
+// cost. A nil op keeps the legacy shared-stack attribution.
+func (dd *DynamicDict) LookupOp(op *pdm.Op, x pdm.Word) ([]pdm.Word, bool) {
 	dd.mu.RLock()
 	defer dd.mu.RUnlock()
-	defer dd.m.Span(obs.TagLookup)()
+	defer dd.m.OpSpan(op, obs.TagLookup)()
 	// First parallel I/O: membership probe + A_1 fields, disjoint disks.
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
 	membLen := len(addrs)
 	addrs = dd.levelAddrs(&dd.levels[0], x, addrs)
-	flat := dd.m.BatchRead(addrs)
+	flat := dd.m.BatchReadOp(op, addrs)
 
 	membSat, ok := dd.memb.lookupInBlocks(x, flat[:membLen])
 	if !ok {
@@ -284,7 +291,7 @@ func (dd *DynamicDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
 	if level == 0 {
 		blocks = flat[membLen:]
 	} else {
-		blocks = dd.m.BatchRead(dd.levelAddrs(lv, x, nil)) // second I/O
+		blocks = dd.m.BatchReadOp(op, dd.levelAddrs(lv, x, nil)) // second I/O
 	}
 	return decodeChain(dd.fieldBits, dd.cfg.SatWords, dd.fieldsOf(lv, x, blocks), head)
 }
@@ -301,9 +308,14 @@ func (dd *DynamicDict) Contains(x pdm.Word) bool {
 // deeper than A_1 — a ≤ Ratio fraction on average — share one second
 // batch. Results are positionally aligned with keys.
 func (dd *DynamicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	return dd.LookupBatchOp(nil, keys)
+}
+
+// LookupBatchOp is LookupBatch attributed to the operation token op.
+func (dd *DynamicDict) LookupBatchOp(op *pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool) {
 	dd.mu.RLock()
 	defer dd.mu.RUnlock()
-	defer dd.m.Span(obs.TagLookup)()
+	defer dd.m.OpSpan(op, obs.TagLookup)()
 	membLen := dd.memb.probeLen()
 	width := membLen + dd.d
 	idx := make([]int32, len(keys)*width)
@@ -323,7 +335,7 @@ func (dd *DynamicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 			idx[ki*width+i] = j
 		}
 	}
-	flat := dd.m.BatchRead(addrs)
+	flat := dd.m.BatchReadOp(op, addrs)
 
 	sats := make([][]pdm.Word, len(keys))
 	oks := make([]bool, len(keys))
@@ -367,7 +379,7 @@ func (dd *DynamicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 		}
 	}
 	if len(deep) > 0 {
-		flat2 := dd.m.BatchRead(addrs2)
+		flat2 := dd.m.BatchReadOp(op, addrs2)
 		blocks := make([][]pdm.Word, dd.d)
 		for di, dk := range deep {
 			for i := range blocks {
@@ -386,6 +398,11 @@ func (dd *DynamicDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 // parameters in the theorem's regime make vanishingly unlikely below
 // Capacity.
 func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
+	return dd.InsertOp(nil, x, sat)
+}
+
+// InsertOp is Insert attributed to the operation token op.
+func (dd *DynamicDict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 	if len(sat) != dd.cfg.SatWords {
 		return fmt.Errorf("core: satellite of %d words, config says %d", len(sat), dd.cfg.SatWords)
 	}
@@ -394,13 +411,13 @@ func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	}
 	dd.mu.Lock()
 	defer dd.mu.Unlock()
-	defer dd.m.Span(obs.TagInsert)()
+	defer dd.m.OpSpan(op, obs.TagInsert)()
 
 	// First parallel I/O: membership + A_1.
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
 	membLen := len(addrs)
 	addrs = dd.levelAddrs(&dd.levels[0], x, addrs)
-	flat := dd.m.BatchRead(addrs)
+	flat := dd.m.BatchReadOp(op, addrs)
 	membBlocks := flat[:membLen]
 
 	var writes []pdm.BlockWrite
@@ -409,11 +426,11 @@ func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
 		// the clears mutate the blocks already in hand and join the
 		// final write batch; a deeper chain is cleared with its own
 		// read+write (rare — a ≤ Ratio fraction of keys).
-		releaseWrites, oldLevel := dd.releaseChain(x, membSat, flat[membLen:])
+		releaseWrites, oldLevel := dd.releaseChain(op, x, membSat, flat[membLen:])
 		if oldLevel == 0 {
 			writes = append(writes, releaseWrites...)
 		} else if len(releaseWrites) > 0 {
-			dd.m.BatchWrite(releaseWrites)
+			dd.m.BatchWriteOp(op, releaseWrites)
 		}
 	} else if dd.n >= dd.cfg.Capacity {
 		return ErrFull
@@ -424,7 +441,7 @@ func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	for li := range dd.levels {
 		lv := &dd.levels[li]
 		if li > 0 {
-			levelBlocks = dd.m.BatchRead(dd.levelAddrs(lv, x, nil))
+			levelBlocks = dd.m.BatchReadOp(op, dd.levelAddrs(lv, x, nil))
 		}
 		free := dd.freeStripes(lv, x, levelBlocks)
 		if len(free) < dd.t {
@@ -447,12 +464,12 @@ func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
 		membWrites, err := dd.memb.insertWrites(x, []pdm.Word{pdm.Word(free[0]) | pdm.Word(li)<<8}, membBlocks)
 		if err != nil {
 			if len(writes) > 0 {
-				dd.m.BatchWrite(dedupeWrites(writes))
+				dd.m.BatchWriteOp(op, dedupeWrites(writes))
 			}
 			return err
 		}
 		writes = append(writes, membWrites...)
-		dd.m.BatchWrite(dedupeWrites(writes))
+		dd.m.BatchWriteOp(op, dedupeWrites(writes))
 		lv.count++
 		dd.n++
 		return nil
@@ -463,7 +480,7 @@ func (dd *DynamicDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	membWrites, _ := dd.memb.deleteWrites(x, membBlocks)
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
-		dd.m.BatchWrite(dedupeWrites(writes))
+		dd.m.BatchWriteOp(op, dedupeWrites(writes))
 	}
 	return ErrFull
 }
@@ -486,7 +503,7 @@ func (dd *DynamicDict) freeStripes(lv *dynLevel, x pdm.Word, blocks [][]pdm.Word
 // caller (already read) and are mutated in place; deeper levels cost one
 // extra read batch. Membership is NOT touched; callers either rewrite
 // the entry (update) or delete it (Delete) in their own batch.
-func (dd *DynamicDict) releaseChain(x pdm.Word, membSat []pdm.Word, level0Blocks [][]pdm.Word) ([]pdm.BlockWrite, int) {
+func (dd *DynamicDict) releaseChain(op *pdm.Op, x pdm.Word, membSat []pdm.Word, level0Blocks [][]pdm.Word) ([]pdm.BlockWrite, int) {
 	head := int(membSat[0] & 0xFF)
 	level := int(membSat[0] >> 8)
 	if level >= len(dd.levels) {
@@ -495,7 +512,7 @@ func (dd *DynamicDict) releaseChain(x pdm.Word, membSat []pdm.Word, level0Blocks
 	lv := &dd.levels[level]
 	blocks := level0Blocks
 	if level > 0 {
-		blocks = dd.m.BatchRead(dd.levelAddrs(lv, x, nil))
+		blocks = dd.m.BatchReadOp(op, dd.levelAddrs(lv, x, nil))
 	}
 	fields := dd.fieldsOf(lv, x, blocks)
 	var writes []pdm.BlockWrite
@@ -523,22 +540,27 @@ func (dd *DynamicDict) releaseChain(x pdm.Word, membSat []pdm.Word, level0Blocks
 // Delete removes x and reports whether it was present. Cost: one read
 // batch, one extra read for deep keys, one write batch.
 func (dd *DynamicDict) Delete(x pdm.Word) bool {
+	return dd.DeleteOp(nil, x)
+}
+
+// DeleteOp is Delete attributed to the operation token op.
+func (dd *DynamicDict) DeleteOp(op *pdm.Op, x pdm.Word) bool {
 	dd.mu.Lock()
 	defer dd.mu.Unlock()
-	defer dd.m.Span(obs.TagDelete)()
+	defer dd.m.OpSpan(op, obs.TagDelete)()
 	addrs := dd.memb.probeAddrs(x, make([]pdm.Addr, 0, 2*dd.d))
 	membLen := len(addrs)
 	addrs = dd.levelAddrs(&dd.levels[0], x, addrs)
-	flat := dd.m.BatchRead(addrs)
+	flat := dd.m.BatchReadOp(op, addrs)
 	membSat, ok := dd.memb.lookupInBlocks(x, flat[:membLen])
 	if !ok {
 		return false
 	}
-	writes, _ := dd.releaseChain(x, membSat, flat[membLen:])
+	writes, _ := dd.releaseChain(op, x, membSat, flat[membLen:])
 	membWrites, _ := dd.memb.deleteWrites(x, flat[:membLen])
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
-		dd.m.BatchWrite(dedupeWrites(writes))
+		dd.m.BatchWriteOp(op, dedupeWrites(writes))
 	}
 	return true
 }

@@ -221,9 +221,9 @@ func (op *OneProbeDict) probeWidth() int { return op.memb.probeLen() + len(op.le
 // probe reads, in ONE parallel I/O, the membership neighborhood and
 // every level's field blocks for x. The returned slices alias the batch
 // result: memb blocks first, then d blocks per level.
-func (op *OneProbeDict) probe(x pdm.Word) (membBlocks [][]pdm.Word, levelBlocks [][][]pdm.Word) {
+func (op *OneProbeDict) probe(tok *pdm.Op, x pdm.Word) (membBlocks [][]pdm.Word, levelBlocks [][][]pdm.Word) {
 	addrs := op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth()))
-	flat := op.m.BatchRead(addrs)
+	flat := op.m.BatchReadOp(tok, addrs)
 	membLen := op.memb.probeLen()
 	membBlocks = flat[:membLen]
 	levelBlocks = make([][][]pdm.Word, len(op.levels))
@@ -257,9 +257,17 @@ func (op *OneProbeDict) lookupInFlat(x pdm.Word, flat [][]pdm.Word) ([]pdm.Word,
 // I/O round — instead of b sequential probes. Results are positionally
 // aligned with keys.
 func (op *OneProbeDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
+	return op.LookupBatchOp(nil, keys)
+}
+
+// LookupBatchOp is LookupBatch attributed to the operation token tok:
+// the probe batch and the lookup span carry the token's ID and the
+// token is charged the batch's exact cost. A nil token keeps the
+// legacy shared-stack attribution.
+func (op *OneProbeDict) LookupBatchOp(tok *pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool) {
 	op.mu.RLock()
 	defer op.mu.RUnlock()
-	defer op.m.Span(obs.TagLookup)()
+	defer op.m.OpSpan(tok, obs.TagLookup)()
 	width := op.probeWidth()
 	idx := make([]int32, len(keys)*width)
 	uniq := make(map[pdm.Addr]int32, len(keys)*width)
@@ -277,7 +285,7 @@ func (op *OneProbeDict) LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool) {
 			idx[ki*width+i] = j
 		}
 	}
-	flat := op.m.BatchRead(addrs)
+	flat := op.m.BatchReadOp(tok, addrs)
 	sats := make([][]pdm.Word, len(keys))
 	oks := make([]bool, len(keys))
 	view := make([][]pdm.Word, width)
@@ -305,10 +313,15 @@ func (op *OneProbeDict) fieldsOf(li int, x pdm.Word, blocks [][]pdm.Word) [][]pd
 // Lookup returns a copy of x's satellite and whether x is present, in
 // exactly one parallel I/O — present, absent, shallow or deep.
 func (op *OneProbeDict) Lookup(x pdm.Word) ([]pdm.Word, bool) {
+	return op.LookupOp(nil, x)
+}
+
+// LookupOp is Lookup attributed to the operation token tok.
+func (op *OneProbeDict) LookupOp(tok *pdm.Op, x pdm.Word) ([]pdm.Word, bool) {
 	op.mu.RLock()
 	defer op.mu.RUnlock()
-	defer op.m.Span(obs.TagLookup)()
-	flat := op.m.BatchRead(op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth())))
+	defer op.m.OpSpan(tok, obs.TagLookup)()
+	flat := op.m.BatchReadOp(tok, op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth())))
 	return op.lookupInFlat(x, flat)
 }
 
@@ -321,6 +334,11 @@ func (op *OneProbeDict) Contains(x pdm.Word) bool {
 // Insert stores (x, sat) in exactly two parallel I/Os (the probe batch
 // plus one write batch), replacing any existing satellite.
 func (op *OneProbeDict) Insert(x pdm.Word, sat []pdm.Word) error {
+	return op.InsertOp(nil, x, sat)
+}
+
+// InsertOp is Insert attributed to the operation token tok.
+func (op *OneProbeDict) InsertOp(tok *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 	if len(sat) != op.cfg.SatWords {
 		return fmt.Errorf("core: satellite of %d words, config says %d", len(sat), op.cfg.SatWords)
 	}
@@ -329,8 +347,8 @@ func (op *OneProbeDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	}
 	op.mu.Lock()
 	defer op.mu.Unlock()
-	defer op.m.Span(obs.TagInsert)()
-	membBlocks, levelBlocks := op.probe(x)
+	defer op.m.OpSpan(tok, obs.TagInsert)()
+	membBlocks, levelBlocks := op.probe(tok, x)
 
 	var writes []pdm.BlockWrite
 	if membSat, present := op.memb.lookupInBlocks(x, membBlocks); present {
@@ -366,12 +384,12 @@ func (op *OneProbeDict) Insert(x pdm.Word, sat []pdm.Word) error {
 		membWrites, err := op.memb.insertWrites(x, []pdm.Word{pdm.Word(free[0]) | pdm.Word(li)<<8}, membBlocks)
 		if err != nil {
 			if len(writes) > 0 {
-				op.m.BatchWrite(dedupeWrites(writes))
+				op.m.BatchWriteOp(tok, dedupeWrites(writes))
 			}
 			return err
 		}
 		writes = append(writes, membWrites...)
-		op.m.BatchWrite(dedupeWrites(writes)) // the second (and last) parallel I/O
+		op.m.BatchWriteOp(tok, dedupeWrites(writes)) // the second (and last) parallel I/O
 		lv.count++
 		op.n++
 		return nil
@@ -381,7 +399,7 @@ func (op *OneProbeDict) Insert(x pdm.Word, sat []pdm.Word) error {
 	membWrites, _ := op.memb.deleteWrites(x, membBlocks)
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
-		op.m.BatchWrite(dedupeWrites(writes))
+		op.m.BatchWriteOp(tok, dedupeWrites(writes))
 	}
 	return ErrFull
 }
@@ -421,10 +439,15 @@ func (op *OneProbeDict) releaseInBlocks(x pdm.Word, membSat []pdm.Word, levelBlo
 // Delete removes x in exactly two parallel I/Os, reporting whether it
 // was present.
 func (op *OneProbeDict) Delete(x pdm.Word) bool {
+	return op.DeleteOp(nil, x)
+}
+
+// DeleteOp is Delete attributed to the operation token tok.
+func (op *OneProbeDict) DeleteOp(tok *pdm.Op, x pdm.Word) bool {
 	op.mu.Lock()
 	defer op.mu.Unlock()
-	defer op.m.Span(obs.TagDelete)()
-	membBlocks, levelBlocks := op.probe(x)
+	defer op.m.OpSpan(tok, obs.TagDelete)()
+	membBlocks, levelBlocks := op.probe(tok, x)
 	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)
 	if !ok {
 		return false
@@ -433,7 +456,7 @@ func (op *OneProbeDict) Delete(x pdm.Word) bool {
 	membWrites, _ := op.memb.deleteWrites(x, membBlocks)
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
-		op.m.BatchWrite(dedupeWrites(writes))
+		op.m.BatchWriteOp(tok, dedupeWrites(writes))
 	}
 	return true
 }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pdmdict/internal/obs"
+	"pdmdict/internal/pdm"
+)
+
+// opDict is the token-threaded face shared by all three building-block
+// structures.
+type opDict interface {
+	LookupOp(op *pdm.Op, x pdm.Word) ([]pdm.Word, bool)
+	InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error
+	DeleteOp(op *pdm.Op, x pdm.Word) bool
+}
+
+// opStructures builds each structure fresh for one property-test run.
+var opStructures = []struct {
+	name  string
+	build func(t *testing.T, seed uint64) (opDict, *pdm.Machine)
+}{
+	{"basic", func(t *testing.T, seed uint64) (opDict, *pdm.Machine) {
+		m := pdm.NewMachine(pdm.Config{D: 20, B: 64})
+		bd, err := NewBasic(m, BasicConfig{Capacity: 500, SatWords: 1, Seed: seed})
+		if err != nil {
+			t.Fatalf("NewBasic: %v", err)
+		}
+		return bd, m
+	}},
+	{"dynamic", func(t *testing.T, seed uint64) (opDict, *pdm.Machine) {
+		m := pdm.NewMachine(pdm.Config{D: 40, B: 64})
+		dd, err := NewDynamic(m, DynamicConfig{Capacity: 500, SatWords: 1, Seed: seed})
+		if err != nil {
+			t.Fatalf("NewDynamic: %v", err)
+		}
+		return dd, m
+	}},
+	{"oneprobe", func(t *testing.T, seed uint64) (opDict, *pdm.Machine) {
+		m := pdm.NewMachine(pdm.Config{D: 48, B: 64})
+		od, err := NewOneProbe(m, OneProbeConfig{Capacity: 300, SatWords: 1, Seed: seed})
+		if err != nil {
+			t.Fatalf("NewOneProbe: %v", err)
+		}
+		return od, m
+	}},
+}
+
+// TestOpChargesSumToMachineTotals is the exactness property of token
+// accounting: run a randomized mixed workload from 8 concurrent clients
+// over each structure, every request carrying its own token, and the
+// per-op charges must sum to exactly the machine's merged counters —
+// nothing double-charged, nothing lost, no matter how the goroutines
+// interleave. Run with -race; the schedule is part of the test.
+func TestOpChargesSumToMachineTotals(t *testing.T) {
+	const clients, perClient = 8, 30
+	for _, s := range opStructures {
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed%d", s.name, seed), func(t *testing.T) {
+				dict, m := s.build(t, seed)
+				base := m.Stats()
+
+				ops := make([][]*pdm.Op, clients)
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(seed)*1000 + int64(c)))
+						lo := pdm.Word(c*1000 + 1) // private key range per client
+						next := lo
+						for i := 0; i < perClient; i++ {
+							op := m.NewOp(c, 1)
+							ops[c] = append(ops[c], op)
+							switch p := rng.Float64(); {
+							case p < 0.5:
+								dict.LookupOp(op, lo+pdm.Word(rng.Intn(perClient)))
+							case p < 0.85:
+								if err := dict.InsertOp(op, next, []pdm.Word{pdm.Word(next) * 3}); err != nil {
+									t.Errorf("client %d insert %d: %v", c, next, err)
+									return
+								}
+								next++
+							default:
+								dict.DeleteOp(op, lo+pdm.Word(rng.Intn(perClient)))
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+
+				var steps, blocks, reads, writes int64
+				for c := range ops {
+					for _, op := range ops[c] {
+						steps += op.Steps()
+						blocks += op.Blocks()
+						reads += op.Reads()
+						writes += op.Writes()
+					}
+				}
+				d := m.Stats().Sub(base)
+				if steps != d.ParallelIOs {
+					t.Errorf("Σ per-op steps = %d, machine parallel I/Os = %d", steps, d.ParallelIOs)
+				}
+				if reads != d.BlockReads {
+					t.Errorf("Σ per-op reads = %d, machine block reads = %d", reads, d.BlockReads)
+				}
+				if writes != d.BlockWrites {
+					t.Errorf("Σ per-op writes = %d, machine block writes = %d", writes, d.BlockWrites)
+				}
+				if blocks != d.BlockReads+d.BlockWrites {
+					t.Errorf("Σ per-op blocks = %d, machine transfers = %d", blocks, d.BlockReads+d.BlockWrites)
+				}
+			})
+		}
+	}
+}
+
+// coreEventRecorder captures the raw event stream for offline folding.
+type coreEventRecorder struct {
+	mu     sync.Mutex
+	events []pdm.Event
+}
+
+func (r *coreEventRecorder) Event(e pdm.Event) {
+	cp := e
+	cp.Addrs = append([]pdm.Addr(nil), e.Addrs...)
+	cp.Ops = append([]uint64(nil), e.Ops...)
+	r.mu.Lock()
+	r.events = append(r.events, cp)
+	r.mu.Unlock()
+}
+
+// TestOpAccountantMatchesFoldSpans pins the two per-operation paths to
+// each other: single-threaded, the online OpAccountant (sum of an op's
+// own event charges) and the offline FoldSpans reconstruction (window
+// of the machine's shared step counter) must produce identical records,
+// field for field.
+func TestOpAccountantMatchesFoldSpans(t *testing.T) {
+	m := pdm.NewMachine(pdm.Config{D: 20, B: 64})
+	bd, err := NewBasic(m, BasicConfig{Capacity: 400, SatWords: 1, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewBasic: %v", err)
+	}
+	acct := obs.NewOpAccountant()
+	acct.RecorderSize = 1024 // retain every op's record
+	rec := &coreEventRecorder{}
+	m.SetHook(obs.Tee(acct, rec))
+
+	rng := rand.New(rand.NewSource(99))
+	const n = 200
+	for i := 0; i < n; i++ {
+		op := m.NewOp(0, 1)
+		key := pdm.Word(rng.Intn(300) + 1)
+		switch p := rng.Float64(); {
+		case p < 0.5:
+			bd.LookupOp(op, key)
+		case p < 0.85:
+			if err := bd.InsertOp(op, key, []pdm.Word{pdm.Word(key) * 3}); err != nil {
+				t.Fatalf("insert %d: %v", key, err)
+			}
+		default:
+			bd.DeleteOp(op, key)
+		}
+	}
+
+	folded := map[uint64]obs.OpRecord{} // op ID -> offline root record
+	for _, r := range obs.FoldSpans(rec.events, obs.CostModel{}) {
+		if r.Parent == 0 && r.Op != 0 {
+			folded[r.Op] = r
+		}
+	}
+	records, total := acct.Recorded()
+	if total != n || len(records) != n {
+		t.Fatalf("accountant retained %d/%d records, want %d", len(records), total, n)
+	}
+	if len(folded) != n {
+		t.Fatalf("FoldSpans produced %d op roots, want %d", len(folded), n)
+	}
+	for _, fr := range records {
+		want, ok := folded[fr.Op]
+		if !ok {
+			t.Fatalf("accountant op %d missing from FoldSpans output", fr.Op)
+		}
+		if fr.OpRecord != want {
+			t.Errorf("op %d diverges:\n  online  %+v\n  offline %+v", fr.Op, fr.OpRecord, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
@@ -63,15 +64,21 @@ func (c *DictConfig) normalize() error {
 // model: the two underlying structures occupy disjoint disks ("we can
 // make any constant number of parallel instances of our dictionaries"),
 // so an operation that touches both costs the maximum of the two
-// machines' parallel I/Os, not the sum.
+// machines' parallel I/Os, not the sum. Every operation carries an
+// explicit token (pdm.Op) with per-machine step counters, so the ledger
+// is exact even under concurrent callers: each op is charged precisely
+// the batches it issued, never a neighbor's.
 type DictStats struct {
-	// Ops is the number of Lookup/Insert/Delete calls served.
+	// Ops is the number of Lookup/Insert/Delete calls served (batched
+	// lookups count one per key).
 	Ops int64
-	// ParallelIOs is the total cost in the parallel cost model above.
+	// ParallelIOs is the total cost: the sum over operations of the
+	// steps charged to their tokens.
 	ParallelIOs int64
-	// WorstOp is the largest single-operation cost observed. Global
-	// rebuilding keeps this a constant — the point of the Overmars–van
-	// Leeuwen technique the paper invokes.
+	// WorstOp is the largest per-key cost observed: ⌈steps/keys⌉ for
+	// every operation, batched or not. Global rebuilding keeps this a
+	// constant — the point of the Overmars–van Leeuwen technique the
+	// paper invokes.
 	WorstOp int64
 	// Rebuilds counts completed migrations.
 	Rebuilds int64
@@ -87,6 +94,10 @@ type rebuildable interface {
 	LookupBatch(keys []pdm.Word) ([][]pdm.Word, []bool)
 	Insert(x pdm.Word, sat []pdm.Word) error
 	Delete(x pdm.Word) bool
+	LookupOp(op *pdm.Op, x pdm.Word) ([]pdm.Word, bool)
+	LookupBatchOp(op *pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool)
+	InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error
+	DeleteOp(op *pdm.Op, x pdm.Word) bool
 	Len() int
 	Capacity() int
 	Snapshot(w io.Writer) error
@@ -135,6 +146,11 @@ type Dict struct {
 	// the cost ledger.
 	statsMu sync.Mutex
 	stats   DictStats
+
+	// nextOp mints operation tokens. The Dict owns its own counter (not
+	// the machines') so IDs survive rebuild generations and stay unique
+	// across both live machines.
+	nextOp atomic.Uint64
 }
 
 // NewDict creates an empty dictionary.
@@ -239,36 +255,38 @@ func (d *Dict) Degraded() bool {
 	return d.next != nil && d.next.machine().Degraded()
 }
 
-// measure runs op and charges max(active I/Os, next I/Os) — the two
-// structures live on disjoint disks and work in parallel.
-func (d *Dict) measure(op func() error) error { return d.measureN(1, op) }
+// MintOp creates a fresh operation token for client, covering keys
+// keys. Callers that want per-client attribution mint a token and pass
+// it to the *Op entry points; the plain entry points mint their own
+// (client 0) internally.
+func (d *Dict) MintOp(client, keys int) *pdm.Op {
+	return pdm.MakeOp(d.nextOp.Add(1), client, keys)
+}
 
-// measureN is measure for an n-key batch: the ledger gains n Ops but
-// one cost window. With concurrent callers the windows overlap, so a
-// caller's window can include I/O charged by its neighbors — Ops and
-// ParallelIOs totals stay exact per machine, but the per-op attribution
-// is approximate under concurrency (see DESIGN.md §11). WorstOp tracks
-// single-key operations only; a batch's cost is amortized by design and
-// would not be comparable.
-func (d *Dict) measureN(n int, op func() error) error {
-	aBefore := d.active.machine().Stats().ParallelIOs
-	var nBefore int64
-	nextAtStart := d.next
-	if nextAtStart != nil {
-		nBefore = nextAtStart.machine().Stats().ParallelIOs
+// measureOp runs fn under op's root span (tag) and charges the ledger
+// exactly what the token was charged: max across the two machines of
+// the parallel I/O steps of the batches fn issued, attributed to op
+// through its per-machine lane counters. The attribution is exact under
+// arbitrary concurrency — each caller's token counts only its own
+// batches, never a neighbor's. The ledger gains n Ops (a batch counts
+// one per key) and WorstOp tracks the per-key ceiling ⌈cost/n⌉ for
+// every operation, batched or not.
+func (d *Dict) measureOp(op *pdm.Op, tag string, n int, fn func(op *pdm.Op) error) error {
+	if op == nil {
+		op = d.MintOp(0, n)
 	}
-	err := op()
-	cost := d.active.machine().Stats().ParallelIOs - aBefore
-	if nextAtStart != nil {
-		if nCost := nextAtStart.machine().Stats().ParallelIOs - nBefore; nCost > cost {
-			cost = nCost
-		}
-	}
+	before := op.MaxMachineSteps()
+	end := d.active.machine().OpSpan(op, tag)
+	err := fn(op)
+	end()
+	cost := op.MaxMachineSteps() - before
 	d.statsMu.Lock()
 	d.stats.Ops += int64(n)
 	d.stats.ParallelIOs += cost
-	if n == 1 && cost > d.stats.WorstOp {
-		d.stats.WorstOp = cost
+	if n > 0 {
+		if per := (cost + int64(n) - 1) / int64(n); per > d.stats.WorstOp {
+			d.stats.WorstOp = per
+		}
 	}
 	d.statsMu.Unlock()
 	return err
@@ -276,15 +294,23 @@ func (d *Dict) measureN(n int, op func() error) error {
 
 // Lookup returns a copy of x's satellite and whether x is present.
 func (d *Dict) Lookup(x pdm.Word) (sat []pdm.Word, ok bool) {
+	return d.LookupOp(nil, x)
+}
+
+// LookupOp is Lookup attributed to the operation token op: the spans
+// and batches it issues carry the op's ID, and the op is charged the
+// operation's exact parallel I/O cost. A nil op mints an anonymous
+// (client 0) token.
+func (d *Dict) LookupOp(op *pdm.Op, x pdm.Word) (sat []pdm.Word, ok bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	d.measure(func() error {
+	d.measureOp(op, obs.TagLookup, 1, func(op *pdm.Op) error {
 		if d.next != nil {
-			if sat, ok = d.next.Lookup(x); ok {
+			if sat, ok = d.next.LookupOp(op, x); ok {
 				return nil
 			}
 		}
-		sat, ok = d.active.Lookup(x)
+		sat, ok = d.active.LookupOp(op, x)
 		return nil
 	})
 	return sat, ok
@@ -302,11 +328,16 @@ func (d *Dict) Contains(x pdm.Word) bool {
 // keys the successor misses. The ledger gains len(keys) Ops but the
 // batch's (amortized) cost.
 func (d *Dict) LookupBatch(keys []pdm.Word) (sats [][]pdm.Word, oks []bool) {
+	return d.LookupBatchOp(nil, keys)
+}
+
+// LookupBatchOp is LookupBatch attributed to the operation token op.
+func (d *Dict) LookupBatchOp(op *pdm.Op, keys []pdm.Word) (sats [][]pdm.Word, oks []bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	d.measureN(len(keys), func() error {
+	d.measureOp(op, obs.TagLookup, len(keys), func(op *pdm.Op) error {
 		if d.next != nil {
-			sats, oks = d.next.LookupBatch(keys)
+			sats, oks = d.next.LookupBatchOp(op, keys)
 			var missKeys []pdm.Word
 			var missIdx []int
 			for i, ok := range oks {
@@ -316,14 +347,14 @@ func (d *Dict) LookupBatch(keys []pdm.Word) (sats [][]pdm.Word, oks []bool) {
 				}
 			}
 			if len(missKeys) > 0 {
-				ms, mo := d.active.LookupBatch(missKeys)
+				ms, mo := d.active.LookupBatchOp(op, missKeys)
 				for j, i := range missIdx {
 					sats[i], oks[i] = ms[j], mo[j]
 				}
 			}
 			return nil
 		}
-		sats, oks = d.active.LookupBatch(keys)
+		sats, oks = d.active.LookupBatchOp(op, keys)
 		return nil
 	})
 	return sats, oks
@@ -331,9 +362,14 @@ func (d *Dict) LookupBatch(keys []pdm.Word) (sats [][]pdm.Word, oks []bool) {
 
 // Insert stores (x, sat), replacing any previous satellite for x.
 func (d *Dict) Insert(x pdm.Word, sat []pdm.Word) error {
+	return d.InsertOp(nil, x, sat)
+}
+
+// InsertOp is Insert attributed to the operation token op.
+func (d *Dict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.measure(func() error {
+	return d.measureOp(op, obs.TagInsert, 1, func(op *pdm.Op) error {
 		if d.next == nil && d.active.Len() >= d.active.Capacity() {
 			if err := d.startMigration(); err != nil {
 				return err
@@ -341,40 +377,45 @@ func (d *Dict) Insert(x pdm.Word, sat []pdm.Word) error {
 		}
 		var err error
 		if d.next != nil {
-			err = d.next.Insert(x, sat)
+			err = d.next.InsertOp(op, x, sat)
 			if err == nil {
-				d.active.Delete(x) // drop any stale copy
+				d.active.DeleteOp(op, x) // drop any stale copy
 			}
 		} else {
-			err = d.active.Insert(x, sat)
+			err = d.active.InsertOp(op, x, sat)
 			if err == ErrFull {
 				// Expansion failure below capacity: rebuild immediately
 				// with a new seed and land the insert in the successor.
 				if merr := d.startMigration(); merr != nil {
 					return merr
 				}
-				err = d.next.Insert(x, sat)
+				err = d.next.InsertOp(op, x, sat)
 			}
 		}
 		if err != nil {
 			return err
 		}
-		d.migrateStep()
+		d.migrateStep(op)
 		return nil
 	})
 }
 
 // Delete removes x and reports whether it was present.
 func (d *Dict) Delete(x pdm.Word) (present bool) {
+	return d.DeleteOp(nil, x)
+}
+
+// DeleteOp is Delete attributed to the operation token op.
+func (d *Dict) DeleteOp(op *pdm.Op, x pdm.Word) (present bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.measure(func() error {
-		if d.next != nil && d.next.Delete(x) {
+	d.measureOp(op, obs.TagDelete, 1, func(op *pdm.Op) error {
+		if d.next != nil && d.next.DeleteOp(op, x) {
 			present = true
 		} else {
-			present = d.active.Delete(x)
+			present = d.active.DeleteOp(op, x)
 		}
-		d.migrateStep()
+		d.migrateStep(op)
 		return nil
 	})
 	return present
@@ -403,14 +444,18 @@ func (d *Dict) startMigration() error {
 // 4·MigrateBatch bucket probes (empty buckets consume a probe but not a
 // move), so the per-operation worst case stays constant even when the
 // draining structure is nearly empty.
-func (d *Dict) migrateStep() {
+func (d *Dict) migrateStep(op *pdm.Op) {
 	if d.next == nil {
 		return
 	}
-	// Migration I/O lands on both machines; tag it on each so per-tag
-	// breakdowns separate rebuild traffic from the foreground operation.
-	defer d.active.machine().Span(obs.TagRebuild)()
-	defer d.next.machine().Span(obs.TagRebuild)()
+	// Migration I/O nests under the foreground operation's token: the
+	// rebuild span rides op's private stack, so every batch below — on
+	// either machine — is tagged <fg>.rebuild.* and charged to op. The
+	// per-tag breakdown still separates rebuild traffic from the
+	// foreground operation, and the charge lands on the operation that
+	// performed the migration work, exactly as the amortization argument
+	// charges it.
+	defer d.active.machine().OpSpan(op, obs.TagRebuild)()
 	memb := d.active.membership()
 	moved, probes := 0, 0
 	for moved < d.cfg.MigrateBatch && probes < 4*d.cfg.MigrateBatch && d.active.Len() > 0 {
@@ -419,7 +464,7 @@ func (d *Dict) migrateStep() {
 			break // cursor exhausted; remaining keys were deleted concurrently
 		}
 		addrs := memb.bucketAddrs(d.curBucket, nil)
-		blocks := memb.reg.m.BatchRead(addrs)
+		blocks := memb.reg.m.BatchReadOp(op, addrs)
 		var key pdm.Word
 		found := false
 		for _, blk := range blocks {
@@ -433,15 +478,15 @@ func (d *Dict) migrateStep() {
 			d.curBucket++
 			continue
 		}
-		sat, ok := d.active.Lookup(key)
+		sat, ok := d.active.LookupOp(op, key)
 		if ok {
-			if err := d.next.Insert(key, sat); err != nil {
+			if err := d.next.InsertOp(op, key, sat); err != nil {
 				// The successor refused (pathological); leave the key in
 				// place and retry on a later step.
 				return
 			}
 		}
-		d.active.Delete(key)
+		d.active.DeleteOp(op, key)
 		moved++
 	}
 	if d.active.Len() == 0 {

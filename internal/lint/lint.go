@@ -60,7 +60,7 @@ type Analyzer struct {
 
 // All returns the full pdmlint suite.
 func All() []*Analyzer {
-	return []*Analyzer{IOCharge, BatchErr, DetRand, HookTag}
+	return []*Analyzer{IOCharge, BatchErr, DetRand, HookTag, OpCtxRule}
 }
 
 // ByName returns the analyzer with the given rule name, or nil.

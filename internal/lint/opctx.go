@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// OpCtx enforces the token-threading invariant of the public API: every
+// exported dictionary entry point in package pdmdict whose name starts
+// with Lookup, Insert, or Delete must either mint an operation token
+// (call MintOp) or propagate one (call a method whose name ends in Op
+// or Ctx). An entry point that reaches the machine without a token
+// produces unattributed batches, and the per-operation accounting —
+// exact by construction everywhere else — silently develops a blind
+// spot that no report notices. Structures that intentionally stay
+// unattributed (the randomized baselines, the fault-aware Try paths)
+// carry explicit //lint:pdm-allow opctx waivers, so the exemption is
+// visible at the declaration.
+var OpCtxRule = &Analyzer{
+	Name: "opctx",
+	Doc: "public dictionary entry points must mint or propagate an operation " +
+		"token (OpCtx), so per-operation accounting has no unattributed blind spots",
+	Run: runOpCtx,
+}
+
+func runOpCtx(pass *Pass) error {
+	if pass.Pkg.Name() != "pdmdict" {
+		// The invariant binds the public API surface only; internal
+		// packages receive tokens as ordinary parameters and are free to
+		// pass nil (the documented legacy path).
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !isOpEntryName(fd.Name.Name) {
+				continue
+			}
+			// Methods that receive the token are the propagation target,
+			// not an entry point; methods on unexported types are not
+			// part of the public surface.
+			if strings.HasSuffix(fd.Name.Name, "Op") || strings.HasSuffix(fd.Name.Name, "Ctx") {
+				continue
+			}
+			if !exportedRecv(fd) {
+				continue
+			}
+			if bodyThreadsToken(fd.Body) {
+				continue
+			}
+			pass.Reportf(fd.Name, "entry point %s neither mints nor propagates an operation token; "+
+				"call MintOp or a *Op/*Ctx method so the operation is accounted (or waive with lint:pdm-allow opctx)",
+				fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// exportedRecv reports whether the method's receiver names an exported
+// type.
+func exportedRecv(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// isOpEntryName reports whether name is a dictionary operation entry
+// point: Lookup*, Insert*, or Delete* (Contains delegates to Lookup and
+// is covered transitively).
+func isOpEntryName(name string) bool {
+	for _, prefix := range []string{"Lookup", "Insert", "Delete"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyThreadsToken reports whether the body contains a call that mints
+// a token (MintOp) or hands one on (a callee named *Op or *Ctx).
+func bodyThreadsToken(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		default:
+			return true
+		}
+		if name == "MintOp" || strings.HasSuffix(name, "Op") || strings.HasSuffix(name, "Ctx") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestOpCtx(t *testing.T) {
+	runFixture(t, OpCtxRule, "opctx/a")
+}

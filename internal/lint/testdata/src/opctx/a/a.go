@@ -1,0 +1,53 @@
+// Package pdmdict is a fixture-sized fake of the public API package:
+// the opctx analyzer matches on package name and method names, so this
+// is all it needs.
+package pdmdict
+
+type Word = uint64
+
+type Op struct{}
+
+type OpCtx struct {
+	Op  *Op
+	Tag string
+}
+
+type inner struct{}
+
+func (in *inner) LookupOp(op *Op, key Word) ([]Word, bool)    { return nil, false }
+func (in *inner) InsertOp(op *Op, key Word, sat []Word) error { return nil }
+func (in *inner) Lookup(key Word) ([]Word, bool)              { return nil, false }
+func (in *inner) Delete(key Word) bool                        { return false }
+func (in *inner) LookupTry(key Word) ([]Word, bool, error)    { return nil, false, nil }
+
+// Good is a structure whose entry points thread tokens correctly.
+type Good struct{ d *inner }
+
+func (g *Good) MintOp(client, keys int, tag string) OpCtx { return OpCtx{Op: &Op{}, Tag: tag} }
+
+func (g *Good) Lookup(key Word) ([]Word, bool) { return g.LookupCtx(g.MintOp(0, 1, "lookup"), key) }
+
+func (g *Good) LookupCtx(c OpCtx, key Word) ([]Word, bool) { return g.d.LookupOp(c.Op, key) }
+
+func (g *Good) Insert(key Word, sat []Word) error { return g.d.InsertOp(nil, key, sat) }
+
+// unexported entry points are not part of the public surface.
+func (g *Good) lookupRaw(key Word) ([]Word, bool) { return g.d.Lookup(key) }
+
+// Contains is not an entry-point name; it rides on Lookup.
+func (g *Good) Contains(key Word) bool { _, ok := g.Lookup(key); return ok }
+
+// Bad is a structure that reaches the machine without a token.
+type Bad struct{ d *inner }
+
+func (b *Bad) Lookup(key Word) ([]Word, bool) { return b.d.Lookup(key) } // want `neither mints nor propagates`
+
+func (b *Bad) Delete(key Word) bool { return b.d.Delete(key) } // want `neither mints nor propagates`
+
+// Baseline is an intentionally unattributed structure with a waiver.
+type Baseline struct{ d *inner }
+
+//lint:pdm-allow opctx: randomized baseline, intentionally unattributed
+func (b *Baseline) Lookup(key Word) ([]Word, bool) { return b.d.Lookup(key) }
+
+func (b *Baseline) LookupTry(key Word) ([]Word, bool, error) { return b.d.LookupTry(key) } // want `neither mints nor propagates`

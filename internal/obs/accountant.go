@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"pdmdict/internal/pdm"
+)
+
+// OpCtx is the operation token the public API threads through the
+// dictionaries into pdm.Machine: the machine-unique op (carrying its ID,
+// issuing client, and key count) plus the operation's registered root
+// tag. Public entry points mint one OpCtx per logical operation; every
+// batch, fault, and span event the operation causes is stamped with the
+// token, which is what makes per-operation accounting exact under
+// concurrency.
+type OpCtx struct {
+	// Op is the token itself; nil falls back to unattributed operation.
+	Op *pdm.Op
+	// Tag is the operation's registered root span tag (TagLookup,
+	// TagInsert, ...).
+	Tag string
+}
+
+// MintOp mints a token on m for one operation issued by client over
+// keys keys, carrying the given registered tag.
+func MintOp(m *pdm.Machine, client, keys int, tag string) OpCtx {
+	return OpCtx{Op: m.NewOp(client, keys), Tag: tag}
+}
+
+// FlightRecord is one completed operation retained by the accountant's
+// flight recorder: the exact per-op record plus (a bounded prefix of)
+// the events that produced it.
+type FlightRecord struct {
+	OpRecord
+	// Events are the operation's own batch, fault, and span events in
+	// emission order, truncated to the recorder's per-op cap.
+	Events []pdm.Event `json:"events,omitempty"`
+	// Dropped counts events beyond the cap that were not retained.
+	Dropped int `json:"dropped_events,omitempty"`
+	// OverBudget marks an op retained because it exceeded StepBudget.
+	OverBudget bool `json:"over_budget,omitempty"`
+}
+
+// liveOp is one in-flight operation being accumulated.
+type liveOp struct {
+	rec     OpRecord
+	events  []pdm.Event
+	dropped int
+}
+
+// OpAccountant folds the event stream into exact per-operation records,
+// online: it never walks a span parent chain, only operation tokens, so
+// its accounting is exact under arbitrary concurrency — including
+// merged batches, which charge every op on their attribution list. It
+// maintains per-client and per-tag SLO aggregates of modeled latency,
+// the exact batch-inclusive worst-op figure (amortized per key), and a
+// sampled always-on flight recorder: a ring of the last RecorderSize
+// retained operations with their event slices, dumpable on demand;
+// operations exceeding StepBudget are always retained.
+//
+// Unlike SpanFolder, an op's Steps here is the sum of the step charges
+// of its own events (batch steps plus stall surcharges), not a window
+// of the machine's shared step counter — under concurrency the shared
+// counter interleaves other clients' work, while the event sum is the
+// op's own cost exactly. Single-threaded, the two definitions agree.
+//
+// OpAccountant implements pdm.Hook and is safe for concurrent use; all
+// accessors iterate in sorted order, so rendering its state is
+// byte-deterministic for deterministic workloads.
+type OpAccountant struct {
+	// Cost converts per-op step/block counts into modeled latency. The
+	// zero value means DefaultCostModel. Set before the first event.
+	Cost CostModel
+	// SampleEvery retains every Nth completed op in the flight recorder
+	// (1 = every op; 0 means the NewOpAccountant default of 1).
+	SampleEvery uint64
+	// StepBudget, when positive, marks any op whose exact steps exceed
+	// it: the op is retained in the recorder regardless of sampling and
+	// counted in BudgetExceeded.
+	StepBudget int64
+	// RecorderSize bounds the flight-recorder ring (0 = default 128).
+	RecorderSize int
+	// MaxEvents bounds the events retained per recorded op (0 = default
+	// 64); further events are counted in Dropped, not retained.
+	MaxEvents int
+
+	mu       sync.Mutex
+	inflight map[uint64]*liveOp
+	byClient map[int]*OpAgg
+	byTag    map[string]*OpAgg
+
+	ops, steps, blocks, faults int64
+	worst                      int64 // max per-key amortized steps over completed ops
+	budgetExceeded             int64
+
+	ring     []FlightRecord
+	ringNext int
+	recorded int64 // lifetime records pushed into the ring
+}
+
+// NewOpAccountant returns an accountant with default sampling (every
+// completed op) and recorder bounds.
+func NewOpAccountant() *OpAccountant {
+	return &OpAccountant{SampleEvery: 1, RecorderSize: 128, MaxEvents: 64}
+}
+
+// Event implements pdm.Hook.
+func (a *OpAccountant) Event(e pdm.Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch e.Kind {
+	case pdm.EventSpanBegin:
+		if e.Op == 0 {
+			return
+		}
+		if e.Parent == 0 {
+			if a.inflight == nil {
+				a.inflight = make(map[uint64]*liveOp)
+			}
+			a.inflight[e.Op] = &liveOp{rec: OpRecord{
+				ID:        e.Span,
+				Op:        e.Op,
+				Client:    e.Client,
+				Keys:      e.Keys,
+				Tag:       e.Tag,
+				BeginStep: e.Step,
+			}}
+		}
+		a.retain(e)
+	case pdm.EventSpanEnd:
+		if e.Op == 0 {
+			return
+		}
+		a.retain(e)
+		if e.Parent != 0 {
+			return
+		}
+		lo := a.inflight[e.Op]
+		if lo == nil {
+			return // end without begin (hook attached mid-operation)
+		}
+		delete(a.inflight, e.Op)
+		a.complete(lo, e)
+	default:
+		if e.Op != 0 {
+			a.chargeLive(e.Op, e)
+		}
+		for _, id := range e.Ops {
+			a.chargeLive(id, e)
+		}
+	}
+}
+
+// chargeLive rolls one batch or fault event into an in-flight op.
+func (a *OpAccountant) chargeLive(op uint64, e pdm.Event) {
+	lo := a.inflight[op]
+	if lo == nil {
+		return
+	}
+	lo.rec.Steps += int64(e.Steps)
+	if isFaultTag(e.Tag) {
+		lo.rec.Faults++
+	} else {
+		lo.rec.Batches++
+		lo.rec.Blocks += int64(len(e.Addrs))
+		if e.Kind == pdm.EventWrite {
+			lo.rec.Writes += int64(len(e.Addrs))
+		} else {
+			lo.rec.Reads += int64(len(e.Addrs))
+		}
+	}
+	a.retainFor(lo, e)
+}
+
+// retain appends a span event to every in-flight op it belongs to.
+func (a *OpAccountant) retain(e pdm.Event) {
+	if lo := a.inflight[e.Op]; lo != nil {
+		a.retainFor(lo, e)
+	}
+}
+
+// retainFor appends a copy of e to an op's retained events, up to the
+// per-op cap.
+func (a *OpAccountant) retainFor(lo *liveOp, e pdm.Event) {
+	max := a.MaxEvents
+	if max == 0 {
+		max = 64
+	}
+	if len(lo.events) >= max {
+		lo.dropped++
+		return
+	}
+	e.Addrs = append([]pdm.Addr(nil), e.Addrs...)
+	e.Ops = append([]uint64(nil), e.Ops...)
+	lo.events = append(lo.events, e)
+}
+
+// complete finalizes an op on its root span end.
+func (a *OpAccountant) complete(lo *liveOp, end pdm.Event) {
+	rec := &lo.rec
+	rec.EndStep = end.Step
+	rec.WallNanos = end.WallNanos
+	rec.Latency = a.Cost.Latency(rec.Steps, rec.Blocks)
+
+	a.ops++
+	a.steps += rec.Steps
+	a.blocks += rec.Blocks
+	a.faults += rec.Faults
+	keys := int64(rec.Keys)
+	if keys < 1 {
+		keys = 1
+	}
+	perKey := (rec.Steps + keys - 1) / keys
+	if perKey > a.worst {
+		a.worst = perKey
+	}
+
+	if a.byClient == nil {
+		a.byClient = make(map[int]*OpAgg)
+	}
+	a.aggregate(aggFor(a.byClient, rec.Client), rec)
+	if a.byTag == nil {
+		a.byTag = make(map[string]*OpAgg)
+	}
+	a.aggregate(aggFor(a.byTag, rec.Tag), rec)
+
+	every := a.SampleEvery
+	if every == 0 {
+		every = 1
+	}
+	over := a.StepBudget > 0 && rec.Steps > a.StepBudget
+	if over {
+		a.budgetExceeded++
+	}
+	if rec.Op%every != 0 && !over {
+		return
+	}
+	fr := FlightRecord{OpRecord: *rec, Events: lo.events, Dropped: lo.dropped, OverBudget: over}
+	size := a.RecorderSize
+	if size == 0 {
+		size = 128
+	}
+	if a.ring == nil {
+		a.ring = make([]FlightRecord, 0, size)
+	}
+	if len(a.ring) < cap(a.ring) {
+		a.ring = append(a.ring, fr)
+	} else {
+		a.ring[a.ringNext] = fr
+	}
+	a.ringNext = (a.ringNext + 1) % cap(a.ring)
+	a.recorded++
+}
+
+// aggFor returns (creating if needed) the aggregate for one map key.
+func aggFor[K comparable](m map[K]*OpAgg, k K) *OpAgg {
+	agg := m[k]
+	if agg == nil {
+		agg = &OpAgg{Steps: &Hist{}, LatencyMicros: &Hist{}}
+		m[k] = agg
+	}
+	return agg
+}
+
+// aggregate rolls one completed record into an SLO aggregate.
+func (a *OpAccountant) aggregate(agg *OpAgg, rec *OpRecord) {
+	agg.Count++
+	agg.StepSum += rec.Steps
+	agg.BlockSum += rec.Blocks
+	agg.FaultSum += rec.Faults
+	agg.LatencySumNanos += int64(rec.Latency)
+	agg.WallSumNanos += rec.WallNanos
+	agg.Steps.Observe(rec.Steps)
+	agg.LatencyMicros.Observe(rec.Latency.Microseconds())
+}
+
+// isFaultTag reports whether a span path denotes a fault event; the
+// fault tag may ride at the end of the owning span's path.
+func isFaultTag(tag string) bool {
+	if len(tag) == 0 {
+		return false
+	}
+	for i := 0; i+len(pdm.FaultTagPrefix) <= len(tag); i++ {
+		if (i == 0 || tag[i-1] == '.') && tag[i:i+len(pdm.FaultTagPrefix)] == pdm.FaultTagPrefix {
+			return true
+		}
+	}
+	return false
+}
+
+// Totals returns the completed-op totals: operations, exact steps,
+// blocks, and faults charged across them.
+func (a *OpAccountant) Totals() (ops, steps, blocks, faults int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ops, a.steps, a.blocks, a.faults
+}
+
+// WorstOp returns the exact worst per-operation parallel I/O cost seen,
+// batch operations included and amortized per key (⌈steps/keys⌉).
+func (a *OpAccountant) WorstOp() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.worst
+}
+
+// BudgetExceeded returns how many completed ops exceeded StepBudget.
+func (a *OpAccountant) BudgetExceeded() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budgetExceeded
+}
+
+// InFlightCount returns how many token-carrying ops are currently open.
+func (a *OpAccountant) InFlightCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.inflight)
+}
+
+// InFlight returns snapshots of the in-flight ops, heaviest first (by
+// steps charged so far, ties broken by op ID), truncated to k (k <= 0 =
+// all).
+func (a *OpAccountant) InFlight(k int) []OpRecord {
+	a.mu.Lock()
+	out := make([]OpRecord, 0, len(a.inflight))
+	for _, lo := range a.inflight {
+		out = append(out, lo.rec)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Steps != out[j].Steps {
+			return out[i].Steps > out[j].Steps
+		}
+		return out[i].Op < out[j].Op
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Recorded returns the flight recorder's retained records, oldest
+// first, and the lifetime count of records pushed (including ones the
+// ring has since overwritten).
+func (a *OpAccountant) Recorded() ([]FlightRecord, int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]FlightRecord, 0, len(a.ring))
+	if len(a.ring) == cap(a.ring) && cap(a.ring) > 0 {
+		out = append(out, a.ring[a.ringNext:]...)
+		out = append(out, a.ring[:a.ringNext]...)
+	} else {
+		out = append(out, a.ring...)
+	}
+	return out, a.recorded
+}
+
+// Clients returns the per-client SLO aggregates; the map is fresh but
+// shares histogram pointers (safe for concurrent use).
+func (a *OpAccountant) Clients() map[int]*OpAgg {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int]*OpAgg, len(a.byClient))
+	for k, v := range a.byClient {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// Tags returns the per-tag SLO aggregates, keyed by root span tag.
+func (a *OpAccountant) Tags() map[string]*OpAgg {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]*OpAgg, len(a.byTag))
+	for k, v := range a.byTag {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}

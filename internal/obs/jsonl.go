@@ -12,10 +12,13 @@ import (
 	"pdmdict/internal/pdm"
 )
 
-// TraceVersion is the trace format written by JSONLWriter. Version 3
-// added a header line and first-class span events; headerless traces
-// (versions 1 and 2, batch events only) still load.
-const TraceVersion = 3
+// TraceVersion is the trace format written by JSONLWriter. Version 4
+// added operation tokens: span and batch lines carry the owning op's ID
+// and client, root span lines its key count, and merged batches their
+// attribution list. Version 3 added a header line and first-class span
+// events. Older traces (versions 1–3, including headerless 1/2 traces)
+// still load; the token fields simply read back as zero.
+const TraceVersion = 4
 
 // jsonlEvent is the on-disk shape of one trace line. Addresses are
 // [disk, block] pairs to keep traces compact. Span lines reuse the
@@ -34,6 +37,10 @@ type jsonlEvent struct {
 	Span    uint64   `json:"span,omitempty"`
 	Parent  uint64   `json:"parent,omitempty"`
 	Step    int64    `json:"step,omitempty"`
+	Op      uint64   `json:"op,omitempty"`
+	Client  int      `json:"client,omitempty"`
+	Keys    int      `json:"keys,omitempty"`
+	Ops     []uint64 `json:"ops,omitempty"`
 	Addrs   [][2]int `json:"addrs,omitempty"`
 }
 
@@ -68,6 +75,10 @@ func (w *JSONLWriter) Event(e pdm.Event) {
 		Span:   e.Span,
 		Parent: e.Parent,
 		Step:   e.Step,
+		Op:     e.Op,
+		Client: e.Client,
+		Keys:   e.Keys,
+		Ops:    e.Ops,
 	}
 	if len(e.Addrs) > 0 {
 		line.Addrs = make([][2]int, len(e.Addrs))
@@ -139,6 +150,10 @@ func ReadEvents(r io.Reader) ([]pdm.Event, error) {
 			Span:   line.Span,
 			Parent: line.Parent,
 			Step:   line.Step,
+			Op:     line.Op,
+			Client: line.Client,
+			Keys:   line.Keys,
+			Ops:    line.Ops,
 		}
 		switch line.Kind {
 		case "trace":
@@ -176,13 +191,18 @@ func ReadEvents(r io.Reader) ([]pdm.Event, error) {
 
 // Replay re-issues a recorded trace against m, batch for batch,
 // reproducing the trace's I/O cost profile (block contents are not
-// recorded, so writes store zero blocks). Version 3 traces carry span
+// recorded, so writes store zero blocks). Version 3+ traces carry span
 // events, and Replay re-opens the recorded spans on m — nesting
 // included — so a replayed machine emits the same span structure the
 // original did; spans left open by a truncated trace are closed at the
-// end. Headerless traces without span events fall back to wrapping
-// each tagged batch in its own span, as earlier versions did. It
-// returns the stats delta the replay produced.
+// end. Version 4 traces carry operation tokens, which Replay re-mints
+// with their recorded IDs, clients, and key counts, re-issuing
+// token-carrying spans and batches (including merged batches and their
+// attribution lists) through the op-aware machine entry points, so a
+// replayed single-threaded trace serializes back byte-identically.
+// Headerless traces without span events fall back to wrapping each
+// tagged batch in its own span, as earlier versions did. It returns the
+// stats delta the replay produced.
 func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 	hasSpans := false
 	for _, e := range events {
@@ -192,6 +212,18 @@ func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 		}
 	}
 	before := m.Stats()
+	ops := map[uint64]*pdm.Op{}
+	op := func(id uint64, client, keys int) *pdm.Op {
+		if id == 0 {
+			return nil
+		}
+		o := ops[id]
+		if o == nil {
+			o = pdm.MakeOp(id, client, keys)
+			ops[id] = o
+		}
+		return o
+	}
 	var stack []func()
 	for _, e := range events {
 		switch e.Kind {
@@ -203,7 +235,11 @@ func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 			if i := strings.LastIndexByte(leaf, '.'); i >= 0 {
 				leaf = leaf[i+1:]
 			}
-			stack = append(stack, m.Span(leaf)) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
+			if e.Op != 0 {
+				stack = append(stack, m.OpSpan(op(e.Op, e.Client, e.Keys), leaf)) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
+			} else {
+				stack = append(stack, m.Span(leaf)) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
+			}
 		case pdm.EventSpanEnd:
 			if n := len(stack); n > 0 {
 				stack[n-1]()
@@ -214,14 +250,21 @@ func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 			if !hasSpans && e.Tag != "" {
 				end = m.Span(e.Tag) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
 			}
-			if e.Kind == pdm.EventWrite {
+			switch {
+			case e.Kind == pdm.EventWrite:
 				writes := make([]pdm.BlockWrite, len(e.Addrs))
 				for i, a := range e.Addrs {
 					writes[i] = pdm.BlockWrite{Addr: a}
 				}
-				m.BatchWrite(writes)
-			} else {
-				m.BatchRead(e.Addrs)
+				m.BatchWriteOp(op(e.Op, e.Client, 0), writes)
+			case len(e.Ops) > 0:
+				shared := make([]*pdm.Op, len(e.Ops))
+				for i, id := range e.Ops {
+					shared[i] = op(id, 0, 0)
+				}
+				m.BatchReadShared(shared, e.Addrs)
+			default:
+				m.BatchReadOp(op(e.Op, e.Client, 0), e.Addrs)
 			}
 			end()
 		}

@@ -167,6 +167,7 @@ type Summary struct {
 	Total   int64        `json:"total"`
 	P50     int64        `json:"p50"`
 	P99     int64        `json:"p99"`
+	P999    int64        `json:"p999"`
 	Max     int64        `json:"max"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
@@ -178,6 +179,7 @@ func (h *Hist) Summarize(name string) Summary {
 		Total:   h.Total(),
 		P50:     h.Quantile(0.50),
 		P99:     h.Quantile(0.99),
+		P999:    h.Quantile(0.999),
 		Buckets: h.Buckets(),
 	}
 	if n := len(s.Buckets); n > 0 {

@@ -114,8 +114,8 @@ func TestJSONLRoundTripAndReplay(t *testing.T) {
 	}
 
 	if first, _, _ := strings.Cut(buf.String(), "\n"); !strings.Contains(first, `"k":"trace"`) ||
-		!strings.Contains(first, `"v":3`) {
-		t.Errorf("missing v3 header, first line = %s", first)
+		!strings.Contains(first, `"v":4`) {
+		t.Errorf("missing v4 header, first line = %s", first)
 	}
 	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
 	if err != nil {

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 
 	"pdmdict/internal/pdm"
@@ -18,6 +20,7 @@ import (
 //	/metrics        Prometheus text exposition, hand-rolled — stdlib only
 //	/debug/pprof/*  the standard Go profiler endpoints
 //	/debug/events   the ring buffer's recent events as trace JSONL
+//	/debug/ops      top-K in-flight and recently completed operations
 //	/healthz        200 "ok" while Healthy() (503 "degraded" otherwise)
 //
 // The exposition walks sorted tag lists, so /metrics output is a pure,
@@ -28,6 +31,11 @@ type Server struct {
 	Collector *Collector
 	// Ring, when set, backs /debug/events.
 	Ring *Ring
+	// Accountant, when set, backs /debug/ops and the exact per-op
+	// metric families (SLO quantiles per client and tag, the exact
+	// worst-op gauge, in-flight and flight-recorder counters); nil
+	// omits them.
+	Accountant *OpAccountant
 	// Healthy, when set, gates /healthz; nil means always healthy.
 	Healthy func() bool
 }
@@ -38,6 +46,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/debug/events", s.events)
+	mux.HandleFunc("/debug/ops", s.ops)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -80,6 +89,50 @@ func (s *Server) events(w http.ResponseWriter, _ *http.Request) {
 		jw.Event(e)
 	}
 	jw.Close() //nolint:errcheck // best-effort debug endpoint
+}
+
+// opsDump is the JSON shape served by /debug/ops.
+type opsDump struct {
+	// InFlight holds the top-K open operations, heaviest first.
+	InFlight []OpRecord `json:"inflight"`
+	// Completed holds the flight recorder's retained operations, oldest
+	// first, truncated to the last K.
+	Completed []FlightRecord `json:"completed"`
+	// RecordedTotal counts every record the recorder ever retained,
+	// including ones the ring has since overwritten.
+	RecordedTotal int64 `json:"recorded_total"`
+}
+
+// ops serves the accountant's live view: the top-K in-flight ops and
+// the flight recorder's most recent completed ops, as JSON. K defaults
+// to 32 and can be set with ?k=N.
+func (s *Server) ops(w http.ResponseWriter, r *http.Request) {
+	if s.Accountant == nil {
+		http.Error(w, "no op accountant attached", http.StatusNotFound)
+		return
+	}
+	k := 32
+	if v := r.URL.Query().Get("k"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			k = n
+		}
+	}
+	completed, total := s.Accountant.Recorded()
+	if len(completed) > k {
+		completed = completed[len(completed)-k:]
+	}
+	dump := opsDump{
+		InFlight:      s.Accountant.InFlight(k),
+		Completed:     completed,
+		RecordedTotal: total,
+	}
+	if dump.InFlight == nil {
+		dump.InFlight = []OpRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(dump) //nolint:errcheck // best-effort debug endpoint
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
@@ -187,6 +240,81 @@ func (s *Server) writeMetrics(w io.Writer) {
 
 	header(w, "pdm_open_spans", "gauge", "Spans currently open (growth means unbalanced Span calls).")
 	sample(w, "pdm_open_spans", "", float64(c.OpenSpans()))
+
+	if s.Accountant != nil {
+		s.writeOpMetrics(w)
+	}
+}
+
+// writeOpMetrics renders the exact token-based per-op families. Clients
+// and tags are walked in sorted order, so the output stays a pure
+// function of accountant state.
+func (s *Server) writeOpMetrics(w io.Writer) {
+	a := s.Accountant
+	ops, steps, blocks, faults := a.Totals()
+
+	header(w, "pdm_op_accounted_total", "counter", "Completed token-carrying operations (exact attribution).")
+	sample(w, "pdm_op_accounted_total", "", float64(ops))
+	header(w, "pdm_op_exact_steps_total", "counter", "Parallel I/O steps charged to completed ops, stall surcharges included.")
+	sample(w, "pdm_op_exact_steps_total", "", float64(steps))
+	header(w, "pdm_op_exact_blocks_total", "counter", "Block transfers charged to completed ops.")
+	sample(w, "pdm_op_exact_blocks_total", "", float64(blocks))
+	header(w, "pdm_op_exact_faults_total", "counter", "Fault events charged to completed ops.")
+	sample(w, "pdm_op_exact_faults_total", "", float64(faults))
+
+	header(w, "pdm_op_worst_steps_per_key", "gauge", "Exact worst per-operation parallel I/O steps, batch ops amortized per key.")
+	sample(w, "pdm_op_worst_steps_per_key", "", float64(a.WorstOp()))
+	header(w, "pdm_ops_inflight", "gauge", "Token-carrying operations currently in flight.")
+	sample(w, "pdm_ops_inflight", "", float64(a.InFlightCount()))
+	header(w, "pdm_op_budget_exceeded_total", "counter", "Completed ops whose exact steps exceeded the accountant's step budget.")
+	sample(w, "pdm_op_budget_exceeded_total", "", float64(a.BudgetExceeded()))
+	_, recorded := a.Recorded()
+	header(w, "pdm_flight_records_total", "counter", "Operations retained by the flight recorder over its lifetime.")
+	sample(w, "pdm_flight_records_total", "", float64(recorded))
+
+	quantiles := []struct {
+		q string
+		v float64
+	}{{"0.5", 0.50}, {"0.99", 0.99}, {"0.999", 0.999}}
+
+	clients := a.Clients()
+	ids := make([]int, 0, len(clients))
+	for id := range clients {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	header(w, "pdm_client_ops_total", "counter", "Completed operations per client.")
+	for _, id := range ids {
+		sample(w, "pdm_client_ops_total", fmt.Sprintf(`client="%d"`, id), float64(clients[id].Count))
+	}
+	header(w, "pdm_client_op_latency_seconds", "histogram", "Modeled operation latency per client (SLO histogram).")
+	for _, id := range ids {
+		agg := clients[id]
+		histogramSeries(w, "pdm_client_op_latency_seconds", fmt.Sprintf(`client="%d"`, id), agg.LatencyMicros, 1e-6, float64(agg.LatencySumNanos)/1e9, agg.Count)
+	}
+	header(w, "pdm_client_op_latency_quantile_seconds", "gauge", "Modeled per-client operation latency quantiles (p50/p99/p999).")
+	for _, id := range ids {
+		for _, q := range quantiles {
+			sample(w, "pdm_client_op_latency_quantile_seconds",
+				fmt.Sprintf(`client="%d",q=%q`, id, q.q),
+				float64(clients[id].LatencyMicros.Quantile(q.v))/1e6)
+		}
+	}
+
+	tags := a.Tags()
+	names := make([]string, 0, len(tags))
+	for name := range tags {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	header(w, "pdm_tag_op_latency_quantile_seconds", "gauge", "Modeled per-tag operation latency quantiles (p50/p99/p999).")
+	for _, name := range names {
+		for _, q := range quantiles {
+			sample(w, "pdm_tag_op_latency_quantile_seconds",
+				tagLabel(name)+fmt.Sprintf(",q=%q", q.q),
+				float64(tags[name].LatencyMicros.Quantile(q.v))/1e6)
+		}
+	}
 }
 
 // header writes the HELP and TYPE lines of one metric family.

@@ -65,6 +65,13 @@ type OpRecord struct {
 	// ID and Parent identify the span; Parent 0 marks an operation.
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
+	// Op, Client, and Keys carry the owning operation token when the
+	// span was opened with one (0 otherwise): the op's machine-unique
+	// ID, the issuing client, and — on root spans — how many keys the
+	// operation covered.
+	Op     uint64 `json:"op,omitempty"`
+	Client int    `json:"client,omitempty"`
+	Keys   int    `json:"keys,omitempty"`
 	// Tag is the span's dot-joined path (e.g. "insert.probe").
 	Tag string `json:"tag"`
 	// BeginStep and EndStep are the machine's cumulative parallel-I/O
@@ -103,6 +110,12 @@ type SpanFolder struct {
 	Cost CostModel
 
 	open map[uint64]*OpRecord
+	// byOp maps an operation token to its open span IDs, outermost
+	// first. Token-carrying batch events attribute through this list
+	// rather than the span parent chain: the list is exact under
+	// concurrency and survives an op whose spans straddle two machines
+	// (where parent IDs cross counter domains).
+	byOp map[uint64][]uint64
 }
 
 // Fold consumes one event. It returns the completed record when e
@@ -116,8 +129,17 @@ func (f *SpanFolder) Fold(e pdm.Event) *OpRecord {
 		f.open[e.Span] = &OpRecord{
 			ID:        e.Span,
 			Parent:    e.Parent,
+			Op:        e.Op,
+			Client:    e.Client,
+			Keys:      e.Keys,
 			Tag:       e.Tag,
 			BeginStep: e.Step,
+		}
+		if e.Op != 0 {
+			if f.byOp == nil {
+				f.byOp = make(map[uint64][]uint64)
+			}
+			f.byOp[e.Op] = append(f.byOp[e.Op], e.Span)
 		}
 		return nil
 	case pdm.EventSpanEnd:
@@ -126,34 +148,84 @@ func (f *SpanFolder) Fold(e pdm.Event) *OpRecord {
 			return nil // end without begin (truncated stream)
 		}
 		delete(f.open, e.Span)
+		f.forgetOpSpan(rec.Op, e.Span)
 		f.close(rec, e.Step, e.WallNanos)
 		return rec
 	default:
-		// A batch or fault event: attribute it to its span and every
-		// open ancestor, so parent records include child I/O.
+		// A batch or fault event: attribute it to every span of its
+		// owning op(s) when it carries a token — the exact path — and
+		// otherwise walk the span parent chain, so parent records
+		// include child I/O either way.
+		attributed := false
+		if e.Op != 0 {
+			attributed = f.chargeOp(e.Op, e) || attributed
+		}
+		for _, id := range e.Ops {
+			attributed = f.chargeOp(id, e) || attributed
+		}
+		if attributed {
+			return nil
+		}
 		for id := e.Span; id != 0; {
 			rec := f.open[id]
 			if rec == nil {
 				break
 			}
-			if strings.HasPrefix(e.Tag, pdm.FaultTagPrefix) {
-				// Fault events describe the batch they ride on; the
-				// batch itself was already counted. Stall steps reach
-				// the record through the step counter.
-				rec.Faults++
-			} else {
-				rec.Batches++
-				rec.Blocks += int64(len(e.Addrs))
-				if e.Kind == pdm.EventWrite {
-					rec.Writes += int64(len(e.Addrs))
-				} else {
-					rec.Reads += int64(len(e.Addrs))
-				}
-			}
+			f.chargeRecord(rec, e)
 			id = rec.Parent
 		}
 		return nil
 	}
+}
+
+// chargeOp attributes one batch or fault event to every open span of
+// the given op, reporting whether any span was charged.
+func (f *SpanFolder) chargeOp(op uint64, e pdm.Event) bool {
+	charged := false
+	for _, id := range f.byOp[op] {
+		if rec := f.open[id]; rec != nil {
+			f.chargeRecord(rec, e)
+			charged = true
+		}
+	}
+	return charged
+}
+
+// chargeRecord rolls one batch or fault event into a span record.
+func (f *SpanFolder) chargeRecord(rec *OpRecord, e pdm.Event) {
+	if strings.HasPrefix(e.Tag, pdm.FaultTagPrefix) {
+		// Fault events describe the batch they ride on; the
+		// batch itself was already counted. Stall steps reach
+		// the record through the step counter.
+		rec.Faults++
+		return
+	}
+	rec.Batches++
+	rec.Blocks += int64(len(e.Addrs))
+	if e.Kind == pdm.EventWrite {
+		rec.Writes += int64(len(e.Addrs))
+	} else {
+		rec.Reads += int64(len(e.Addrs))
+	}
+}
+
+// forgetOpSpan drops a closed span from its op's open-span list.
+func (f *SpanFolder) forgetOpSpan(op, span uint64) {
+	if op == 0 {
+		return
+	}
+	spans := f.byOp[op]
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i] == span {
+			spans = append(spans[:i], spans[i+1:]...)
+			break
+		}
+	}
+	if len(spans) == 0 {
+		delete(f.byOp, op)
+		return
+	}
+	f.byOp[op] = spans
 }
 
 // close finalizes a record at the given end step.
@@ -177,6 +249,7 @@ func (f *SpanFolder) Drain(endStep int64) []OpRecord {
 		out = append(out, *rec)
 	}
 	f.open = nil
+	f.byOp = nil
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -270,6 +270,18 @@ func (m *Machine) finishTry(kind EventKind, addrs []Addr, fs []Fault, res []erro
 // arm moved, the timeout elapsed) and count as block reads; stalls add
 // extra steps on top of the batch cost.
 func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
+	return m.tryBatchRead(nil, addrs)
+}
+
+// TryBatchReadOp is TryBatchRead charged and attributed to op: the op is
+// charged the batch's steps including any stall surcharge, its blocks,
+// and one fault per emitted fault event, so the op's counters match the
+// sum over its events exactly.
+func (m *Machine) TryBatchReadOp(op *Op, addrs []Addr) ([][]Word, error) {
+	return m.tryBatchRead(op, addrs)
+}
+
+func (m *Machine) tryBatchRead(op *Op, addrs []Addr) ([][]Word, error) {
 	out := make([][]Word, len(addrs))
 	if len(addrs) == 0 {
 		return out, nil
@@ -314,8 +326,9 @@ func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
 	berrs, fevents, extra := m.finishTry(EventRead, addrs, fs, res)
 	m.charge(steps+extra, depth)
 	m.blockReads.Add(int64(len(addrs)))
+	chargeOps(m, op, nil, EventRead, steps+extra, len(addrs), len(fevents))
 	if m.hooked.Load() {
-		m.emit(Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
+		m.emit(op, nil, Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
 	}
 	if len(berrs) > 0 {
 		return out, &BatchError{Blocks: berrs}
@@ -329,6 +342,16 @@ func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
 // stored bit after the write lands (leaving the checksum stale); stalls
 // charge extra steps. Applied writes update their block's checksum.
 func (m *Machine) TryBatchWrite(writes []BlockWrite) error {
+	return m.tryBatchWrite(nil, writes)
+}
+
+// TryBatchWriteOp is TryBatchWrite charged and attributed to op, with
+// the same accounting rule as TryBatchReadOp.
+func (m *Machine) TryBatchWriteOp(op *Op, writes []BlockWrite) error {
+	return m.tryBatchWrite(op, writes)
+}
+
+func (m *Machine) tryBatchWrite(op *Op, writes []BlockWrite) error {
 	if len(writes) == 0 {
 		return nil
 	}
@@ -371,8 +394,9 @@ func (m *Machine) TryBatchWrite(writes []BlockWrite) error {
 	berrs, fevents, extra := m.finishTry(EventWrite, addrs, fs, res)
 	m.charge(steps+extra, depth)
 	m.blockWrites.Add(int64(len(writes)))
+	chargeOps(m, op, nil, EventWrite, steps+extra, len(writes), len(fevents))
 	if m.hooked.Load() {
-		m.emit(Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
+		m.emit(op, nil, Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
 	}
 	if len(berrs) > 0 {
 		return &BatchError{Blocks: berrs}

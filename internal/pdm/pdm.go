@@ -211,8 +211,27 @@ type Event struct {
 	// Span is the ID of the span this event belongs to: for span events
 	// the span's own ID, for batch and fault events the innermost open
 	// span at issue time (0 = outside any span). IDs are assigned from a
-	// per-machine counter, so equal workloads produce equal IDs.
+	// per-machine counter, so equal workloads produce equal IDs. For a
+	// token-carrying event the span is the owning op's innermost span,
+	// not the machine's shared stack.
 	Span uint64
+	// Op is the ID of the operation token this event belongs to (0 = no
+	// token). Tokens make attribution exact under concurrency: every
+	// batch, fault, and span event of a token-carrying operation is
+	// stamped with the op's ID, so per-op accounting never has to guess
+	// from a shared span stack.
+	Op uint64
+	// Client is the owning op's client ID (meaningful only when Op != 0
+	// or Ops is non-empty — 0 otherwise).
+	Client int
+	// Keys is the owning op's key count, stamped on the root
+	// EventSpanBegin of the operation (0 elsewhere). Consumers use it to
+	// amortize batch-operation cost per key.
+	Keys int
+	// Ops is the attribution list of a merged batch (BatchReadShared):
+	// every operation the shared batch was issued on behalf of, in
+	// request order. Each listed op was charged the batch's full cost.
+	Ops []uint64
 	// Parent is the enclosing span's ID on span events (0 = root span,
 	// i.e. a top-level dictionary operation).
 	Parent uint64
@@ -341,6 +360,8 @@ type Machine struct {
 
 	workers atomic.Int32 // worker-pool bound for batch fan-out
 	scratch sync.Pool    // *batchScratch, for partitioning large batches
+
+	nextOp atomic.Uint64 // operation-token ID counter; IDs start at 1
 
 	// emitMu serializes event emission: the span stack, the sequence
 	// counter, and every hook call. hooked mirrors hook != nil so the
@@ -481,10 +502,11 @@ func (m *Machine) SetWallClock(now func() int64) {
 // Span("probe") inside Span("insert") is tagged "insert.probe".
 //
 // With no hook installed, Span is a single branch returning a shared
-// no-op; with concurrent users the stack is shared, so attribution
-// under concurrency is best-effort (race-free, but interleaved — the
-// returned closure ends the innermost open span, not necessarily the
-// one this call opened).
+// no-op. The stack is shared across goroutines, so Span alone cannot
+// attribute exactly under concurrency (the returned closure ends the
+// innermost open span, not necessarily the one this call opened);
+// concurrent operations should carry an Op token and use OpSpan, which
+// nests on the op's private stack and is exact.
 func (m *Machine) Span(tag string) func() {
 	if !m.hooked.Load() {
 		return noopEndSpan
@@ -522,22 +544,39 @@ func (m *Machine) Span(tag string) func() {
 // emit fires a batch event, followed by its fault events if any, under
 // the emission lock: the events are stamped with consecutive sequence
 // numbers and the innermost open span, and reach the hook as one
-// contiguous run even when other batches complete concurrently.
-func (m *Machine) emit(ev Event, fevents []Event) {
+// contiguous run even when other batches complete concurrently. A
+// token-carrying batch (op != nil) is stamped with the op's ID, client,
+// and innermost span from the op's private stack; a merged batch
+// (shared non-empty) carries the attribution list in Ops. Fault events
+// inherit the batch's span and attribution.
+func (m *Machine) emit(op *Op, shared []*Op, ev Event, fevents []Event) {
 	m.emitMu.Lock()
 	if m.hook == nil {
 		m.emitMu.Unlock()
 		return
 	}
-	if n := len(m.spans); n > 0 {
+	if op != nil && len(op.frames) > 0 {
+		top := op.frames[len(op.frames)-1]
+		ev.Tag, ev.Span = top.path, top.id
+	} else if n := len(m.spans); n > 0 {
 		top := m.spans[n-1]
 		ev.Tag, ev.Span = top.path, top.id
+	}
+	if op != nil {
+		ev.Op, ev.Client = op.id, op.client
+	}
+	for _, o := range shared {
+		if o != nil {
+			ev.Ops = append(ev.Ops, o.id)
+		}
 	}
 	m.seq++
 	ev.Seq = m.seq
 	m.hook.Event(ev)
 	for i := range fevents {
 		fevents[i].Span = ev.Span
+		fevents[i].Op, fevents[i].Client = ev.Op, ev.Client
+		fevents[i].Ops = ev.Ops
 		m.seq++
 		fevents[i].Seq = m.seq
 		m.hook.Event(fevents[i])
@@ -767,8 +806,16 @@ func (m *Machine) checkAddr(a Addr) {
 // caller owns them. The batch is accounted under the machine's cost
 // model. BatchRead is the fault-oblivious path: it never consults the
 // fault injector and skips checksum verification — use TryBatchRead for
-// fault-aware reads.
+// fault-aware reads. The batch carries no operation token; see
+// BatchReadOp and BatchReadShared for attributed variants.
 func (m *Machine) BatchRead(addrs []Addr) [][]Word {
+	return m.batchRead(nil, nil, addrs)
+}
+
+// batchRead is the shared implementation behind BatchRead, BatchReadOp,
+// and BatchReadShared: op is the owning token (nil for none), shared the
+// merged-batch attribution list (nil for an exclusive batch).
+func (m *Machine) batchRead(op *Op, shared []*Op, addrs []Addr) [][]Word {
 	out := make([][]Word, len(addrs))
 	if len(addrs) == 0 {
 		return out
@@ -810,8 +857,9 @@ func (m *Machine) BatchRead(addrs []Addr) [][]Word {
 		m.release(sc)
 	}
 	m.blockReads.Add(int64(len(addrs)))
+	chargeOps(m, op, shared, EventRead, steps, len(addrs), 0)
 	if m.hooked.Load() {
-		m.emit(Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, nil)
+		m.emit(op, shared, Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, nil)
 	}
 	return out
 }
@@ -827,8 +875,16 @@ type BlockWrite struct {
 // blocks; partial Data is a convenience that leaves the block tail as it
 // was). The batch is accounted under the machine's cost model. Like all
 // writes it maintains the per-block checksums, but it never consults the
-// fault injector — use TryBatchWrite for fault-aware writes.
+// fault injector — use TryBatchWrite for fault-aware writes. The batch
+// carries no operation token; see BatchWriteOp for the attributed
+// variant.
 func (m *Machine) BatchWrite(writes []BlockWrite) {
+	m.batchWrite(nil, writes)
+}
+
+// batchWrite is the shared implementation behind BatchWrite and
+// BatchWriteOp; op is the owning token (nil for none).
+func (m *Machine) batchWrite(op *Op, writes []BlockWrite) {
 	if len(writes) == 0 {
 		return
 	}
@@ -873,8 +929,9 @@ func (m *Machine) BatchWrite(writes []BlockWrite) {
 		m.release(sc)
 	}
 	m.blockWrites.Add(int64(len(writes)))
+	chargeOps(m, op, nil, EventWrite, steps, len(writes), 0)
 	if m.hooked.Load() {
-		m.emit(Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, nil)
+		m.emit(op, nil, Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, nil)
 	}
 }
 
