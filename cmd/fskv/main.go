@@ -10,8 +10,9 @@
 //	del <file> <block#>           delete a block
 //	fail <disk>                   inject a fail-stop fault on a disk
 //	heal <disk>                   stop failing a disk (data NOT repaired)
-//	repair <disk>                 rebuild a disk from surviving replicas
+//	repair <disk>                 rebuild a disk from survivors, verify it
 //	scrub                         verify every block, clear degraded flag
+//	health                        per-disk health states and recovery counters
 //	stats                         I/O counters so far
 //	quit
 //
@@ -26,6 +27,15 @@
 // the survivors. scrub and repair require -replicas; put and del use
 // the fault-oblivious write path regardless (a write during a failure
 // lands everywhere, so repair or scrub afterwards).
+//
+// Health is tracked per disk (Healthy/Suspect/Failed/Repairing), so
+// recovering one disk never erases what is known about another: repair
+// verifies just the repaired disk's stripe and returns only that disk
+// to Healthy, while a machine-wide clean scrub clears everything. With
+// -selfheal the background repair supervisor does all of this by
+// itself: once a failed disk starts answering again (any get that
+// touches it), the supervisor rebuilds and verifies it in bounded
+// chunks interleaved with the shell's own commands.
 //
 // With -serve addr the shell also serves live observability endpoints
 // while it runs: Prometheus /metrics (including the exact token-based
@@ -116,6 +126,7 @@ type config struct {
 	replicas int
 	serve    string
 	trace    string
+	selfheal bool
 }
 
 func main() {
@@ -125,13 +136,15 @@ func main() {
 		"serve live /metrics, /healthz, /debug/events, and /debug/pprof on this address (e.g. :8080 or 127.0.0.1:0)")
 	trace := flag.String("trace", "",
 		"append every machine event to this file as trace JSONL (flushed on shutdown)")
+	selfheal := flag.Bool("selfheal", false,
+		"run the background repair supervisor (requires -replicas ≥ 2): failed disks that answer again are rebuilt and verified automatically")
 	flag.Parse()
 
 	// First SIGINT/SIGTERM cancels the context (graceful drain); stop()
 	// restores default delivery, so a second signal kills the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, config{replicas: *replicas, serve: *serve, trace: *trace}, os.Stdin, os.Stdout); err != nil {
+	if err := run(ctx, config{replicas: *replicas, serve: *serve, trace: *trace, selfheal: *selfheal}, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fskv:", err)
 		os.Exit(1)
 	}
@@ -149,6 +162,7 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		basic    *pdmdict.Basic // non-nil iff -replicas ≥ 2
 		degraded func() bool
 		faults   func() int64
+		health   func() pdmdict.HealthReport // non-nil iff -replicas ≥ 2
 		disks    int
 	)
 	collector := obs.NewCollector()
@@ -176,6 +190,9 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		return nil
 	}
 
+	if cfg.selfheal && cfg.replicas < 2 {
+		return fmt.Errorf("-selfheal needs the replicated store: rerun with -replicas 2")
+	}
 	plan := fault.NewPlan(1)
 	switch {
 	case cfg.replicas >= 2:
@@ -197,6 +214,11 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		dict = pdmdict.NewNamed(b, blockWords)
 		degraded, faults = b.Degraded, b.FaultCount
 		disks = b.Machine().D()
+		health = b.Health
+		if cfg.selfheal {
+			stopHeal := b.SelfHeal()
+			defer stopHeal()
+		}
 	case cfg.replicas == 0 || cfg.replicas == 1:
 		base, err := pdmdict.New(pdmdict.Options{
 			Capacity: 1024,
@@ -222,6 +244,7 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 			Ring:       ring,
 			Accountant: acct,
 			Healthy:    func() bool { return !degraded() },
+			Health:     health,
 		}
 		addr, stop, err := srv.Serve(cfg.serve)
 		if err != nil {
@@ -235,7 +258,7 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 	if basic != nil {
 		mode = fmt.Sprintf("replicated store (%d copies, tolerates %d failed disks)", cfg.replicas, cfg.replicas-1)
 	}
-	fmt.Fprintf(stdout, "fskv: deterministic dictionary file store, %s (put/get/del/fail/heal/repair/scrub/stats/quit)\n", mode)
+	fmt.Fprintf(stdout, "fskv: deterministic dictionary file store, %s (put/get/del/fail/heal/repair/scrub/health/stats/quit)\n", mode)
 
 	// Feed lines through a channel so the command loop can select on
 	// cancellation; the reader goroutine parks on stdin and exits when
@@ -385,7 +408,19 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 				fmt.Fprintln(stdout, "repair failed:", err)
 				continue
 			}
-			fmt.Fprintf(stdout, "disk %d rebuilt from replicas (%d parallel I/Os)\n", d, dict.IOStats().ParallelIOs-before)
+			// Verify just the repaired disk: a clean per-disk scrub returns
+			// ONLY this disk to Healthy, so what is known about any other
+			// failed disk is preserved.
+			if bad := basic.ScrubDisk(d); len(bad) != 0 {
+				fmt.Fprintf(stdout, "disk %d rebuilt but verification found %d bad blocks: %v\n", d, len(bad), bad)
+				continue
+			}
+			fmt.Fprintf(stdout, "disk %d rebuilt from replicas and verified healthy (%d parallel I/Os)\n", d, dict.IOStats().ParallelIOs-before)
+			if unhealthy := health().Unhealthy(); len(unhealthy) > 0 {
+				for _, dh := range unhealthy {
+					fmt.Fprintf(stdout, "disk %d still %s\n", dh.Disk, dh.State)
+				}
+			}
 		case "scrub":
 			if basic == nil {
 				fmt.Fprintln(stdout, "scrub needs the replicated store: rerun with -replicas 2")
@@ -398,6 +433,22 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 			} else {
 				fmt.Fprintf(stdout, "scrub found %d bad blocks (%d parallel I/Os): %v\n", len(bad), cost, bad)
 			}
+		case "health":
+			if health == nil {
+				fmt.Fprintln(stdout, "health needs the replicated store: rerun with -replicas 2")
+				continue
+			}
+			rep := health()
+			for _, dh := range rep.Disks {
+				extra := ""
+				if dh.State == pdmdict.DiskFailed && dh.Reachable {
+					extra = ", reachable"
+				}
+				fmt.Fprintf(stdout, "disk %d: %s (faults %d, transients %d, transitions %d%s)\n",
+					dh.Disk, dh.State, dh.Faults, dh.Transients, dh.Transitions, extra)
+			}
+			fmt.Fprintf(stdout, "retries %d, hedged reads %d, backoff steps %d, repair chunks %d (%d rows)\n",
+				rep.Retries, rep.Hedges, rep.BackoffSteps, rep.RepairChunks, rep.RepairRows)
 		case "stats":
 			fmt.Fprintf(stdout, "blocks stored: %d, total parallel I/Os: %d\n",
 				dict.Len(), dict.IOStats().ParallelIOs)
@@ -414,7 +465,7 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		case "quit", "exit":
 			return flush()
 		default:
-			fmt.Fprintf(stdout, "unknown command %q — commands: put get del fail heal repair scrub stats quit\n", fields[0])
+			fmt.Fprintf(stdout, "unknown command %q — commands: put get del fail heal repair scrub health stats quit\n", fields[0])
 		}
 	}
 }

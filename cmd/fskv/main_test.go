@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -91,6 +92,45 @@ func TestRunCanceledContext(t *testing.T) {
 	}
 	if len(events) == 0 {
 		t.Error("trace is empty; put/get events were not flushed")
+	}
+}
+
+// TestRepairKeepsOtherDiskHealthState is the regression test for the
+// old machine-wide degraded bit: with TWO disks known failed, repairing
+// and verifying one of them must return only that disk to Healthy —
+// the health report still shows the other disk Failed, and the store
+// stays degraded. Under the single-bit scheme the post-repair cleanup
+// erased everything known about the second disk.
+func TestRepairKeepsOtherDiskHealthState(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&in, "put f %d block-%d\n", i, i)
+	}
+	in.WriteString("fail 0\nfail 1\n")
+	// Reads observe the fail-stops: both disks become Failed.
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&in, "get f %d\n", i)
+	}
+	// Both drives answer again (contents intact — fail-stop only denies
+	// access), but only disk 0 is repaired and verified.
+	in.WriteString("heal 0\nheal 1\nrepair 0\nhealth\nquit\n")
+
+	var out syncBuffer
+	if err := run(context.Background(), config{replicas: 2}, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "disk 0 rebuilt from replicas and verified healthy") {
+		t.Fatalf("repair did not verify disk 0:\n%s", got)
+	}
+	if !strings.Contains(got, "disk 1 still failed") {
+		t.Errorf("repair output lost disk 1's state:\n%s", got)
+	}
+	if !strings.Contains(got, "disk 0: healthy") {
+		t.Errorf("health does not show disk 0 healthy:\n%s", got)
+	}
+	if !strings.Contains(got, "disk 1: failed") {
+		t.Errorf("health lost disk 1's failed state:\n%s", got)
 	}
 }
 

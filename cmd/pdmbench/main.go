@@ -30,6 +30,17 @@
 // experiment suite: N concurrent query streams over one shared
 // dictionary, each paced by the modeled device latency, reported as
 // wall and modeled ops/sec next to a single-client baseline.
+//
+// -chaos runs the chaos soak instead of the experiment suite: a
+// seed-generated schedule of fail/heal/corrupt rounds plays against a
+// replicated dictionary while concurrent clients keep querying, a
+// patrol scrub sweeps for silent damage, and the background repair
+// supervisor heals every outage unaided. The run exits non-zero if any
+// soak invariant breaks (a key unavailable mid-soak, unattributed
+// recovery I/O, damage surviving the soak, or no convergence), so CI
+// can gate on the exit code:
+//
+//	pdmbench -chaos -seed 2 -json -out chaos.json
 package main
 
 import (
@@ -54,7 +65,10 @@ func main() {
 		serve    = flag.String("serve", "", "serve live /metrics, /healthz, and /debug/pprof on this address while running")
 		parallel = flag.Int("parallel", 0, "run the multi-client throughput mode with this many clients (vs a 1-client baseline)")
 		ops      = flag.Int("ops", 0, "throughput mode: total operations per run (default 8000)")
-		seed     = flag.Uint64("seed", 1, "throughput mode: workload seed")
+		seed     = flag.Uint64("seed", 1, "throughput/chaos mode: workload seed")
+		chaos    = flag.Bool("chaos", false, "run the chaos soak: scheduled fail/heal/corrupt rounds under concurrent traffic with background self-healing; exits non-zero if any soak invariant breaks")
+		clients  = flag.Int("clients", 0, "chaos mode: concurrent lookup clients (default 8)")
+		rounds   = flag.Int("rounds", 0, "chaos mode: damage rounds in the generated schedule (default 6)")
 	)
 	flag.StringVar(outPath, "o", "", "alias for -out")
 	flag.Parse()
@@ -124,6 +138,24 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pdmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *chaos {
+		if *pattern != "" || *parallel > 0 {
+			fmt.Fprintln(os.Stderr, "pdmbench: -chaos is mutually exclusive with -run and -parallel")
+			os.Exit(1)
+		}
+		res, err := bench.RunChaos(bench.ChaosConfig{Seed: *seed, Clients: *clients, Rounds: *rounds})
+		werr := bench.WriteChaos(out, []bench.Table{*bench.ChaosTable(res)}, []bench.ChaosResult{res}, format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdmbench: chaos soak FAILED:", err)
+			os.Exit(1)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pdmbench:", werr)
 			os.Exit(1)
 		}
 		return

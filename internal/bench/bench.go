@@ -146,9 +146,10 @@ func (t *Table) CSV() string {
 // emits. Version 1 was a bare array of tables; version 2 wrapped it in
 // a Report so the schema can evolve without breaking consumers; version
 // 3 added p999 to histogram digests and per-operation SLO quantiles to
-// the parallel-throughput tables. Bump this whenever Report or Table
+// the parallel-throughput tables; version 4 added the chaos-soak
+// results (pdmbench -chaos). Bump this whenever Report or Table
 // changes shape.
-const ReportSchemaVersion = 3
+const ReportSchemaVersion = 4
 
 // Report is the top-level JSON document of a -json run.
 type Report struct {
@@ -157,6 +158,9 @@ type Report struct {
 	// Throughput carries the raw multi-client results — per-client SLO
 	// digests included — when the run was pdmbench -parallel.
 	Throughput []ThroughputResult `json:"throughput,omitempty"`
+	// Chaos carries the chaos-soak results — schedule, health counters,
+	// and exact cost attribution — when the run was pdmbench -chaos.
+	Chaos []ChaosResult `json:"chaos,omitempty"`
 }
 
 // Format selects a Table rendering.
@@ -232,6 +236,30 @@ func WriteThroughput(w io.Writer, tables []Table, results []ThroughputResult, fo
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: tables, Throughput: results}); err != nil {
+			return fmt.Errorf("bench: encoding JSON: %w", err)
+		}
+		return nil
+	}
+	for _, t := range tables {
+		switch format {
+		case FormatMarkdown:
+			fmt.Fprintln(w, t.Markdown())
+		case FormatCSV:
+			fmt.Fprintln(w, t.CSV())
+		default:
+			fmt.Fprintln(w, t.Render())
+		}
+	}
+	return nil
+}
+
+// WriteChaos renders chaos tables plus, for JSON, the raw soak results
+// with their schedules and attribution breakdowns.
+func WriteChaos(w io.Writer, tables []Table, results []ChaosResult, format Format) error {
+	if format == FormatJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: tables, Chaos: results}); err != nil {
 			return fmt.Errorf("bench: encoding JSON: %w", err)
 		}
 		return nil

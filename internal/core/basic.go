@@ -135,6 +135,31 @@ type BasicDict struct {
 	codec     bucket.Codec
 	fragWords int
 	n         int
+
+	// retry governs degraded-read recovery (LookupTry and friends); the
+	// zero value is the historical default. repairJob, when non-nil, is
+	// the in-progress incremental repair: the update paths feed it the
+	// authoritative record changes for the stripe under reconstruction
+	// (see RepairJob). Both guarded by mu.
+	retry     pdm.RetryPolicy
+	repairJob *RepairJob
+}
+
+// SetRetryPolicy installs the policy the fault-aware paths (LookupTry,
+// LookupTryBatch, Repair, Scrub) use for transient-error recovery. The
+// zero value restores the default: three immediate retries, no backoff,
+// no hedging — the historical hardcoded behavior.
+func (bd *BasicDict) SetRetryPolicy(p pdm.RetryPolicy) {
+	bd.mu.Lock()
+	bd.retry = p
+	bd.mu.Unlock()
+}
+
+// RetryPolicy returns the installed recovery policy (zero = default).
+func (bd *BasicDict) RetryPolicy() pdm.RetryPolicy {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
+	return bd.retry
 }
 
 // NewBasic creates an empty dictionary occupying the given region. The
@@ -562,6 +587,7 @@ func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word)
 			// as writes so the structure stays consistent (x is then gone).
 			if existing {
 				bd.n--
+				bd.noteUpdate(x, nil, 0)
 				return bd.collectWrites(x, hood, dirty), ErrFull
 			}
 			return nil, ErrFull
@@ -600,6 +626,7 @@ func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word)
 	if !existing {
 		bd.n++
 	}
+	bd.noteUpdate(x, sat, mask)
 	return bd.collectWrites(x, hood, dirty), nil
 }
 
@@ -692,6 +719,7 @@ func (bd *BasicDict) deleteWrites(x pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWri
 		dirty[i] = true
 	}
 	bd.n--
+	bd.noteUpdate(x, nil, 0)
 	return bd.collectWrites(x, hood, dirty), true
 }
 

@@ -49,6 +49,17 @@ type OneProbeDict struct {
 	fieldBits      int
 	fieldsPerBlock int
 	n              int
+
+	retry pdm.RetryPolicy // degraded-read recovery policy (zero = default)
+}
+
+// SetRetryPolicy installs the policy LookupTry uses for transient-error
+// recovery. The zero value restores the default (three immediate
+// retries, no backoff, no hedging).
+func (op *OneProbeDict) SetRetryPolicy(p pdm.RetryPolicy) {
+	op.mu.Lock()
+	op.retry = p
+	op.mu.Unlock()
 }
 
 // opLevel is one retrieval array on its own disk group.

@@ -16,42 +16,91 @@ import (
 // answers from any surviving replica, Repair rebuilds a lost disk's
 // stripe from the survivors, and Scrub sweeps the whole structure with
 // verified reads. Transient errors are absorbed by re-issuing just the
-// failed addresses, up to faultRetries extra accounted batches — the
-// model's analogue of retry-with-backoff.
+// failed addresses as their own accounted batches, governed by the
+// structure's pdm.RetryPolicy (SetRetryPolicy): retry count, modeled
+// backoff charged as parallel-I/O steps, and optional hedging. The
+// zero-value policy reproduces the historical behavior (three immediate
+// retries) exactly, batch for batch.
 
-// faultRetries bounds how many follow-up batches a degraded operation
-// issues for transiently failed addresses.
-const faultRetries = 3
+// tryRead is tryReadPolicy with the default policy and no operation
+// token — the historical retry behavior.
+func tryRead(m *pdm.Machine, addrs []pdm.Addr) ([][]pdm.Word, error) {
+	return tryReadPolicy(m, nil, pdm.RetryPolicy{}, addrs)
+}
 
-// tryRead is TryBatchRead plus transient-error retry: addresses that
-// failed transiently are re-issued (as their own accounted batches) up
-// to faultRetries times. The returned slice has nil entries for
+// splitTransient partitions a batch error into retryable accesses
+// (transient) and permanent ones. idx maps positions of the failing
+// batch back to the caller's original batch (nil = identity).
+func splitTransient(be *pdm.BatchError) (retryIdx []int, retryable []pdm.BlockError, permanent []pdm.BlockError) {
+	for _, b := range be.Blocks {
+		if errors.Is(b.Err, pdm.ErrTransient) {
+			retryIdx = append(retryIdx, b.Index)
+			retryable = append(retryable, b)
+		} else {
+			permanent = append(permanent, b)
+		}
+	}
+	return retryIdx, retryable, permanent
+}
+
+// tryReadPolicy is TryBatchRead plus policy-driven recovery, attributed
+// to op (nil = unattributed): addresses that failed transiently are
+// re-issued as their own accounted batches, up to pol.Retries() times,
+// after charging the policy's modeled backoff (an addr-less charge
+// under the "backoff" span). With pol.Hedge, a retried address whose
+// disk the machine considers Suspect or recently stalling is issued
+// TWICE in the retry batch and either copy fills the slot — the hedged
+// second request. (Replica blocks are not bit-identical in this layout
+// and a probe batch already spans all replicas, so the hedge re-requests
+// the lagging block itself; falling back to surviving replicas is the
+// caller's assembly step.) The returned slice has nil entries for
 // accesses that never succeeded; the error, if any, lists exactly those
 // entries with indices into the original batch.
-func tryRead(m *pdm.Machine, addrs []pdm.Addr) ([][]pdm.Word, error) {
-	blocks, err := m.TryBatchRead(addrs)
-	for attempt := 0; err != nil && attempt < faultRetries; attempt++ {
+func tryReadPolicy(m *pdm.Machine, op *pdm.Op, pol pdm.RetryPolicy, addrs []pdm.Addr) ([][]pdm.Word, error) {
+	read := func(as []pdm.Addr) ([][]pdm.Word, error) {
+		if op != nil {
+			return m.TryBatchReadOp(op, as)
+		}
+		return m.TryBatchRead(as)
+	}
+	blocks, err := read(addrs)
+	maxRetries := pol.Retries()
+	for attempt := 0; err != nil && attempt < maxRetries; attempt++ {
 		be, ok := pdm.AsBatchError(err)
 		if !ok {
 			return blocks, err
 		}
-		var retryIdx []int
-		var retryAddrs []pdm.Addr
-		var permanent []pdm.BlockError
-		for _, b := range be.Blocks {
-			if errors.Is(b.Err, pdm.ErrTransient) {
-				retryIdx = append(retryIdx, b.Index)
-				retryAddrs = append(retryAddrs, b.Addr)
-			} else {
-				permanent = append(permanent, b)
-			}
-		}
-		if len(retryAddrs) == 0 {
+		retryIdx, retryable, permanent := splitTransient(be)
+		if len(retryable) == 0 {
 			return blocks, err
 		}
-		got, rerr := m.TryBatchRead(retryAddrs)
+		retryAddrs := make([]pdm.Addr, len(retryable))
+		for i, b := range retryable {
+			retryAddrs[i] = b.Addr
+		}
+		if b := pol.Backoff(attempt + 1); b > 0 {
+			endBackoff := m.OpSpan(op, obs.TagBackoff)
+			m.ChargeSteps(op, b)
+			endBackoff()
+		}
+		if pol.Hedge {
+			hedged := 0
+			primaries := len(retryAddrs)
+			for i := 0; i < primaries; i++ {
+				if m.SuspectOrStalling(retryAddrs[i].Disk) {
+					retryIdx = append(retryIdx, retryIdx[i])
+					retryAddrs = append(retryAddrs, retryAddrs[i])
+					hedged++
+				}
+			}
+			m.NoteHedges(hedged)
+		}
+		m.NoteRetry()
+		got, rerr := read(retryAddrs)
 		for i, j := range retryIdx {
-			blocks[j] = got[i]
+			if blocks[j] == nil {
+				blocks[j] = got[i]
+			}
 		}
 		if rerr == nil {
 			if len(permanent) == 0 {
@@ -63,38 +112,64 @@ func tryRead(m *pdm.Machine, addrs []pdm.Addr) ([][]pdm.Word, error) {
 		if !ok {
 			return blocks, rerr
 		}
+		// Merge this round's failures back onto original batch indices. A
+		// slot whose hedged twin succeeded is not a failure; a slot whose
+		// two copies both failed is reported once.
 		merged := permanent
+		reported := make(map[int]bool)
 		for _, b := range rbe.Blocks {
-			merged = append(merged, pdm.BlockError{Index: retryIdx[b.Index], Addr: b.Addr, Err: b.Err})
+			slot := retryIdx[b.Index]
+			if blocks[slot] != nil || reported[slot] {
+				continue
+			}
+			reported[slot] = true
+			merged = append(merged, pdm.BlockError{Index: slot, Addr: b.Addr, Err: b.Err})
+		}
+		if len(merged) == 0 {
+			return blocks, nil
 		}
 		err = &pdm.BatchError{Blocks: merged}
 	}
 	return blocks, err
 }
 
-// tryWrite is TryBatchWrite plus the same transient-error retry.
+// tryWrite is tryWritePolicy with the default policy and no token.
 func tryWrite(m *pdm.Machine, writes []pdm.BlockWrite) error {
-	err := m.TryBatchWrite(writes)
-	for attempt := 0; err != nil && attempt < faultRetries; attempt++ {
+	return tryWritePolicy(m, nil, pdm.RetryPolicy{}, writes)
+}
+
+// tryWritePolicy is TryBatchWrite plus the same policy-driven retry and
+// backoff (writes are never hedged: issuing a write twice has no upside
+// — the second copy lands on the same block).
+func tryWritePolicy(m *pdm.Machine, op *pdm.Op, pol pdm.RetryPolicy, writes []pdm.BlockWrite) error {
+	write := func(ws []pdm.BlockWrite) error {
+		if op != nil {
+			return m.TryBatchWriteOp(op, ws)
+		}
+		return m.TryBatchWrite(ws)
+	}
+	err := write(writes)
+	maxRetries := pol.Retries()
+	for attempt := 0; err != nil && attempt < maxRetries; attempt++ {
 		be, ok := pdm.AsBatchError(err)
 		if !ok {
 			return err
 		}
-		var retryIdx []int
-		var retryWrites []pdm.BlockWrite
-		var permanent []pdm.BlockError
-		for _, b := range be.Blocks {
-			if errors.Is(b.Err, pdm.ErrTransient) {
-				retryIdx = append(retryIdx, b.Index)
-				retryWrites = append(retryWrites, writes[b.Index])
-			} else {
-				permanent = append(permanent, b)
-			}
-		}
-		if len(retryWrites) == 0 {
+		retryIdx, retryable, permanent := splitTransient(be)
+		if len(retryable) == 0 {
 			return err
 		}
-		rerr := m.TryBatchWrite(retryWrites)
+		retryWrites := make([]pdm.BlockWrite, len(retryable))
+		for i, idx := range retryIdx {
+			retryWrites[i] = writes[idx]
+		}
+		if b := pol.Backoff(attempt + 1); b > 0 {
+			endBackoff := m.OpSpan(op, obs.TagBackoff)
+			m.ChargeSteps(op, b)
+			endBackoff()
+		}
+		m.NoteRetry()
+		rerr := write(retryWrites)
 		if rerr == nil {
 			if len(permanent) == 0 {
 				return nil
@@ -169,11 +244,20 @@ func (bd *BasicDict) encodeCanonical(recs []bucket.Record, nBlocks int) [][]pdm.
 // query — the caller knows the answer is unavailable rather than
 // "absent".
 func (bd *BasicDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
+	return bd.LookupTryOp(nil, x)
+}
+
+// LookupTryOp is LookupTry attributed to the operation token op and
+// governed by the structure's retry policy: the probe, every retry
+// batch, and any modeled backoff are charged to op, so recovery I/O
+// shows up under the operation that needed it. A nil op keeps the
+// legacy shared-stack attribution.
+func (bd *BasicDict) LookupTryOp(op *pdm.Op, x pdm.Word) ([]pdm.Word, bool, error) {
 	bd.mu.RLock()
 	defer bd.mu.RUnlock()
-	defer bd.reg.m.Span(obs.TagLookup)()
+	defer bd.reg.m.OpSpan(op, obs.TagLookup)()
 	addrs := bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen()))
-	flat, err := tryRead(bd.reg.m, addrs)
+	flat, err := tryReadPolicy(bd.reg.m, op, bd.retry, addrs)
 	frags, _ := bd.findFragments(x, bd.groupNeighborhood(flat))
 	if bd.present(frags) {
 		return bd.assemble(frags), true, nil
@@ -182,6 +266,62 @@ func (bd *BasicDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
 		return nil, false, fmt.Errorf("core: degraded lookup for key %d inconclusive: %w", x, err)
 	}
 	return nil, false, nil
+}
+
+// LookupTryBatch resolves many keys through the fault layer in one
+// merged, de-duplicated read round governed by the retry policy — the
+// fault-aware LookupBatch. Results align with keys; a key answers true
+// whenever any surviving replica proves it present. The error is
+// non-nil only when at least one key is inconclusive (its ok entry is
+// then false and its sats entry nil — "unavailable", not "absent").
+func (bd *BasicDict) LookupTryBatch(keys []pdm.Word) ([][]pdm.Word, []bool, error) {
+	return bd.LookupTryBatchOp(nil, keys)
+}
+
+// LookupTryBatchOp is LookupTryBatch attributed to op.
+func (bd *BasicDict) LookupTryBatchOp(op *pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool, error) {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
+	defer bd.reg.m.OpSpan(op, obs.TagLookup)()
+	uniq := make(map[pdm.Addr]int)
+	var addrs []pdm.Addr
+	perKey := make([][]int, len(keys))
+	for ki, x := range keys {
+		ka := bd.probeAddrs(x, nil)
+		idxs := make([]int, len(ka))
+		for i, a := range ka {
+			j, ok := uniq[a]
+			if !ok {
+				j = len(addrs)
+				uniq[a] = j
+				addrs = append(addrs, a)
+			}
+			idxs[i] = j
+		}
+		perKey[ki] = idxs
+	}
+	flat, err := tryReadPolicy(bd.reg.m, op, bd.retry, addrs)
+	sats := make([][]pdm.Word, len(keys))
+	oks := make([]bool, len(keys))
+	blocks := make([][]pdm.Word, bd.probeLen())
+	inconclusive := 0
+	for ki, x := range keys {
+		failed := false
+		for i, j := range perKey[ki] {
+			blocks[i] = flat[j]
+			if flat[j] == nil {
+				failed = true
+			}
+		}
+		sats[ki], oks[ki] = bd.lookupInBlocks(x, blocks)
+		if !oks[ki] && failed {
+			inconclusive++
+		}
+	}
+	if inconclusive > 0 && err != nil {
+		return sats, oks, fmt.Errorf("core: degraded batch lookup: %d of %d keys inconclusive: %w", inconclusive, len(keys), err)
+	}
+	return sats, oks, nil
 }
 
 // ContainsTry reports presence through the fault layer; see LookupTry.
@@ -233,7 +373,7 @@ func (bd *BasicDict) Repair(disk int) error {
 			}
 			addrs = bd.bucketAddrs(t*ss+r, addrs)
 		}
-		blocks, err := tryRead(bd.reg.m, addrs)
+		blocks, err := tryReadPolicy(bd.reg.m, nil, bd.retry, addrs)
 		if err != nil {
 			return fmt.Errorf("core: Repair of disk %d: surviving stripe unreadable: %w", disk, err)
 		}
@@ -275,7 +415,7 @@ func (bd *BasicDict) Repair(disk int) error {
 		for i, a := range addrs {
 			writes[i] = pdm.BlockWrite{Addr: a, Data: blocks[i]}
 		}
-		if err := tryWrite(bd.reg.m, writes); err != nil {
+		if err := tryWritePolicy(bd.reg.m, nil, bd.retry, writes); err != nil {
 			return fmt.Errorf("core: Repair of disk %d: rewriting bucket %d: %w", disk, disk*ss+r, err)
 		}
 	}
@@ -308,7 +448,7 @@ func (bd *BasicDict) Scrub() []pdm.Addr {
 			}
 			addrs = bd.bucketAddrs(y, addrs)
 		}
-		_, err := tryRead(bd.reg.m, addrs)
+		_, err := tryReadPolicy(bd.reg.m, nil, bd.retry, addrs)
 		if err == nil {
 			continue
 		}
@@ -331,12 +471,18 @@ func (bd *BasicDict) Scrub() []pdm.Addr {
 // (reported as an error, never as a wrong answer); transient faults and
 // stalls are absorbed.
 func (op *OneProbeDict) LookupTry(x pdm.Word) ([]pdm.Word, bool, error) {
+	return op.LookupTryOp(nil, x)
+}
+
+// LookupTryOp is LookupTry attributed to the operation token tok and
+// governed by the structure's retry policy.
+func (op *OneProbeDict) LookupTryOp(tok *pdm.Op, x pdm.Word) ([]pdm.Word, bool, error) {
 	op.mu.RLock()
 	defer op.mu.RUnlock()
-	defer op.m.Span(obs.TagLookup)()
+	defer op.m.OpSpan(tok, obs.TagLookup)()
 	addrs := op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth()))
 	membLen := op.memb.probeLen()
-	flat, err := tryRead(op.m, addrs)
+	flat, err := tryReadPolicy(op.m, tok, op.retry, addrs)
 	membSat, ok := op.memb.lookupInBlocks(x, flat[:membLen])
 	if !ok {
 		if err != nil {

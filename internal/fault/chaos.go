@@ -1,0 +1,316 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pdmdict/internal/pdm"
+)
+
+// Chaos schedules. A Schedule wraps a Plan and applies a scripted
+// sequence of fail/heal/corrupt/load events to it as the machine's own
+// parallel-I/O step counter advances — the deterministic clock, never
+// wall time. Events are applied strictly in order, and an event can
+// additionally wait for the machine to report every disk Healthy
+// (AwaitHealthy), which is how a generated schedule rotates damage
+// across disks without ever overlapping two outages: the next round's
+// damage holds off until the repair supervisor has fully recovered the
+// previous one. Same seed + same schedule + same single-threaded
+// workload ⇒ the same fault decisions at the same steps, byte for byte.
+
+// ChaosAction says what one scheduled event does to the plan.
+type ChaosAction uint8
+
+// Chaos actions.
+const (
+	// ChaosFail fail-stops Disk (Plan.FailDisk).
+	ChaosFail ChaosAction = iota
+	// ChaosHeal clears Disk's fail-stop (Plan.HealDisk); the disk's data
+	// survived the outage but may be stale and needs repair.
+	ChaosHeal
+	// ChaosCorrupt schedules a one-shot bit flip at Addr/Bit
+	// (Plan.CorruptAt).
+	ChaosCorrupt
+	// ChaosTransient sets the per-read transient probability to Prob
+	// (Plan.SetTransient).
+	ChaosTransient
+	// ChaosStall sets the per-access stall probability to Prob with
+	// Stall extra steps (Plan.SetStall).
+	ChaosStall
+)
+
+// String names the action as used in schedule dumps.
+func (a ChaosAction) String() string {
+	switch a {
+	case ChaosFail:
+		return "fail"
+	case ChaosHeal:
+		return "heal"
+	case ChaosCorrupt:
+		return "corrupt"
+	case ChaosTransient:
+		return "transient"
+	case ChaosStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("ChaosAction(%d)", int(a))
+	}
+}
+
+// ChaosEvent is one scripted fault-plan mutation.
+type ChaosEvent struct {
+	// Step is the machine parallel-I/O step counter at or after which
+	// the event fires. Events fire strictly in schedule order: an event
+	// never fires before every earlier event has.
+	Step int64 `json:"step"`
+	// HoldSteps, when positive, additionally keeps the event from firing
+	// until this many steps after the previous event fired. Gates can
+	// delay a round far past its nominal Step; a heal with HoldSteps
+	// still gives its outage a full window instead of collapsing to
+	// zero width when the fail finally lands.
+	HoldSteps int64 `json:"hold_steps,omitempty"`
+	// AwaitHealthy additionally holds the event (and everything after
+	// it) until the machine reports all disks Healthy — the gate that
+	// serializes damage rounds against recovery.
+	AwaitHealthy bool        `json:"await_healthy,omitempty"`
+	Action       ChaosAction `json:"-"`
+	// Act is the action's name, for JSON schedule dumps.
+	Act   string   `json:"action"`
+	Disk  int      `json:"disk,omitempty"`
+	Addr  pdm.Addr `json:"addr"`
+	Bit   uint     `json:"bit,omitempty"`
+	Prob  float64  `json:"prob,omitempty"`
+	Stall int      `json:"stall,omitempty"`
+}
+
+// Schedule is a Plan driven by a scripted event sequence. It implements
+// pdm.FaultInjector by applying every due event and then delegating the
+// access decision to the wrapped plan. Bind it to a machine before use.
+type Schedule struct {
+	mu      sync.Mutex
+	plan    *Plan
+	events  []ChaosEvent
+	next    int
+	steps   func() int64 // machine step clock (Machine.StepCount)
+	healthy func() bool  // all-disks-healthy gate (Machine.AllDisksHealthy)
+	// flip applies a corruption immediately (Machine.FlipBit). When nil,
+	// ChaosCorrupt falls back to the plan's latched one-shot (CorruptAt),
+	// which only manifests on the target's next access — a cold block can
+	// then carry its damage past the round that scripted it.
+	flip func(pdm.Addr, uint)
+	// clean verifies a block's checksum (Machine.BlockClean). Corruptions
+	// applied through flip are remembered in pending until clean vouches
+	// for them again; AwaitHealthy gates hold while any are outstanding,
+	// so a damage round is not just detected but repaired before the next
+	// round fires.
+	clean     func(pdm.Addr) bool
+	pending   []pdm.Addr
+	lastFired int64 // step at which the most recent event fired (HoldSteps anchor)
+}
+
+// NewSchedule wraps plan with the given events. The events are copied
+// and stably sorted by Step (ties keep their given order). Call Bind
+// before installing the schedule as an injector.
+func NewSchedule(plan *Plan, events []ChaosEvent) *Schedule {
+	evs := make([]ChaosEvent, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Step < evs[j].Step })
+	for i := range evs {
+		evs[i].Act = evs[i].Action.String()
+	}
+	return &Schedule{plan: plan, events: evs}
+}
+
+// Bind connects the schedule to its machine's deterministic clock and
+// health gate. Both callbacks must be safe to call from inside a
+// FaultInjector — i.e. lock-free atomic loads; pdm.Machine.StepCount and
+// pdm.Machine.AllDisksHealthy are exactly that.
+func (s *Schedule) Bind(steps func() int64, healthy func() bool) {
+	s.mu.Lock()
+	s.steps = steps
+	s.healthy = healthy
+	s.mu.Unlock()
+}
+
+// BindFlip installs an immediate-corruption callback (Machine.FlipBit)
+// and its verification oracle (Machine.BlockClean): ChaosCorrupt events
+// then flip the stored bit the moment they fire rather than latching a
+// one-shot in the plan, and AwaitHealthy gates additionally hold until
+// every flipped block verifies clean again.
+func (s *Schedule) BindFlip(flip func(pdm.Addr, uint), clean func(pdm.Addr) bool) {
+	s.mu.Lock()
+	s.flip = flip
+	s.clean = clean
+	s.mu.Unlock()
+}
+
+// BindMachine is Bind wired to m's step clock, health gate, and
+// immediate bit-flipper.
+func (s *Schedule) BindMachine(m *pdm.Machine) {
+	s.Bind(m.StepCount, m.AllDisksHealthy)
+	s.BindFlip(m.FlipBit, m.BlockClean)
+}
+
+// apply fires one event into the plan. Caller holds s.mu.
+func (s *Schedule) apply(e ChaosEvent) {
+	switch e.Action {
+	case ChaosFail:
+		s.plan.FailDisk(e.Disk)
+	case ChaosHeal:
+		s.plan.HealDisk(e.Disk)
+	case ChaosCorrupt:
+		if s.flip != nil {
+			s.flip(e.Addr, e.Bit)
+			s.pending = append(s.pending, e.Addr)
+		} else {
+			s.plan.CorruptAt(e.Addr, e.Bit)
+		}
+	case ChaosTransient:
+		s.plan.SetTransient(e.Prob)
+	case ChaosStall:
+		s.plan.SetStall(e.Prob, e.Stall)
+	}
+}
+
+// Access implements pdm.FaultInjector: fire every due event, then let
+// the plan decide the access. The machine calls it under its fault
+// lock, so events land at deterministic positions of the access stream.
+func (s *Schedule) Access(kind pdm.EventKind, a pdm.Addr) pdm.Fault {
+	s.mu.Lock()
+	now := int64(0)
+	if s.steps != nil {
+		now = s.steps()
+	}
+	for s.next < len(s.events) {
+		e := s.events[s.next]
+		if e.Step > now {
+			break
+		}
+		if e.HoldSteps > 0 && s.next > 0 && now < s.lastFired+e.HoldSteps {
+			break
+		}
+		if e.AwaitHealthy {
+			if s.healthy == nil || !s.healthy() {
+				break
+			}
+			if !s.pendingClean() {
+				break
+			}
+		}
+		s.apply(e)
+		s.lastFired = now
+		s.next++
+	}
+	s.mu.Unlock()
+	return s.plan.Access(kind, a)
+}
+
+// pendingClean drops every outstanding corruption that verifies clean
+// again and reports whether none remain. Caller holds s.mu.
+func (s *Schedule) pendingClean() bool {
+	if s.clean == nil {
+		return true
+	}
+	kept := s.pending[:0]
+	for _, a := range s.pending {
+		if !s.clean(a) {
+			kept = append(kept, a)
+		}
+	}
+	s.pending = kept
+	return len(s.pending) == 0
+}
+
+// Done reports whether every scheduled event has fired.
+func (s *Schedule) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next >= len(s.events)
+}
+
+// Applied returns how many events have fired so far.
+func (s *Schedule) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Events returns a copy of the schedule (sorted, with Act names filled
+// in) — what pdmbench -chaos dumps next to the trace artifact.
+func (s *Schedule) Events() []ChaosEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ChaosEvent, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// ChaosProfile shapes GenerateSchedule's output.
+type ChaosProfile struct {
+	// Disks is the machine's disk count; damaged disks are drawn from it.
+	Disks int
+	// Blocks bounds the block index of generated corruptions.
+	Blocks int
+	// Rounds is how many damage rounds to script.
+	Rounds int
+	// Gap is the step distance between a round's fail and its heal (and
+	// between rounds). Schedules stay valid if repair outruns or lags the
+	// gap: rounds are additionally serialized by AwaitHealthy.
+	Gap int64
+	// CorruptEvery makes every n-th round a one-shot corruption instead
+	// of a fail/heal outage; 0 disables corruption rounds.
+	CorruptEvery int
+}
+
+// GenerateSchedule scripts a deterministic damage rotation from seed:
+// each round fail-stops one seed-chosen disk and heals it Gap steps
+// later (or, every CorruptEvery-th round, flips one seed-chosen bit),
+// with every round gated on the machine having fully recovered from the
+// previous one. Same seed + profile ⇒ same schedule, always.
+func GenerateSchedule(seed uint64, p ChaosProfile) []ChaosEvent {
+	if p.Disks <= 0 || p.Rounds <= 0 {
+		return nil
+	}
+	gap := p.Gap
+	if gap <= 0 {
+		gap = 1
+	}
+	blocks := p.Blocks
+	if blocks <= 0 {
+		blocks = 1
+	}
+	draw := func(i int) uint64 { return mix64(seed ^ mix64(uint64(i))) }
+	var evs []ChaosEvent
+	for r := 0; r < p.Rounds; r++ {
+		base := int64(r) * 2 * gap
+		d := int(draw(3*r) % uint64(p.Disks))
+		if p.CorruptEvery > 0 && (r+1)%p.CorruptEvery == 0 {
+			evs = append(evs, ChaosEvent{
+				Step:         base,
+				AwaitHealthy: true,
+				Action:       ChaosCorrupt,
+				Addr:         pdm.Addr{Disk: d, Block: int(draw(3*r+1) % uint64(blocks))},
+				Bit:          uint(draw(3*r+2) % 512),
+			})
+			continue
+		}
+		evs = append(evs, ChaosEvent{
+			Step:         base,
+			AwaitHealthy: true,
+			Action:       ChaosFail,
+			Disk:         d,
+		})
+		evs = append(evs, ChaosEvent{
+			Step: base + gap,
+			// Anchor the outage's width to when the fail actually fired:
+			// gates can push a round far past its nominal steps, and an
+			// absolute-only heal would then land in the same pass as its
+			// fail, collapsing the outage to nothing.
+			HoldSteps: gap,
+			Action:    ChaosHeal,
+			Disk:      d,
+		})
+	}
+	return evs
+}

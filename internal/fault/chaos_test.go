@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"pdmdict/internal/pdm"
+)
+
+// A scripted fail/heal pair fires at its steps, in order, against a
+// fake clock — and the fault decisions flip accordingly.
+func TestScheduleFiresInStepOrder(t *testing.T) {
+	plan := NewPlan(1)
+	s := NewSchedule(plan, []ChaosEvent{
+		{Step: 10, Action: ChaosHeal, Disk: 0},
+		{Step: 5, Action: ChaosFail, Disk: 0},
+	})
+	now := int64(0)
+	s.Bind(func() int64 { return now }, func() bool { return true })
+	a := pdm.Addr{Disk: 0, Block: 0}
+
+	if f := s.Access(pdm.EventRead, a); f.Kind != pdm.FaultNone {
+		t.Fatalf("before any event: %v", f.Kind)
+	}
+	now = 5
+	if f := s.Access(pdm.EventRead, a); f.Kind != pdm.FaultFailStop {
+		t.Fatalf("after fail event: %v", f.Kind)
+	}
+	if s.Done() || s.Applied() != 1 {
+		t.Fatalf("Applied = %d, Done = %v, want 1/false", s.Applied(), s.Done())
+	}
+	now = 10
+	if f := s.Access(pdm.EventRead, a); f.Kind != pdm.FaultNone {
+		t.Fatalf("after heal event: %v", f.Kind)
+	}
+	if !s.Done() {
+		t.Fatal("schedule not done after last event")
+	}
+}
+
+// AwaitHealthy holds the event — and everything scheduled after it —
+// until the health gate opens.
+func TestScheduleAwaitHealthyGates(t *testing.T) {
+	plan := NewPlan(1)
+	s := NewSchedule(plan, []ChaosEvent{
+		{Step: 0, AwaitHealthy: true, Action: ChaosFail, Disk: 1},
+		{Step: 0, Action: ChaosFail, Disk: 2},
+	})
+	healthy := false
+	s.Bind(func() int64 { return 100 }, func() bool { return healthy })
+	a1 := pdm.Addr{Disk: 1, Block: 0}
+
+	if f := s.Access(pdm.EventRead, a1); f.Kind != pdm.FaultNone || s.Applied() != 0 {
+		t.Fatalf("gated event fired: %v, applied %d", f.Kind, s.Applied())
+	}
+	healthy = true
+	if f := s.Access(pdm.EventRead, a1); f.Kind != pdm.FaultFailStop || s.Applied() != 2 {
+		t.Fatalf("after gate opened: %v, applied %d", f.Kind, s.Applied())
+	}
+	if !plan.Failed(2) {
+		t.Fatal("event after the gate did not fire with it")
+	}
+}
+
+func TestScheduleCorruptAndLoadActions(t *testing.T) {
+	plan := NewPlan(1)
+	addr := pdm.Addr{Disk: 0, Block: 3}
+	s := NewSchedule(plan, []ChaosEvent{
+		{Step: 0, Action: ChaosCorrupt, Addr: addr, Bit: 9},
+		{Step: 0, Action: ChaosTransient, Prob: 1},
+	})
+	s.Bind(func() int64 { return 1 }, func() bool { return true })
+
+	if f := s.Access(pdm.EventRead, addr); f.Kind != pdm.FaultCorrupt || f.Bit != 9 {
+		t.Fatalf("scheduled corruption: %+v", f)
+	}
+	// Corruption was one-shot; transient probability 1 now decides.
+	if f := s.Access(pdm.EventRead, addr); f.Kind != pdm.FaultTransient {
+		t.Fatalf("after corruption drained: %v", f.Kind)
+	}
+}
+
+// Same seed + profile ⇒ same schedule; rounds alternate fail/heal with
+// the AwaitHealthy gate on each round's damage.
+func TestGenerateScheduleDeterministic(t *testing.T) {
+	p := ChaosProfile{Disks: 6, Blocks: 64, Rounds: 5, Gap: 50, CorruptEvery: 3}
+	a := GenerateSchedule(7, p)
+	b := GenerateSchedule(7, p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	corrupts, fails, heals := 0, 0, 0
+	for _, e := range a {
+		switch e.Action {
+		case ChaosCorrupt:
+			corrupts++
+			if !e.AwaitHealthy {
+				t.Fatal("corruption round not gated on recovery")
+			}
+		case ChaosFail:
+			fails++
+			if !e.AwaitHealthy {
+				t.Fatal("fail round not gated on recovery")
+			}
+			if e.Disk < 0 || e.Disk >= p.Disks {
+				t.Fatalf("disk %d out of range", e.Disk)
+			}
+		case ChaosHeal:
+			heals++
+		}
+	}
+	// Rounds 3 is the corruption round (CorruptEvery=3), the other 4
+	// are fail/heal pairs.
+	if corrupts != 1 || fails != 4 || heals != 4 {
+		t.Fatalf("rounds = %d corrupt / %d fail / %d heal", corrupts, fails, heals)
+	}
+	if GenerateSchedule(8, p)[0] == a[0] && reflect.DeepEqual(GenerateSchedule(8, p), a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -1,0 +1,333 @@
+// Package heal runs the background repair supervisor: a goroutine that
+// watches the machine's per-disk health state machine (pdm.Health) and
+// drives incremental repair and verification scrubs in bounded chunks,
+// interleaved with live traffic.
+//
+// The supervisor is deliberately clockless: it sleeps on the machine's
+// health notification (pdm.Machine.SetHealthNotify) and paces itself by
+// chunks of work, never by wall time, so a single-threaded run with a
+// scripted fault schedule heals at deterministic step positions. All
+// repair I/O is attributed to a per-episode operation token (client
+// heal.RepairClient), so recovery cost shows up as its own rows in the
+// machine's op accounting rather than polluting client operations.
+//
+// Per-disk episode lifecycle:
+//
+//	Failed (reachable)  → MarkRepairing, start an incremental RepairJob
+//	Repairing           → Step the job one chunk at a time; an errored
+//	                      chunk is retried (the job resumes from its
+//	                      cursor) up to MaxAttempts, then the disk is
+//	                      demoted back to Failed and the episode parks
+//	repair done         → chunked verification scrub of the stripe
+//	scrub found damage  → start another RepairJob (same attempt budget)
+//	scrub clean         → MarkHealthy: the disk rejoins the array
+//	Suspect             → MarkRepairing, verification scrub only; damage
+//	                      escalates to a RepairJob, a clean pass clears
+//	                      the suspicion
+package heal
+
+import (
+	"sync"
+
+	"pdmdict/internal/core"
+	"pdmdict/internal/pdm"
+)
+
+// RepairClient is the client ID repair episodes charge their I/O to —
+// negative so it can never collide with a real client.
+const RepairClient = -1
+
+// Target is the dictionary surface the supervisor drives. *core.BasicDict
+// implements it (in Replicate mode).
+type Target interface {
+	StartRepair(disk int) (*core.RepairJob, error)
+	ScrubRange(op *pdm.Op, disk, row, nRows int) (bad []pdm.Addr, next int, done bool)
+}
+
+// Config shapes a Supervisor.
+type Config struct {
+	// ChunkRows is how many bucket rows one repair or scrub chunk covers
+	// before releasing the dictionary's lock. 0 defaults to 4.
+	ChunkRows int
+	// MaxAttempts bounds how many times one episode restarts or resumes a
+	// failing repair before parking the disk as Failed. 0 defaults to 3.
+	MaxAttempts int
+}
+
+func (c *Config) normalize() {
+	if c.ChunkRows <= 0 {
+		c.ChunkRows = 4
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+}
+
+// episode is one disk's in-progress recovery.
+type episode struct {
+	op       *pdm.Op
+	job      *core.RepairJob
+	scrubRow int
+	scrubbing bool
+	dirty     bool // verification scrub found bad blocks
+	attempts  int
+	parked    bool
+}
+
+// Supervisor watches one machine and repairs one dictionary. Create
+// with New, start the background loop with Start (or drive it
+// synchronously with Tick in tests), and stop with Stop.
+type Supervisor struct {
+	m    *pdm.Machine
+	dict Target
+	cfg  Config
+
+	mu       sync.Mutex
+	episodes map[int]*episode
+	minted   []*pdm.Op // every episode token ever minted, for cost audits
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New creates a supervisor for dict on m. It does not start anything.
+func New(m *pdm.Machine, dict Target, cfg Config) *Supervisor {
+	cfg.normalize()
+	return &Supervisor{
+		m:        m,
+		dict:     dict,
+		cfg:      cfg,
+		episodes: make(map[int]*episode),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start installs the health notification hook and launches the
+// background loop. The loop drains all pending work (Tick until idle),
+// then sleeps until the machine reports a health transition.
+func (s *Supervisor) Start() {
+	s.m.SetHealthNotify(func() {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	})
+	go s.run()
+}
+
+// Stop halts the background loop and removes the notification hook. It
+// blocks until the loop has exited; in-progress repair jobs are left
+// registered (a new supervisor can resume the disks from their health
+// states).
+func (s *Supervisor) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+	s.m.SetHealthNotify(nil)
+}
+
+func (s *Supervisor) run() {
+	defer close(s.done)
+	for {
+		for s.Tick() {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+		}
+		select {
+		case <-s.wake:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Tick runs one chunk of recovery work for every disk that needs it and
+// reports whether any work was done. Tests drive it synchronously for
+// deterministic step-by-step assertions; the background loop calls it
+// until it goes idle.
+func (s *Supervisor) Tick() bool {
+	rep := s.m.Health()
+	worked := false
+	for _, dh := range rep.Disks {
+		if s.tickDisk(dh) {
+			worked = true
+		}
+	}
+	return worked
+}
+
+// tickDisk advances one disk's episode by at most one chunk.
+func (s *Supervisor) tickDisk(dh pdm.DiskHealth) bool {
+	s.mu.Lock()
+	ep := s.episodes[dh.Disk]
+	s.mu.Unlock()
+
+	switch dh.State {
+	case pdm.Healthy:
+		// Nothing to do; drop any stale episode (external ClearDegraded).
+		if ep != nil {
+			s.clear(dh.Disk, ep)
+		}
+		return false
+	case pdm.Failed:
+		if ep != nil && ep.parked {
+			return false // out of attempts; waiting for outside help
+		}
+		if !dh.Reachable {
+			return false // drive not answering yet; traffic will tell us
+		}
+		if !s.m.MarkRepairing(dh.Disk) {
+			return false
+		}
+		return s.beginEpisode(dh.Disk, ep, true)
+	case pdm.Suspect:
+		if ep != nil && ep.parked {
+			return false
+		}
+		if !s.m.MarkRepairing(dh.Disk) {
+			return false
+		}
+		// Suspicion is verified, not rebuilt: scrub first, repair only if
+		// the scrub finds damage.
+		return s.beginEpisode(dh.Disk, ep, false)
+	case pdm.Repairing:
+		if ep == nil {
+			// Claimed by someone else (or a previous supervisor); adopt it
+			// as a fresh verification episode.
+			return s.beginEpisode(dh.Disk, nil, true)
+		}
+		return s.advance(dh.Disk, ep)
+	}
+	return false
+}
+
+// beginEpisode creates (or refreshes) a disk's episode after claiming
+// it. withRepair starts a rebuild immediately; otherwise the episode
+// opens with the verification scrub.
+func (s *Supervisor) beginEpisode(disk int, prev *episode, withRepair bool) bool {
+	ep := prev
+	if ep == nil {
+		ep = &episode{op: s.m.NewOp(RepairClient, 0)}
+		s.mu.Lock()
+		s.episodes[disk] = ep
+		s.minted = append(s.minted, ep.op)
+		s.mu.Unlock()
+	} else if ep.job != nil {
+		// The disk re-failed mid-repair: the collected snapshot may be
+		// stale, so restart from scratch — against the attempt budget.
+		ep.job.Close()
+		ep.job = nil
+		ep.attempts++
+		if ep.attempts >= s.cfg.MaxAttempts {
+			ep.parked = true
+			s.m.MarkFailed(disk)
+			return true
+		}
+	}
+	ep.scrubbing = !withRepair
+	ep.scrubRow = 0
+	ep.dirty = false
+	if withRepair {
+		job, err := s.dict.StartRepair(disk)
+		if err != nil {
+			// Another disk's job holds the slot; give it back and retry on
+			// a later tick.
+			s.m.MarkFailed(disk)
+			return false
+		}
+		ep.job = job
+	}
+	return s.advance(disk, ep)
+}
+
+// advance runs one chunk of the episode's current stage.
+func (s *Supervisor) advance(disk int, ep *episode) bool {
+	if ep.job != nil {
+		done, err := ep.job.Step(ep.op, s.cfg.ChunkRows)
+		if err != nil {
+			ep.attempts++
+			if ep.attempts >= s.cfg.MaxAttempts {
+				ep.job.Close()
+				ep.job = nil
+				ep.parked = true
+				s.m.MarkFailed(disk)
+			}
+			// Otherwise keep the job: its cursor did not advance past the
+			// failing row, so the next tick resumes right there.
+			return true
+		}
+		if done {
+			ep.job = nil
+			ep.scrubbing = true
+			ep.scrubRow = 0
+			ep.dirty = false
+		}
+		return true
+	}
+	if !ep.scrubbing {
+		return false
+	}
+	bad, next, done := s.dict.ScrubRange(ep.op, disk, ep.scrubRow, s.cfg.ChunkRows)
+	ep.scrubRow = next
+	if len(bad) > 0 {
+		ep.dirty = true
+	}
+	if !done {
+		return true
+	}
+	if ep.dirty {
+		// Verification failed: the stripe needs a rebuild after all.
+		ep.attempts++
+		if ep.attempts >= s.cfg.MaxAttempts {
+			ep.parked = true
+			s.m.MarkFailed(disk)
+			return true
+		}
+		job, err := s.dict.StartRepair(disk)
+		if err != nil {
+			s.m.MarkFailed(disk)
+			return true
+		}
+		ep.job = job
+		ep.scrubbing = false
+		return true
+	}
+	// Clean full pass: the disk rejoins the array.
+	s.m.MarkHealthy(disk)
+	s.clear(disk, ep)
+	return true
+}
+
+// clear forgets a disk's episode.
+func (s *Supervisor) clear(disk int, ep *episode) {
+	if ep.job != nil {
+		ep.job.Close()
+		ep.job = nil
+	}
+	s.mu.Lock()
+	delete(s.episodes, disk)
+	s.mu.Unlock()
+}
+
+// Idle reports whether the supervisor currently tracks no episodes.
+func (s *Supervisor) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.episodes) == 0
+}
+
+// Ops returns every operation token the supervisor has minted, one per
+// repair episode — the audit trail that lets a soak harness prove the
+// machine's totals are exactly the clients' charges plus the
+// supervisor's (nothing unattributed, nothing double-counted).
+func (s *Supervisor) Ops() []*pdm.Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*pdm.Op(nil), s.minted...)
+}

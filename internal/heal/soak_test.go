@@ -1,0 +1,224 @@
+package heal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pdmdict/internal/core"
+	"pdmdict/internal/fault"
+	"pdmdict/internal/pdm"
+)
+
+// TestChaosSoak is the self-healing soak property: a generated chaos
+// schedule rotates fail/heal outages and bit flips across the disks
+// while 8 clients hammer degraded lookups and the supervisor heals in
+// the background, unaided. Run with -race. The properties checked:
+//
+//  1. Every preloaded key answers correctly at every moment — outages,
+//     corruption, and repair included. Replicas plus the retry policy
+//     make "unavailable" unreachable for K−1 simultaneous failures.
+//  2. The cost ledger stays exact under concurrency: the machine's
+//     counters for the soak window equal the clients' token charges
+//     plus the supervisor's episode charges. Recovery is attributed,
+//     not smeared.
+//  3. The supervisor converges: after the last scheduled event, all
+//     disks return to Healthy with no outside help, and a final scrub
+//     finds nothing.
+func TestChaosSoak(t *testing.T) {
+	shapes := []struct {
+		name    string
+		d, b, k int
+	}{
+		{"d6b64k2", 6, 64, 2},
+		{"d8b64k3", 8, 64, 3},
+		{"d4b32k2", 4, 32, 2},
+	}
+	for _, shape := range shapes {
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed%d", shape.name, seed), func(t *testing.T) {
+				soak(t, shape.d, shape.b, shape.k, seed)
+			})
+		}
+	}
+}
+
+func soak(t *testing.T, d, b, k int, seed uint64) {
+	const n, clients = 240, 8
+	m := pdm.NewMachine(pdm.Config{D: d, B: b})
+	// The soak runs a constant transient drizzle; with the default 3-in-256
+	// promotion every disk would sit perpetually Suspect and the schedule's
+	// AwaitHealthy gates could never open. Promotion here needs a burst no
+	// drizzle can produce, so Suspect stays reserved for real damage.
+	m.SetSuspectThresholds(500, 64)
+	bd, err := core.NewBasic(m, core.BasicConfig{
+		Capacity: n, SatWords: 3, K: k, Replicate: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("NewBasic: %v", err)
+	}
+	key := func(i int) pdm.Word { return pdm.Word(i)*2654435761 + 1 }
+	for i := 0; i < n; i++ {
+		if err := bd.Insert(key(i), []pdm.Word{pdm.Word(i), key(i), key(i) ^ 0xabc}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// A policy deep enough that a key is effectively never unavailable
+	// while any replica lives, with backoff and hedging exercised.
+	bd.SetRetryPolicy(pdm.RetryPolicy{MaxRetries: 6, BackoffBase: 2, BackoffFactor: 2, Hedge: true})
+
+	plan := fault.NewPlan(seed)
+	plan.SetTransient(0.05)
+	plan.SetStall(0.02, 2)
+	schedule := fault.NewSchedule(plan, fault.GenerateSchedule(seed, fault.ChaosProfile{
+		Disks:        d,
+		Blocks:       bd.BlocksPerDisk(),
+		Rounds:       4,
+		Gap:          300,
+		CorruptEvery: 3,
+	}))
+	schedule.BindMachine(m)
+
+	base := m.Stats()
+	m.SetFaultInjector(schedule)
+
+	sup := New(m, bd, Config{ChunkRows: 4, MaxAttempts: 8})
+	sup.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Patrol scrubber: a slow background sweep over healthy disks, the
+	// detector for silent damage on blocks client traffic never touches.
+	// Its I/O is charged to its own tokens so the attribution sum stays
+	// exact.
+	var patrolOps []*pdm.Op
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		row := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			op := m.NewOp(clients, 1)
+			patrolOps = append(patrolOps, op)
+			wrapped := false
+			for disk := 0; disk < d; disk++ {
+				if m.DiskState(disk) != pdm.Healthy {
+					continue // outages are the supervisor's problem
+				}
+				if _, _, done := bd.ScrubRange(op, disk, row, 2); done {
+					wrapped = true
+				}
+			}
+			row += 2
+			if wrapped || row > 1<<16 {
+				row = 0
+			}
+		}
+	}()
+
+	ops := make([][]*pdm.Op, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := m.NewOp(c, 1)
+				ops[c] = append(ops[c], op)
+				sat, ok, err := bd.LookupTryOp(op, key(i%n))
+				if err != nil || !ok || sat[1] != key(i%n) {
+					t.Errorf("client %d: key %d unavailable mid-soak: ok=%v err=%v", c, i%n, ok, err)
+					return
+				}
+				i += 5
+			}
+		}(c)
+	}
+
+	drained := func() bool {
+		if !(schedule.Done() && m.AllDisksHealthy() && sup.Idle()) {
+			return false
+		}
+		// A flip in the final round must not hide behind a healthy array.
+		for _, e := range schedule.Events() {
+			if e.Action == fault.ChaosCorrupt && !m.BlockClean(e.Addr) {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !drained() {
+		if time.Now().After(deadline) {
+			t.Fatalf("soak stuck: applied %d/%d events, health %+v, sup idle=%v",
+				schedule.Applied(), len(schedule.Events()), m.Health().Unhealthy(), sup.Idle())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	sup.Stop()
+	if t.Failed() {
+		return
+	}
+
+	// Property 2: exact attribution. Every parallel-I/O step, block read,
+	// and block write of the soak window belongs to a client token or a
+	// supervisor episode token.
+	delta := m.Stats().Sub(base)
+	var steps, reads, writes int64
+	for c := range ops {
+		for _, op := range ops[c] {
+			steps += op.Steps()
+			reads += op.Reads()
+			writes += op.Writes()
+		}
+	}
+	for _, op := range patrolOps {
+		steps += op.Steps()
+		reads += op.Reads()
+		writes += op.Writes()
+	}
+	repairOps := sup.Ops()
+	for _, op := range repairOps {
+		steps += op.Steps()
+		reads += op.Reads()
+		writes += op.Writes()
+	}
+	if steps != delta.ParallelIOs {
+		t.Errorf("Σ attributed steps = %d, machine = %d (unattributed recovery I/O)", steps, delta.ParallelIOs)
+	}
+	if reads != delta.BlockReads || writes != delta.BlockWrites {
+		t.Errorf("Σ attributed transfers = %d+%d, machine = %d+%d",
+			reads, writes, delta.BlockReads, delta.BlockWrites)
+	}
+	if len(repairOps) == 0 {
+		t.Error("supervisor minted no repair episodes during the soak")
+	}
+	rep := m.Health()
+	if rep.RepairChunks == 0 || rep.RepairRows == 0 {
+		t.Errorf("no chunked recovery recorded: %+v", rep)
+	}
+
+	// Property 3: converged and verifiably clean.
+	if bad := bd.Scrub(); len(bad) != 0 {
+		t.Fatalf("post-soak scrub found %d bad blocks: %v", len(bad), bad)
+	}
+	for i := 0; i < n; i++ {
+		sat, ok, err := bd.LookupTry(key(i))
+		if err != nil || !ok || sat[1] != key(i) {
+			t.Fatalf("key %d after soak: ok=%v err=%v", i, ok, err)
+		}
+	}
+}

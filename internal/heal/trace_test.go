@@ -1,0 +1,110 @@
+package heal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdmdict/internal/core"
+	"pdmdict/internal/fault"
+	"pdmdict/internal/obs"
+	"pdmdict/internal/pdm"
+)
+
+// The whole self-healing stack is deterministic when driven from one
+// goroutine: a scripted chaos schedule, the retry/hedge policy, the
+// patrol scrub, and a Tick-driven supervisor replayed against the same
+// seed produce byte-identical JSONL traces — fault events, backoff
+// charges, and repair I/O included. This is the property that makes a
+// chaos failure reproducible from its seed alone.
+func TestChaosTraceDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		w := obs.NewJSONLWriter(&buf)
+		m := pdm.NewMachine(pdm.Config{D: 6, B: 32})
+		m.SetHook(w)
+		m.SetSuspectThresholds(500, 64) // drizzle must not churn Suspect (see soak)
+		bd, err := core.NewBasic(m, core.BasicConfig{
+			Capacity: 150, SatWords: 1, K: 2, Replicate: true, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := func(i int) pdm.Word { return pdm.Word(i)*2654435761 + 1 }
+		for i := 0; i < 150; i++ {
+			if err := bd.Insert(key(i), []pdm.Word{key(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bd.SetRetryPolicy(pdm.RetryPolicy{MaxRetries: 4, BackoffBase: 2, BackoffFactor: 2, Hedge: true})
+
+		plan := fault.NewPlan(21)
+		plan.SetTransient(0.05)
+		plan.SetStall(0.03, 2)
+		schedule := fault.NewSchedule(plan, fault.GenerateSchedule(21, fault.ChaosProfile{
+			Disks:        6,
+			Blocks:       bd.BlocksPerDisk(),
+			Rounds:       3,
+			Gap:          200,
+			CorruptEvery: 3,
+		}))
+		schedule.BindMachine(m)
+		m.SetFaultInjector(schedule)
+
+		sup := New(m, bd, Config{ChunkRows: 2, MaxAttempts: 8})
+		// Drained means more than "all events fired": every scripted
+		// corruption must verify clean again, or a flip in the final round
+		// would leave latent damage behind a healthy-looking array.
+		drained := func() bool {
+			if !(schedule.Done() && m.AllDisksHealthy() && sup.Idle()) {
+				return false
+			}
+			for _, e := range schedule.Events() {
+				if e.Action == fault.ChaosCorrupt && !m.BlockClean(e.Addr) {
+					return false
+				}
+			}
+			return true
+		}
+		row := 0
+		for i := 0; !drained(); i++ {
+			if i > 200000 {
+				t.Fatalf("chaos run did not converge: applied %d/%d, health %+v",
+					schedule.Applied(), len(schedule.Events()), m.Health().Unhealthy())
+			}
+			op := m.NewOp(0, 1)
+			if _, ok, err := bd.LookupTryOp(op, key(i%150)); err != nil || !ok {
+				t.Fatalf("lookup %d: ok=%v err=%v", i, ok, err)
+			}
+			// Patrol scrub, one small chunk per iteration: the detector for
+			// scripted corruption on blocks the workload never reads.
+			wrapped := false
+			for disk := 0; disk < 6; disk++ {
+				if m.DiskState(disk) != pdm.Healthy {
+					continue
+				}
+				if _, _, done := bd.ScrubRange(op, disk, row, 1); done {
+					wrapped = true
+				}
+			}
+			if row++; wrapped {
+				row = 0
+			}
+			for sup.Tick() {
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	t1, t2 := run(), run()
+	if t1 != t2 {
+		t.Fatal("identical seed+schedule produced different chaos traces")
+	}
+	for _, tag := range []string{`"tag":"fault.failstop"`, `"tag":"fault.checksum"`, `"tag":"repair"`} {
+		if !strings.Contains(t1, tag) {
+			t.Errorf("chaos trace lacks %s events", tag)
+		}
+	}
+}

@@ -9,3 +9,7 @@ func TestDetRandInScope(t *testing.T) {
 func TestDetRandOutOfScope(t *testing.T) {
 	runFixture(t, DetRand, "outofscope")
 }
+
+func TestDetRandHealTimers(t *testing.T) {
+	runFixture(t, DetRand, "internal/heal")
+}

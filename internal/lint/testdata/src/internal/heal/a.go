@@ -1,0 +1,21 @@
+// Package heal exercises the timer half of detrand: the repair
+// supervisor and retry policies must pace themselves by modeled
+// parallel-I/O steps or health notifications, never by wall time.
+package heal
+
+import "time"
+
+func backoffByTimer() {
+	time.Sleep(5)            // want `paces a measured path`
+	<-time.After(5)          // want `paces a measured path`
+	_ = time.Tick(1)         // want `paces a measured path`
+	_ = time.NewTimer(1)     // want `paces a measured path`
+	_ = time.NewTicker(1)    // want `paces a measured path`
+	_ = time.AfterFunc(1, f) // want `paces a measured path`
+}
+
+func f() {}
+
+func notifyDriven(wake chan struct{}) {
+	<-wake // ok: notification-driven waiting carries no wall clock
+}

@@ -9,3 +9,14 @@ func Now() Time              { return Time{} }
 func Since(t Time) Duration  { return 0 }
 func Until(t Time) Duration  { return 0 }
 func (t Time) Unix() int64   { return 0 }
+
+type Timer struct{}
+
+type Ticker struct{}
+
+func Sleep(d Duration)                       {}
+func After(d Duration) <-chan Time           { return nil }
+func Tick(d Duration) <-chan Time            { return nil }
+func NewTimer(d Duration) *Timer             { return &Timer{} }
+func NewTicker(d Duration) *Ticker           { return &Ticker{} }
+func AfterFunc(d Duration, f func()) *Timer  { return &Timer{} }

@@ -69,3 +69,66 @@ func TestFaultTraceDeterministic(t *testing.T) {
 		t.Fatal("round-tripped trace lost the fault events")
 	}
 }
+
+// A retry policy's modeled backoff is recorded as addr-less charged
+// reads (ChargeSteps) under the "backoff" span, and Replay re-charges
+// them, so a trace with recovery waiting replays to the exact same cost
+// profile — backoff counter included.
+func TestReplayReproducesBackoffCharges(t *testing.T) {
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	m := pdm.NewMachine(pdm.Config{D: 4, B: 32})
+	m.SetHook(w)
+	bd, err := core.NewBasic(m, core.BasicConfig{
+		Capacity: 100, SatWords: 1, K: 2, Replicate: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := bd.Insert(pdm.Word(i)*97+1, []pdm.Word{pdm.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bd.SetRetryPolicy(pdm.RetryPolicy{MaxRetries: 2, BackoffBase: 4, BackoffFactor: 2})
+	plan := fault.NewPlan(17)
+	plan.SetTransient(0.3)
+	m.SetFaultInjector(plan)
+	for i := 0; i < 100; i++ {
+		//lint:pdm-allow batcherr: replicas settle every query; errors only mean retries ran
+		bd.LookupTry(pdm.Word(i)*97 + 1)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	backoffs := 0
+	for _, e := range events {
+		if e.Kind == pdm.EventRead && len(e.Addrs) == 0 && e.Steps > 0 {
+			backoffs++
+		}
+	}
+	if backoffs == 0 {
+		t.Fatal("workload recorded no addr-less backoff charges; raise the transient rate")
+	}
+	want := m.Health().BackoffSteps
+	if want == 0 {
+		t.Fatal("no backoff steps charged")
+	}
+
+	// Replay against a fault-free machine: batch costs may differ (the
+	// original's failed accesses transferred nothing), but every modeled
+	// backoff charge must be re-applied exactly.
+	fresh := pdm.NewMachine(pdm.Config{D: 4, B: 32})
+	delta := obs.Replay(fresh, events)
+	if got := fresh.Health().BackoffSteps; got != want {
+		t.Errorf("replayed backoff steps = %d, want %d", got, want)
+	}
+	if delta.ParallelIOs < want {
+		t.Errorf("replay parallel I/Os = %d, want >= %d (backoff charges included)", delta.ParallelIOs, want)
+	}
+}

@@ -263,6 +263,11 @@ func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 					shared[i] = op(id, 0, 0)
 				}
 				m.BatchReadShared(shared, e.Addrs)
+			case len(e.Addrs) == 0 && e.Steps > 0:
+				// An addr-less charged read is modeled waiting (a retry
+				// policy's backoff) recorded by ChargeSteps; re-charge it
+				// the same way so the replayed cost profile stays exact.
+				m.ChargeSteps(op(e.Op, e.Client, 0), e.Steps)
 			default:
 				m.BatchReadOp(op(e.Op, e.Client, 0), e.Addrs)
 			}

@@ -38,6 +38,10 @@ type Server struct {
 	Accountant *OpAccountant
 	// Healthy, when set, gates /healthz; nil means always healthy.
 	Healthy func() bool
+	// Health, when set, supplies the per-disk health snapshot behind
+	// the pdm_disk_health_* metric families and the per-disk lines on
+	// /healthz; nil omits both.
+	Health func() pdm.HealthReport
 }
 
 // Handler returns the mux serving the endpoints above.
@@ -70,12 +74,28 @@ func (s *Server) Serve(addr string) (string, func() error, error) {
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.Healthy != nil && !s.Healthy() {
+	degraded := s.Healthy != nil && !s.Healthy()
+	if degraded {
 		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	// The first line stays the machine-readable verdict ("ok" or
+	// "degraded"); per-disk detail follows when a health source is set.
+	if degraded {
 		io.WriteString(w, "degraded\n")
+	} else {
+		io.WriteString(w, "ok\n")
+	}
+	if s.Health == nil {
 		return
 	}
-	io.WriteString(w, "ok\n")
+	rep := s.Health()
+	for _, d := range rep.Disks {
+		if d.State == pdm.Failed && d.Reachable {
+			fmt.Fprintf(w, "disk %d: %s (reachable)\n", d.Disk, d.State)
+			continue
+		}
+		fmt.Fprintf(w, "disk %d: %s\n", d.Disk, d.State)
+	}
 }
 
 func (s *Server) events(w http.ResponseWriter, _ *http.Request) {
@@ -241,9 +261,42 @@ func (s *Server) writeMetrics(w io.Writer) {
 	header(w, "pdm_open_spans", "gauge", "Spans currently open (growth means unbalanced Span calls).")
 	sample(w, "pdm_open_spans", "", float64(c.OpenSpans()))
 
+	if s.Health != nil {
+		s.writeHealthMetrics(w)
+	}
 	if s.Accountant != nil {
 		s.writeOpMetrics(w)
 	}
+}
+
+// writeHealthMetrics renders the per-disk health states and the
+// machine-wide recovery counters. Disks come back as an ordered slice,
+// so the exposition stays byte-deterministic.
+func (s *Server) writeHealthMetrics(w io.Writer) {
+	rep := s.Health()
+
+	header(w, "pdm_disk_health_state", "gauge", "Disk health state (0=healthy, 1=suspect, 2=failed, 3=repairing).")
+	for _, d := range rep.Disks {
+		sample(w, "pdm_disk_health_state", fmt.Sprintf(`disk="%d"`, d.Disk), float64(d.State))
+	}
+	header(w, "pdm_disk_health_transitions_total", "counter", "Health state transitions per disk.")
+	for _, d := range rep.Disks {
+		sample(w, "pdm_disk_health_transitions_total", fmt.Sprintf(`disk="%d"`, d.Disk), float64(d.Transitions))
+	}
+	header(w, "pdm_disk_faults_total", "counter", "Hard faults (fail-stop, corruption) observed per disk.")
+	for _, d := range rep.Disks {
+		sample(w, "pdm_disk_faults_total", fmt.Sprintf(`disk="%d"`, d.Disk), float64(d.Faults))
+	}
+	header(w, "pdm_retry_batches_total", "counter", "Batches reissued by the retry policy after transient faults.")
+	sample(w, "pdm_retry_batches_total", "", float64(rep.Retries))
+	header(w, "pdm_hedged_reads_total", "counter", "Hedged duplicate reads issued against suspect or stalling disks.")
+	sample(w, "pdm_hedged_reads_total", "", float64(rep.Hedges))
+	header(w, "pdm_backoff_steps_total", "counter", "Modeled parallel I/O steps charged as retry backoff.")
+	sample(w, "pdm_backoff_steps_total", "", float64(rep.BackoffSteps))
+	header(w, "pdm_repair_chunks_total", "counter", "Incremental repair and scrub chunks executed.")
+	sample(w, "pdm_repair_chunks_total", "", float64(rep.RepairChunks))
+	header(w, "pdm_repair_rows_total", "counter", "Bucket rows processed by incremental repair and scrub chunks.")
+	sample(w, "pdm_repair_rows_total", "", float64(rep.RepairRows))
 }
 
 // writeOpMetrics renders the exact token-based per-op families. Clients

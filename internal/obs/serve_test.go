@@ -117,7 +117,12 @@ func serveTestState(t *testing.T) (*Server, *pdm.Machine) {
 	end := m.Span("lookup")
 	m.BatchRead([]pdm.Addr{{Disk: 0, Block: 0}, {Disk: 1, Block: 1}})
 	end()
-	return &Server{Collector: c, Ring: ring, Healthy: func() bool { return !m.Degraded() }}, m
+	return &Server{
+		Collector: c,
+		Ring:      ring,
+		Healthy:   func() bool { return !m.Degraded() },
+		Health:    m.Health,
+	}, m
 }
 
 func TestMetricsExpositionIsWellFormed(t *testing.T) {
@@ -138,6 +143,10 @@ func TestMetricsExpositionIsWellFormed(t *testing.T) {
 		"pdm_fault_events_total", "pdm_disk_transfers_total", "pdm_disk_skew_ratio",
 		"pdm_batch_depth", "pdm_ops_total", "pdm_op_faults_total",
 		"pdm_op_steps", "pdm_op_latency_seconds", "pdm_open_spans",
+		"pdm_disk_health_state", "pdm_disk_health_transitions_total",
+		"pdm_disk_faults_total", "pdm_retry_batches_total",
+		"pdm_hedged_reads_total", "pdm_backoff_steps_total",
+		"pdm_repair_chunks_total", "pdm_repair_rows_total",
 	} {
 		if fams[want] == nil {
 			t.Errorf("family %s missing", want)
@@ -205,8 +214,13 @@ func TestHealthzFlipsOnDegraded(t *testing.T) {
 	h := s.Handler()
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+	// The first line is the machine-readable verdict; per-disk detail
+	// lines follow because the server has a Health source.
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "ok\n") {
 		t.Fatalf("healthy: %d %q", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "disk 0: healthy\n") {
+		t.Fatalf("healthy body lacks per-disk lines: %q", rec.Body.String())
 	}
 	m.SetFaultInjector(failInjector{})
 	if _, err := m.TryBatchRead([]pdm.Addr{{Disk: 0, Block: 0}}); err == nil {
@@ -214,8 +228,22 @@ func TestHealthzFlipsOnDegraded(t *testing.T) {
 	}
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("degraded: %d", rec.Code)
+	if rec.Code != http.StatusServiceUnavailable || !strings.HasPrefix(rec.Body.String(), "degraded\n") {
+		t.Fatalf("degraded: %d %q", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "disk 0: failed\n") {
+		t.Fatalf("degraded body lacks the failed disk: %q", rec.Body.String())
+	}
+
+	// The health metric families track the same snapshot.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	fams := parseProm(t, rec.Body)
+	if got := fams["pdm_disk_health_state"].Samples[`pdm_disk_health_state{disk="0"}`]; got != float64(pdm.Failed) {
+		t.Errorf("disk 0 health state = %v, want %v", got, float64(pdm.Failed))
+	}
+	if got := fams["pdm_disk_faults_total"].Samples[`pdm_disk_faults_total{disk="0"}`]; got < 1 {
+		t.Errorf("disk 0 faults = %v, want >= 1", got)
 	}
 }
 

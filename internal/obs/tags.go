@@ -27,6 +27,8 @@ const (
 	TagRebuild  = "rebuild"
 	TagRepair   = "repair"
 	TagScrub    = "scrub"
+	TagBackoff  = "backoff"
+	TagHedge    = "hedge"
 
 	// Fault events synthesized by the machine itself (internal/pdm
 	// builds these as "fault." + FaultKind.String(); obs_tags_test
@@ -55,6 +57,8 @@ var registeredTags = map[string]bool{
 	TagRebuild:  true,
 	TagRepair:   true,
 	TagScrub:    true,
+	TagBackoff:  true,
+	TagHedge:    true,
 
 	TagFaultFailstop:  true,
 	TagFaultTransient: true,

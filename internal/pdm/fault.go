@@ -168,6 +168,35 @@ func crcBlock(blk []Word) uint32 {
 	return sum
 }
 
+// FlipBit flips one stored bit of a block in place, leaving the stored
+// checksum stale — the same silent latent damage a FaultCorrupt injects,
+// but manifested immediately instead of on the block's next access. No
+// I/O is performed or accounted, and health is not notified: the damage
+// stays invisible until a checksum-verified read trips over it. Chaos
+// schedules use it so a scripted corruption lands at its scheduled step
+// even when the target block is cold. Safe to call from inside a
+// FaultInjector (it takes only the target shard's lock).
+func (m *Machine) FlipBit(a Addr, bit uint) {
+	m.checkAddr(a)
+	s := &m.shards[a.Disk]
+	s.mu.Lock()
+	s.corrupt(a.Block, bit)
+	s.mu.Unlock()
+}
+
+// BlockClean reports whether a block's stored content matches its
+// checksum, without performing or accounting any I/O. Like FlipBit it is
+// an oracle for chaos schedules (gating a round on the previous round's
+// damage having been rewritten), safe to call from inside a
+// FaultInjector.
+func (m *Machine) BlockClean(a Addr) bool {
+	m.checkAddr(a)
+	s := &m.shards[a.Disk]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verify(a.Block)
+}
+
 // SetFaultInjector installs (or, with nil, removes) the machine's fault
 // injector. Only the Try batch methods consult it; see the package
 // comment at the top of this file.
@@ -179,16 +208,27 @@ func (m *Machine) SetFaultInjector(fi FaultInjector) {
 
 // Degraded reports whether any data-threatening fault (fail-stop,
 // transient error, corruption, or checksum mismatch — stalls don't
-// count) has been observed since the last ClearDegraded. Dictionaries
-// surface this as their degraded-mode flag.
+// count) has been observed since the last ClearDegraded, or any disk is
+// currently not Healthy. It is a derived view over the per-disk health
+// state machine (see Health for the per-disk report); dictionaries
+// surface it as their degraded-mode flag.
 func (m *Machine) Degraded() bool {
-	return m.degraded.Load()
+	return m.degraded.Load() || m.unhealthy.Load() != 0
 }
 
-// ClearDegraded resets the degraded flag. Repair machinery calls it
-// after a clean scrub.
+// ClearDegraded resets the degraded flag AND returns every disk to the
+// Healthy state, clearing transient windows. Repair machinery calls it
+// after a clean full scrub — the one observation that vouches for all
+// disks at once. To clear a single repaired disk, use MarkHealthy.
 func (m *Machine) ClearDegraded() {
 	m.degraded.Store(false)
+	m.healthMu.Lock()
+	for d := range m.health {
+		m.transitionLocked(d, Healthy)
+		m.health[d].reachable = false
+		m.health[d].window = m.health[d].window[:0]
+	}
+	m.healthMu.Unlock()
 }
 
 // FaultCount returns the number of fault events observed (injected
@@ -259,6 +299,26 @@ func (m *Machine) finishTry(kind EventKind, addrs []Addr, fs []Fault, res []erro
 	if degrading {
 		m.degraded.Store(true)
 	}
+	// Feed the per-disk health state machines. The fast path — no
+	// injector, no errors, every disk Healthy — skips the pass entirely;
+	// otherwise one observation per access is folded in batch order, so
+	// health transitions land at deterministic points of the trace.
+	if fs != nil || len(berrs) > 0 || m.unhealthy.Load() != 0 {
+		obs := make([]healthObs, len(addrs))
+		for i, a := range addrs {
+			var f Fault
+			if fs != nil {
+				f = fs[i]
+			}
+			obs[i] = healthObs{
+				disk:     a.Disk,
+				kind:     f.Kind,
+				checksum: res[i] == ErrChecksum,
+				ok:       res[i] == nil && f.Kind == FaultNone,
+			}
+		}
+		m.observeHealth(obs, m.pios.Load())
+	}
 	return berrs, fevents, extra
 }
 
@@ -270,7 +330,7 @@ func (m *Machine) finishTry(kind EventKind, addrs []Addr, fs []Fault, res []erro
 // arm moved, the timeout elapsed) and count as block reads; stalls add
 // extra steps on top of the batch cost.
 func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
-	return m.tryBatchRead(nil, addrs)
+	return m.tryBatchRead(nil, nil, addrs)
 }
 
 // TryBatchReadOp is TryBatchRead charged and attributed to op: the op is
@@ -278,10 +338,19 @@ func (m *Machine) TryBatchRead(addrs []Addr) ([][]Word, error) {
 // and one fault per emitted fault event, so the op's counters match the
 // sum over its events exactly.
 func (m *Machine) TryBatchReadOp(op *Op, addrs []Addr) ([][]Word, error) {
-	return m.tryBatchRead(op, addrs)
+	return m.tryBatchRead(op, nil, addrs)
 }
 
-func (m *Machine) tryBatchRead(op *Op, addrs []Addr) ([][]Word, error) {
+// TryBatchReadShared is TryBatchRead on behalf of several operations —
+// the fault-aware counterpart of BatchReadShared, with the same merged-
+// batch accounting rule: the machine is charged once, every listed op is
+// charged the batch's full steps (stall surcharge included), blocks, and
+// fault events, and the emitted event carries the attribution list.
+func (m *Machine) TryBatchReadShared(ops []*Op, addrs []Addr) ([][]Word, error) {
+	return m.tryBatchRead(nil, ops, addrs)
+}
+
+func (m *Machine) tryBatchRead(op *Op, shared []*Op, addrs []Addr) ([][]Word, error) {
 	out := make([][]Word, len(addrs))
 	if len(addrs) == 0 {
 		return out, nil
@@ -326,9 +395,9 @@ func (m *Machine) tryBatchRead(op *Op, addrs []Addr) ([][]Word, error) {
 	berrs, fevents, extra := m.finishTry(EventRead, addrs, fs, res)
 	m.charge(steps+extra, depth)
 	m.blockReads.Add(int64(len(addrs)))
-	chargeOps(m, op, nil, EventRead, steps+extra, len(addrs), len(fevents))
+	chargeOps(m, op, shared, EventRead, steps+extra, len(addrs), len(fevents))
 	if m.hooked.Load() {
-		m.emit(op, nil, Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
+		m.emit(op, shared, Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
 	}
 	if len(berrs) > 0 {
 		return out, &BatchError{Blocks: berrs}

@@ -383,6 +383,24 @@ type Machine struct {
 
 	degraded atomic.Bool  // any data-threatening fault since last ClearDegraded
 	faults   atomic.Int64 // lifetime fault event count
+
+	// Per-disk health state machine (health.go). healthMu guards the
+	// trackers, the thresholds, and the notification callback; the
+	// unhealthy counter mirrors how many disks are not Healthy so
+	// AllDisksHealthy is a single lock-free load.
+	healthMu     sync.Mutex
+	health       []diskHealth
+	healthNotify func()
+	suspectN     int
+	suspectW     int64
+	unhealthy    atomic.Int64
+
+	// Recovery instrumentation (reported by Health).
+	retries      atomic.Int64 // retry batches issued by retry policies
+	hedges       atomic.Int64 // hedged duplicate reads issued
+	backoffSteps atomic.Int64 // modeled backoff pIOs charged via ChargeSteps
+	repairChunks atomic.Int64 // incremental repair/scrub chunks run
+	repairRows   atomic.Int64 // bucket rows covered by those chunks
 }
 
 // spanFrame is one open span on the machine's stack.
@@ -401,8 +419,14 @@ func NewMachine(cfg Config) *Machine {
 		panic(err)
 	}
 	m := &Machine{
-		cfg:    cfg,
-		shards: make([]shard, cfg.D),
+		cfg:      cfg,
+		shards:   make([]shard, cfg.D),
+		health:   make([]diskHealth, cfg.D),
+		suspectN: DefaultSuspectThreshold,
+		suspectW: DefaultSuspectWindow,
+	}
+	for d := range m.health {
+		m.health[d].lastStall = -1
 	}
 	zeroSum := crcBlock(make([]Word, cfg.B))
 	for d := range m.shards {

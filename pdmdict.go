@@ -34,6 +34,7 @@ import (
 	"pdmdict/internal/bucket"
 	"pdmdict/internal/core"
 	"pdmdict/internal/hashing"
+	"pdmdict/internal/heal"
 	"pdmdict/internal/obs"
 	"pdmdict/internal/pdm"
 )
@@ -140,11 +141,24 @@ func (s machineStats) SetFaultInjector(fi FaultInjector) { s.m.SetFaultInjector(
 
 // Degraded reports whether the machine has observed a data-threatening
 // fault (fail-stop, transient, corruption, or checksum mismatch — not a
-// stall) since the flag was last cleared.
+// stall) since the flag was last cleared, or any disk is currently not
+// Healthy. It is a derived view of the per-disk health state machine;
+// Health gives the full picture.
 func (s machineStats) Degraded() bool { return s.m.Degraded() }
 
-// ClearDegraded resets the degraded flag, e.g. after a repair.
+// ClearDegraded resets the degraded flag and returns every disk to the
+// Healthy state, e.g. after a successful repair and clean scrub.
 func (s machineStats) ClearDegraded() { s.m.ClearDegraded() }
+
+// Health returns a snapshot of the machine's per-disk health state
+// machine (Healthy → Suspect → Failed → Repairing → Healthy) and its
+// recovery counters (retries, hedged reads, modeled backoff steps,
+// repair chunks). All transitions are driven by the deterministic
+// parallel-I/O step counter, never wall time.
+func (s machineStats) Health() HealthReport { return s.m.Health() }
+
+// DiskState returns one disk's current health state.
+func (s machineStats) DiskState(disk int) HealthState { return s.m.DiskState(disk) }
 
 // FaultCount returns the number of fault events observed, stalls
 // included.
@@ -248,6 +262,45 @@ var (
 	ErrTransient  = pdm.ErrTransient
 	ErrChecksum   = pdm.ErrChecksum
 )
+
+// ---------------------------------------------------------------------
+// Health and recovery.
+
+// HealthState is one disk's position in the health state machine; see
+// Health.
+type HealthState = pdm.HealthState
+
+// The health states: Healthy (no evidence against the disk), Suspect (a
+// burst of transient errors within the deterministic step window),
+// Failed (fail-stop, corruption, or checksum mismatch observed), and
+// Repairing (a repair supervisor has claimed the disk).
+const (
+	DiskHealthy   = pdm.Healthy
+	DiskSuspect   = pdm.Suspect
+	DiskFailed    = pdm.Failed
+	DiskRepairing = pdm.Repairing
+)
+
+// HealthReport is a consistent snapshot of every disk's health plus the
+// machine-wide recovery counters (retry batches, hedged reads, modeled
+// backoff steps, repair chunks and rows).
+type HealthReport = pdm.HealthReport
+
+// DiskHealth is one disk's row of a HealthReport.
+type DiskHealth = pdm.DiskHealth
+
+// RetryPolicy governs how the fault-aware paths (LookupTry, Repair,
+// Scrub) recover from transient errors: how many retry batches to
+// issue, how much modeled backoff (charged as parallel-I/O steps, so it
+// shows up in the cost accounting — never wall time) to insert between
+// them, and whether to hedge retried reads against Suspect or stalling
+// disks with a duplicate request. The zero value is the historical
+// default: three immediate retries, no backoff, no hedging.
+type RetryPolicy = pdm.RetryPolicy
+
+// DefaultRetryPolicy returns the explicit form of the zero-value
+// policy. Installing it changes nothing, byte for byte.
+func DefaultRetryPolicy() RetryPolicy { return pdm.DefaultRetryPolicy() }
 
 // ---------------------------------------------------------------------
 // Fully dynamic dictionary (the flagship).
@@ -517,8 +570,40 @@ func (b *Basic) LookupBatchCtx(c OpCtx, keys []Word) ([][]Word, []bool) {
 //lint:pdm-allow opctx: fault-aware Try path stays on the legacy span path
 func (b *Basic) LookupTry(key Word) ([]Word, bool, error) { return b.d.LookupTry(key) }
 
+// LookupTryCtx is LookupTry attributed to the operation token c: the
+// probe, every retry batch, and any modeled backoff are charged to the
+// token, so recovery I/O is accounted to the operation that needed it.
+func (b *Basic) LookupTryCtx(c OpCtx, key Word) ([]Word, bool, error) {
+	return b.d.LookupTryOp(c.Op, key)
+}
+
+// LookupTryBatch is the fault-aware LookupBatch: one merged,
+// de-duplicated read round through the checked path, governed by the
+// retry policy. A non-nil error means at least one key was inconclusive
+// (its ok entry is then false) — never that a key is wrongly absent.
+//
+//lint:pdm-allow opctx: fault-aware Try path stays on the legacy span path
+func (b *Basic) LookupTryBatch(keys []Word) ([][]Word, []bool, error) {
+	return b.d.LookupTryBatch(keys)
+}
+
+// LookupTryBatchCtx is LookupTryBatch attributed to the operation token
+// c; one token covers the whole batch.
+func (b *Basic) LookupTryBatchCtx(c OpCtx, keys []Word) ([][]Word, []bool, error) {
+	return b.d.LookupTryBatchOp(c.Op, keys)
+}
+
 // ContainsTry is the fault-aware Contains; see LookupTry.
 func (b *Basic) ContainsTry(key Word) (bool, error) { return b.d.ContainsTry(key) }
+
+// SetRetryPolicy installs the transient-error recovery policy used by
+// LookupTry, LookupTryBatch, Repair, and Scrub. The zero value (and
+// DefaultRetryPolicy()) reproduce the historical behavior exactly —
+// same batches, same trace bytes.
+func (b *Basic) SetRetryPolicy(p RetryPolicy) { b.d.SetRetryPolicy(p) }
+
+// RetryPolicy returns the installed recovery policy.
+func (b *Basic) RetryPolicy() RetryPolicy { return b.d.RetryPolicy() }
 
 // Repair rebuilds every bucket of the given disk from the surviving
 // replicas on other disks, then rewrites the disk; it requires
@@ -530,6 +615,42 @@ func (b *Basic) Repair(disk int) error { return b.d.Repair(disk) }
 // addresses that failed (checksum mismatch or unreadable). A clean
 // scrub clears the machine's degraded flag.
 func (b *Basic) Scrub() []Addr { return b.d.Scrub() }
+
+// ScrubDisk verifies one disk's stripe with checked reads and returns
+// the addresses that failed. A clean pass returns ONLY that disk to the
+// Healthy state (pdm.MarkHealthy) — unlike the machine-wide Scrub it
+// can never erase another disk's Failed record, so per-disk health
+// survives partial recoveries (heal+repair of one disk while another is
+// still down).
+func (b *Basic) ScrubDisk(disk int) []Addr {
+	var bad []Addr
+	for row := 0; ; {
+		chunk, next, done := b.d.ScrubRange(nil, disk, row, 64)
+		bad = append(bad, chunk...)
+		row = next
+		if done {
+			break
+		}
+	}
+	if len(bad) == 0 {
+		b.m.MarkHealthy(disk)
+	}
+	return bad
+}
+
+// SelfHeal starts the background repair supervisor: a goroutine that
+// sleeps on the machine's health notifications and, whenever a disk
+// becomes repairable (Failed but answering again, or Suspect), rebuilds
+// and verifies it in bounded chunks interleaved with live traffic,
+// returning it to Healthy without any outside help. Requires
+// Replicas ≥ 2 for actual rebuilds; Suspect disks are verified by scrub
+// alone. The returned stop function halts the supervisor and blocks
+// until it has exited; call it before discarding the structure.
+func (b *Basic) SelfHeal() (stop func()) {
+	s := heal.New(b.m, b.d, heal.Config{})
+	s.Start()
+	return s.Stop
+}
 
 // ---------------------------------------------------------------------
 // Direct addressing (the tiny-universe special case).
