@@ -1,7 +1,9 @@
-// Command pdmlint is the repo's vet tool: four analyzers (iocharge,
-// batcherr, detrand, hooktag) that enforce the I/O-accounting and
-// determinism invariants the paper's measured claims depend on. See
-// DESIGN.md, "Enforced invariants".
+// Command pdmlint is the repo's vet tool: eight analyzers (iocharge,
+// batcherr, detrand, hooktag, opctx, lockorder, guardedby,
+// healthtrans) that enforce the I/O-accounting, determinism, and
+// concurrency-contract invariants the paper's measured claims depend
+// on. Stale //lint:pdm-allow waivers are reported as a ninth rule,
+// unusedwaiver. See DESIGN.md, "Enforced invariants".
 //
 // Usage:
 //

@@ -134,15 +134,15 @@ type BasicDict struct {
 	cfg       BasicConfig
 	codec     bucket.Codec
 	fragWords int
-	n         int
+	n         int // guarded by mu
 
 	// retry governs degraded-read recovery (LookupTry and friends); the
 	// zero value is the historical default. repairJob, when non-nil, is
 	// the in-progress incremental repair: the update paths feed it the
 	// authoritative record changes for the stripe under reconstruction
-	// (see RepairJob). Both guarded by mu.
-	retry     pdm.RetryPolicy
-	repairJob *RepairJob
+	// (see RepairJob).
+	retry     pdm.RetryPolicy // guarded by mu
+	repairJob *RepairJob      // guarded by mu
 }
 
 // SetRetryPolicy installs the policy the fault-aware paths (LookupTry,
@@ -521,7 +521,7 @@ func (bd *BasicDict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 	endProbe := bd.reg.m.OpSpan(op, obs.TagProbe)
 	flat := bd.reg.m.BatchReadOp(op, bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
 	endProbe()
-	writes, err := bd.insertWrites(x, sat, flat)
+	writes, err := bd.insertWritesLocked(x, sat, flat)
 	if len(writes) > 0 {
 		// Writes accompany even a failed insert of an existing key: its
 		// old fragments were removed and that removal must land.
@@ -535,7 +535,7 @@ func (bd *BasicDict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 // writes to issue; the caller batches them, possibly together with
 // writes of its own on other disks, into one parallel I/O. The count is
 // updated as if the writes were applied.
-func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWrite, error) {
+func (bd *BasicDict) insertWritesLocked(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWrite, error) {
 	if len(sat) != bd.cfg.SatWords {
 		return nil, fmt.Errorf("core: satellite of %d words, config says %d", len(sat), bd.cfg.SatWords)
 	}
@@ -587,7 +587,7 @@ func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word)
 			// as writes so the structure stays consistent (x is then gone).
 			if existing {
 				bd.n--
-				bd.noteUpdate(x, nil, 0)
+				bd.noteUpdateLocked(x, nil, 0)
 				return bd.collectWrites(x, hood, dirty), ErrFull
 			}
 			return nil, ErrFull
@@ -626,7 +626,7 @@ func (bd *BasicDict) insertWrites(x pdm.Word, sat []pdm.Word, flat [][]pdm.Word)
 	if !existing {
 		bd.n++
 	}
-	bd.noteUpdate(x, sat, mask)
+	bd.noteUpdateLocked(x, sat, mask)
 	return bd.collectWrites(x, hood, dirty), nil
 }
 
@@ -693,7 +693,7 @@ func (bd *BasicDict) DeleteOp(op *pdm.Op, x pdm.Word) bool {
 	defer bd.mu.Unlock()
 	defer bd.reg.m.OpSpan(op, obs.TagDelete)()
 	flat := bd.reg.m.BatchReadOp(op, bd.probeAddrs(x, make([]pdm.Addr, 0, bd.probeLen())))
-	writes, ok := bd.deleteWrites(x, flat)
+	writes, ok := bd.deleteWritesLocked(x, flat)
 	if len(writes) > 0 {
 		bd.reg.m.BatchWriteOp(op, writes)
 	}
@@ -704,7 +704,7 @@ func (bd *BasicDict) DeleteOp(op *pdm.Op, x pdm.Word) bool {
 // neighborhood and returns the block writes to issue (batched by the
 // caller) plus whether the key was present. The count is updated as if
 // the writes were applied.
-func (bd *BasicDict) deleteWrites(x pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWrite, bool) {
+func (bd *BasicDict) deleteWritesLocked(x pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWrite, bool) {
 	hood := bd.groupNeighborhood(flat)
 	_, touched := bd.findFragments(x, hood)
 	if len(touched) == 0 {
@@ -719,7 +719,7 @@ func (bd *BasicDict) deleteWrites(x pdm.Word, flat [][]pdm.Word) ([]pdm.BlockWri
 		dirty[i] = true
 	}
 	bd.n--
-	bd.noteUpdate(x, nil, 0)
+	bd.noteUpdateLocked(x, nil, 0)
 	return bd.collectWrites(x, hood, dirty), true
 }
 

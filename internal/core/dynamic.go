@@ -112,14 +112,14 @@ type DynamicDict struct {
 	cfg    DynamicConfig
 	d      int
 	t      int
-	levels []dynLevel
+	levels []dynLevel // guarded by mu
 
 	fieldWords     int
 	fieldBits      int
 	fieldsPerBlock int
 	arr            region
 	memb           *BasicDict
-	n              int
+	n              int // guarded by mu
 }
 
 // NewDynamic creates an empty dictionary. The machine must have an even
@@ -212,7 +212,11 @@ func (dd *DynamicDict) Len() int {
 func (dd *DynamicDict) Capacity() int { return dd.cfg.Capacity }
 
 // Levels returns the number of retrieval arrays.
-func (dd *DynamicDict) Levels() int { return len(dd.levels) }
+func (dd *DynamicDict) Levels() int {
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
+	return len(dd.levels)
+}
 
 // LevelCounts returns how many keys reside at each level — the
 // geometric decay Theorem 7's averaging argument rests on.
@@ -229,6 +233,8 @@ func (dd *DynamicDict) LevelCounts() []int {
 // BlocksPerDisk returns the per-disk space footprint (maximum over the
 // membership and retrieval regions).
 func (dd *DynamicDict) BlocksPerDisk() int {
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
 	last := dd.levels[len(dd.levels)-1]
 	b := last.block0 + last.blocks
 	if mb := dd.memb.BlocksPerDisk(); mb > b {
@@ -426,7 +432,7 @@ func (dd *DynamicDict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 		// the clears mutate the blocks already in hand and join the
 		// final write batch; a deeper chain is cleared with its own
 		// read+write (rare — a ≤ Ratio fraction of keys).
-		releaseWrites, oldLevel := dd.releaseChain(op, x, membSat, flat[membLen:])
+		releaseWrites, oldLevel := dd.releaseChainLocked(op, x, membSat, flat[membLen:])
 		if oldLevel == 0 {
 			writes = append(writes, releaseWrites...)
 		} else if len(releaseWrites) > 0 {
@@ -461,7 +467,9 @@ func (dd *DynamicDict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 		// Membership entry: head | level<<8, batched into the same
 		// final write (membership disks are disjoint from the array
 		// disks, so the whole batch is one parallel I/O).
-		membWrites, err := dd.memb.insertWrites(x, []pdm.Word{pdm.Word(free[0]) | pdm.Word(li)<<8}, membBlocks)
+		dd.memb.mu.Lock()
+		membWrites, err := dd.memb.insertWritesLocked(x, []pdm.Word{pdm.Word(free[0]) | pdm.Word(li)<<8}, membBlocks)
+		dd.memb.mu.Unlock()
 		if err != nil {
 			if len(writes) > 0 {
 				dd.m.BatchWriteOp(op, dedupeWrites(writes))
@@ -477,7 +485,9 @@ func (dd *DynamicDict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 	// No level could host the chain. Flush the release writes and drop
 	// the membership entry so a failed update leaves x consistently
 	// absent rather than pointing at a cleared chain.
-	membWrites, _ := dd.memb.deleteWrites(x, membBlocks)
+	dd.memb.mu.Lock()
+	membWrites, _ := dd.memb.deleteWritesLocked(x, membBlocks)
+	dd.memb.mu.Unlock()
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
 		dd.m.BatchWriteOp(op, dedupeWrites(writes))
@@ -503,7 +513,7 @@ func (dd *DynamicDict) freeStripes(lv *dynLevel, x pdm.Word, blocks [][]pdm.Word
 // caller (already read) and are mutated in place; deeper levels cost one
 // extra read batch. Membership is NOT touched; callers either rewrite
 // the entry (update) or delete it (Delete) in their own batch.
-func (dd *DynamicDict) releaseChain(op *pdm.Op, x pdm.Word, membSat []pdm.Word, level0Blocks [][]pdm.Word) ([]pdm.BlockWrite, int) {
+func (dd *DynamicDict) releaseChainLocked(op *pdm.Op, x pdm.Word, membSat []pdm.Word, level0Blocks [][]pdm.Word) ([]pdm.BlockWrite, int) {
 	head := int(membSat[0] & 0xFF)
 	level := int(membSat[0] >> 8)
 	if level >= len(dd.levels) {
@@ -556,8 +566,10 @@ func (dd *DynamicDict) DeleteOp(op *pdm.Op, x pdm.Word) bool {
 	if !ok {
 		return false
 	}
-	writes, _ := dd.releaseChain(op, x, membSat, flat[membLen:])
-	membWrites, _ := dd.memb.deleteWrites(x, flat[:membLen])
+	writes, _ := dd.releaseChainLocked(op, x, membSat, flat[membLen:])
+	dd.memb.mu.Lock()
+	membWrites, _ := dd.memb.deleteWritesLocked(x, flat[:membLen])
+	dd.memb.mu.Unlock()
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
 		dd.m.BatchWriteOp(op, dedupeWrites(writes))

@@ -16,7 +16,7 @@ import (
 // failures (an errored chunk can simply be retried — the cursor only
 // advances on success) and stays correct under concurrent updates: the
 // dictionary feeds the job every record change that touches the stripe
-// under reconstruction (noteUpdate), so a collected snapshot can never
+// under reconstruction (noteUpdateLocked), so a collected snapshot can never
 // resurrect a deleted key or clobber a fresh insert.
 //
 // Phases:
@@ -38,8 +38,8 @@ type RepairJob struct {
 	cursor  int  // next row to process in the current phase
 	done    bool
 
-	rows [][]bucket.Record     // per-row record sets for the repaired stripe
-	seen []map[pdm.Word]bool   // per-row keys already accounted (survivor dedup + update tombstones)
+	rows [][]bucket.Record   // per-row record sets for the repaired stripe
+	seen []map[pdm.Word]bool // per-row keys already accounted (survivor dedup + update tombstones)
 }
 
 // StartRepair begins an incremental rebuild of one disk's stripe and
@@ -135,7 +135,7 @@ func (j *RepairJob) Step(op *pdm.Op, nRows int) (bool, error) {
 				j.cursor = 0
 				continue
 			}
-			if err := j.collectRow(op, j.cursor); err != nil {
+			if err := j.collectRowLocked(op, j.cursor); err != nil {
 				return false, err
 			}
 			j.cursor++
@@ -145,7 +145,7 @@ func (j *RepairJob) Step(op *pdm.Op, nRows int) (bool, error) {
 		if j.cursor >= ss {
 			break
 		}
-		if err := j.writeRow(op, j.cursor); err != nil {
+		if err := j.writeRowLocked(op, j.cursor); err != nil {
 			return false, err
 		}
 		j.cursor++
@@ -161,9 +161,9 @@ func (j *RepairJob) Step(op *pdm.Op, nRows int) (bool, error) {
 	return false, nil
 }
 
-// collectRow sweeps row r of every surviving stripe, adding the records
+// collectRowLocked sweeps row r of every surviving stripe, adding the records
 // whose mask includes the repaired disk. Caller holds bd.mu.
-func (j *RepairJob) collectRow(op *pdm.Op, r int) error {
+func (j *RepairJob) collectRowLocked(op *pdm.Op, r int) error {
 	bd := j.bd
 	d := bd.reg.nDisks
 	ss := bd.striped.StripeSize()
@@ -207,10 +207,10 @@ func (j *RepairJob) collectRow(op *pdm.Op, r int) error {
 	return nil
 }
 
-// writeRow rewrites row r of the repaired stripe from the collected
+// writeRowLocked rewrites row r of the repaired stripe from the collected
 // record set (empty rows too: stale pre-failure blocks must not
 // survive). Caller holds bd.mu.
-func (j *RepairJob) writeRow(op *pdm.Op, r int) error {
+func (j *RepairJob) writeRowLocked(op *pdm.Op, r int) error {
 	bd := j.bd
 	ss := bd.striped.StripeSize()
 	blocks := bd.encodeCanonical(j.rows[r], bd.cfg.BucketBlocks)
@@ -225,7 +225,7 @@ func (j *RepairJob) writeRow(op *pdm.Op, r int) error {
 	return nil
 }
 
-// noteUpdate feeds a registered repair job one record change: key x now
+// noteUpdateLocked feeds a registered repair job one record change: key x now
 // has stripe mask mask (0 = removed) and satellite sat. Called from the
 // update paths with bd.mu held, after the new placement is decided but
 // regardless of whether the store writes have been issued yet — both
@@ -234,7 +234,7 @@ func (j *RepairJob) writeRow(op *pdm.Op, r int) error {
 // The hazards this closes are stale snapshots: a collected row written
 // later must not resurrect a key deleted in between (delete hazard) nor
 // overwrite a key inserted in between with its absence (insert hazard).
-func (bd *BasicDict) noteUpdate(x pdm.Word, sat []pdm.Word, mask uint64) {
+func (bd *BasicDict) noteUpdateLocked(x pdm.Word, sat []pdm.Word, mask uint64) {
 	j := bd.repairJob
 	if j == nil || !bd.cfg.Replicate {
 		return

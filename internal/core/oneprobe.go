@@ -43,14 +43,14 @@ type OneProbeDict struct {
 	d      int
 	t      int
 	memb   *BasicDict
-	levels []opLevel
+	levels []opLevel // guarded by mu
 
 	fieldWords     int
 	fieldBits      int
 	fieldsPerBlock int
-	n              int
+	n              int // guarded by mu
 
-	retry pdm.RetryPolicy // degraded-read recovery policy (zero = default)
+	retry pdm.RetryPolicy // guarded by mu; degraded-read recovery policy (zero = default)
 }
 
 // SetRetryPolicy installs the policy LookupTry uses for transient-error
@@ -187,7 +187,11 @@ func (op *OneProbeDict) Len() int {
 func (op *OneProbeDict) Capacity() int { return op.cfg.Capacity }
 
 // Levels returns the recursion depth c.
-func (op *OneProbeDict) Levels() int { return len(op.levels) }
+func (op *OneProbeDict) Levels() int {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
+	return len(op.levels)
+}
 
 // LevelCounts returns per-level occupancy.
 func (op *OneProbeDict) LevelCounts() []int {
@@ -203,6 +207,8 @@ func (op *OneProbeDict) LevelCounts() []int {
 // BlocksPerDisk returns the per-disk space footprint (maximum over the
 // groups; groups are disjoint disks).
 func (op *OneProbeDict) BlocksPerDisk() int {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
 	b := op.memb.BlocksPerDisk()
 	for _, lv := range op.levels {
 		if blocks := lv.graph.StripeSize() / op.fieldsPerBlock; blocks > b {
@@ -214,7 +220,7 @@ func (op *OneProbeDict) BlocksPerDisk() int {
 
 // probeAddrsAll appends the full 1-I/O probe address list for x: the
 // membership neighborhood first, then d field blocks per level.
-func (op *OneProbeDict) probeAddrsAll(x pdm.Word, dst []pdm.Addr) []pdm.Addr {
+func (op *OneProbeDict) probeAddrsAllLocked(x pdm.Word, dst []pdm.Addr) []pdm.Addr {
 	dst = op.memb.probeAddrs(x, dst)
 	for li := range op.levels {
 		lv := &op.levels[li]
@@ -227,13 +233,13 @@ func (op *OneProbeDict) probeAddrsAll(x pdm.Word, dst []pdm.Addr) []pdm.Addr {
 }
 
 // probeWidth is the number of blocks probeAddrsAll contributes per key.
-func (op *OneProbeDict) probeWidth() int { return op.memb.probeLen() + len(op.levels)*op.d }
+func (op *OneProbeDict) probeWidthLocked() int { return op.memb.probeLen() + len(op.levels)*op.d }
 
 // probe reads, in ONE parallel I/O, the membership neighborhood and
 // every level's field blocks for x. The returned slices alias the batch
 // result: memb blocks first, then d blocks per level.
-func (op *OneProbeDict) probe(tok *pdm.Op, x pdm.Word) (membBlocks [][]pdm.Word, levelBlocks [][][]pdm.Word) {
-	addrs := op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth()))
+func (op *OneProbeDict) probeLocked(tok *pdm.Op, x pdm.Word) (membBlocks [][]pdm.Word, levelBlocks [][][]pdm.Word) {
+	addrs := op.probeAddrsAllLocked(x, make([]pdm.Addr, 0, op.probeWidthLocked()))
 	flat := op.m.BatchReadOp(tok, addrs)
 	membLen := op.memb.probeLen()
 	membBlocks = flat[:membLen]
@@ -246,7 +252,7 @@ func (op *OneProbeDict) probe(tok *pdm.Op, x pdm.Word) (membBlocks [][]pdm.Word,
 
 // lookupInFlat resolves x against a pre-fetched probe (the blocks for
 // probeAddrsAll(x), in order), without any I/O.
-func (op *OneProbeDict) lookupInFlat(x pdm.Word, flat [][]pdm.Word) ([]pdm.Word, bool) {
+func (op *OneProbeDict) lookupInFlatLocked(x pdm.Word, flat [][]pdm.Word) ([]pdm.Word, bool) {
 	membLen := op.memb.probeLen()
 	membSat, ok := op.memb.lookupInBlocks(x, flat[:membLen])
 	if !ok {
@@ -258,7 +264,7 @@ func (op *OneProbeDict) lookupInFlat(x pdm.Word, flat [][]pdm.Word) ([]pdm.Word,
 		return nil, false
 	}
 	blocks := flat[membLen+level*op.d : membLen+(level+1)*op.d]
-	return decodeChain(op.fieldBits, op.cfg.SatWords, op.fieldsOf(level, x, blocks), head)
+	return decodeChain(op.fieldBits, op.cfg.SatWords, op.fieldsOfLocked(level, x, blocks), head)
 }
 
 // LookupBatch resolves many keys with ONE batched read: every key's
@@ -279,13 +285,13 @@ func (op *OneProbeDict) LookupBatchOp(tok *pdm.Op, keys []pdm.Word) ([][]pdm.Wor
 	op.mu.RLock()
 	defer op.mu.RUnlock()
 	defer op.m.OpSpan(tok, obs.TagLookup)()
-	width := op.probeWidth()
+	width := op.probeWidthLocked()
 	idx := make([]int32, len(keys)*width)
 	uniq := make(map[pdm.Addr]int32, len(keys)*width)
 	var addrs []pdm.Addr
 	scratch := make([]pdm.Addr, 0, width)
 	for ki, x := range keys {
-		scratch = op.probeAddrsAll(x, scratch[:0])
+		scratch = op.probeAddrsAllLocked(x, scratch[:0])
 		for i, a := range scratch {
 			j, ok := uniq[a]
 			if !ok {
@@ -304,13 +310,13 @@ func (op *OneProbeDict) LookupBatchOp(tok *pdm.Op, keys []pdm.Word) ([][]pdm.Wor
 		for i := range view {
 			view[i] = flat[idx[ki*width+i]]
 		}
-		sats[ki], oks[ki] = op.lookupInFlat(x, view)
+		sats[ki], oks[ki] = op.lookupInFlatLocked(x, view)
 	}
 	return sats, oks
 }
 
 // fieldsOf extracts x's per-stripe fields at a level from its blocks.
-func (op *OneProbeDict) fieldsOf(li int, x pdm.Word, blocks [][]pdm.Word) [][]pdm.Word {
+func (op *OneProbeDict) fieldsOfLocked(li int, x pdm.Word, blocks [][]pdm.Word) [][]pdm.Word {
 	lv := &op.levels[li]
 	fields := make([][]pdm.Word, op.d)
 	for i := 0; i < op.d; i++ {
@@ -332,8 +338,8 @@ func (op *OneProbeDict) LookupOp(tok *pdm.Op, x pdm.Word) ([]pdm.Word, bool) {
 	op.mu.RLock()
 	defer op.mu.RUnlock()
 	defer op.m.OpSpan(tok, obs.TagLookup)()
-	flat := op.m.BatchReadOp(tok, op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth())))
-	return op.lookupInFlat(x, flat)
+	flat := op.m.BatchReadOp(tok, op.probeAddrsAllLocked(x, make([]pdm.Addr, 0, op.probeWidthLocked())))
+	return op.lookupInFlatLocked(x, flat)
 }
 
 // Contains reports presence at the 1-I/O Lookup cost.
@@ -359,18 +365,18 @@ func (op *OneProbeDict) InsertOp(tok *pdm.Op, x pdm.Word, sat []pdm.Word) error 
 	op.mu.Lock()
 	defer op.mu.Unlock()
 	defer op.m.OpSpan(tok, obs.TagInsert)()
-	membBlocks, levelBlocks := op.probe(tok, x)
+	membBlocks, levelBlocks := op.probeLocked(tok, x)
 
 	var writes []pdm.BlockWrite
 	if membSat, present := op.memb.lookupInBlocks(x, membBlocks); present {
 		// Release the old chain in the in-hand blocks.
-		writes = append(writes, op.releaseInBlocks(x, membSat, levelBlocks)...)
+		writes = append(writes, op.releaseInBlocksLocked(x, membSat, levelBlocks)...)
 	} else if op.n >= op.cfg.Capacity {
 		return ErrFull
 	}
 
 	for li := range op.levels {
-		fields := op.fieldsOf(li, x, levelBlocks[li])
+		fields := op.fieldsOfLocked(li, x, levelBlocks[li])
 		free := make([]int, 0, op.d)
 		for i, f := range fields {
 			if !fieldUsed(f) {
@@ -392,7 +398,9 @@ func (op *OneProbeDict) InsertOp(tok *pdm.Op, x pdm.Word, sat []pdm.Word) error 
 				Data: blk,
 			})
 		}
-		membWrites, err := op.memb.insertWrites(x, []pdm.Word{pdm.Word(free[0]) | pdm.Word(li)<<8}, membBlocks)
+		op.memb.mu.Lock()
+		membWrites, err := op.memb.insertWritesLocked(x, []pdm.Word{pdm.Word(free[0]) | pdm.Word(li)<<8}, membBlocks)
+		op.memb.mu.Unlock()
 		if err != nil {
 			if len(writes) > 0 {
 				op.m.BatchWriteOp(tok, dedupeWrites(writes))
@@ -407,7 +415,9 @@ func (op *OneProbeDict) InsertOp(tok *pdm.Op, x pdm.Word, sat []pdm.Word) error 
 	}
 	// The open problem's sting: no level fits. Leave the key consistently
 	// absent; a caller-level rebuild is the (non-constant) recourse.
-	membWrites, _ := op.memb.deleteWrites(x, membBlocks)
+	op.memb.mu.Lock()
+	membWrites, _ := op.memb.deleteWritesLocked(x, membBlocks)
+	op.memb.mu.Unlock()
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
 		op.m.BatchWriteOp(tok, dedupeWrites(writes))
@@ -417,14 +427,14 @@ func (op *OneProbeDict) InsertOp(tok *pdm.Op, x pdm.Word, sat []pdm.Word) error 
 
 // releaseInBlocks clears x's chain using the pre-fetched level blocks
 // (every level is in hand, so no extra I/O regardless of depth).
-func (op *OneProbeDict) releaseInBlocks(x pdm.Word, membSat []pdm.Word, levelBlocks [][][]pdm.Word) []pdm.BlockWrite {
+func (op *OneProbeDict) releaseInBlocksLocked(x pdm.Word, membSat []pdm.Word, levelBlocks [][][]pdm.Word) []pdm.BlockWrite {
 	head := int(membSat[0] & 0xFF)
 	level := int(membSat[0] >> 8)
 	if level >= len(op.levels) {
 		return nil
 	}
 	lv := &op.levels[level]
-	fields := op.fieldsOf(level, x, levelBlocks[level])
+	fields := op.fieldsOfLocked(level, x, levelBlocks[level])
 	var writes []pdm.BlockWrite
 	cur := head
 	for cur >= 0 && cur < op.d && fieldUsed(fields[cur]) {
@@ -458,13 +468,15 @@ func (op *OneProbeDict) DeleteOp(tok *pdm.Op, x pdm.Word) bool {
 	op.mu.Lock()
 	defer op.mu.Unlock()
 	defer op.m.OpSpan(tok, obs.TagDelete)()
-	membBlocks, levelBlocks := op.probe(tok, x)
+	membBlocks, levelBlocks := op.probeLocked(tok, x)
 	membSat, ok := op.memb.lookupInBlocks(x, membBlocks)
 	if !ok {
 		return false
 	}
-	writes := op.releaseInBlocks(x, membSat, levelBlocks)
-	membWrites, _ := op.memb.deleteWrites(x, membBlocks)
+	writes := op.releaseInBlocksLocked(x, membSat, levelBlocks)
+	op.memb.mu.Lock()
+	membWrites, _ := op.memb.deleteWritesLocked(x, membBlocks)
+	op.memb.mu.Unlock()
 	writes = append(writes, membWrites...)
 	if len(writes) > 0 {
 		op.m.BatchWriteOp(tok, dedupeWrites(writes))

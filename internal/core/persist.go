@@ -145,7 +145,9 @@ func LoadBasic(r io.Reader) (*BasicDict, *pdm.Machine, error) {
 	if err := checkCount("key count", h.N, bd.cfg.Capacity); err != nil {
 		return nil, nil, err
 	}
+	bd.mu.Lock()
 	bd.n = h.N
+	bd.mu.Unlock()
 	return bd, m, nil
 }
 
@@ -167,7 +169,10 @@ func (dd *DynamicDict) Snapshot(w io.Writer) error {
 	for i := range dd.levels {
 		counts[i] = dd.levels[i].count
 	}
-	h := dynamicHeader{Cfg: dd.cfg, N: dd.n, MembN: dd.memb.n, LevelCounts: counts}
+	dd.memb.mu.RLock()
+	membN := dd.memb.n
+	dd.memb.mu.RUnlock()
+	h := dynamicHeader{Cfg: dd.cfg, N: dd.n, MembN: membN, LevelCounts: counts}
 	if err := encodeHeader(w, h); err != nil {
 		return fmt.Errorf("core: encoding DynamicDict header: %w", err)
 	}
@@ -189,6 +194,13 @@ func LoadDynamic(r io.Reader) (*DynamicDict, *pdm.Machine, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// The dictionary is not yet published, but it came from a
+	// constructor call; take its locks so the restore writes below
+	// satisfy the guarded-by contract checked by pdmlint.
+	dd.mu.Lock()
+	defer dd.mu.Unlock()
+	dd.memb.mu.Lock()
+	defer dd.memb.mu.Unlock()
 	if len(h.LevelCounts) != len(dd.levels) {
 		return nil, nil, fmt.Errorf("core: snapshot has %d levels, layout has %d", len(h.LevelCounts), len(dd.levels))
 	}
@@ -273,7 +285,10 @@ func (op *OneProbeDict) Snapshot(w io.Writer) error {
 	for i := range op.levels {
 		counts[i] = op.levels[i].count
 	}
-	h := oneProbeHeader{Cfg: op.cfg, N: op.n, MembN: op.memb.n, LevelCounts: counts}
+	op.memb.mu.RLock()
+	membN := op.memb.n
+	op.memb.mu.RUnlock()
+	h := oneProbeHeader{Cfg: op.cfg, N: op.n, MembN: membN, LevelCounts: counts}
 	if err := encodeHeader(w, h); err != nil {
 		return fmt.Errorf("core: encoding OneProbeDict header: %w", err)
 	}
@@ -295,6 +310,12 @@ func LoadOneProbe(r io.Reader) (*OneProbeDict, *pdm.Machine, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Unpublished but constructor-built: lock for the restore writes
+	// (see LoadDynamic).
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	op.memb.mu.Lock()
+	defer op.memb.mu.Unlock()
 	if len(h.LevelCounts) != len(op.levels) {
 		return nil, nil, fmt.Errorf("core: snapshot has %d levels, layout has %d", len(h.LevelCounts), len(op.levels))
 	}

@@ -124,28 +124,28 @@ type Dict struct {
 	// — are exclusive.
 	mu         sync.RWMutex
 	cfg        DictConfig
-	generation uint64
+	generation uint64 // guarded by mu
 
 	// hook is re-applied to every machine a rebuild creates, so traces
 	// span generations.
-	hook pdm.Hook
+	hook pdm.Hook // guarded by mu
 
 	// injector, like hook, follows the dictionary across rebuild
 	// generations.
-	injector pdm.FaultInjector
+	injector pdm.FaultInjector // guarded by mu
 
-	active rebuildable
-	next   rebuildable
+	active rebuildable // guarded by mu
+	next   rebuildable // guarded by mu
 
 	// Migration cursor over active's membership buckets (global bucket
 	// index).
-	curBucket int
+	curBucket int // guarded by mu
 
 	// statsMu guards stats: lookups are otherwise read-only and may run
 	// concurrently (under a reader lock), but every operation updates
 	// the cost ledger.
 	statsMu sync.Mutex
-	stats   DictStats
+	stats   DictStats // guarded by statsMu
 
 	// nextOp mints operation tokens. The Dict owns its own counter (not
 	// the machines') so IDs survive rebuild generations and stay unique
@@ -159,7 +159,7 @@ func NewDict(cfg DictConfig) (*Dict, error) {
 		return nil, err
 	}
 	d := &Dict{cfg: cfg}
-	active, err := d.newStructure(cfg.InitialCapacity)
+	active, err := d.newStructureLocked(cfg.InitialCapacity)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +167,7 @@ func NewDict(cfg DictConfig) (*Dict, error) {
 	return d, nil
 }
 
-func (d *Dict) newStructure(capacity int) (rebuildable, error) {
+func (d *Dict) newStructureLocked(capacity int) (rebuildable, error) {
 	d.generation++
 	seed := d.cfg.Seed + d.generation*0x9e3779b97f4a7c15
 	if d.cfg.OneProbe {
@@ -271,7 +271,7 @@ func (d *Dict) MintOp(client, keys int) *pdm.Op {
 // batches, never a neighbor's. The ledger gains n Ops (a batch counts
 // one per key) and WorstOp tracks the per-key ceiling ⌈cost/n⌉ for
 // every operation, batched or not.
-func (d *Dict) measureOp(op *pdm.Op, tag string, n int, fn func(op *pdm.Op) error) error {
+func (d *Dict) measureOpLocked(op *pdm.Op, tag string, n int, fn func(op *pdm.Op) error) error {
 	if op == nil {
 		op = d.MintOp(0, n)
 	}
@@ -304,7 +304,7 @@ func (d *Dict) Lookup(x pdm.Word) (sat []pdm.Word, ok bool) {
 func (d *Dict) LookupOp(op *pdm.Op, x pdm.Word) (sat []pdm.Word, ok bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	d.measureOp(op, obs.TagLookup, 1, func(op *pdm.Op) error {
+	d.measureOpLocked(op, obs.TagLookup, 1, func(op *pdm.Op) error {
 		if d.next != nil {
 			if sat, ok = d.next.LookupOp(op, x); ok {
 				return nil
@@ -335,7 +335,7 @@ func (d *Dict) LookupBatch(keys []pdm.Word) (sats [][]pdm.Word, oks []bool) {
 func (d *Dict) LookupBatchOp(op *pdm.Op, keys []pdm.Word) (sats [][]pdm.Word, oks []bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	d.measureOp(op, obs.TagLookup, len(keys), func(op *pdm.Op) error {
+	d.measureOpLocked(op, obs.TagLookup, len(keys), func(op *pdm.Op) error {
 		if d.next != nil {
 			sats, oks = d.next.LookupBatchOp(op, keys)
 			var missKeys []pdm.Word
@@ -369,9 +369,9 @@ func (d *Dict) Insert(x pdm.Word, sat []pdm.Word) error {
 func (d *Dict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.measureOp(op, obs.TagInsert, 1, func(op *pdm.Op) error {
+	return d.measureOpLocked(op, obs.TagInsert, 1, func(op *pdm.Op) error {
 		if d.next == nil && d.active.Len() >= d.active.Capacity() {
-			if err := d.startMigration(); err != nil {
+			if err := d.startMigrationLocked(); err != nil {
 				return err
 			}
 		}
@@ -386,7 +386,7 @@ func (d *Dict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 			if err == ErrFull {
 				// Expansion failure below capacity: rebuild immediately
 				// with a new seed and land the insert in the successor.
-				if merr := d.startMigration(); merr != nil {
+				if merr := d.startMigrationLocked(); merr != nil {
 					return merr
 				}
 				err = d.next.InsertOp(op, x, sat)
@@ -395,7 +395,7 @@ func (d *Dict) InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error {
 		if err != nil {
 			return err
 		}
-		d.migrateStep(op)
+		d.migrateStepLocked(op)
 		return nil
 	})
 }
@@ -409,13 +409,13 @@ func (d *Dict) Delete(x pdm.Word) (present bool) {
 func (d *Dict) DeleteOp(op *pdm.Op, x pdm.Word) (present bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.measureOp(op, obs.TagDelete, 1, func(op *pdm.Op) error {
+	d.measureOpLocked(op, obs.TagDelete, 1, func(op *pdm.Op) error {
 		if d.next != nil && d.next.DeleteOp(op, x) {
 			present = true
 		} else {
 			present = d.active.DeleteOp(op, x)
 		}
-		d.migrateStep(op)
+		d.migrateStepLocked(op)
 		return nil
 	})
 	return present
@@ -424,12 +424,12 @@ func (d *Dict) DeleteOp(op *pdm.Op, x pdm.Word) (present bool) {
 // startMigration creates the successor structure of twice the current
 // capacity (at least enough for the current content) and resets the
 // cursor.
-func (d *Dict) startMigration() error {
+func (d *Dict) startMigrationLocked() error {
 	capacity := 2 * d.active.Capacity()
 	if capacity < d.active.Len()+1 {
 		capacity = d.active.Len() + 1
 	}
-	next, err := d.newStructure(capacity)
+	next, err := d.newStructureLocked(capacity)
 	if err != nil {
 		return err
 	}
@@ -444,7 +444,7 @@ func (d *Dict) startMigration() error {
 // 4·MigrateBatch bucket probes (empty buckets consume a probe but not a
 // move), so the per-operation worst case stays constant even when the
 // draining structure is nearly empty.
-func (d *Dict) migrateStep(op *pdm.Op) {
+func (d *Dict) migrateStepLocked(op *pdm.Op) {
 	if d.next == nil {
 		return
 	}

@@ -480,7 +480,7 @@ func (op *OneProbeDict) LookupTryOp(tok *pdm.Op, x pdm.Word) ([]pdm.Word, bool, 
 	op.mu.RLock()
 	defer op.mu.RUnlock()
 	defer op.m.OpSpan(tok, obs.TagLookup)()
-	addrs := op.probeAddrsAll(x, make([]pdm.Addr, 0, op.probeWidth()))
+	addrs := op.probeAddrsAllLocked(x, make([]pdm.Addr, 0, op.probeWidthLocked()))
 	membLen := op.memb.probeLen()
 	flat, err := tryReadPolicy(op.m, tok, op.retry, addrs)
 	membSat, ok := op.memb.lookupInBlocks(x, flat[:membLen])
@@ -501,6 +501,6 @@ func (op *OneProbeDict) LookupTryOp(tok *pdm.Op, x pdm.Word) ([]pdm.Word, bool, 
 		}
 	}
 	head := int(membSat[0] & 0xFF)
-	sat, found := decodeChain(op.fieldBits, op.cfg.SatWords, op.fieldsOf(level, x, blocks), head)
+	sat, found := decodeChain(op.fieldBits, op.cfg.SatWords, op.fieldsOfLocked(level, x, blocks), head)
 	return sat, found, nil
 }

@@ -65,9 +65,9 @@ func (c *Config) normalize() {
 
 // episode is one disk's in-progress recovery.
 type episode struct {
-	op       *pdm.Op
-	job      *core.RepairJob
-	scrubRow int
+	op        *pdm.Op
+	job       *core.RepairJob
+	scrubRow  int
 	scrubbing bool
 	dirty     bool // verification scrub found bad blocks
 	attempts  int
@@ -83,8 +83,8 @@ type Supervisor struct {
 	cfg  Config
 
 	mu       sync.Mutex
-	episodes map[int]*episode
-	minted   []*pdm.Op // every episode token ever minted, for cost audits
+	episodes map[int]*episode // guarded by mu
+	minted   []*pdm.Op        // guarded by mu; every episode token ever minted, for cost audits
 
 	wake chan struct{}
 	stop chan struct{}

@@ -1,0 +1,387 @@
+package lint
+
+// The guardedby analyzer enforces `// guarded by <field>` annotations
+// on struct fields. An annotated field may only be read while the
+// guard is held (shared or exclusive) and only be written while it is
+// held exclusively, where "held" is established by the same flow
+// analysis lockorder uses: a direct Lock/RLock in scope, on every path.
+//
+// The conventional escape hatch is a *Locked-suffixed function: its own
+// guarded accesses are not checked in place — instead the analyzer
+// computes which guards the function (transitively) assumes held, and
+// enforces them at every call site. Constructors get a freshness
+// exemption: accesses rooted at a local the function itself allocated
+// need no lock, because no other goroutine can see the object yet.
+//
+// The analyzer also reports fields accessed both atomically (via
+// sync/atomic on &x.f) and non-atomically — a mixed discipline that is
+// a data race on at least one side.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy reports accesses to guarded struct fields outside a scope
+// holding the declared guard.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "enforce `// guarded by <field>` struct-field annotations: reads need the " +
+		"guard held, writes need it held exclusively, *Locked helpers push the " +
+		"obligation to their call sites, and no field may mix atomic and plain access",
+	Run: runGuardedBy,
+}
+
+// fieldKey identifies one struct field by package, type, and field name.
+type fieldKey struct {
+	Pkg, Type, Field string
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+
+	// Transitive lock assumptions of *Locked functions: class → whether
+	// an exclusive hold is needed (some access writes under it).
+	needs := map[*types.Func]map[lockClassKey]bool{}
+	var lockedDecls []*ast.FuncDecl
+	var checkDecls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd) {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					needs[fn] = map[lockClassKey]bool{}
+					lockedDecls = append(lockedDecls, fd)
+					continue
+				}
+			}
+			checkDecls = append(checkDecls, fd)
+		}
+	}
+
+	c := &gbChecker{pass: pass, guards: guards, needs: needs}
+	// Fixpoint over *Locked → *Locked call chains: needs only grow, so
+	// iterate until stable (bounded by chains × classes).
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range lockedDecls {
+			fn := pass.Info.Defs[fd.Name].(*types.Func)
+			if c.checkFunc(fd, needs[fn]) {
+				changed = true
+			}
+		}
+	}
+	for _, fd := range checkDecls {
+		c.checkFunc(fd, nil)
+	}
+
+	checkAtomicMix(pass, guards)
+	return nil
+}
+
+type gbChecker struct {
+	pass   *Pass
+	guards map[fieldKey]lockClassKey
+	needs  map[*types.Func]map[lockClassKey]bool
+}
+
+// checkFunc flow-walks one function. With collect non-nil (a *Locked
+// function's assumption set) unmet guard obligations are absorbed into
+// it and the return value reports growth; with collect nil they are
+// reported as diagnostics.
+func (c *gbChecker) checkFunc(fd *ast.FuncDecl, collect map[lockClassKey]bool) bool {
+	pass := c.pass
+	fresh := freshRoots(pass, fd.Body)
+	writes := writeTargets(fd.Body)
+	changed := false
+	absorb := func(class lockClassKey, write bool) {
+		old, had := collect[class]
+		if !had || (write && !old) {
+			collect[class] = old || write
+			changed = true
+		}
+	}
+
+	w := &flowWalker{pass: pass, hooks: flowHooks{
+		node: func(n ast.Node, st *lockState) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return
+			}
+			named := namedType(pass.Info.TypeOf(sel.X))
+			if named == nil || named.Obj().Pkg() == nil {
+				return
+			}
+			fk := fieldKey{named.Obj().Pkg().Name(), named.Obj().Name(), sel.Sel.Name}
+			class, guarded := c.guards[fk]
+			if !guarded {
+				return
+			}
+			write := writes[sel]
+			if write && st.mustW[class] || !write && st.mustR[class] {
+				return
+			}
+			if isFreshExpr(pass, fresh, sel) {
+				return
+			}
+			if collect != nil {
+				absorb(class, write)
+				return
+			}
+			verb := "reads"
+			if write {
+				verb = "writes"
+			}
+			if write && st.mustR[class] {
+				pass.Reportf(sel, "%s %s.%s.%s while holding only a read lock on %s (field is guarded by %s)",
+					verb, fk.Pkg, fk.Type, fk.Field, fmtClass(class), fmtClass(class))
+				return
+			}
+			pass.Reportf(sel, "%s %s.%s.%s without holding %s (field is guarded by it; lock it, or do the access in a *Locked helper)",
+				verb, fk.Pkg, fk.Type, fk.Field, fmtClass(class))
+		},
+		call: func(call *ast.CallExpr, fn *types.Func, st *lockState) {
+			n, isLocked := c.needs[fn]
+			if !isLocked || len(n) == 0 {
+				return
+			}
+			for class, needW := range n {
+				if needW && st.mustW[class] || !needW && st.mustR[class] {
+					continue
+				}
+				if callOnFresh(pass, fresh, call) {
+					continue
+				}
+				if collect != nil {
+					absorb(class, needW)
+					continue
+				}
+				req := fmtClass(class)
+				if needW {
+					req += " exclusively"
+				}
+				pass.Reportf(call, "calls %s without holding %s, which it assumes held",
+					fn.Name(), req)
+			}
+		},
+	}}
+	w.walkFunc(fd.Body, newLockState())
+	return changed
+}
+
+// callOnFresh reports whether a call's receiver or any argument is
+// rooted at a freshly allocated local — the constructor shape
+// `d := &Dict{}; d.growLocked()` that needs no lock yet.
+func callOnFresh(pass *Pass, fresh map[types.Object]bool, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isFreshExpr(pass, fresh, sel.X) {
+		return true
+	}
+	for _, a := range call.Args {
+		if isFreshExpr(pass, fresh, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeTargets marks the expressions a function writes through:
+// assignment left-hand sides, inc/dec operands, and address-taken
+// operands (a passed pointer may be written through).
+func writeTargets(body *ast.BlockStmt) map[ast.Expr]bool {
+	writes := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writes[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[ast.Unparen(n.X)] = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				writes[ast.Unparen(n.X)] = true
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// guardSpec parses one comment line as a guarded-by annotation.
+// It returns the guard spec ("mu" or "Type.mu"), or nearMiss when the
+// line mentions a guard without following the documented grammar.
+func guardSpec(text string) (spec string, nearMiss bool) {
+	t := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	const prefix = "guarded by "
+	if !strings.HasPrefix(t, prefix) {
+		if strings.Contains(strings.ToLower(t), "guarded by") {
+			return "", true
+		}
+		return "", false
+	}
+	rest := t[len(prefix):]
+	if i := strings.IndexByte(rest, ';'); i >= 0 {
+		rest = rest[:i]
+	}
+	// An embedded "//" ends the annotation (fixture want comments and
+	// waivers share the line this way).
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	rest = strings.TrimRight(strings.TrimSpace(rest), ".")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", true
+	}
+	return rest, false
+}
+
+// collectGuards parses every struct field's guarded-by annotation,
+// reporting malformed comments and guards that do not resolve to a
+// registered lock class. Grammar (also in the package doc):
+//
+//	// guarded by <field>          – sibling mutex field
+//	// guarded by <Type>.<field>   – mutex field of another same-package type
+//
+// with optional trailing prose after a semicolon.
+func collectGuards(pass *Pass) map[fieldKey]lockClassKey {
+	guards := map[fieldKey]lockClassKey{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || pass.IsTestFile(ts) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				var lines []*ast.Comment
+				if field.Doc != nil {
+					lines = append(lines, field.Doc.List...)
+				}
+				if field.Comment != nil {
+					lines = append(lines, field.Comment.List...)
+				}
+				spec, near := "", false
+				for _, cmt := range lines {
+					s, nm := guardSpec(cmt.Text)
+					if s != "" {
+						spec, near = s, false
+						break
+					}
+					near = near || nm
+				}
+				if near {
+					pass.Reportf(field, "guarded-by comment does not follow the grammar; write exactly `// guarded by <field>` or `// guarded by <Type>.<field>` (trailing prose goes after a semicolon)")
+					continue
+				}
+				if spec == "" {
+					continue
+				}
+				class := lockClassKey{Pkg: pass.Pkg.Name()}
+				if i := strings.IndexByte(spec, '.'); i >= 0 {
+					class.Type, class.Field = spec[:i], spec[i+1:]
+				} else {
+					class.Type, class.Field = ts.Name.Name, spec
+				}
+				if _, ok := lockRanks[class]; !ok {
+					pass.Reportf(field, "guard %s of this guarded-by comment is not a registered lock class; register it in internal/lint/locktable.go", spec)
+					continue
+				}
+				for _, name := range field.Names {
+					guards[fieldKey{pass.Pkg.Name(), ts.Name.Name, name.Name}] = class
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// checkAtomicMix reports struct fields of the analyzed package that are
+// accessed both through sync/atomic (as &x.f) and as plain loads or
+// stores.
+func checkAtomicMix(pass *Pass, guards map[fieldKey]lockClassKey) {
+	atomicArg := map[ast.Expr]bool{}
+	firstAtomic := map[fieldKey]ast.Node{}
+	resolve := func(sel *ast.SelectorExpr) (fieldKey, bool) {
+		v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return fieldKey{}, false
+		}
+		named := namedType(pass.Info.TypeOf(sel.X))
+		if named == nil || named.Obj().Pkg() != pass.Pkg {
+			return fieldKey{}, false
+		}
+		return fieldKey{named.Obj().Pkg().Name(), named.Obj().Name(), sel.Sel.Name}, true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pass.IsTestFile(n) {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, a := range call.Args {
+				u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || u.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				atomicArg[sel] = true
+				if fk, ok := resolve(sel); ok {
+					if _, seen := firstAtomic[fk]; !seen {
+						firstAtomic[fk] = sel
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(firstAtomic) == 0 {
+		return
+	}
+	reported := map[fieldKey]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd) {
+				continue
+			}
+			fresh := freshRoots(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArg[sel] {
+					return true
+				}
+				fk, ok := resolve(sel)
+				if !ok || reported[fk] {
+					return true
+				}
+				at, mixed := firstAtomic[fk]
+				if !mixed || isFreshExpr(pass, fresh, sel) {
+					return true
+				}
+				reported[fk] = true
+				pass.Reportf(sel, "plain access to %s.%s.%s, which is also accessed atomically (e.g. %s); a field must use one discipline",
+					fk.Pkg, fk.Type, fk.Field, pass.Fset.Position(at.Pos()))
+				return true
+			})
+		}
+	}
+}

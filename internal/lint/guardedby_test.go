@@ -1,0 +1,18 @@
+package lint
+
+import "testing"
+
+// TestGuardedBy covers sibling and cross-type guards, the
+// read-lock/write-lock distinction, transitive *Locked call-site
+// obligations, constructor freshness, waivers, and the
+// annotation-grammar diagnostics.
+func TestGuardedBy(t *testing.T) {
+	runFixture(t, GuardedBy, "guardfix/a")
+}
+
+// TestGuardedByAtomicMix covers the mixed atomic/plain access check:
+// one report per mixed field, none for single-discipline fields or
+// fresh objects.
+func TestGuardedByAtomicMix(t *testing.T) {
+	runFixture(t, GuardedBy, "guardfix/atom")
+}

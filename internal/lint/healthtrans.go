@@ -1,0 +1,185 @@
+package lint
+
+// The healthtrans analyzer enforces the two contracts of the disk
+// health state machine (and any future state enum registered in
+// locktable.go's healthEnums):
+//
+//  1. The authoritative state field is written only inside the
+//     canonical transition function — everything else must call it, so
+//     the transition count and the unhealthy-disk counter can never
+//     drift from the states they summarize.
+//  2. Every switch over the state enum covers every state: adding a
+//     state (say, Draining) fails the vet on each switch that has not
+//     decided what the new state means, instead of silently falling
+//     through a default.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HealthTrans reports rogue health-state writes and non-exhaustive
+// switches over registered state enums.
+var HealthTrans = &Analyzer{
+	Name: "healthtrans",
+	Doc: "health-state discipline: the per-disk state field is written only by the " +
+		"canonical transition function, and every switch over a registered state " +
+		"enum must cover all of its states",
+	Run: runHealthTrans,
+}
+
+func runHealthTrans(pass *Pass) error {
+	for _, e := range healthEnums {
+		checkEnumSwitches(pass, e)
+		if pass.Pkg.Name() == e.Pkg {
+			checkStateWrites(pass, e)
+		}
+	}
+	return nil
+}
+
+// isStateField reports whether sel selects the enum's authoritative
+// state field (StateStruct.StateField).
+func isStateField(pass *Pass, e healthEnum, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != e.StateField {
+		return false
+	}
+	return isNamed(pass.Info.TypeOf(sel.X), e.Pkg, e.StateStruct)
+}
+
+// checkStateWrites reports every write (or address-taking) of the state
+// field outside the canonical transition functions.
+func checkStateWrites(pass *Pass, e healthEnum) {
+	canonical := func(stack []ast.Node) bool {
+		fd := enclosingFuncDecl(stack)
+		if fd == nil {
+			return false
+		}
+		for _, name := range e.Canonical {
+			if fd.Name.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(n ast.Node, what string) {
+		pass.Reportf(n, "%s %s.%s outside %s; every health transition must flow through it",
+			what, e.StateStruct, e.StateField, strings.Join(e.Canonical, "/"))
+	}
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			if pass.IsTestFile(n) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && isStateField(pass, e, sel) && !canonical(stack) {
+						report(sel, "writes")
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && isStateField(pass, e, sel) && !canonical(stack) {
+					report(sel, "writes")
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() != "&" {
+					return true
+				}
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && isStateField(pass, e, sel) && !canonical(stack) {
+					report(sel, "takes the address of")
+				}
+			case *ast.CompositeLit:
+				if !isNamed(pass.Info.TypeOf(n), e.Pkg, e.StateStruct) || canonical(stack) {
+					return true
+				}
+				for i, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == e.StateField {
+							report(kv, "initializes")
+						}
+						continue
+					}
+					// Positional literal: the i-th field.
+					if fieldNameAt(pass, n, i) == e.StateField {
+						report(el, "initializes")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldNameAt returns the name of the i-th field of the struct literal's
+// type, or "".
+func fieldNameAt(pass *Pass, lit *ast.CompositeLit, i int) string {
+	named := namedType(pass.Info.TypeOf(lit))
+	if named == nil {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || i >= st.NumFields() {
+		return ""
+	}
+	return st.Field(i).Name()
+}
+
+// checkEnumSwitches reports switches over the enum that do not list
+// every state. A default clause is allowed (for corrupt values) but
+// does not excuse a missing state: the point is that adding a state
+// revisits every switch.
+func checkEnumSwitches(pass *Pass, e healthEnum) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			if pass.IsTestFile(n) {
+				return false
+			}
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			if !isNamed(pass.Info.TypeOf(sw.Tag), e.Pkg, e.Enum) {
+				return true
+			}
+			covered := map[string]bool{}
+			for _, c := range sw.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					var id *ast.Ident
+					switch x := ast.Unparen(expr).(type) {
+					case *ast.Ident:
+						id = x
+					case *ast.SelectorExpr:
+						id = x.Sel
+					default:
+						continue
+					}
+					if _, isConst := pass.Info.Uses[id].(*types.Const); isConst {
+						covered[id.Name] = true
+					}
+				}
+			}
+			var missing []string
+			for _, c := range e.Constants {
+				if !covered[c] {
+					missing = append(missing, c)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw, "switch over %s.%s does not cover %s; state switches must be exhaustive",
+					e.Pkg, e.Enum, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,17 @@
+package lint
+
+import "testing"
+
+// TestHealthTrans covers the home-package contract: state writes only
+// inside the canonical transition function (assignments, composite
+// literals, address-taking), plus switch exhaustiveness and the waiver
+// escape hatch.
+func TestHealthTrans(t *testing.T) {
+	runFixture(t, HealthTrans, "healthfix/pdm")
+}
+
+// TestHealthTransSwitchesElsewhere covers switch exhaustiveness in a
+// package that merely imports the enum.
+func TestHealthTransSwitchesElsewhere(t *testing.T) {
+	runFixture(t, HealthTrans, "healthfix/use")
+}

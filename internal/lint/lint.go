@@ -11,6 +11,35 @@
 //     seed yields byte-identical traces.
 //   - hooktag: every span tag is a constant from the internal/obs tag
 //     registry, so per-tag I/O sums partition the machine's total.
+//   - opctx: every public Lookup/Insert/Delete entry point mints or
+//     propagates an operation token, so per-op accounting has no blind
+//     spots.
+//   - lockorder: lock acquisitions respect the partial order declared
+//     in locktable.go, and every mutex struct field is registered
+//     there, so the concurrent query/repair paths cannot deadlock.
+//   - guardedby: annotated struct fields are only touched with their
+//     declared mutex held (see the grammar below), *Locked helpers are
+//     only called with their locks held, and no field mixes atomic and
+//     plain access.
+//   - healthtrans: disk health states are written only through the
+//     canonical transition function, and switches over state enums are
+//     exhaustive.
+//
+// # Guarded-field grammar
+//
+// A struct field is declared guarded with a doc or trailing line
+// comment of exactly this shape:
+//
+//	n     int        // guarded by mu
+//	state HealthState // guarded by Machine.healthMu; prose may follow a semicolon
+//
+// The guard is either a sibling mutex field (`mu`) or a
+// `<Type>.<field>` mutex of another type in the same package, and must
+// be registered in the lock-order table (locktable.go). Reads require
+// the guard held (RLock suffices); writes require it held exclusively.
+// A function whose name ends in "Locked" is exempt inside its body —
+// instead, every call site must hold the locks the function
+// (transitively) assumes.
 //
 // The package is a deliberately small stand-in for golang.org/x/tools'
 // go/analysis framework (which this module does not depend on): an
@@ -24,7 +53,10 @@
 //
 //	//lint:pdm-allow <rule>[,<rule>...]: reason
 //
-// The reason is not parsed but, by convention, mandatory.
+// The reason is not parsed but, by convention, mandatory. A waiver that
+// suppresses nothing is itself reported (rule "unusedwaiver") whenever
+// every rule it names was part of the run, so stale escape hatches
+// cannot accumulate.
 package lint
 
 import (
@@ -60,7 +92,7 @@ type Analyzer struct {
 
 // All returns the full pdmlint suite.
 func All() []*Analyzer {
-	return []*Analyzer{IOCharge, BatchErr, DetRand, HookTag, OpCtxRule}
+	return []*Analyzer{IOCharge, BatchErr, DetRand, HookTag, OpCtxRule, LockOrder, GuardedBy, HealthTrans}
 }
 
 // ByName returns the analyzer with the given rule name, or nil.
@@ -116,7 +148,9 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	diags = filterAllowed(fset, files, diags)
+	waivers := collectWaivers(fset, files)
+	diags = filterAllowed(waivers, diags)
+	diags = append(diags, filterAllowed(waivers, staleWaivers(waivers, analyzers))...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -139,10 +173,19 @@ type allowKey struct {
 	line int
 }
 
-// filterAllowed drops diagnostics waived by a //lint:pdm-allow comment
-// on the same line or the line directly above.
-func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	allow := map[allowKey]map[string]bool{}
+// waiverComment is one parsed //lint:pdm-allow comment, with its usage
+// tracked so stale waivers can be reported.
+type waiverComment struct {
+	key   allowKey
+	pos   token.Position
+	rules []string // as written, for messages
+	set   map[string]bool
+	used  bool
+}
+
+// collectWaivers parses every pdm-allow comment of the package.
+func collectWaivers(fset *token.FileSet, files []*ast.File) []*waiverComment {
+	var out []*waiverComment
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -151,29 +194,84 @@ func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) [
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				k := allowKey{pos.Filename, pos.Line}
-				if allow[k] == nil {
-					allow[k] = map[string]bool{}
+				w := &waiverComment{
+					key:   allowKey{pos.Filename, pos.Line},
+					pos:   pos,
+					rules: rules,
+					set:   map[string]bool{},
 				}
 				for _, r := range rules {
-					allow[k][r] = true
+					w.set[r] = true
 				}
+				out = append(out, w)
 			}
 		}
 	}
-	if len(allow) == 0 {
+	return out
+}
+
+// filterAllowed drops diagnostics waived by a //lint:pdm-allow comment
+// on the same line or the line directly above, marking the waivers that
+// did the suppressing as used.
+func filterAllowed(waivers []*waiverComment, diags []Diagnostic) []Diagnostic {
+	if len(waivers) == 0 {
 		return diags
+	}
+	byKey := map[allowKey][]*waiverComment{}
+	for _, w := range waivers {
+		byKey[w.key] = append(byKey[w.key], w)
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		sameLine := allow[allowKey{d.Pos.Filename, d.Pos.Line}]
-		lineAbove := allow[allowKey{d.Pos.Filename, d.Pos.Line - 1}]
-		if sameLine[d.Rule] || lineAbove[d.Rule] {
-			continue
+		suppressed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, w := range byKey[allowKey{d.Pos.Filename, line}] {
+				if w.set[d.Rule] {
+					w.used = true
+					suppressed = true
+				}
+			}
 		}
-		kept = append(kept, d)
+		if !suppressed {
+			kept = append(kept, d)
+		}
 	}
 	return kept
+}
+
+// staleWaivers reports the waivers that suppressed nothing, provided
+// every rule they name was part of the run (a waiver for an analyzer
+// outside the suite may be load-bearing in a fuller run, so it is left
+// alone). Waivers naming unusedwaiver itself are exempt: they exist to
+// quiet this very check.
+func staleWaivers(waivers []*waiverComment, analyzers []*Analyzer) []Diagnostic {
+	suite := map[string]bool{}
+	for _, a := range analyzers {
+		suite[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, w := range waivers {
+		if w.used || w.set["unusedwaiver"] {
+			continue
+		}
+		all := true
+		for r := range w.set {
+			if !suite[r] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  w.pos,
+			Rule: "unusedwaiver",
+			Message: fmt.Sprintf("//lint:pdm-allow %s suppresses no diagnostic; remove the stale waiver",
+				strings.Join(w.rules, ",")),
+		})
+	}
+	return out
 }
 
 // parseAllow extracts the rule names from a //lint:pdm-allow comment,

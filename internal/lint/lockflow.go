@@ -1,0 +1,652 @@
+package lint
+
+// Shared lock-flow machinery for the lockorder and guardedby analyzers:
+// a branch-aware abstract interpreter that tracks which registered lock
+// classes are held at each point of a function body, and a per-package
+// fixpoint computing which classes each function may acquire
+// (transitively, through same-package calls and the declared
+// cross-package effects in locktable.go).
+//
+// Tracking is class-level: two instances of the same type share a lock
+// class, so "holds BasicDict.mu" means "holds the mu of SOME BasicDict".
+// That is exactly the granularity a lock ORDER needs (instance-level
+// cycles within one class are ordered by convention, e.g. disk index),
+// and it is what makes the analysis decidable without alias analysis.
+// Calls through stored function values are invisible (calleeFunc
+// resolves only direct calls); the table's effect entries document the
+// contracts those paths rely on.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockState is the abstract lock-holding state at one program point.
+type lockState struct {
+	mustR map[lockClassKey]bool // held (shared or exclusive) on every path
+	mustW map[lockClassKey]bool // held exclusively on every path
+	may   map[lockClassKey]bool // held on at least one path
+	dead  bool                  // every path to this point has returned
+}
+
+func newLockState() *lockState {
+	return &lockState{
+		mustR: map[lockClassKey]bool{},
+		mustW: map[lockClassKey]bool{},
+		may:   map[lockClassKey]bool{},
+	}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k := range s.mustR {
+		c.mustR[k] = true
+	}
+	for k := range s.mustW {
+		c.mustW[k] = true
+	}
+	for k := range s.may {
+		c.may[k] = true
+	}
+	c.dead = s.dead
+	return c
+}
+
+func (s *lockState) acquire(k lockClassKey, exclusive bool) {
+	s.mustR[k] = true
+	if exclusive {
+		s.mustW[k] = true
+	}
+	s.may[k] = true
+}
+
+func (s *lockState) release(k lockClassKey) {
+	delete(s.mustR, k)
+	delete(s.mustW, k)
+	delete(s.may, k)
+}
+
+// joinStates merges the states of converging control-flow paths:
+// must-sets intersect, may-sets union. Dead paths contribute nothing;
+// if every path is dead, the join is dead.
+func joinStates(states ...*lockState) *lockState {
+	var live []*lockState
+	for _, s := range states {
+		if s != nil && !s.dead {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		out := newLockState()
+		out.dead = true
+		return out
+	}
+	out := live[0].clone()
+	for _, s := range live[1:] {
+		for k := range out.mustR {
+			if !s.mustR[k] {
+				delete(out.mustR, k)
+			}
+		}
+		for k := range out.mustW {
+			if !s.mustW[k] {
+				delete(out.mustW, k)
+			}
+		}
+		for k := range s.may {
+			out.may[k] = true
+		}
+	}
+	return out
+}
+
+// mutexOp classifies one sync.Mutex / sync.RWMutex method call.
+type mutexOp int
+
+const (
+	opNone   mutexOp = iota
+	opLock           // Lock: exclusive acquire
+	opRLock          // RLock: shared acquire
+	opUnlock         // Unlock / RUnlock: release
+	opOther          // TryLock, RLocker, ...: ignored (unused in tree)
+)
+
+// classifyMutexCall resolves call as a mutex operation on a registered
+// lock class. The second result is the class; ok is false when the call
+// is not a mutex method at all. A mutex method on an UNREGISTERED
+// expression (a local variable, an unregistered field) returns ok with
+// an empty class — callers skip state tracking for it (the lockorder
+// registration check reports undeclared struct fields separately).
+func classifyMutexCall(info *types.Info, call *ast.CallExpr) (mutexOp, lockClassKey, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return opNone, lockClassKey{}, false
+	}
+	if !isMethodOn(fn, "sync", "Mutex") && !isMethodOn(fn, "sync", "RWMutex") {
+		return opNone, lockClassKey{}, false
+	}
+	var op mutexOp
+	switch fn.Name() {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		op = opOther
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return op, lockClassKey{}, true
+	}
+	k, registered := classOfMutexExpr(info, sel.X)
+	if !registered {
+		return op, lockClassKey{}, true
+	}
+	return op, k, true
+}
+
+// classOfMutexExpr resolves a mutex-valued expression (the receiver of
+// a Lock/Unlock call) to its registered lock class: the expression must
+// be a field selector x.f where x's named type T gives a registered
+// (T's package, T, f) triple.
+func classOfMutexExpr(info *types.Info, e ast.Expr) (lockClassKey, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return lockClassKey{}, false
+	}
+	named := namedType(info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return lockClassKey{}, false
+	}
+	k := lockClassKey{named.Obj().Pkg().Name(), named.Obj().Name(), sel.Sel.Name}
+	_, registered := lockRanks[k]
+	return k, registered
+}
+
+// funcEffects maps each function declared in the analyzed package to
+// the set of lock classes it may acquire, directly or transitively.
+type funcEffects map[*types.Func]map[lockClassKey]bool
+
+// effectOfCallee resolves what a call to fn may acquire: the computed
+// same-package summary when one exists, the declared cross-package
+// effect of its receiver type otherwise, and nothing for plain
+// functions outside the package (assumed lock-free).
+func effectOfCallee(fn *types.Func, sums funcEffects) []lockClassKey {
+	if s, ok := sums[fn]; ok {
+		out := make([]lockClassKey, 0, len(s))
+		for k := range s {
+			out = append(out, k)
+		}
+		return out
+	}
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	return effectFor(named.Obj().Pkg().Name(), named.Obj().Name(), fn.Name())
+}
+
+// computeLockSummaries runs the may-acquire fixpoint over every
+// function declared in the package. Acquisitions inside `go` statements
+// are excluded: a spawned goroutine starts with an empty lock set, so
+// its acquisitions are not ordered against the locks its parent holds.
+func computeLockSummaries(pass *Pass) funcEffects {
+	type raw struct {
+		direct map[lockClassKey]bool
+		calls  map[*types.Func]bool
+	}
+	raws := map[*types.Func]*raw{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			r := &raw{direct: map[lockClassKey]bool{}, calls: map[*types.Func]bool{}}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					op, k, isMutex := classifyMutexCall(pass.Info, n)
+					if isMutex {
+						if (op == opLock || op == opRLock) && k != (lockClassKey{}) {
+							r.direct[k] = true
+						}
+						return true
+					}
+					if callee := calleeFunc(pass.Info, n); callee != nil {
+						r.calls[callee] = true
+					}
+				}
+				return true
+			})
+			raws[fn] = r
+		}
+	}
+
+	sums := funcEffects{}
+	for fn, r := range raws {
+		s := map[lockClassKey]bool{}
+		for k := range r.direct {
+			s[k] = true
+		}
+		sums[fn] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, r := range raws {
+			s := sums[fn]
+			for callee := range r.calls {
+				var eff []lockClassKey
+				if cs, ok := sums[callee]; ok {
+					for k := range cs {
+						eff = append(eff, k)
+					}
+				} else {
+					eff = effectOfCallee(callee, nil)
+				}
+				for _, k := range eff {
+					if !s[k] {
+						s[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// flowHooks are the analyzer-side callbacks of a flow walk. All hooks
+// receive the lock state in force just before the hooked event; states
+// are live and must not be retained or mutated.
+type flowHooks struct {
+	// node fires for every expression node, pre-order.
+	node func(n ast.Node, st *lockState)
+	// acquire fires at a direct Lock/RLock of a registered class,
+	// before the state registers it.
+	acquire func(n ast.Node, k lockClassKey, exclusive bool, st *lockState)
+	// call fires for every resolved direct call that is not a mutex
+	// operation.
+	call func(call *ast.CallExpr, fn *types.Func, st *lockState)
+}
+
+// flowWalker interprets one function body, threading lockState through
+// its control flow. Function literals are walked inline with a copy of
+// the current state (the common immediately-invoked / sort.Slice /
+// runShards shapes), except under `go`, where the body starts from an
+// empty state on its own goroutine. State changes inside a literal are
+// discarded: a stored closure's acquisitions belong to its eventual
+// caller.
+type flowWalker struct {
+	pass  *Pass
+	hooks flowHooks
+}
+
+func (w *flowWalker) walkFunc(body *ast.BlockStmt, entry *lockState) {
+	w.stmt(body, entry)
+}
+
+// stmtList threads state through a statement sequence; statements after
+// a terminated path are still walked (to check their contents) from the
+// dead state, which holds no locks on any live path.
+func (w *flowWalker) stmtList(list []ast.Stmt, st *lockState) *lockState {
+	for _, s := range list {
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, st *lockState) *lockState {
+	switch s := s.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		return w.stmtList(s.List, st)
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, st)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, st)
+		}
+		st.dead = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the walked region; the approximation
+		// drops their state at the join (fallthrough keeps flowing: its
+		// target case is walked from the switch entry state anyway).
+		st.dead = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		thenSt := w.stmt(s.Body, st.clone())
+		elseSt := st.clone()
+		if s.Else != nil {
+			elseSt = w.stmt(s.Else, elseSt)
+		}
+		return joinStates(thenSt, elseSt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		bodySt := w.stmt(s.Body, st.clone())
+		if s.Post != nil {
+			bodySt = w.stmt(s.Post, bodySt)
+		}
+		return joinStates(st, bodySt)
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		if s.Key != nil {
+			w.expr(s.Key, st)
+		}
+		if s.Value != nil {
+			w.expr(s.Value, st)
+		}
+		bodySt := w.stmt(s.Body, st.clone())
+		return joinStates(st, bodySt)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		return w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		st = w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		var outs []*lockState
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cst := st.clone()
+			if cc.Comm != nil {
+				cst = w.stmt(cc.Comm, cst)
+			}
+			outs = append(outs, w.stmtList(cc.Body, cst))
+		}
+		if len(outs) == 0 {
+			return st
+		}
+		return joinStates(outs...)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to the end of the
+		// function: no state change. Other deferred calls run at return
+		// time; they are checked against the state at the defer site,
+		// the best static stand-in.
+		if op, _, isMutex := classifyMutexCall(w.pass.Info, s.Call); isMutex && op == opUnlock {
+			if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+				w.expr(sel.X, st)
+			}
+			return st
+		}
+		w.callExpr(s.Call, st)
+	case *ast.GoStmt:
+		// The goroutine starts with nothing held: walk its work from an
+		// empty state. Arguments are evaluated synchronously, but any
+		// locking in them is vanishingly rare; the empty state keeps the
+		// goroutine body's own checks meaningful.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.stmt(lit.Body, newLockState())
+		}
+		for _, a := range s.Call.Args {
+			if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+				w.stmt(lit.Body, newLockState())
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+	}
+	return st
+}
+
+// caseClauses walks a switch body: each clause from a copy of the entry
+// state, joined with the fall-past state when there is no default.
+func (w *flowWalker) caseClauses(body *ast.BlockStmt, st *lockState) *lockState {
+	var outs []*lockState
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.expr(e, st)
+		}
+		outs = append(outs, w.stmtList(cc.Body, st.clone()))
+	}
+	if !hasDefault {
+		outs = append(outs, st.clone())
+	}
+	if len(outs) == 0 {
+		return st
+	}
+	return joinStates(outs...)
+}
+
+// expr scans an expression in evaluation order, firing hooks and
+// applying mutex operations to st.
+func (w *flowWalker) expr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	if w.hooks.node != nil {
+		w.hooks.node(e, st)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.expr(e.X, st)
+	case *ast.SelectorExpr:
+		w.expr(e.X, st)
+	case *ast.CallExpr:
+		w.callExpr(e, st)
+	case *ast.StarExpr:
+		w.expr(e.X, st)
+	case *ast.UnaryExpr:
+		w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		w.expr(e.X, st)
+		w.expr(e.Y, st)
+	case *ast.IndexExpr:
+		w.expr(e.X, st)
+		w.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		w.expr(e.X, st)
+		for _, i := range e.Indices {
+			w.expr(i, st)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, st)
+		w.expr(e.Low, st)
+		w.expr(e.High, st)
+		w.expr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, st)
+	case *ast.FuncLit:
+		// Walked inline under the current state (discarding changes):
+		// right for immediately-invoked and call-me-now shapes, an
+		// over-approximation for stored closures.
+		w.stmt(e.Body, st.clone())
+	}
+}
+
+// callExpr handles one call: mutex operations update the state; every
+// other resolved call fires the call hook.
+func (w *flowWalker) callExpr(c *ast.CallExpr, st *lockState) {
+	op, k, isMutex := classifyMutexCall(w.pass.Info, c)
+	if isMutex {
+		if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			w.expr(sel.X, st)
+		}
+		if k == (lockClassKey{}) {
+			return // unregistered mutex: untracked
+		}
+		switch op {
+		case opLock:
+			if w.hooks.acquire != nil {
+				w.hooks.acquire(c, k, true, st)
+			}
+			st.acquire(k, true)
+		case opRLock:
+			if w.hooks.acquire != nil {
+				w.hooks.acquire(c, k, false, st)
+			}
+			st.acquire(k, false)
+		case opUnlock:
+			st.release(k)
+		}
+		return
+	}
+	w.expr(c.Fun, st)
+	for _, a := range c.Args {
+		w.expr(a, st)
+	}
+	if fn := calleeFunc(w.pass.Info, c); fn != nil && w.hooks.call != nil {
+		w.hooks.call(c, fn, st)
+	}
+}
+
+// freshRoots collects the local identifiers a function binds to values
+// it allocates itself — x := &T{...}, x := T{...}, x := new(T), or
+// var x T — before any other goroutine can see them. Accesses rooted at
+// a fresh identifier are exempt from lock checks: constructors
+// initialize guarded fields of objects nothing else references yet.
+func freshRoots(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	isAlloc := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		switch e := e.(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+				_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isAlloc(n.Rhs[i]) {
+					continue
+				}
+				if obj := pass.Info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				} else if obj := pass.Info.Uses[id]; obj != nil && n.Tok.String() == "=" {
+					// Plain re-assignment of a local to a fresh value.
+					if _, isVar := obj.(*types.Var); isVar {
+						fresh[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 && n.Type != nil {
+				for _, id := range n.Names {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+				return true
+			}
+			for i, id := range n.Names {
+				if i < len(n.Values) && isAlloc(n.Values[i]) {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// rootIdent walks to the base identifier of a selector/index/deref
+// chain: m.shards[i].blocks → m. Nil when the chain bottoms out in a
+// call or literal.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isFreshExpr reports whether e is rooted at a fresh local.
+func isFreshExpr(pass *Pass, fresh map[types.Object]bool, e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	return obj != nil && fresh[obj]
+}

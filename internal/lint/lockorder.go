@@ -1,0 +1,126 @@
+package lint
+
+// The lockorder analyzer enforces the repo-wide lock acquisition order
+// declared in locktable.go. It computes, for every function in the
+// analyzed package, the set of registered lock classes the function may
+// acquire (directly or through calls, including *Locked helpers and the
+// declared cross-package effects), then walks each function tracking
+// which classes may be held at each point. Acquiring a class whose rank
+// is not strictly greater than some held class's rank — directly or via
+// a call whose summary includes such a class — is a violation of the
+// declared partial order; since the table is a linear extension of that
+// order, any acquisition cycle among registered classes trips the check
+// on at least one of its edges.
+//
+// The analyzer also keeps the table honest: every sync.Mutex/RWMutex
+// struct field in non-test code must be registered, so a new
+// lock-bearing type cannot compile into the tree without declaring its
+// position in the order.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LockOrder reports lock acquisitions that violate the declared order.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the declared lock acquisition order: a held lock's rank must be " +
+		"strictly below every lock acquired under it, and every mutex struct field " +
+		"must be registered in internal/lint/locktable.go",
+	Run: runLockOrder,
+}
+
+func fmtClass(k lockClassKey) string {
+	return fmt.Sprintf("%s.%s.%s", k.Pkg, k.Type, k.Field)
+}
+
+func runLockOrder(pass *Pass) error {
+	checkLockRegistration(pass)
+
+	sums := computeLockSummaries(pass)
+	// worstHeld returns the held class that most violates acquiring k,
+	// i.e. the may-held class of maximal rank ≥ rank(k).
+	worstHeld := func(k lockClassKey, st *lockState) (lockClassKey, bool) {
+		rank := lockRanks[k]
+		best, found := lockClassKey{}, false
+		for h := range st.may {
+			if lockRanks[h] >= rank && (!found || lockRanks[h] > lockRanks[best]) {
+				best, found = h, true
+			}
+		}
+		return best, found
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd) {
+				continue
+			}
+			w := &flowWalker{pass: pass, hooks: flowHooks{
+				acquire: func(n ast.Node, k lockClassKey, _ bool, st *lockState) {
+					if h, bad := worstHeld(k, st); bad {
+						if h == k {
+							pass.Reportf(n, "acquires %s while it may already be held (lock order rank %d)",
+								fmtClass(k), lockRanks[k])
+							return
+						}
+						pass.Reportf(n, "acquires %s (rank %d) while %s (rank %d) may be held, violating the declared lock order in internal/lint/locktable.go",
+							fmtClass(k), lockRanks[k], fmtClass(h), lockRanks[h])
+					}
+				},
+				call: func(call *ast.CallExpr, fn *types.Func, st *lockState) {
+					if len(st.may) == 0 {
+						return
+					}
+					for _, a := range effectOfCallee(fn, sums) {
+						if h, bad := worstHeld(a, st); bad {
+							pass.Reportf(call, "calls %s, which may acquire %s (rank %d), while %s (rank %d) is held — declared lock order in internal/lint/locktable.go",
+								fn.Name(), fmtClass(a), lockRanks[a], fmtClass(h), lockRanks[h])
+						}
+					}
+				},
+			}}
+			w.walkFunc(fd.Body, newLockState())
+		}
+	}
+	return nil
+}
+
+// checkLockRegistration reports mutex struct fields missing from the
+// lock-order table.
+func checkLockRegistration(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || pass.IsTestFile(ts) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				t := pass.Info.TypeOf(field.Type)
+				if !isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex") {
+					continue
+				}
+				if len(field.Names) == 0 {
+					pass.Reportf(field, "embedded %s in %s is not supported by the lock-order analysis; use a named field registered in internal/lint/locktable.go",
+						t, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					k := lockClassKey{pass.Pkg.Name(), ts.Name.Name, name.Name}
+					if _, ok := lockRanks[k]; !ok {
+						pass.Reportf(name, "mutex field %s is not registered in the lock-order table; declare its rank in internal/lint/locktable.go",
+							fmtClass(k))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+// TestLockOrder covers the in-package flow analysis: ordered and
+// inverted acquisitions (including the lockAB/lockBA deadlock pair),
+// interprocedural summaries, early-return release, reacquisition,
+// go-statement and defer handling, waivers, and the
+// every-mutex-is-registered rule.
+func TestLockOrder(t *testing.T) {
+	runFixture(t, LockOrder, "lockfix/a")
+}
+
+// TestLockOrderCrossPackage covers calls into another package, which
+// resolve through the declared effect table: the blanket
+// may-acquire-everything default and an explicit lock-free entry.
+func TestLockOrderCrossPackage(t *testing.T) {
+	runFixture(t, LockOrder, "lockfix/b")
+}

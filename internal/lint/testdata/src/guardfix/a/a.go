@@ -1,0 +1,121 @@
+// Fixture for the guardedby analyzer: sibling guards, cross-type
+// guards, RLock/Lock distinction, *Locked helpers, freshness, waivers,
+// and annotation-grammar diagnostics.
+package guardfix
+
+import "sync"
+
+// Box guards its fields with a sibling RWMutex.
+type Box struct {
+	mu sync.RWMutex
+	n  int    // guarded by mu
+	s  string // guarded by mu; trailing prose after a semicolon is fine
+}
+
+func (b *Box) Get() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+func (b *Box) Set(v int) {
+	b.mu.Lock()
+	b.n = v
+	b.mu.Unlock()
+}
+
+func (b *Box) badRead() int {
+	return b.n // want `reads guardfix.Box.n without holding guardfix.Box.mu`
+}
+
+func (b *Box) badWrite(v int) {
+	b.n = v // want `writes guardfix.Box.n without holding guardfix.Box.mu`
+}
+
+func (b *Box) writeUnderRLock(v int) {
+	b.mu.RLock()
+	b.n = v // want `writes guardfix.Box.n while holding only a read lock`
+	b.mu.RUnlock()
+}
+
+// setLocked assumes b.mu is held exclusively.
+func (b *Box) setLocked(v int) {
+	b.n = v
+}
+
+// readLocked assumes b.mu is held (a read hold suffices).
+func (b *Box) readLocked() int {
+	return b.n
+}
+
+// bumpLocked chains through other *Locked helpers; its assumptions are
+// the union of theirs.
+func (b *Box) bumpLocked() {
+	b.setLocked(b.readLocked() + 1)
+}
+
+func (b *Box) callsLockedOK(v int) {
+	b.mu.Lock()
+	b.setLocked(v)
+	b.bumpLocked()
+	b.mu.Unlock()
+}
+
+func (b *Box) callsLockedBad(v int) {
+	b.setLocked(v) // want `calls setLocked without holding guardfix.Box.mu exclusively`
+}
+
+func (b *Box) callsLockedUnderRLock(v int) {
+	b.mu.RLock()
+	b.setLocked(v) // want `calls setLocked without holding guardfix.Box.mu exclusively`
+	b.readLocked()
+	b.mu.RUnlock()
+}
+
+func (b *Box) callsBumpBad() {
+	b.bumpLocked() // want `calls bumpLocked without holding guardfix.Box.mu exclusively`
+}
+
+// NewBox: accesses rooted at a fresh local need no lock.
+func NewBox(v int) *Box {
+	b := &Box{}
+	b.n = v
+	b.setLocked(v + 1)
+	return b
+}
+
+// waived: the escape hatch.
+func (b *Box) waived() int {
+	return b.n //lint:pdm-allow guardedby: fixture exercises the escape hatch
+}
+
+// Owner/Item: rows guarded by another type's mutex.
+type Owner struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+type Item struct {
+	val int // guarded by Owner.mu
+}
+
+func (o *Owner) sum() int {
+	total := 0
+	o.mu.Lock()
+	for i := range o.items {
+		total += o.items[i].val
+	}
+	o.mu.Unlock()
+	return total
+}
+
+func (o *Owner) badPeek(i int) int {
+	return o.items[i].val // want `reads guardfix.Item.val without holding guardfix.Owner.mu`
+}
+
+// Bad annotations are themselves diagnosed.
+type badAnnot struct {
+	x int // guarded by nosuch // want `guard nosuch of this guarded-by comment is not a registered lock class`
+	y int // Both guarded by mu. // want `guarded-by comment does not follow the grammar`
+	z int // guarded by the mu field // want `guarded-by comment does not follow the grammar`
+}

@@ -1,0 +1,40 @@
+// Mixed atomic/plain access fixture for the guardedby analyzer.
+package atomfix
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *Counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// bad reads hits without atomics: a race against inc.
+func (c *Counter) bad() int64 {
+	return c.hits // want `plain access to atomfix.Counter.hits, which is also accessed atomically`
+}
+
+// alsoPlain is not reported again: one diagnostic per field.
+func (c *Counter) alsoPlain() int64 {
+	return c.hits
+}
+
+// total is plain-only: no diagnostic.
+func (c *Counter) sumTotal(v int64) int64 {
+	c.total += v
+	return c.total
+}
+
+// NewCounter: plain initialization of a fresh object is fine.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0
+	return c
+}

@@ -1,0 +1,108 @@
+// Fixture for the healthtrans analyzer. The package is named pdm so it
+// matches the registered enum {pdm, HealthState}; the hermetic loader
+// resolves it at the import path healthfix/pdm.
+package pdm
+
+// HealthState mirrors the real enum: four states, registered in
+// internal/lint/locktable.go.
+type HealthState uint8
+
+const (
+	Healthy HealthState = iota
+	Suspect
+	Failed
+	Repairing
+)
+
+type diskHealth struct {
+	state  HealthState
+	streak int
+}
+
+type machine struct {
+	health      []diskHealth
+	transitions int
+}
+
+// transitionLocked is the canonical writer; its writes are exempt.
+func (m *machine) transitionLocked(d int, to HealthState) {
+	if m.health[d].state == to {
+		return
+	}
+	m.health[d].state = to
+	m.transitions++
+}
+
+// rogue writes the state field directly.
+func (m *machine) rogue(d int) {
+	m.health[d].state = Failed // want `writes diskHealth.state outside transitionLocked`
+}
+
+// construct initializes the field in a keyed literal.
+func construct() diskHealth {
+	return diskHealth{state: Suspect} // want `initializes diskHealth.state outside transitionLocked`
+}
+
+// constructPositional initializes it positionally.
+func constructPositional() diskHealth {
+	return diskHealth{Failed, 0} // want `initializes diskHealth.state outside transitionLocked`
+}
+
+// zeroValue carries no explicit state: the zero value is Healthy by
+// construction, not a transition.
+func zeroValue() diskHealth {
+	return diskHealth{streak: 3}
+}
+
+// aliases takes the field's address, which would let writes escape the
+// canonical function.
+func (m *machine) aliases(d int) *HealthState {
+	return &m.health[d].state // want `takes the address of diskHealth.state outside transitionLocked`
+}
+
+// reads are unconstrained.
+func (m *machine) state(d int) HealthState {
+	return m.health[d].state
+}
+
+// name covers every state: no diagnostic. A default for corrupt values
+// is allowed on top.
+func name(s HealthState) string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Failed:
+		return "failed"
+	case Repairing:
+		return "repairing"
+	default:
+		return "?"
+	}
+}
+
+// partial has a default, which does not excuse the missing states.
+func partial(s HealthState) bool {
+	switch s { // want `switch over pdm.HealthState does not cover Repairing, Suspect`
+	case Healthy, Failed:
+		return false
+	default:
+		return true
+	}
+}
+
+// untagged switches are condition chains, not state dispatch; exempt.
+func serving(s HealthState) bool {
+	switch {
+	case s == Healthy:
+		return true
+	default:
+		return false
+	}
+}
+
+// waived: the escape hatch.
+func (m *machine) waived(d int) {
+	m.health[d].state = Healthy //lint:pdm-allow healthtrans: fixture exercises the escape hatch
+}

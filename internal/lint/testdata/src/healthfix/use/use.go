@@ -1,0 +1,26 @@
+// Cross-package half of the healthtrans fixture: switch exhaustiveness
+// is enforced wherever the enum is switched on, not just in its home
+// package.
+package use
+
+import "healthfix/pdm"
+
+// describe covers every state across multi-constant cases.
+func describe(s pdm.HealthState) string {
+	switch s {
+	case pdm.Healthy, pdm.Suspect:
+		return "serving"
+	case pdm.Failed, pdm.Repairing:
+		return "out"
+	}
+	return "?"
+}
+
+// bad covers only one state.
+func bad(s pdm.HealthState) bool {
+	switch s { // want `switch over pdm.HealthState does not cover Failed, Healthy, Repairing`
+	case pdm.Suspect:
+		return true
+	}
+	return false
+}

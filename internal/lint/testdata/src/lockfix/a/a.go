@@ -1,0 +1,154 @@
+// Fixture for the lockorder analyzer. The classes Outer (rank 910),
+// Middle (920), Middle.statsMu (924), and Leaf (930) are registered in
+// internal/lint/locktable.go; acquisitions must follow strictly
+// increasing rank.
+package lockfix
+
+import "sync"
+
+type Outer struct {
+	mu sync.Mutex
+}
+
+type Middle struct {
+	mu      sync.RWMutex
+	statsMu sync.Mutex
+	n       int
+}
+
+type Leaf struct {
+	mu sync.Mutex
+}
+
+// Rogue's mutex is not in the lock-order table.
+type Rogue struct {
+	mu sync.Mutex // want `mutex field lockfix.Rogue.mu is not registered in the lock-order table`
+}
+
+// Touch exercises the cross-package blanket effect (see lockfix/b).
+func (o *Outer) Touch() {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// Poke is declared lock-free in the effect table (see lockfix/b).
+func (l *Leaf) Poke() {}
+
+// good takes the three classes in declared order.
+func good(o *Outer, m *Middle, l *Leaf) {
+	o.mu.Lock()
+	m.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	m.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// inverted acquires outermost-last.
+func inverted(o *Outer, l *Leaf) {
+	l.mu.Lock()
+	o.mu.Lock() // want `acquires lockfix.Outer.mu \(rank 910\) while lockfix.Leaf.mu \(rank 930\) may be held`
+	o.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// lockAB and lockBA together are the classic inversion deadlock: two
+// goroutines, opposite orders. The declared order ranks Middle before
+// Leaf, so lockBA is the offender.
+func lockAB(m *Middle, l *Leaf) {
+	m.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	m.mu.Unlock()
+}
+
+func lockBA(m *Middle, l *Leaf) {
+	l.mu.Lock()
+	m.mu.Lock() // want `acquires lockfix.Middle.mu \(rank 920\) while lockfix.Leaf.mu \(rank 930\) may be held`
+	m.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// takeMiddle acquires Middle.mu internally; callers must not hold
+// anything ranked at or above it.
+func takeMiddle(m *Middle) {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+}
+
+func viaHelper(m *Middle, l *Leaf) {
+	l.mu.Lock()
+	takeMiddle(m) // want `calls takeMiddle, which may acquire lockfix.Middle.mu \(rank 920\), while lockfix.Leaf.mu \(rank 930\) is held`
+	l.mu.Unlock()
+}
+
+func viaHelperOK(o *Outer, m *Middle) {
+	o.mu.Lock()
+	takeMiddle(m)
+	o.mu.Unlock()
+}
+
+// earlyReturn releases on the branch before acquiring the outer class:
+// no violation on any path.
+func earlyReturn(o *Outer, l *Leaf, cond bool) {
+	l.mu.Lock()
+	if cond {
+		l.mu.Unlock()
+		o.mu.Lock()
+		o.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+}
+
+// reacquire self-deadlocks on one class.
+func reacquire(l *Leaf) {
+	l.mu.Lock()
+	l.mu.Lock() // want `acquires lockfix.Leaf.mu while it may already be held`
+	l.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// statsOrder: the two Middle locks are themselves ordered.
+func statsOrder(m *Middle) {
+	m.mu.Lock()
+	m.statsMu.Lock()
+	m.statsMu.Unlock()
+	m.mu.Unlock()
+}
+
+func statsInverted(m *Middle) {
+	m.statsMu.Lock()
+	m.mu.Lock() // want `acquires lockfix.Middle.mu \(rank 920\) while lockfix.Middle.statsMu \(rank 924\) may be held`
+	m.mu.Unlock()
+	m.statsMu.Unlock()
+}
+
+// spawns: a new goroutine starts with nothing held, so the inversion
+// inside it is not one (and is excluded from spawns' own summary).
+func spawns(o *Outer, l *Leaf) {
+	l.mu.Lock()
+	go func() {
+		o.mu.Lock()
+		o.mu.Unlock()
+	}()
+	l.mu.Unlock()
+}
+
+// deferred: defer Unlock keeps the lock held; later higher-rank
+// acquisitions are fine.
+func deferred(m *Middle, l *Leaf) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// waived: the escape hatch.
+func waived(o *Outer, l *Leaf) {
+	l.mu.Lock()
+	o.mu.Lock() //lint:pdm-allow lockorder: fixture exercises the escape hatch
+	o.mu.Unlock()
+	l.mu.Unlock()
+}

@@ -1,0 +1,32 @@
+// Cross-package half of the lockorder fixture: calls into lockfix
+// resolve through the declared effect table, not computed summaries.
+package lockfixb
+
+import lockfix "lockfix/a"
+
+import "sync"
+
+type Client struct {
+	mu sync.Mutex
+}
+
+// bad: Touch is a method on a registered foreign type, so it defaults
+// to "may acquire every class of its type" — which ranks far below
+// Client.mu.
+func (c *Client) bad(o *lockfix.Outer) {
+	c.mu.Lock()
+	o.Touch() // want `calls Touch, which may acquire lockfix.Outer.mu \(rank 910\), while lockfixb.Client.mu \(rank 950\) is held`
+	c.mu.Unlock()
+}
+
+// ok: Poke is declared lock-free in the effect table.
+func (c *Client) ok(l *lockfix.Leaf) {
+	c.mu.Lock()
+	l.Poke()
+	c.mu.Unlock()
+}
+
+// unheld: with nothing held, foreign calls are unconstrained.
+func (c *Client) unheld(o *lockfix.Outer) {
+	o.Touch()
+}

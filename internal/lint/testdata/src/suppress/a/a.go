@@ -6,7 +6,7 @@ func waived(m *pdm.Machine, a pdm.Addr) {
 	m.Peek(a) //lint:pdm-allow iocharge: same-line waiver
 	//lint:pdm-allow iocharge: waives the next line
 	m.Peek(a)
-	m.Peek(a)           //lint:pdm-allow hooktag: wrong rule name // want `without charging parallel I/Os`
+	m.Peek(a)           //lint:pdm-allow hooktag: wrong rule name // want `without charging parallel I/Os` `suppresses no diagnostic`
 	m.TryBatchRead(nil) //lint:pdm-allow batcherr: deliberate fire-and-forget
 	m.Peek(a)           // want `without charging parallel I/Os`
 }

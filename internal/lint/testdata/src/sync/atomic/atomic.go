@@ -1,0 +1,8 @@
+// Package atomic is the hermetic fixture fake of sync/atomic: the
+// guardedby analyzer matches calls by the package path "sync/atomic",
+// which is exactly where the loader resolves this file.
+package atomic
+
+func AddInt64(addr *int64, delta int64) int64 { *addr += delta; return *addr }
+func LoadInt64(addr *int64) int64             { return *addr }
+func StoreInt64(addr *int64, val int64)       { *addr = val }

@@ -105,9 +105,11 @@ func VettoolMain(progname string, args []string, stdout, stderr io.Writer) int {
 func usage(progname string, w io.Writer) {
 	fmt.Fprintf(w, `usage: %[1]s [-json] <packages>
 
-%[1]s enforces the repo's I/O-accounting and determinism invariants
-(analyzers: iocharge, batcherr, detrand, hooktag). Given package
-patterns it runs itself through the toolchain:
+%[1]s enforces the repo's I/O-accounting, determinism, and concurrency
+invariants (analyzers: iocharge, batcherr, detrand, hooktag, opctx,
+lockorder, guardedby, healthtrans; plus unusedwaiver, reported by the
+runner for stale escape hatches). Given package patterns it runs itself
+through the toolchain:
 
     go vet -vettool=$(which %[1]s) ./...
 

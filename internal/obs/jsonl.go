@@ -236,7 +236,7 @@ func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 				leaf = leaf[i+1:]
 			}
 			if e.Op != 0 {
-				stack = append(stack, m.OpSpan(op(e.Op, e.Client, e.Keys), leaf)) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
+				stack = append(stack, m.OpSpan(op(e.Op, e.Client, e.Keys), leaf))
 			} else {
 				stack = append(stack, m.Span(leaf)) //lint:pdm-allow hooktag: replays tags recorded in the trace being reproduced
 			}

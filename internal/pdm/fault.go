@@ -180,7 +180,7 @@ func (m *Machine) FlipBit(a Addr, bit uint) {
 	m.checkAddr(a)
 	s := &m.shards[a.Disk]
 	s.mu.Lock()
-	s.corrupt(a.Block, bit)
+	s.corruptLocked(a.Block, bit)
 	s.mu.Unlock()
 }
 
@@ -194,7 +194,7 @@ func (m *Machine) BlockClean(a Addr) bool {
 	s := &m.shards[a.Disk]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.verify(a.Block)
+	return s.verifyLocked(a.Block)
 }
 
 // SetFaultInjector installs (or, with nil, removes) the machine's fault
@@ -378,14 +378,14 @@ func (m *Machine) tryBatchRead(op *Op, shared []*Op, addrs []Addr) ([][]Word, er
 		}
 		s.mu.Lock()
 		if f.Kind == FaultCorrupt {
-			s.corrupt(a.Block, f.Bit)
+			s.corruptLocked(a.Block, f.Bit)
 		}
-		if !s.verify(a.Block) {
+		if !s.verifyLocked(a.Block) {
 			s.mu.Unlock()
 			res[i] = ErrChecksum
 			return
 		}
-		src := s.block(a.Block)
+		src := s.blockLocked(a.Block)
 		dst := make([]Word, m.cfg.B)
 		copy(dst, src)
 		s.mu.Unlock()
@@ -451,11 +451,11 @@ func (m *Machine) tryBatchWrite(op *Op, writes []BlockWrite) error {
 			return
 		}
 		s.mu.Lock()
-		blk := s.block(w.Addr.Block)
+		blk := s.blockLocked(w.Addr.Block)
 		copy(blk, w.Data)
 		s.sums[w.Addr.Block] = crcBlock(blk)
 		if f.Kind == FaultCorrupt {
-			s.corrupt(w.Addr.Block, f.Bit)
+			s.corruptLocked(w.Addr.Block, f.Bit)
 		}
 		s.mu.Unlock()
 	}

@@ -69,14 +69,14 @@ const (
 
 // diskHealth is one disk's tracker state. Guarded by Machine.healthMu.
 type diskHealth struct {
-	state       HealthState
-	transitions int64
-	transients  int64
-	faults      int64 // fault events observed on this disk (stalls included)
-	lastFault   int64 // step counter at the most recent fault
-	lastStall   int64 // step counter at the most recent stall; -1 = never
-	reachable   bool  // Failed only: a later access got through (drive is back)
-	window      []int64
+	state       HealthState // guarded by Machine.healthMu; written only by transitionLocked
+	transitions int64       // guarded by Machine.healthMu
+	transients  int64       // guarded by Machine.healthMu
+	faults      int64       // guarded by Machine.healthMu; fault events observed on this disk (stalls included)
+	lastFault   int64       // guarded by Machine.healthMu; step counter at the most recent fault
+	lastStall   int64       // guarded by Machine.healthMu; step counter at the most recent stall, -1 = never
+	reachable   bool        // guarded by Machine.healthMu; Failed only: a later access got through (drive is back)
+	window      []int64     // guarded by Machine.healthMu
 }
 
 // DiskHealth is one disk's row of a HealthReport.

@@ -41,7 +41,7 @@ func TestHealthTransientsPromoteToSuspect(t *testing.T) {
 	}
 
 	for i := 1; i < DefaultSuspectThreshold; i++ {
-		readThrough(t, m, a) //lint:pdm-allow batcherr: error content already asserted above
+		readThrough(t, m, a)
 	}
 	if got := m.DiskState(1); got != Suspect {
 		t.Fatalf("after %d transients: state = %v, want suspect", DefaultSuspectThreshold, got)
@@ -69,17 +69,17 @@ func TestHealthTransientWindowSlides(t *testing.T) {
 	si := &scriptInjector{faults: map[Addr]Fault{a: {Kind: FaultTransient}, pad: {}}}
 	m.SetFaultInjector(si)
 
-	readThrough(t, m, a) //lint:pdm-allow batcherr: health-state test, fault expected
+	readThrough(t, m, a)
 	// Burn more than the window in clean steps on the other disk.
 	for i := 0; i < 6; i++ {
-		readThrough(t, m, pad) //lint:pdm-allow batcherr: clean padding reads
+		readThrough(t, m, pad)
 	}
-	readThrough(t, m, a) //lint:pdm-allow batcherr: health-state test, fault expected
+	readThrough(t, m, a)
 	if got := m.DiskState(0); got != Healthy {
 		t.Fatalf("stale transient counted: state = %v, want healthy", got)
 	}
 	// Two inside one window do promote.
-	readThrough(t, m, a) //lint:pdm-allow batcherr: health-state test, fault expected
+	readThrough(t, m, a)
 	if got := m.DiskState(0); got != Suspect {
 		t.Fatalf("state = %v, want suspect", got)
 	}
@@ -91,7 +91,7 @@ func TestHealthFailStopMarksFailedAndReachability(t *testing.T) {
 	si := &scriptInjector{faults: map[Addr]Fault{a: {Kind: FaultFailStop}}}
 	m.SetFaultInjector(si)
 
-	readThrough(t, m, a) //lint:pdm-allow batcherr: fail-stop expected
+	readThrough(t, m, a)
 	r := m.Health()
 	if r.Disks[2].State != Failed || r.Disks[2].Reachable {
 		t.Fatalf("after fail-stop: %+v, want failed and unreachable", r.Disks[2])
@@ -192,18 +192,18 @@ func TestHealthNotifyFiresOnTransitions(t *testing.T) {
 	si := &scriptInjector{faults: map[Addr]Fault{a: {Kind: FaultFailStop}}}
 	m.SetFaultInjector(si)
 
-	readThrough(t, m, a) //lint:pdm-allow batcherr: fail-stop expected
+	readThrough(t, m, a)
 	if fired != 1 {
 		t.Fatalf("notify fired %d times after fail-stop, want 1", fired)
 	}
 	// Same fault again: no transition, no notification.
-	readThrough(t, m, a) //lint:pdm-allow batcherr: fail-stop expected
+	readThrough(t, m, a)
 	if fired != 1 {
 		t.Fatalf("notify fired %d times after repeat fault, want still 1", fired)
 	}
 	// Reachability flip notifies too.
 	delete(si.faults, a)
-	readThrough(t, m, a) //lint:pdm-allow batcherr: healed access
+	readThrough(t, m, a)
 	if fired != 2 {
 		t.Fatalf("notify fired %d times after reachability, want 2", fired)
 	}

@@ -272,8 +272,8 @@ type Hook interface {
 // contend.
 type shard struct {
 	mu     sync.Mutex
-	blocks [][]Word // blocks[b] is the content of block b; nil = never written
-	sums   []uint32 // sums[b] is the CRC32 of block b, kept in lockstep with blocks
+	blocks [][]Word // guarded by mu; blocks[b] is the content of block b, nil = never written
+	sums   []uint32 // guarded by mu; sums[b] is the CRC32 of block b, kept in lockstep with blocks
 
 	ios atomic.Int64 // block transfers served (reads + writes), incl. failed Try accesses
 
@@ -286,7 +286,7 @@ type shard struct {
 // grow extends the block and checksum arrays to n slots in one step,
 // with geometric capacity growth, so first touch of a high block is
 // amortized O(1) rather than O(n) appends. Callers hold s.mu.
-func (s *shard) grow(n int) {
+func (s *shard) growLocked(n int) {
 	if n <= len(s.blocks) {
 		return
 	}
@@ -317,9 +317,9 @@ func (s *shard) grow(n int) {
 // block returns the live slice for a block, allocating it on first
 // touch. A fresh block's checksum slot already holds the all-zero CRC.
 // Callers hold s.mu.
-func (s *shard) block(b int) []Word {
+func (s *shard) blockLocked(b int) []Word {
 	if b >= len(s.blocks) {
-		s.grow(b + 1)
+		s.growLocked(b + 1)
 	}
 	if s.blocks[b] == nil {
 		s.blocks[b] = make([]Word, s.b)
@@ -329,7 +329,7 @@ func (s *shard) block(b int) []Word {
 
 // verify reports whether a block's content matches its stored checksum.
 // Unmaterialized blocks are trivially valid. Callers hold s.mu.
-func (s *shard) verify(b int) bool {
+func (s *shard) verifyLocked(b int) bool {
 	if b >= len(s.blocks) || s.blocks[b] == nil {
 		return true
 	}
@@ -338,8 +338,8 @@ func (s *shard) verify(b int) bool {
 
 // corrupt flips one stored bit of a block without touching its
 // checksum, leaving detectable latent damage. Callers hold s.mu.
-func (s *shard) corrupt(b int, bit uint) {
-	blk := s.block(b)
+func (s *shard) corruptLocked(b int, bit uint) {
+	blk := s.blockLocked(b)
 	bits := uint(len(blk)) * 64
 	bit %= bits
 	blk[bit/64] ^= 1 << (bit % 64)
@@ -368,12 +368,12 @@ type Machine struct {
 	// untraced fast path is one lock-free load.
 	emitMu   sync.Mutex
 	hooked   atomic.Bool
-	hook     Hook
-	seq      uint64
-	spans    []spanFrame
-	nextSpan uint64       // span ID counter; IDs start at 1
-	wall     func() int64 // injected wall clock in nanoseconds; nil = no wall timing
-	endSpan  func()       // shared pop closure, allocated once
+	hook     Hook         // guarded by emitMu
+	seq      uint64       // guarded by emitMu
+	spans    []spanFrame  // guarded by emitMu
+	nextSpan uint64       // guarded by emitMu; span ID counter, IDs start at 1
+	wall     func() int64 // guarded by emitMu; injected wall clock in nanoseconds, nil = no wall timing
+	endSpan  func()       // shared pop closure, allocated once at construction
 
 	// faultMu serializes fault-injector consultation so each Try batch
 	// draws its per-access decisions contiguously, in batch order —
@@ -389,10 +389,10 @@ type Machine struct {
 	// unhealthy counter mirrors how many disks are not Healthy so
 	// AllDisksHealthy is a single lock-free load.
 	healthMu     sync.Mutex
-	health       []diskHealth
-	healthNotify func()
-	suspectN     int
-	suspectW     int64
+	health       []diskHealth // guarded by healthMu
+	healthNotify func()       // guarded by healthMu
+	suspectN     int          // guarded by healthMu
+	suspectW     int64        // guarded by healthMu
 	unhealthy    atomic.Int64
 
 	// Recovery instrumentation (reported by Health).
@@ -854,7 +854,7 @@ func (m *Machine) batchRead(op *Op, shared []*Op, addrs []Addr) [][]Word {
 		for i, a := range addrs {
 			s := &m.shards[a.Disk]
 			s.mu.Lock()
-			src := s.block(a.Block)
+			src := s.blockLocked(a.Block)
 			dst := make([]Word, m.cfg.B)
 			copy(dst, src)
 			s.mu.Unlock()
@@ -870,7 +870,7 @@ func (m *Machine) batchRead(op *Op, shared []*Op, addrs []Addr) [][]Word {
 			seg := sc.segment(d)
 			s.mu.Lock()
 			for _, i := range seg {
-				src := s.block(addrs[i].Block)
+				src := s.blockLocked(addrs[i].Block)
 				dst := make([]Word, m.cfg.B)
 				copy(dst, src)
 				out[i] = dst
@@ -927,7 +927,7 @@ func (m *Machine) batchWrite(op *Op, writes []BlockWrite) {
 		for _, w := range writes {
 			s := &m.shards[w.Addr.Disk]
 			s.mu.Lock()
-			blk := s.block(w.Addr.Block)
+			blk := s.blockLocked(w.Addr.Block)
 			copy(blk, w.Data)
 			s.sums[w.Addr.Block] = crcBlock(blk)
 			s.mu.Unlock()
@@ -943,7 +943,7 @@ func (m *Machine) batchWrite(op *Op, writes []BlockWrite) {
 			s.mu.Lock()
 			for _, i := range seg {
 				w := &writes[i]
-				blk := s.block(w.Addr.Block)
+				blk := s.blockLocked(w.Addr.Block)
 				copy(blk, w.Data)
 				s.sums[w.Addr.Block] = crcBlock(blk)
 			}
@@ -976,7 +976,7 @@ func (m *Machine) Peek(a Addr) []Word {
 	s := &m.shards[a.Disk]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	src := s.block(a.Block)
+	src := s.blockLocked(a.Block)
 	dst := make([]Word, m.cfg.B)
 	copy(dst, src)
 	return dst

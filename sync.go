@@ -11,7 +11,7 @@ import "sync"
 // is already contention-light.
 type SyncDict struct {
 	mu sync.RWMutex
-	d  Dictionary
+	d  Dictionary // guarded by mu
 }
 
 // Synchronized wraps d for concurrent use. The wrapped dictionary must
