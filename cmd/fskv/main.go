@@ -12,7 +12,7 @@
 //	heal <disk>                   stop failing a disk (data NOT repaired)
 //	repair <disk>                 rebuild a disk from survivors, verify it
 //	scrub                         verify every block, clear degraded flag
-//	health                        per-disk health states and recovery counters
+//	health                        per-disk health states, recovery counters, alert summary
 //	stats                         I/O counters so far
 //	quit
 //
@@ -37,14 +37,23 @@
 // touches it), the supervisor rebuilds and verifies it in bounded
 // chunks interleaved with the shell's own commands.
 //
+// Every machine event also flows through the deterministic watchdog
+// (obs.Monitor with the default rules): the balance auditor, the SLO
+// burn-rate rule, health-flap detection, and the degraded-capacity
+// rule, all clocked by the parallel-I/O step counter. With -selfheal a
+// firing degraded-capacity alert additionally nudges the repair
+// supervisor awake.
+//
 // With -serve addr the shell also serves live observability endpoints
 // while it runs: Prometheus /metrics (including the exact token-based
-// per-operation families), /healthz (503 once the store is degraded),
-// /debug/events (recent I/O events as trace JSONL), /debug/ops (the
-// accountant's in-flight and recently completed operations), and the
-// standard /debug/pprof profiles. With -trace file every machine event
-// is additionally appended to the file as trace JSONL (the pdmtrace
-// format), so a session can be replayed or folded offline.
+// per-operation families and the pdm_alert_* watchdog state), /healthz
+// (503 once the store is degraded), /debug/events (recent I/O events as
+// trace JSONL), /debug/ops (the accountant's in-flight and recently
+// completed operations), /debug/alerts (the watchdog's alert state as
+// JSON), and the standard /debug/pprof profiles. With -trace file every
+// machine event — alert annotations included — is additionally appended
+// to the file as trace JSONL (the pdmtrace format), so a session can be
+// replayed, folded, or re-alerted offline (pdmtrace -alerts).
 //
 // fskv shuts down gracefully on SIGINT/SIGTERM as well as on EOF or
 // quit: the operation in flight (commands run synchronously) completes
@@ -189,6 +198,9 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		}
 		return nil
 	}
+	// The watchdog wraps the whole sink chain, so the alert events it
+	// synthesizes reach every sink — the trace file included (v5).
+	mon := obs.NewMonitor(hook, obs.DefaultRules()...)
 
 	if cfg.selfheal && cfg.replicas < 2 {
 		return fmt.Errorf("-selfheal needs the replicated store: rerun with -replicas 2")
@@ -208,7 +220,7 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		if err != nil {
 			return err
 		}
-		b.SetHook(hook)
+		b.SetHook(mon)
 		b.SetFaultInjector(plan)
 		basic = b
 		dict = pdmdict.NewNamed(b, blockWords)
@@ -216,7 +228,17 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		disks = b.Machine().D()
 		health = b.Health
 		if cfg.selfheal {
-			stopHeal := b.SelfHeal()
+			wake, stopHeal := b.SelfHeal()
+			// A firing degraded-capacity alert nudges the supervisor, so
+			// healing starts at the alert edge rather than waiting for the
+			// next health notification.
+			mon.SetListener(func(ts []obs.AlertTransition) {
+				for _, t := range ts {
+					if t.Rule == "degraded_capacity" && t.To == obs.AlertFiring {
+						wake()
+					}
+				}
+			})
 			defer stopHeal()
 		}
 	case cfg.replicas == 0 || cfg.replicas == 1:
@@ -228,7 +250,7 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		if err != nil {
 			return err
 		}
-		base.SetHook(hook)
+		base.SetHook(mon)
 		base.SetFaultInjector(plan)
 		dict = pdmdict.NewNamed(base, blockWords)
 		degraded = base.Degraded
@@ -240,11 +262,13 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 
 	if cfg.serve != "" {
 		srv := &obs.Server{
-			Collector:  collector,
-			Ring:       ring,
-			Accountant: acct,
-			Healthy:    func() bool { return !degraded() },
-			Health:     health,
+			Collector:   collector,
+			Ring:        ring,
+			Accountant:  acct,
+			Healthy:     func() bool { return !degraded() },
+			Health:      health,
+			Monitor:     mon,
+			Fingerprint: fmt.Sprintf("replicas=%d,disks=%d,blockwords=%d", cfg.replicas, disks, blockWords),
 		}
 		addr, stop, err := srv.Serve(cfg.serve)
 		if err != nil {
@@ -449,6 +473,10 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 			}
 			fmt.Fprintf(stdout, "retries %d, hedged reads %d, backoff steps %d, repair chunks %d (%d rows)\n",
 				rep.Retries, rep.Hedges, rep.BackoffSteps, rep.RepairChunks, rep.RepairRows)
+			for _, r := range mon.Snapshot().Rules {
+				fmt.Fprintf(stdout, "alert %s: firing=%d pending=%d transitions=%d cycles=%d\n",
+					r.Rule, r.Firing, r.Pending, r.Transitions, r.Cycles)
+			}
 		case "stats":
 			fmt.Fprintf(stdout, "blocks stored: %d, total parallel I/Os: %d\n",
 				dict.Len(), dict.IOStats().ParallelIOs)

@@ -102,8 +102,9 @@ func main() {
 	if *serve != "" {
 		collector := obs.NewCollector()
 		ring := obs.NewRing(1024)
-		bench.SetHook(obs.Tee(collector, ring))
-		srv := &obs.Server{Collector: collector, Ring: ring}
+		mon := obs.NewMonitor(obs.Tee(collector, ring), obs.DefaultRules()...)
+		bench.SetHook(mon)
+		srv := &obs.Server{Collector: collector, Ring: ring, Monitor: mon}
 		addr, stop, err := srv.Serve(*serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pdmbench:", err)

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"pdmdict/internal/obs"
+)
+
+// runAlerts is the -alerts analyzer: it loads a recorded I/O event
+// trace, feeds every event through a fresh watchdog with the default
+// rules, and prints the resulting alert timeline plus the per-rule
+// summary. Because the watchdog's clock is the trace's own step
+// counter, the timeline is byte-identical to what a live Monitor on the
+// same stream produced — the online/offline equivalence the property
+// tests pin. Incoming alert annotations in a v5 trace are ignored by
+// the rules (the Monitor regenerates them), so replaying a trace that
+// already contains alerts does not compound them.
+func runAlerts(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		var pe *obs.ParseError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("%s:%d: %v", path, pe.Line, pe.Err)
+		}
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	mon := obs.NewMonitor(nil, obs.DefaultRules()...)
+	for _, e := range events {
+		mon.Event(e)
+	}
+	snap := mon.Snapshot()
+	fmt.Fprintf(w, "%s: %d events, %d steps, %d alert transitions\n",
+		path, len(events), snap.Step, snap.Transitions)
+	mon.RenderTimeline(w)
+	for _, r := range snap.Rules {
+		fmt.Fprintf(w, "rule %s: firing=%d pending=%d transitions=%d cycles=%d\n",
+			r.Rule, r.Firing, r.Pending, r.Transitions, r.Cycles)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	         [-sat words] [-degree d] [-block B] [-seed s] [-out trace.txt]
 //	         [-hist] [-trace events.jsonl]
 //	pdmtrace -spans events.jsonl [-topk K]
+//	pdmtrace -alerts events.jsonl
 //
 // -hist prints log₂-bucketed histograms of parallel I/Os per operation
 // plus a per-tag I/O breakdown and per-disk skew (via the hook-based
@@ -22,6 +23,12 @@
 // I/O and modeled-latency quantiles, the top-K most expensive spans,
 // and a disk-skew timeline. Malformed traces are reported as file:line
 // and exit nonzero.
+//
+// -alerts replays a recorded event trace through the deterministic
+// watchdog (obs.Monitor with the default rules) and prints the alert
+// timeline it produces — byte-identical to the live monitor's timeline
+// on the same stream, since the watchdog's clock is the trace's own
+// step counter.
 //
 // Examples:
 //
@@ -59,12 +66,20 @@ func main() {
 		hist       = flag.Bool("hist", false, "print per-op I/O histograms, per-tag breakdown, and per-disk skew")
 		tracePath  = flag.String("trace", "", "stream I/O events to this JSONL file")
 		spansPath  = flag.String("spans", "", "analyze a recorded JSONL event trace: per-tag quantiles, top-K spans, skew timeline")
+		alertsPath = flag.String("alerts", "", "replay a recorded JSONL event trace through the watchdog: alert timeline and per-rule summary")
 		topk       = flag.Int("topk", 10, "how many expensive spans -spans reports")
 	)
 	flag.Parse()
 
 	if *spansPath != "" {
 		if err := runSpans(*spansPath, *topk, obs.CostModel{}, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pdmtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *alertsPath != "" {
+		if err := runAlerts(*alertsPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "pdmtrace:", err)
 			os.Exit(1)
 		}

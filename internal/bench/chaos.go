@@ -116,6 +116,14 @@ type ChaosResult struct {
 	RepairChunks  int64                `json:"repair_chunks"`
 	RepairRows    int64                `json:"repair_rows"`
 	ScrubClean    bool                 `json:"scrub_clean"`
+	// AlertTransitions and AlertCycles report the watchdog that rode the
+	// soak: total alert state-machine transitions, and complete
+	// fire → resolve cycles per rule. The soak requires at least one
+	// cycle each from the balance auditor and the degraded-capacity rule
+	// — the watchdog must both catch every scripted outage and stand down
+	// once healing converges.
+	AlertTransitions int64            `json:"alert_transitions"`
+	AlertCycles      map[string]int64 `json:"alert_cycles"`
 	Clients       map[string]*obs.OpAgg `json:"per_client,omitempty"`
 	Tags          map[string]*obs.OpAgg `json:"per_tag,omitempty"`
 }
@@ -152,11 +160,14 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	m.SetSuspectThresholds(500, 64)
 	acct := obs.NewOpAccountant()
 	acct.SampleEvery = 64
+	// The watchdog wraps the sink chain so it sees every event (health
+	// annotations included) and its alert events reach the suite hook.
+	var sinks pdm.Hook = acct
 	if suiteHook != nil {
-		m.SetHook(obs.Tee(suiteHook, acct))
-	} else {
-		m.SetHook(acct)
+		sinks = obs.Tee(suiteHook, acct)
 	}
+	mon := obs.NewMonitor(sinks, obs.DefaultRules()...)
+	m.SetHook(mon)
 
 	bd, err := core.NewBasic(m, core.BasicConfig{
 		Capacity:  cfg.Keys,
@@ -193,6 +204,16 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	m.SetFaultInjector(schedule)
 
 	sup := heal.New(m, bd, heal.Config{ChunkRows: 4, MaxAttempts: 8})
+	// A firing degraded-capacity alert nudges the supervisor directly —
+	// the alert edge and the health notification race benignly (Wake is a
+	// non-blocking send on the same channel).
+	mon.SetListener(func(ts []obs.AlertTransition) {
+		for _, t := range ts {
+			if t.Rule == "degraded_capacity" && t.To == obs.AlertFiring {
+				sup.Wake()
+			}
+		}
+	})
 	sup.Start()
 
 	start := time.Now()
@@ -260,14 +281,22 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	}
 
 	// Drained means every event fired, every disk back to Healthy, the
-	// supervisor idle, and every scripted flip verifiably rewritten (a
-	// final-round flip must not hide behind a healthy-looking array).
+	// supervisor idle, every scripted flip verifiably rewritten (a
+	// final-round flip must not hide behind a healthy-looking array), and
+	// the watchdog's outage rules stood down — the soak keeps traffic
+	// flowing until the balance and degraded-capacity alerts have walked
+	// their fire → resolve cycle, so the timeline always closes.
 	drained := func() bool {
 		if !(schedule.Done() && m.AllDisksHealthy() && sup.Idle()) {
 			return false
 		}
 		for _, e := range res.Schedule {
 			if e.Action == fault.ChaosCorrupt && !m.BlockClean(e.Addr) {
+				return false
+			}
+		}
+		for _, r := range mon.Snapshot().Rules {
+			if (r.Rule == "balance" || r.Rule == "degraded_capacity") && r.Firing+r.Pending > 0 {
 				return false
 			}
 		}
@@ -312,6 +341,9 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	res.RepairEpisodes = len(repairOps)
 	res.Exact = res.ClientSteps+res.PatrolSteps+res.RepairSteps == res.ParallelIOs
 
+	res.AlertTransitions = mon.Snapshot().Transitions
+	res.AlertCycles = mon.Cycles()
+
 	rep := m.Health()
 	res.Retries = rep.Retries
 	res.Hedges = rep.Hedges
@@ -348,6 +380,10 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		return res, fmt.Errorf("chaos: schedule drained but no repair episodes ran (episodes=%d chunks=%d)",
 			res.RepairEpisodes, res.RepairChunks)
 	}
+	if res.AlertCycles["balance"] == 0 || res.AlertCycles["degraded_capacity"] == 0 {
+		return res, fmt.Errorf("chaos: watchdog missed the soak: fire→resolve cycles balance=%d degraded_capacity=%d (want ≥1 each)",
+			res.AlertCycles["balance"], res.AlertCycles["degraded_capacity"])
+	}
 	for i := 0; i < cfg.Keys; i++ {
 		sat, ok, err := bd.LookupTry(key(i))
 		if err != nil || !ok || sat[1] != key(i) {
@@ -365,13 +401,17 @@ func ChaosTable(res ChaosResult) *Table {
 		Title: fmt.Sprintf("Chaos soak (seed %d): %d events over %d disks, %d clients", res.Config.Seed, len(res.Schedule), res.Config.Disks, res.Config.Clients),
 		Columns: []string{
 			"lookups", "events", "repair episodes", "repair chunks",
-			"retries", "hedges", "backoff steps", "client steps", "patrol steps", "repair steps", "machine steps", "exact", "scrub clean",
+			"retries", "hedges", "backoff steps", "client steps", "patrol steps", "repair steps", "machine steps", "exact", "scrub clean", "alert cycles",
 		},
-		Notes: []string{"exact = machine parallel-I/O total equals client+patrol+repair op charges; recovery cost is attributed, never smeared."},
+		Notes: []string{
+			"exact = machine parallel-I/O total equals client+patrol+repair op charges; recovery cost is attributed, never smeared.",
+			"alert cycles = complete fire→resolve walks of the watchdog's balance and degraded-capacity rules (each must be ≥1).",
+		},
 	}
 	tb.AddRow(
 		res.Lookups, res.EventsApplied, res.RepairEpisodes, res.RepairChunks,
 		res.Retries, res.Hedges, res.BackoffSteps, res.ClientSteps, res.PatrolSteps, res.RepairSteps, res.ParallelIOs, res.Exact, res.ScrubClean,
+		fmt.Sprintf("bal=%d degr=%d", res.AlertCycles["balance"], res.AlertCycles["degraded_capacity"]),
 	)
 	return tb
 }

@@ -129,6 +129,18 @@ func (s *Supervisor) Stop() {
 	s.m.SetHealthNotify(nil)
 }
 
+// Wake nudges the background loop to re-examine disk health without
+// waiting for a machine health notification — the hook an AlertListener
+// calls when a degraded-capacity alert fires. It is a non-blocking
+// buffered-channel send (lock-free), safe from any goroutine, including
+// inside a hook dispatch.
+func (s *Supervisor) Wake() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
 func (s *Supervisor) run() {
 	defer close(s.done)
 	for {

@@ -70,6 +70,9 @@ var lockOrder = []lockClass{
 	{Pkg: "obs", Type: "Ring", Field: "mu", Rank: 62},
 	{Pkg: "obs", Type: "JSONLWriter", Field: "mu", Rank: 62},
 	{Pkg: "obs", Type: "OpAccountant", Field: "mu", Rank: 62},
+	// Monitor wraps the other sinks but releases its own lock before
+	// forwarding downstream, so the equal rank is never held-across.
+	{Pkg: "obs", Type: "Monitor", Field: "mu", Rank: 62},
 
 	// The repair supervisor's bookkeeping lock is a leaf: it is never
 	// held across calls into the dictionary or the machine.
@@ -158,7 +161,12 @@ var lockEffects = []methodEffect{
 
 	// A hook sink runs under emitMu and may take its own sink lock.
 	{Pkg: "pdm", Type: "Hook", Method: "Event",
-		Classes: []lockClassKey{{"obs", "Collector", "mu"}}},
+		Classes: []lockClassKey{{"obs", "Collector", "mu"}, {"obs", "Monitor", "mu"}}},
+
+	// The repair supervisor's wake nudge is a non-blocking channel send:
+	// lock-free by contract, so an AlertListener may call it from inside
+	// a hook dispatch.
+	{Pkg: "heal", Type: "Supervisor", Method: "Wake", Classes: nil},
 	// A fault injector runs under faultMu and may take the injector locks.
 	{Pkg: "pdm", Type: "FaultInjector", Method: "Access",
 		Classes: []lockClassKey{{"fault", "Schedule", "mu"}, {"fault", "Plan", "mu"}}},

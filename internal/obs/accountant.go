@@ -107,6 +107,9 @@ func NewOpAccountant() *OpAccountant {
 
 // Event implements pdm.Hook.
 func (a *OpAccountant) Event(e pdm.Event) {
+	if e.Kind.IsAnnotation() {
+		return // health/alert transitions are not op work
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	switch e.Kind {

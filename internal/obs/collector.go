@@ -86,6 +86,9 @@ func NewCollector() *Collector {
 
 // Event implements pdm.Hook.
 func (c *Collector) Event(e pdm.Event) {
+	if e.Kind.IsAnnotation() {
+		return // health/alert transitions carry no I/O to aggregate
+	}
 	if e.Kind.IsSpan() {
 		c.mu.Lock()
 		c.foldLocked(e)

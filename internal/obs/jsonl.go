@@ -12,13 +12,18 @@ import (
 	"pdmdict/internal/pdm"
 )
 
-// TraceVersion is the trace format written by JSONLWriter. Version 4
-// added operation tokens: span and batch lines carry the owning op's ID
-// and client, root span lines its key count, and merged batches their
-// attribution list. Version 3 added a header line and first-class span
-// events. Older traces (versions 1–3, including headerless 1/2 traces)
-// still load; the token fields simply read back as zero.
-const TraceVersion = 4
+// TraceVersion is the trace format written by JSONLWriter. Version 5
+// added annotation events: "health" lines record per-disk health-state
+// transitions and "alert" lines record alert-instance transitions
+// synthesized by Monitor, both carrying from/to state names (health
+// lines a disk address, alert lines a rule name and sampled value).
+// Version 4 added operation tokens: span and batch lines carry the
+// owning op's ID and client, root span lines its key count, and merged
+// batches their attribution list. Version 3 added a header line and
+// first-class span events. Older traces (versions 1–4, including
+// headerless 1/2 traces) still load; fields their version lacks simply
+// read back as zero.
+const TraceVersion = 5
 
 // jsonlEvent is the on-disk shape of one trace line. Addresses are
 // [disk, block] pairs to keep traces compact. Span lines reuse the
@@ -42,6 +47,10 @@ type jsonlEvent struct {
 	Keys    int      `json:"keys,omitempty"`
 	Ops     []uint64 `json:"ops,omitempty"`
 	Addrs   [][2]int `json:"addrs,omitempty"`
+	Rule    string   `json:"rule,omitempty"`
+	From    string   `json:"from,omitempty"`
+	To      string   `json:"to,omitempty"`
+	Value   int64    `json:"value,omitempty"`
 }
 
 // JSONLWriter streams events to w, one JSON object per line, after a
@@ -79,6 +88,10 @@ func (w *JSONLWriter) Event(e pdm.Event) {
 		Client: e.Client,
 		Keys:   e.Keys,
 		Ops:    e.Ops,
+		Rule:   e.Rule,
+		From:   e.From,
+		To:     e.To,
+		Value:  e.Value,
 	}
 	if len(e.Addrs) > 0 {
 		line.Addrs = make([][2]int, len(e.Addrs))
@@ -154,6 +167,10 @@ func ReadEvents(r io.Reader) ([]pdm.Event, error) {
 			Client: line.Client,
 			Keys:   line.Keys,
 			Ops:    line.Ops,
+			Rule:   line.Rule,
+			From:   line.From,
+			To:     line.To,
+			Value:  line.Value,
 		}
 		switch line.Kind {
 		case "trace":
@@ -172,6 +189,10 @@ func ReadEvents(r io.Reader) ([]pdm.Event, error) {
 			e.Kind = pdm.EventSpanBegin
 		case "span_end":
 			e.Kind = pdm.EventSpanEnd
+		case "health":
+			e.Kind = pdm.EventHealth
+		case "alert":
+			e.Kind = pdm.EventAlert
 		default:
 			return out, &ParseError{Line: lineno, Err: fmt.Errorf("unknown event kind %q", line.Kind)}
 		}
@@ -245,6 +266,11 @@ func Replay(m *pdm.Machine, events []pdm.Event) pdm.Stats {
 				stack[n-1]()
 				stack = stack[:n-1]
 			}
+		case pdm.EventHealth, pdm.EventAlert:
+			// Annotations transfer no blocks and charge no steps; the
+			// replaying machine regenerates its own health stream (none,
+			// on the fault-oblivious replay path), so re-issuing them
+			// would double-count nothing but would confuse sinks.
 		default:
 			end := func() {}
 			if !hasSpans && e.Tag != "" {

@@ -101,12 +101,29 @@ func (h *Hist) Buckets() []HistBucket {
 	return out
 }
 
-// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
-// Hi edge of the bucket containing it. Returns 0 for an empty histogram.
+// Quantile returns an upper bound for the q-quantile: the Hi edge of
+// the log₂ bucket containing the sample of rank ⌊q·total⌋ (clamped to
+// the last sample), i.e. 2^i − 1 for bucket i ≥ 1 and 0 for the zero
+// bucket. The edge cases are pinned, so burn-rate and SLO math can rely
+// on them:
+//
+//   - Empty histogram: 0 for every q — "no samples" reads as zero
+//     latency, never a stale or negative sentinel.
+//   - Single-bucket histogram: every q returns that one bucket's Hi
+//     edge (0 when all samples are zeros) — quantiles of a degenerate
+//     distribution are its only value.
+//   - q outside [0,1] is clamped: q ≤ 0 is the minimum sample's bucket
+//     edge, q ≥ 1 the maximum's.
 func (h *Hist) Quantile(q float64) int64 {
 	total := h.Total()
 	if total == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	rank := int64(q * float64(total))
 	if rank >= total {

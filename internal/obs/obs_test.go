@@ -114,8 +114,8 @@ func TestJSONLRoundTripAndReplay(t *testing.T) {
 	}
 
 	if first, _, _ := strings.Cut(buf.String(), "\n"); !strings.Contains(first, `"k":"trace"`) ||
-		!strings.Contains(first, `"v":4`) {
-		t.Errorf("missing v4 header, first line = %s", first)
+		!strings.Contains(first, `"v":5`) {
+		t.Errorf("missing v5 header, first line = %s", first)
 	}
 	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
 	if err != nil {
@@ -280,7 +280,7 @@ func (r *eventRecorder) kinds() []pdm.EventKind {
 
 func TestHistEmptyAndSingleBucket(t *testing.T) {
 	var empty Hist
-	for _, q := range []float64{0, 0.5, 0.99, 1} {
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
 		if got := empty.Quantile(q); got != 0 {
 			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
 		}
@@ -297,10 +297,22 @@ func TestHistEmptyAndSingleBucket(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		single.Observe(3) // all samples land in the [2,3] bucket
 	}
-	for _, q := range []float64{0, 0.5, 0.99, 1} {
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
 		if got := single.Quantile(q); got != 3 {
 			t.Errorf("single-bucket Quantile(%v) = %d, want 3", q, got)
 		}
+	}
+
+	// Out-of-range q on a spread distribution clamps to the extremes:
+	// q ≤ 0 is the minimum sample's bucket edge, q ≥ 1 the maximum's.
+	var spread Hist
+	spread.Observe(0)
+	spread.Observe(100)
+	if got := spread.Quantile(-0.5); got != spread.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %d, want min edge %d", got, spread.Quantile(0))
+	}
+	if got := spread.Quantile(1.5); got != spread.Quantile(1) {
+		t.Errorf("Quantile(1.5) = %d, want max edge %d", got, spread.Quantile(1))
 	}
 	s = single.Summarize("single")
 	if s.Total != 5 || s.P50 != 3 || s.P99 != 3 || s.Max != 3 {

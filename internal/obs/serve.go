@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -21,6 +22,7 @@ import (
 //	/debug/pprof/*  the standard Go profiler endpoints
 //	/debug/events   the ring buffer's recent events as trace JSONL
 //	/debug/ops      top-K in-flight and recently completed operations
+//	/debug/alerts   the watchdog's alert state machine as JSON
 //	/healthz        200 "ok" while Healthy() (503 "degraded" otherwise)
 //
 // The exposition walks sorted tag lists, so /metrics output is a pure,
@@ -42,6 +44,12 @@ type Server struct {
 	// the pdm_disk_health_* metric families and the per-disk lines on
 	// /healthz; nil omits both.
 	Health func() pdm.HealthReport
+	// Monitor, when set, backs /debug/alerts and the pdm_alert_* metric
+	// families; nil omits both.
+	Monitor *Monitor
+	// Fingerprint is the config fingerprint label on pdm_build_info
+	// (e.g. "D=8,B=32"); empty renders as config="".
+	Fingerprint string
 }
 
 // Handler returns the mux serving the endpoints above.
@@ -51,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/debug/events", s.events)
 	mux.HandleFunc("/debug/ops", s.ops)
+	mux.HandleFunc("/debug/alerts", s.alerts)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -155,6 +164,21 @@ func (s *Server) ops(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(dump) //nolint:errcheck // best-effort debug endpoint
 }
 
+// alerts serves the watchdog's full alert state — per-rule instance
+// tables plus the retained transition timeline — as indented JSON. The
+// snapshot walks sorted labels, so the body is deterministic for a
+// deterministic event stream.
+func (s *Server) alerts(w http.ResponseWriter, _ *http.Request) {
+	if s.Monitor == nil {
+		http.Error(w, "no alert monitor attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Monitor.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+}
+
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.writeMetrics(w)
@@ -165,6 +189,15 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) writeMetrics(w io.Writer) {
 	c := s.Collector
 	_, reads, writes, steps, blocks := c.Totals()
+
+	// Identity first: the build/config stamp, then the deterministic
+	// uptime (the step clock doubles as the only time base the repo
+	// trusts — wall-clock uptime would break double-scrape identity).
+	header(w, "pdm_build_info", "gauge", "Build and configuration identity (value is always 1).")
+	sample(w, "pdm_build_info",
+		fmt.Sprintf(`go_version=%q,config=%q`, runtime.Version(), s.Fingerprint), 1)
+	header(w, "pdm_uptime_steps", "gauge", "Parallel I/O steps elapsed since the collector attached (deterministic uptime).")
+	sample(w, "pdm_uptime_steps", "", float64(steps))
 
 	header(w, "pdm_batches_total", "counter", "Batch I/O operations issued, by kind.")
 	sample(w, "pdm_batches_total", `kind="read"`, float64(reads))
@@ -267,6 +300,50 @@ func (s *Server) writeMetrics(w io.Writer) {
 	if s.Accountant != nil {
 		s.writeOpMetrics(w)
 	}
+	if s.Monitor != nil {
+		s.writeAlertMetrics(w)
+	}
+}
+
+// writeAlertMetrics renders the watchdog's state. The snapshot's rules
+// keep construction order and instances come back label-sorted, so the
+// exposition is a pure function of monitor state.
+func (s *Server) writeAlertMetrics(w io.Writer) {
+	snap := s.Monitor.Snapshot()
+
+	header(w, "pdm_alert_state", "gauge", "Alert instance state (0=inactive, 1=pending, 2=firing, 3=resolved).")
+	for _, r := range snap.Rules {
+		for _, inst := range r.Instances {
+			sample(w, "pdm_alert_state", alertLabels(r.Rule, inst.Label), float64(inst.State))
+		}
+	}
+	header(w, "pdm_alert_value", "gauge", "Last sampled rule value per alert instance (skew ratio, burn fraction, down disks).")
+	for _, r := range snap.Rules {
+		for _, inst := range r.Instances {
+			sample(w, "pdm_alert_value", alertLabels(r.Rule, inst.Label), float64(inst.ValueMicro)/1e6)
+		}
+	}
+	header(w, "pdm_alert_transitions_total", "counter", "Alert state-machine transitions per rule.")
+	for _, r := range snap.Rules {
+		sample(w, "pdm_alert_transitions_total", fmt.Sprintf("rule=%q", r.Rule), float64(r.Transitions))
+	}
+	header(w, "pdm_alert_cycles_total", "counter", "Complete fire-to-resolve alert cycles per rule.")
+	for _, r := range snap.Rules {
+		sample(w, "pdm_alert_cycles_total", fmt.Sprintf("rule=%q", r.Rule), float64(r.Cycles))
+	}
+	header(w, "pdm_alerts_firing", "gauge", "Alert instances currently firing, per rule.")
+	for _, r := range snap.Rules {
+		sample(w, "pdm_alerts_firing", fmt.Sprintf("rule=%q", r.Rule), float64(r.Firing))
+	}
+	header(w, "pdm_alerts_pending", "gauge", "Alert instances currently pending, per rule.")
+	for _, r := range snap.Rules {
+		sample(w, "pdm_alerts_pending", fmt.Sprintf("rule=%q", r.Rule), float64(r.Pending))
+	}
+}
+
+// alertLabels renders the rule/label pair of one alert instance.
+func alertLabels(rule, label string) string {
+	return fmt.Sprintf("rule=%q,label=%q", rule, label)
 }
 
 // writeHealthMetrics renders the per-disk health states and the

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -75,7 +76,7 @@ func parseProm(t *testing.T, r io.Reader) map[string]*promFamily {
 		}
 		name, labels := mm[1], mm[2]
 		if labels != "" {
-			for _, lb := range strings.Split(labels[1:len(labels)-1], ",") {
+			for _, lb := range splitLabels(labels[1 : len(labels)-1]) {
 				if !promLabelRE.MatchString(lb) {
 					t.Fatalf("line %d: malformed label %q", lineno, lb)
 				}
@@ -103,12 +104,36 @@ func parseProm(t *testing.T, r io.Reader) map[string]*promFamily {
 	return fams
 }
 
+// splitLabels splits a label body on commas outside quoted values —
+// values like config="D=4,B=2" are legal exposition format.
+func splitLabels(body string) []string {
+	var out []string
+	start, quoted := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if quoted {
+				i++
+			}
+		case '"':
+			quoted = !quoted
+		case ',':
+			if !quoted {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}
+
 func serveTestState(t *testing.T) (*Server, *pdm.Machine) {
 	t.Helper()
 	c := NewCollector()
 	ring := NewRing(16)
 	m := pdm.NewMachine(pdm.Config{D: 4, B: 2})
-	m.SetHook(Tee(c, ring))
+	mon := NewMonitor(Tee(c, ring), DefaultRules()...)
+	m.SetHook(mon)
 	for i := 0; i < 4; i++ {
 		end := m.Span("insert")
 		m.BatchWrite([]pdm.BlockWrite{{Addr: pdm.Addr{Disk: i % 4, Block: i}}})
@@ -118,10 +143,12 @@ func serveTestState(t *testing.T) (*Server, *pdm.Machine) {
 	m.BatchRead([]pdm.Addr{{Disk: 0, Block: 0}, {Disk: 1, Block: 1}})
 	end()
 	return &Server{
-		Collector: c,
-		Ring:      ring,
-		Healthy:   func() bool { return !m.Degraded() },
-		Health:    m.Health,
+		Collector:   c,
+		Ring:        ring,
+		Healthy:     func() bool { return !m.Degraded() },
+		Health:      m.Health,
+		Monitor:     mon,
+		Fingerprint: "D=4,B=2",
 	}, m
 }
 
@@ -147,10 +174,23 @@ func TestMetricsExpositionIsWellFormed(t *testing.T) {
 		"pdm_disk_faults_total", "pdm_retry_batches_total",
 		"pdm_hedged_reads_total", "pdm_backoff_steps_total",
 		"pdm_repair_chunks_total", "pdm_repair_rows_total",
+		"pdm_build_info", "pdm_uptime_steps",
+		"pdm_alert_state", "pdm_alert_value", "pdm_alert_transitions_total",
+		"pdm_alert_cycles_total", "pdm_alerts_firing", "pdm_alerts_pending",
 	} {
 		if fams[want] == nil {
 			t.Errorf("family %s missing", want)
 		}
+	}
+	// Build identity: exactly one sample, value 1, carrying the running
+	// Go version and the configured fingerprint.
+	info := fams["pdm_build_info"]
+	wantInfo := fmt.Sprintf(`pdm_build_info{go_version=%q,config="D=4,B=2"}`, runtime.Version())
+	if got := info.Samples[wantInfo]; got != 1 || len(info.Samples) != 1 {
+		t.Errorf("pdm_build_info = %v, want one sample %s = 1", info.Samples, wantInfo)
+	}
+	if got := fams["pdm_uptime_steps"].Samples["pdm_uptime_steps"]; got != 5 {
+		t.Errorf("uptime steps = %v, want 5 (4 writes + 1 read batch)", got)
 	}
 	if got := fams["pdm_batches_total"].Samples[`pdm_batches_total{kind="write"}`]; got != 4 {
 		t.Errorf("write batches = %v, want 4", got)
@@ -275,6 +315,75 @@ func TestDebugEventsServesRingAsTrace(t *testing.T) {
 	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("ringless status = %d, want 404", rec.Code)
+	}
+}
+
+// The /debug/alerts body is a pure function of monitor state, so a
+// scripted monitor pins the exact JSON shape — field names, casing,
+// indentation, and omission rules are all load-bearing for dashboards.
+func TestDebugAlertsGoldenShape(t *testing.T) {
+	breach := true
+	mon := NewMonitor(nil, scriptRule("watch", &breach, 0, 0))
+	// Two 10-step events: the first eval tick arms Pending at step 10,
+	// the second hardens it to Firing at step 20.
+	mon.Event(pdm.Event{Kind: pdm.EventRead, Steps: 10, Addrs: []pdm.Addr{{Disk: 0}}})
+	mon.Event(pdm.Event{Kind: pdm.EventRead, Steps: 10, Addrs: []pdm.Addr{{Disk: 0}}})
+	s := &Server{Collector: NewCollector(), Monitor: mon}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/alerts", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	golden := `{
+  "step": 20,
+  "transitions_total": 2,
+  "rules": [
+    {
+      "rule": "watch",
+      "firing": 1,
+      "pending": 0,
+      "transitions": 2,
+      "cycles": 0,
+      "instances": [
+        {
+          "state": "firing",
+          "value_micro": 0,
+          "since_step": 10
+        }
+      ]
+    }
+  ],
+  "timeline": [
+    {
+      "rule": "watch",
+      "from": "inactive",
+      "to": "pending",
+      "step": 10,
+      "value_micro": 0
+    },
+    {
+      "rule": "watch",
+      "from": "pending",
+      "to": "firing",
+      "step": 20,
+      "value_micro": 0
+    }
+  ]
+}
+`
+	if got := rec.Body.String(); got != golden {
+		t.Errorf("/debug/alerts body drifted:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	// Without a monitor the endpoint 404s instead of serving nothing.
+	s.Monitor = nil
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/alerts", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("monitorless status = %d, want 404", rec.Code)
 	}
 }
 

@@ -121,6 +121,9 @@ type SpanFolder struct {
 // Fold consumes one event. It returns the completed record when e
 // closes a span, and nil otherwise.
 func (f *SpanFolder) Fold(e pdm.Event) *OpRecord {
+	if e.Kind.IsAnnotation() {
+		return nil // health/alert transitions carry no span work
+	}
 	switch e.Kind {
 	case pdm.EventSpanBegin:
 		if f.open == nil {

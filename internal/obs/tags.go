@@ -39,6 +39,21 @@ const (
 	TagFaultStall     = "fault.stall"
 	TagFaultChecksum  = "fault.checksum"
 
+	// Health transitions synthesized by the machine's per-disk health
+	// state machine (internal/pdm builds these as "health." +
+	// HealthState.String(); obs_tags_test pins the spellings together).
+	TagHealthHealthy   = "health.healthy"
+	TagHealthSuspect   = "health.suspect"
+	TagHealthFailed    = "health.failed"
+	TagHealthRepairing = "health.repairing"
+
+	// Alert transitions synthesized by Monitor ("alert." +
+	// AlertState.String(); the same pin test covers these).
+	TagAlertInactive = "alert.inactive"
+	TagAlertPending  = "alert.pending"
+	TagAlertFiring   = "alert.firing"
+	TagAlertResolved = "alert.resolved"
+
 	// TagUntagged is the bucket collectors report untagged batches
 	// under; it is never passed to Span.
 	TagUntagged = "(untagged)"
@@ -65,6 +80,16 @@ var registeredTags = map[string]bool{
 	TagFaultCorrupt:   true,
 	TagFaultStall:     true,
 	TagFaultChecksum:  true,
+
+	TagHealthHealthy:   true,
+	TagHealthSuspect:   true,
+	TagHealthFailed:    true,
+	TagHealthRepairing: true,
+
+	TagAlertInactive: true,
+	TagAlertPending:  true,
+	TagAlertFiring:   true,
+	TagAlertResolved: true,
 
 	TagUntagged: true,
 }

@@ -228,7 +228,9 @@ func (m *Machine) ClearDegraded() {
 		m.health[d].reachable = false
 		m.health[d].window = m.health[d].window[:0]
 	}
+	evs := m.drainHealthEventsLocked()
 	m.healthMu.Unlock()
+	m.emitAnnotations(evs)
 }
 
 // FaultCount returns the number of fault events observed (injected
@@ -264,8 +266,11 @@ func (m *Machine) drawFaults(kind EventKind, addrs []Addr) []Fault {
 // finishTry turns per-access outcomes into the batch's fault events,
 // block errors, stall surcharge, and degraded/fault bookkeeping —
 // sequentially, in batch order, so the emitted event sequence does not
-// depend on how the accesses were scheduled across shards.
-func (m *Machine) finishTry(kind EventKind, addrs []Addr, fs []Fault, res []error) (berrs []BlockError, fevents []Event, extra int) {
+// depend on how the accesses were scheduled across shards. hevents are
+// the EventHealth annotations for transitions the batch's outcomes
+// caused; the caller emits them after the fault events but keeps them
+// out of fault accounting (they are annotations, not faults).
+func (m *Machine) finishTry(kind EventKind, addrs []Addr, fs []Fault, res []error) (berrs []BlockError, fevents, hevents []Event, extra int) {
 	degrading := false
 	for i, a := range addrs {
 		var f Fault
@@ -317,9 +322,9 @@ func (m *Machine) finishTry(kind EventKind, addrs []Addr, fs []Fault, res []erro
 				ok:       res[i] == nil && f.Kind == FaultNone,
 			}
 		}
-		m.observeHealth(obs, m.pios.Load())
+		hevents = m.observeHealth(obs, m.pios.Load())
 	}
-	return berrs, fevents, extra
+	return berrs, fevents, hevents, extra
 }
 
 // TryBatchRead is BatchRead with fault injection and checksum
@@ -392,12 +397,12 @@ func (m *Machine) tryBatchRead(op *Op, shared []*Op, addrs []Addr) ([][]Word, er
 		out[i] = dst
 	}
 	steps, depth := m.tryRun(addrs, apply)
-	berrs, fevents, extra := m.finishTry(EventRead, addrs, fs, res)
+	berrs, fevents, hevents, extra := m.finishTry(EventRead, addrs, fs, res)
 	m.charge(steps+extra, depth)
 	m.blockReads.Add(int64(len(addrs)))
 	chargeOps(m, op, shared, EventRead, steps+extra, len(addrs), len(fevents))
 	if m.hooked.Load() {
-		m.emit(op, shared, Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
+		m.emit(op, shared, Event{Kind: EventRead, Addrs: addrs, Steps: steps, Depth: depth}, append(fevents, hevents...))
 	}
 	if len(berrs) > 0 {
 		return out, &BatchError{Blocks: berrs}
@@ -460,12 +465,12 @@ func (m *Machine) tryBatchWrite(op *Op, writes []BlockWrite) error {
 		s.mu.Unlock()
 	}
 	steps, depth := m.tryRun(addrs, apply)
-	berrs, fevents, extra := m.finishTry(EventWrite, addrs, fs, res)
+	berrs, fevents, hevents, extra := m.finishTry(EventWrite, addrs, fs, res)
 	m.charge(steps+extra, depth)
 	m.blockWrites.Add(int64(len(writes)))
 	chargeOps(m, op, nil, EventWrite, steps+extra, len(writes), len(fevents))
 	if m.hooked.Load() {
-		m.emit(op, nil, Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, fevents)
+		m.emit(op, nil, Event{Kind: EventWrite, Addrs: addrs, Steps: steps, Depth: depth}, append(fevents, hevents...))
 	}
 	if len(berrs) > 0 {
 		return &BatchError{Blocks: berrs}

@@ -57,6 +57,11 @@ func (s HealthState) String() string {
 	}
 }
 
+// HealthTagPrefix prefixes the Tag of every EventHealth event: the tag
+// is HealthTagPrefix + the destination state's String() (e.g.
+// "health.failed"), mirroring how fault events use FaultTagPrefix.
+const HealthTagPrefix = "health."
+
 // Default deterministic thresholds for the Healthy → Suspect edge.
 const (
 	// DefaultSuspectThreshold is how many transient errors within the
@@ -210,20 +215,40 @@ func (m *Machine) SetSuspectThresholds(n int, window int64) {
 }
 
 // transitionLocked moves one disk to a new state, maintaining the
-// transition count and the unhealthy-disk counter. Callers hold
-// m.healthMu.
+// transition count and the unhealthy-disk counter, and queues an
+// EventHealth annotation for the transition (drained by the caller via
+// drainHealthEventsLocked and emitted once healthMu is released, so
+// hooks never run under the health lock). Callers hold m.healthMu.
 func (m *Machine) transitionLocked(disk int, to HealthState) {
 	h := &m.health[disk]
 	if h.state == to {
 		return
 	}
-	if h.state == Healthy {
+	from := h.state
+	if from == Healthy {
 		m.unhealthy.Add(1)
 	} else if to == Healthy {
 		m.unhealthy.Add(-1)
 	}
 	h.state = to
 	h.transitions++
+	m.healthEvents = append(m.healthEvents, Event{
+		Kind:  EventHealth,
+		Tag:   HealthTagPrefix + to.String(),
+		Addrs: []Addr{{Disk: disk}},
+		From:  from.String(),
+		To:    to.String(),
+		Step:  m.pios.Load(),
+	})
+}
+
+// drainHealthEventsLocked hands the queued health transitions to the
+// caller for emission and resets the queue. Callers hold m.healthMu and
+// emit (or drop) the returned events after releasing it.
+func (m *Machine) drainHealthEventsLocked() []Event {
+	evs := m.healthEvents
+	m.healthEvents = nil
+	return evs
 }
 
 // MarkRepairing claims a disk for repair: Failed or Suspect becomes
@@ -232,13 +257,16 @@ func (m *Machine) transitionLocked(disk int, to HealthState) {
 func (m *Machine) MarkRepairing(disk int) bool {
 	m.checkAddr(Addr{Disk: disk})
 	m.healthMu.Lock()
-	defer m.healthMu.Unlock()
 	h := &m.health[disk]
 	if h.state != Failed && h.state != Suspect {
+		m.healthMu.Unlock()
 		return false
 	}
 	m.transitionLocked(disk, Repairing)
 	h.reachable = false
+	evs := m.drainHealthEventsLocked()
+	m.healthMu.Unlock()
+	m.emitAnnotations(evs)
 	return true
 }
 
@@ -251,7 +279,9 @@ func (m *Machine) MarkFailed(disk int) {
 	m.healthMu.Lock()
 	m.transitionLocked(disk, Failed)
 	m.health[disk].reachable = true
+	evs := m.drainHealthEventsLocked()
 	m.healthMu.Unlock()
+	m.emitAnnotations(evs)
 }
 
 // MarkHealthy returns a disk to Healthy and clears its transient
@@ -264,7 +294,9 @@ func (m *Machine) MarkHealthy(disk int) {
 	h := &m.health[disk]
 	h.reachable = false
 	h.window = h.window[:0]
+	evs := m.drainHealthEventsLocked()
 	m.healthMu.Unlock()
+	m.emitAnnotations(evs)
 }
 
 // healthObs is one per-access health observation extracted by finishTry.
@@ -279,8 +311,10 @@ type healthObs struct {
 // machines and fires the health notification when anything actionable
 // happened. step is the machine's step counter at observation time;
 // single-threaded runs observe the same values on every run, which is
-// what keeps health transitions trace-deterministic.
-func (m *Machine) observeHealth(obs []healthObs, step int64) {
+// what keeps health transitions trace-deterministic. It returns the
+// EventHealth annotations for any transitions, which the calling Try
+// batch appends to its emission (after the batch's fault events).
+func (m *Machine) observeHealth(obs []healthObs, step int64) []Event {
 	var notify func()
 	actionable := false
 	m.healthMu.Lock()
@@ -344,10 +378,12 @@ func (m *Machine) observeHealth(obs []healthObs, step int64) {
 	if actionable {
 		notify = m.healthNotify
 	}
+	evs := m.drainHealthEventsLocked()
 	m.healthMu.Unlock()
 	if notify != nil {
 		notify()
 	}
+	return evs
 }
 
 // SuspectOrStalling reports whether a disk warrants hedged reads: it is

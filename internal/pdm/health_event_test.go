@@ -1,0 +1,92 @@
+package pdm
+
+import (
+	"strings"
+	"testing"
+)
+
+// Health transitions must surface on the hook stream as EventHealth
+// annotations — zero-step, correctly tagged, ordered after the fault
+// events of the batch that caused them — without disturbing the cost
+// accounting the traces are built on.
+func TestHealthTransitionsEmitAnnotations(t *testing.T) {
+	m := NewMachine(Config{D: 4, B: 2})
+	h := &recordingHook{}
+	m.SetHook(h)
+	a := Addr{Disk: 2, Block: 0}
+
+	// The Try-batch path: a fail-stop flips disk 2 Healthy → Failed.
+	m.SetFaultInjector(&scriptInjector{faults: map[Addr]Fault{a: {Kind: FaultFailStop}}})
+	if err := readThrough(t, m, a); err == nil {
+		t.Fatal("fail-stopped read should error")
+	}
+	stats := m.Stats()
+
+	var health []Event
+	var healthIdx, faultIdx []int
+	for i, e := range h.all() {
+		switch {
+		case e.Kind == EventHealth:
+			health = append(health, e)
+			healthIdx = append(healthIdx, i)
+		case strings.HasPrefix(e.Tag, FaultTagPrefix):
+			faultIdx = append(faultIdx, i)
+		}
+	}
+	if len(health) != 1 {
+		t.Fatalf("got %d health events, want 1", len(health))
+	}
+	e := health[0]
+	if e.From != "healthy" || e.To != "failed" {
+		t.Errorf("transition = %s→%s, want healthy→failed", e.From, e.To)
+	}
+	if want := HealthTagPrefix + "failed"; e.Tag != want {
+		t.Errorf("tag = %q, want %q", e.Tag, want)
+	}
+	if len(e.Addrs) != 1 || e.Addrs[0].Disk != 2 {
+		t.Errorf("addrs = %v, want [{Disk:2}]", e.Addrs)
+	}
+	if e.Steps != 0 {
+		t.Errorf("annotation charged %d steps, want 0", e.Steps)
+	}
+	if !e.Kind.IsAnnotation() {
+		t.Error("EventHealth must classify as an annotation")
+	}
+	if e.Seq == 0 {
+		t.Error("annotation missing a stream sequence number")
+	}
+	if len(faultIdx) == 0 || healthIdx[0] < faultIdx[len(faultIdx)-1] {
+		t.Errorf("health annotation (index %v) must follow the batch's fault events (%v)",
+			healthIdx, faultIdx)
+	}
+
+	// The supervisor path: Mark* transitions emit the same annotations
+	// and still charge nothing.
+	m.SetFaultInjector(nil)
+	if !m.MarkRepairing(2) {
+		t.Fatal("MarkRepairing(2) should claim the failed disk")
+	}
+	m.MarkHealthy(2)
+	var tail []Event
+	for _, e := range h.all() {
+		if e.Kind == EventHealth {
+			tail = append(tail, e)
+		}
+	}
+	if len(tail) != 3 {
+		t.Fatalf("got %d health events after repair, want 3", len(tail))
+	}
+	if tail[1].To != "repairing" || tail[2].To != "healthy" {
+		t.Errorf("repair transitions = %q, %q, want repairing, healthy", tail[1].To, tail[2].To)
+	}
+	after := m.Stats()
+	if after.ParallelIOs != stats.ParallelIOs {
+		t.Errorf("Mark* transitions moved the step counter: %d → %d",
+			stats.ParallelIOs, after.ParallelIOs)
+	}
+	for _, e := range tail[1:] {
+		if e.Step != stats.ParallelIOs {
+			t.Errorf("annotation stamped step %d, want machine clock %d", e.Step, stats.ParallelIOs)
+		}
+	}
+}

@@ -166,9 +166,18 @@ const (
 	// counter timestamps (Event.Step).
 	EventSpanBegin
 	EventSpanEnd
+	// EventHealth announces one disk's health-state transition (From →
+	// To, Addrs[0].Disk identifying the disk). It is an annotation: it
+	// transfers no blocks and charges no steps.
+	EventHealth
+	// EventAlert announces one alert-instance transition synthesized by
+	// a monitoring sink (Rule, From, To, Value). Like EventHealth it is
+	// an annotation carrying no I/O cost.
+	EventAlert
 )
 
-// String returns "read", "write", "span_begin", or "span_end".
+// String returns "read", "write", "span_begin", "span_end", "health",
+// or "alert".
 func (k EventKind) String() string {
 	switch k {
 	case EventWrite:
@@ -177,6 +186,10 @@ func (k EventKind) String() string {
 		return "span_begin"
 	case EventSpanEnd:
 		return "span_end"
+	case EventHealth:
+		return "health"
+	case EventAlert:
+		return "alert"
 	default:
 		return "read"
 	}
@@ -185,6 +198,12 @@ func (k EventKind) String() string {
 // IsSpan reports whether the kind marks a span boundary rather than a
 // batch.
 func (k EventKind) IsSpan() bool { return k == EventSpanBegin || k == EventSpanEnd }
+
+// IsAnnotation reports whether the kind is a stream annotation — a
+// health or alert transition — rather than an accounted batch or a span
+// boundary. Annotations carry zero Steps by construction; accounting
+// sinks skip them.
+func (k EventKind) IsAnnotation() bool { return k == EventHealth || k == EventAlert }
 
 // Event describes one accounted batch (what was transferred, what it
 // cost, and which structure layer issued it — the innermost span path at
@@ -235,6 +254,16 @@ type Event struct {
 	// Parent is the enclosing span's ID on span events (0 = root span,
 	// i.e. a top-level dictionary operation).
 	Parent uint64
+	// Rule names the alert rule (plus "[label]" for a labeled instance)
+	// on EventAlert events ("" elsewhere).
+	Rule string
+	// From and To are the state names of a transition: health states on
+	// EventHealth, alert states on EventAlert ("" elsewhere).
+	From string
+	To   string
+	// Value is the rule's sampled value in fixed-point micro-units on
+	// EventAlert events (e.g. a skew ratio of 1.5 is 1500000).
+	Value int64
 	// Step is the machine's cumulative parallel-I/O step counter when a
 	// span event fired — the deterministic timestamp. The I/O cost of a
 	// span is its end Step minus its begin Step.
@@ -391,6 +420,7 @@ type Machine struct {
 	healthMu     sync.Mutex
 	health       []diskHealth // guarded by healthMu
 	healthNotify func()       // guarded by healthMu
+	healthEvents []Event      // guarded by healthMu; transitions awaiting emission
 	suspectN     int          // guarded by healthMu
 	suspectW     int64        // guarded by healthMu
 	unhealthy    atomic.Int64
@@ -604,6 +634,29 @@ func (m *Machine) emit(op *Op, shared []*Op, ev Event, fevents []Event) {
 		m.seq++
 		fevents[i].Seq = m.seq
 		m.hook.Event(fevents[i])
+	}
+	m.emitMu.Unlock()
+}
+
+// emitAnnotations fires annotation events (health transitions drained
+// outside a Try batch, e.g. from MarkRepairing) under the emission
+// lock, stamping each with a sequence number. Unlike emit it attaches
+// no op attribution and no span: the transitions were driven by an
+// explicit state-machine call, not by a batch. Callers must not hold
+// healthMu or emitMu.
+func (m *Machine) emitAnnotations(evs []Event) {
+	if len(evs) == 0 || !m.hooked.Load() {
+		return
+	}
+	m.emitMu.Lock()
+	if m.hook == nil {
+		m.emitMu.Unlock()
+		return
+	}
+	for i := range evs {
+		m.seq++
+		evs[i].Seq = m.seq
+		m.hook.Event(evs[i])
 	}
 	m.emitMu.Unlock()
 }

@@ -1,0 +1,123 @@
+package pdmdict_test
+
+// Online/offline equivalence for the deterministic watchdog: the alert
+// timeline a live obs.Monitor produces while hooked to a running
+// dictionary must be byte-identical to the timeline a fresh monitor
+// reconstructs from the JSONL trace of the same run. This is the
+// property `pdmtrace -alerts` relies on — the watchdog's clock is the
+// trace's own step counter, so replay IS the live run.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pdmdict"
+	"pdmdict/internal/obs"
+	"pdmdict/internal/pdm"
+	"pdmdict/internal/workload"
+)
+
+// equivRules builds the rule set fresh for each monitor — detector
+// state must never be shared between the live and offline passes.
+// Thresholds are deliberately aggressive so even a short single-machine
+// workload produces a non-trivial timeline.
+func equivRules() []obs.Rule {
+	bal := obs.BalanceRule(obs.BalanceConfig{WindowSteps: 64, MaxSkewMicro: 1, MinBlocks: 1})
+	bal.EvalEvery = 16
+	burn := obs.BurnRateRule(obs.BurnConfig{Target: time.Nanosecond, MinOps: 1, FastSteps: 128, SlowSteps: 256})
+	burn.EvalEvery = 16
+	return []obs.Rule{
+		bal, burn,
+		obs.HealthFlapRule(obs.FlapConfig{}),
+		obs.DegradedCapacityRule(obs.DegradedConfig{}),
+	}
+}
+
+func renderTimeline(mon *obs.Monitor) string {
+	var sb strings.Builder
+	mon.RenderTimeline(&sb)
+	return sb.String()
+}
+
+func TestMonitorOnlineOfflineEquivalence(t *testing.T) {
+	opts := func(seed int64) pdmdict.Options {
+		return pdmdict.Options{Capacity: 512, SatWords: 2, Seed: uint64(seed)}
+	}
+	builders := map[string]func(seed int64) (hookedDict, error){
+		"basic": func(seed int64) (hookedDict, error) {
+			return pdmdict.NewBasic(pdmdict.BasicOptions{Options: opts(seed)})
+		},
+		"hashtable": func(seed int64) (hookedDict, error) { return pdmdict.NewHashTable(opts(seed)) },
+		"cuckoo":    func(seed int64) (hookedDict, error) { return pdmdict.NewCuckoo(opts(seed)) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{1, 42, 9001} {
+				dict, err := build(seed)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+
+				// Live pass: the monitor watches the run AND records it —
+				// the JSONL writer downstream sees every event plus the
+				// alert annotations the monitor itself synthesizes.
+				var buf bytes.Buffer
+				w := obs.NewJSONLWriter(&buf)
+				live := obs.NewMonitor(w, equivRules()...)
+				dict.SetHook(live)
+
+				keys := workload.Uniform(400, 1<<40, seed+1)
+				ops := workload.Ops(keys, 2000, workload.Mix{Lookup: 45, Insert: 40, Delete: 15},
+					0.2, seed+2)
+				for i, op := range ops {
+					switch op.Kind {
+					case workload.OpInsert:
+						if err := dict.Insert(op.Key, []pdmdict.Word{op.Key, pdmdict.Word(i)}); err != nil {
+							t.Fatalf("seed %d: insert %d: %v", seed, op.Key, err)
+						}
+					case workload.OpLookup:
+						dict.Lookup(op.Key)
+					case workload.OpDelete:
+						dict.Delete(op.Key)
+					}
+				}
+				if err := w.Close(); err != nil {
+					t.Fatalf("seed %d: closing trace: %v", seed, err)
+				}
+
+				liveOut := renderTimeline(live)
+				if liveOut == "" {
+					t.Fatalf("seed %d: live monitor produced an empty timeline; the equivalence check is vacuous", seed)
+				}
+
+				// Offline pass: replay the recorded trace through a fresh
+				// monitor, exactly as pdmtrace -alerts does.
+				events, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("seed %d: reading trace back: %v", seed, err)
+				}
+				offline := obs.NewMonitor(nil, equivRules()...)
+				alertEvents := 0
+				for _, e := range events {
+					if e.Kind == pdm.EventAlert {
+						alertEvents++
+					}
+					offline.Event(e)
+				}
+				if got := live.Snapshot().Transitions; int64(alertEvents) != got {
+					t.Errorf("seed %d: trace carries %d alert events, live monitor made %d transitions",
+						seed, alertEvents, got)
+				}
+				if offlineOut := renderTimeline(offline); offlineOut != liveOut {
+					t.Errorf("seed %d: offline timeline diverges from live\nlive:\n%s\noffline:\n%s",
+						seed, liveOut, offlineOut)
+				}
+				if live.Now() != offline.Now() {
+					t.Errorf("seed %d: clocks diverge: live %d, offline %d", seed, live.Now(), offline.Now())
+				}
+			}
+		})
+	}
+}

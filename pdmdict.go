@@ -644,12 +644,18 @@ func (b *Basic) ScrubDisk(disk int) []Addr {
 // and verifies it in bounded chunks interleaved with live traffic,
 // returning it to Healthy without any outside help. Requires
 // Replicas ≥ 2 for actual rebuilds; Suspect disks are verified by scrub
-// alone. The returned stop function halts the supervisor and blocks
-// until it has exited; call it before discarding the structure.
-func (b *Basic) SelfHeal() (stop func()) {
+// alone.
+//
+// wake nudges the supervisor to re-examine disk health without waiting
+// for a machine health notification — lock-free and safe from any
+// goroutine, including an obs.AlertListener inside a hook dispatch
+// (wire a degraded-capacity alert to it). The stop function halts the
+// supervisor and blocks until it has exited; call it before discarding
+// the structure.
+func (b *Basic) SelfHeal() (wake, stop func()) {
 	s := heal.New(b.m, b.d, heal.Config{})
 	s.Start()
-	return s.Stop
+	return s.Wake, s.Stop
 }
 
 // ---------------------------------------------------------------------
