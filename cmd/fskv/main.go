@@ -55,11 +55,25 @@
 // to the file as trace JSONL (the pdmtrace format), so a session can be
 // replayed, folded, or re-alerted offline (pdmtrace -alerts).
 //
+// With -sched the dynamic store is served through the group-commit
+// request scheduler (pdmdict.Scheduled) in serving mode: lookups that
+// arrive within a bounded wall-time window are coalesced into one
+// deduplicated shared I/O round, and writes are group-committed through
+// a replayable checksummed intent log (-schedlog file) before they are
+// applied. The wall clock only decides when a window closes — it is
+// injected from outside the scheduler and never reaches the modeled
+// machine, so traces stay deterministic by construction. -sched is for
+// the dynamic store only: the replicated store's degraded-read path
+// (LookupTry) bypasses the scheduler, so combining them is refused
+// rather than silently serving two different read paths.
+//
 // fskv shuts down gracefully on SIGINT/SIGTERM as well as on EOF or
 // quit: the operation in flight (commands run synchronously) completes
-// and is fully accounted, the trace sink is flushed and closed, and the
-// metrics server stops. A second signal kills the process the usual
-// way (the signal context is restored once shutdown begins).
+// and is fully accounted, the scheduler (with -sched) is drained —
+// queued writes flush through the intent log to the store — the trace
+// sink is flushed and closed, and the metrics server stops. A second
+// signal kills the process the usual way (the signal context is
+// restored once shutdown begins).
 //
 // stats reports, beyond the block count and total parallel I/Os, the
 // fault state (degraded flag, failed disks, fault event count) and the
@@ -85,6 +99,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"pdmdict"
 	"pdmdict/internal/fault"
@@ -136,6 +151,8 @@ type config struct {
 	serve    string
 	trace    string
 	selfheal bool
+	sched    bool
+	schedlog string
 }
 
 func main() {
@@ -147,13 +164,18 @@ func main() {
 		"append every machine event to this file as trace JSONL (flushed on shutdown)")
 	selfheal := flag.Bool("selfheal", false,
 		"run the background repair supervisor (requires -replicas ≥ 2): failed disks that answer again are rebuilt and verified automatically")
+	schedMode := flag.Bool("sched", false,
+		"serve through the group-commit request scheduler: windowed lookup coalescing and group-committed writes (dynamic store only)")
+	schedlog := flag.String("schedlog", "",
+		"with -sched: append the write intent log to this file (replayable, checksummed, group-committed)")
 	flag.Parse()
 
 	// First SIGINT/SIGTERM cancels the context (graceful drain); stop()
 	// restores default delivery, so a second signal kills the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, config{replicas: *replicas, serve: *serve, trace: *trace, selfheal: *selfheal}, os.Stdin, os.Stdout); err != nil {
+	if err := run(ctx, config{replicas: *replicas, serve: *serve, trace: *trace, selfheal: *selfheal,
+		sched: *schedMode, schedlog: *schedlog}, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fskv:", err)
 		os.Exit(1)
 	}
@@ -168,7 +190,8 @@ func main() {
 func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) error {
 	var (
 		dict     store
-		basic    *pdmdict.Basic // non-nil iff -replicas ≥ 2
+		basic    *pdmdict.Basic     // non-nil iff -replicas ≥ 2
+		sd       *pdmdict.Scheduled // non-nil iff -sched
 		degraded func() bool
 		faults   func() int64
 		health   func() pdmdict.HealthReport // non-nil iff -replicas ≥ 2
@@ -204,6 +227,12 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 
 	if cfg.selfheal && cfg.replicas < 2 {
 		return fmt.Errorf("-selfheal needs the replicated store: rerun with -replicas 2")
+	}
+	if cfg.sched && cfg.replicas >= 2 {
+		return fmt.Errorf("-sched serves the dynamic store only: the replicated store's degraded-read path bypasses the scheduler")
+	}
+	if cfg.schedlog != "" && !cfg.sched {
+		return fmt.Errorf("-schedlog needs -sched")
 	}
 	plan := fault.NewPlan(1)
 	switch {
@@ -252,12 +281,49 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		}
 		base.SetHook(mon)
 		base.SetFaultInjector(plan)
-		dict = pdmdict.NewNamed(base, blockWords)
+		inner := pdmdict.Dictionary(base)
+		if cfg.sched {
+			var logW io.Writer
+			if cfg.schedlog != "" {
+				f, err := os.Create(cfg.schedlog)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				logW = f
+			}
+			// Serving mode: a short wall-time window bounds how long a
+			// lone request waits for company. The clock is injected here —
+			// it decides only when windows close and never reaches the
+			// modeled machine, so the event trace stays deterministic.
+			sd, err = pdmdict.NewScheduled(base, pdmdict.SchedOptions{
+				MaxBatch:  8,
+				Window:    2 * time.Millisecond,
+				IntentLog: logW,
+			})
+			if err != nil {
+				return err
+			}
+			inner = sd
+		}
+		dict = pdmdict.NewNamed(inner, blockWords)
 		degraded = base.Degraded
 		faults = func() int64 { return 0 }
 		disks = 2 * 20 // Dict default: membership + cascade on 2d disks
 	default:
 		return fmt.Errorf("-replicas must be ≥ 2 (or 0 to disable)")
+	}
+
+	// drain is the common shutdown path: close the scheduler first (its
+	// queued writes group-commit through the intent log and apply to the
+	// store, so nothing acknowledged is lost), then flush the trace.
+	drain := func() error {
+		if sd != nil {
+			if err := sd.Close(); err != nil {
+				return fmt.Errorf("draining scheduler: %w", err)
+			}
+		}
+		return flush()
 	}
 
 	if cfg.serve != "" {
@@ -270,6 +336,9 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 			Monitor:     mon,
 			Fingerprint: fmt.Sprintf("replicas=%d,disks=%d,blockwords=%d", cfg.replicas, disks, blockWords),
 		}
+		if sd != nil {
+			srv.Sched = sd.Snapshot
+		}
 		addr, stop, err := srv.Serve(cfg.serve)
 		if err != nil {
 			return err
@@ -281,6 +350,9 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 	mode := "dynamic store"
 	if basic != nil {
 		mode = fmt.Sprintf("replicated store (%d copies, tolerates %d failed disks)", cfg.replicas, cfg.replicas-1)
+	}
+	if sd != nil {
+		mode += " via group-commit scheduler (2ms window, batch 8)"
 	}
 	fmt.Fprintf(stdout, "fskv: deterministic dictionary file store, %s (put/get/del/fail/heal/repair/scrub/health/stats/quit)\n", mode)
 
@@ -326,11 +398,11 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 		case <-ctx.Done():
 			// The previous command already completed synchronously —
 			// there is nothing half-charged to wait for.
-			fmt.Fprintln(stdout, "\nfskv: signal received; drained in-flight operations, flushing trace")
-			return flush()
+			fmt.Fprintln(stdout, "\nfskv: signal received; drained in-flight operations, draining scheduler, flushing trace")
+			return drain()
 		case line, ok = <-lines:
 			if !ok {
-				return flush()
+				return drain()
 			}
 		}
 		fields := strings.Fields(line)
@@ -491,7 +563,7 @@ func run(ctx context.Context, cfg config, stdin io.Reader, stdout io.Writer) err
 			collector.RenderPerDisk(&sb)
 			fmt.Fprint(stdout, sb.String())
 		case "quit", "exit":
-			return flush()
+			return drain()
 		default:
 			fmt.Fprintf(stdout, "unknown command %q — commands: put get del fail heal repair scrub health stats quit\n", fields[0])
 		}

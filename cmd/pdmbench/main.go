@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pdmbench [-run regexp | -faults | -parallel N] [-md | -csv | -json]
+//	pdmbench [-run regexp | -faults | -parallel ladder [-sched]] [-md | -csv | -json]
 //	         [-list] [-out file] [-serve addr]
 //
 // -json emits the run as one JSON document — {"schema_version": N,
@@ -24,12 +24,23 @@
 //	pdmbench -out results.txt                  # full suite into a file
 //	pdmbench -serve :8080                      # watch the run live
 //	pdmbench -parallel 8                       # multi-client throughput, 1 vs 8 clients
+//	pdmbench -parallel 1,8,64                  # explicit client ladder
 //	pdmbench -parallel 8 -json -out BENCH_PR5.json
+//	pdmbench -parallel 1,8,64 -sched -json -out BENCH_PR10.json
 //
-// -parallel N runs the multi-client throughput mode instead of the
-// experiment suite: N concurrent query streams over one shared
+// -parallel runs the multi-client throughput mode instead of the
+// experiment suite: concurrent query streams over one shared
 // dictionary, each paced by the modeled device latency, reported as
-// wall and modeled ops/sec next to a single-client baseline.
+// wall and modeled ops/sec next to a single-client baseline. It takes
+// either a single count N (shorthand for the ladder 1,N) or an
+// explicit comma-separated ladder like 1,8,64.
+//
+// -sched (with -parallel) runs the group-commit scheduler comparison
+// instead: at each client count the same uniform lookup workload runs
+// direct (one parallel-I/O round per lookup) and through the
+// deterministic-mode scheduler (concurrent lookups coalesced into one
+// deduplicated shared round), reporting modeled steps per operation
+// for both, the coalescing factor, and exact per-op accounting.
 //
 // -chaos runs the chaos soak instead of the experiment suite: a
 // seed-generated schedule of fail/heal/corrupt rounds plays against a
@@ -48,10 +59,44 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"pdmdict/internal/bench"
 	"pdmdict/internal/obs"
 )
+
+// parseLadder turns the -parallel argument into a client ladder: a bare
+// count N keeps the historical meaning (baseline 1 plus N), while an
+// explicit comma-separated list is used verbatim.
+func parseLadder(s string) ([]int, error) {
+	if !strings.Contains(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-parallel %q: want a positive client count or a ladder like 1,8,64", s)
+		}
+		if n == 1 {
+			return []int{1}, nil
+		}
+		return []int{1, n}, nil
+	}
+	var ladder []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-parallel %q: bad client count %q", s, part)
+		}
+		ladder = append(ladder, n)
+	}
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("-parallel %q: empty ladder", s)
+	}
+	return ladder, nil
+}
 
 func main() {
 	var (
@@ -63,7 +108,8 @@ func main() {
 		faults   = flag.Bool("faults", false, "run the fault-tolerance scenario (shorthand for -run E14-faults)")
 		outPath  = flag.String("out", "", "write output to this file instead of stdout")
 		serve    = flag.String("serve", "", "serve live /metrics, /healthz, and /debug/pprof on this address while running")
-		parallel = flag.Int("parallel", 0, "run the multi-client throughput mode with this many clients (vs a 1-client baseline)")
+		parallel = flag.String("parallel", "", "run the multi-client throughput mode: a client count N (shorthand for 1,N) or an explicit ladder like 1,8,64")
+		schedCmp = flag.Bool("sched", false, "with -parallel: run the group-commit scheduler comparison (direct vs coalesced modeled steps/op) over the client ladder")
 		ops      = flag.Int("ops", 0, "throughput mode: total operations per run (default 8000)")
 		seed     = flag.Uint64("seed", 1, "throughput/chaos mode: workload seed")
 		chaos    = flag.Bool("chaos", false, "run the chaos soak: scheduled fail/heal/corrupt rounds under concurrent traffic with background self-healing; exits non-zero if any soak invariant breaks")
@@ -124,16 +170,32 @@ func main() {
 		format = bench.FormatMarkdown
 	}
 
-	if *parallel > 0 {
+	if *parallel != "" {
 		if *pattern != "" {
 			fmt.Fprintln(os.Stderr, "pdmbench: -parallel and -run are mutually exclusive")
 			os.Exit(1)
 		}
-		clients := []int{1}
-		if *parallel > 1 {
-			clients = append(clients, *parallel)
+		if *clients != 0 {
+			fmt.Fprintln(os.Stderr, "pdmbench: -clients is a chaos-mode flag; give -parallel an explicit ladder (e.g. -parallel 1,8,64) instead")
+			os.Exit(1)
 		}
-		table, results, err := bench.ThroughputTable(bench.ThroughputConfig{TotalOps: *ops, Seed: *seed}, clients)
+		ladder, err := parseLadder(*parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdmbench:", err)
+			os.Exit(1)
+		}
+		if *schedCmp {
+			table, results, err := bench.SchedTable(bench.SchedBenchConfig{Seed: *seed}, ladder)
+			if err == nil {
+				err = bench.WriteSched(out, []bench.Table{table}, results, format)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pdmbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		table, results, err := bench.ThroughputTable(bench.ThroughputConfig{TotalOps: *ops, Seed: *seed}, ladder)
 		if err == nil {
 			err = bench.WriteThroughput(out, []bench.Table{table}, results, format)
 		}
@@ -143,9 +205,13 @@ func main() {
 		}
 		return
 	}
+	if *schedCmp {
+		fmt.Fprintln(os.Stderr, "pdmbench: -sched requires -parallel (the client ladder to compare over)")
+		os.Exit(1)
+	}
 
 	if *chaos {
-		if *pattern != "" || *parallel > 0 {
+		if *pattern != "" || *parallel != "" {
 			fmt.Fprintln(os.Stderr, "pdmbench: -chaos is mutually exclusive with -run and -parallel")
 			os.Exit(1)
 		}

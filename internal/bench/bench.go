@@ -147,9 +147,10 @@ func (t *Table) CSV() string {
 // a Report so the schema can evolve without breaking consumers; version
 // 3 added p999 to histogram digests and per-operation SLO quantiles to
 // the parallel-throughput tables; version 4 added the chaos-soak
-// results (pdmbench -chaos). Bump this whenever Report or Table
-// changes shape.
-const ReportSchemaVersion = 4
+// results (pdmbench -chaos); version 5 added the group-commit
+// scheduler comparison (pdmbench -parallel -sched). Bump this whenever
+// Report or Table changes shape.
+const ReportSchemaVersion = 5
 
 // Report is the top-level JSON document of a -json run.
 type Report struct {
@@ -161,6 +162,10 @@ type Report struct {
 	// Chaos carries the chaos-soak results — schedule, health counters,
 	// and exact cost attribution — when the run was pdmbench -chaos.
 	Chaos []ChaosResult `json:"chaos,omitempty"`
+	// Sched carries the group-commit scheduler comparison — direct vs
+	// coalesced modeled steps per operation, per client count — when
+	// the run was pdmbench -parallel -sched.
+	Sched []SchedResult `json:"sched,omitempty"`
 }
 
 // Format selects a Table rendering.
@@ -236,6 +241,30 @@ func WriteThroughput(w io.Writer, tables []Table, results []ThroughputResult, fo
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: tables, Throughput: results}); err != nil {
+			return fmt.Errorf("bench: encoding JSON: %w", err)
+		}
+		return nil
+	}
+	for _, t := range tables {
+		switch format {
+		case FormatMarkdown:
+			fmt.Fprintln(w, t.Markdown())
+		case FormatCSV:
+			fmt.Fprintln(w, t.CSV())
+		default:
+			fmt.Fprintln(w, t.Render())
+		}
+	}
+	return nil
+}
+
+// WriteSched renders the scheduler-comparison tables plus, for JSON,
+// the raw per-client-count rows.
+func WriteSched(w io.Writer, tables []Table, results []SchedResult, format Format) error {
+	if format == FormatJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Report{SchemaVersion: ReportSchemaVersion, Tables: tables, Sched: results}); err != nil {
 			return fmt.Errorf("bench: encoding JSON: %w", err)
 		}
 		return nil

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestSchedBenchImproves is the acceptance property of the scheduler
+// experiment in miniature: at several concurrent clients, coalesced
+// lookups must cost strictly fewer modeled steps per op than direct
+// ones, and exact accounting must cover every submitted op.
+func TestSchedBenchImproves(t *testing.T) {
+	cfg := SchedBenchConfig{OpsPerClient: 60, Seed: 5}
+	tbl, results, err := SchedTable(cfg, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || len(results) != 2 {
+		t.Fatalf("rows %d results %d, want 2 each", len(tbl.Rows), len(results))
+	}
+	for _, r := range results {
+		if r.OpsAccounted != r.Ops {
+			t.Fatalf("clients=%d: ops_accounted %d != ops %d", r.Clients, r.OpsAccounted, r.Ops)
+		}
+		if r.DirectSteps <= 0 || r.SchedSteps <= 0 {
+			t.Fatalf("clients=%d: non-positive step totals %d/%d", r.Clients, r.DirectSteps, r.SchedSteps)
+		}
+	}
+	r8 := results[1]
+	if r8.SchedStepsPerOp >= r8.DirectStepsPerOp {
+		t.Fatalf("8 clients: scheduled %.3f steps/op not below direct %.3f",
+			r8.SchedStepsPerOp, r8.DirectStepsPerOp)
+	}
+	if r8.RoundsShared < 2 {
+		t.Fatalf("8 clients: coalescing factor %.1f below 2", r8.RoundsShared)
+	}
+}

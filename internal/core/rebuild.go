@@ -96,6 +96,7 @@ type rebuildable interface {
 	Delete(x pdm.Word) bool
 	LookupOp(op *pdm.Op, x pdm.Word) ([]pdm.Word, bool)
 	LookupBatchOp(op *pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool)
+	LookupSharedOp(ops []*pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool)
 	InsertOp(op *pdm.Op, x pdm.Word, sat []pdm.Word) error
 	DeleteOp(op *pdm.Op, x pdm.Word) bool
 	Len() int

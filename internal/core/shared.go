@@ -1,0 +1,266 @@
+package core
+
+// Shared lookup rounds: the group-commit scheduler (internal/sched)
+// collects concurrent single-key lookups from many callers and executes
+// them as ONE merged probe set via the machine's BatchReadShared, so a
+// burst of b independent clients costs the deepest per-disk queue of
+// distinct blocks instead of b sequential rounds. Unlike LookupBatchOp
+// (one token amortized over the batch's keys), a shared round carries
+// one token PER participant: every op on the attribution list is
+// charged the merged round's full cost once — splitting it would make
+// the per-op worst-case bounds meaningless — and each op gets its own
+// root span, so the accountant sees b distinct operations that happen
+// to share their I/O.
+//
+// The contract for every LookupSharedOp below: len(ops) == len(keys),
+// every ops[i] is non-nil, distinct, and owned by a caller that is
+// blocked while the dispatching goroutine runs (the dispatcher is the
+// op's single toucher, which makes the span frames safe).
+
+import (
+	"pdmdict/internal/obs"
+	"pdmdict/internal/pdm"
+)
+
+// LookupSharedOp resolves keys[i] on behalf of ops[i] in one merged,
+// de-duplicated read round. Results align positionally with keys.
+func (bd *BasicDict) LookupSharedOp(ops []*pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool) {
+	bd.mu.RLock()
+	defer bd.mu.RUnlock()
+	ends := make([]func(), len(ops))
+	for i, op := range ops {
+		ends[i] = bd.reg.m.OpSpan(op, obs.TagLookup)
+	}
+	uniq := make(map[pdm.Addr]int) // addr → index into fetch list
+	var addrs []pdm.Addr
+	perKey := make([][]int, len(keys)) // key → its blocks' fetch indices
+	for ki, x := range keys {
+		ka := bd.probeAddrs(x, nil)
+		idxs := make([]int, len(ka))
+		for i, a := range ka {
+			j, ok := uniq[a]
+			if !ok {
+				j = len(addrs)
+				uniq[a] = j
+				addrs = append(addrs, a)
+			}
+			idxs[i] = j
+		}
+		perKey[ki] = idxs
+	}
+	flat := bd.reg.m.BatchReadShared(ops, addrs)
+	sats := make([][]pdm.Word, len(keys))
+	oks := make([]bool, len(keys))
+	blocks := make([][]pdm.Word, bd.probeLen())
+	for ki, x := range keys {
+		for i, j := range perKey[ki] {
+			blocks[i] = flat[j]
+		}
+		sats[ki], oks[ki] = bd.lookupInBlocks(x, blocks)
+	}
+	for i := len(ends) - 1; i >= 0; i-- {
+		ends[i]()
+	}
+	return sats, oks
+}
+
+// LookupSharedOp resolves keys[i] on behalf of ops[i] in at most two
+// merged rounds: one for every key's membership buckets and A_1 fields,
+// and one shared by the (rare) keys resident in deeper arrays — the
+// second round is attributed only to the deep keys' ops, so shallow
+// participants are charged exactly one round.
+func (dd *DynamicDict) LookupSharedOp(ops []*pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool) {
+	dd.mu.RLock()
+	defer dd.mu.RUnlock()
+	ends := make([]func(), len(ops))
+	for i, op := range ops {
+		ends[i] = dd.m.OpSpan(op, obs.TagLookup)
+	}
+	membLen := dd.memb.probeLen()
+	width := membLen + dd.d
+	idx := make([]int32, len(keys)*width)
+	uniq := make(map[pdm.Addr]int32, len(keys)*width)
+	var addrs []pdm.Addr
+	scratch := make([]pdm.Addr, 0, width)
+	for ki, x := range keys {
+		scratch = dd.memb.probeAddrs(x, scratch[:0])
+		scratch = dd.levelAddrs(&dd.levels[0], x, scratch)
+		for i, a := range scratch {
+			j, seen := uniq[a]
+			if !seen {
+				j = int32(len(addrs))
+				uniq[a] = j
+				addrs = append(addrs, a)
+			}
+			idx[ki*width+i] = j
+		}
+	}
+	flat := dd.m.BatchReadShared(ops, addrs)
+
+	sats := make([][]pdm.Word, len(keys))
+	oks := make([]bool, len(keys))
+	type deepKey struct {
+		ki    int
+		level int
+		head  int
+	}
+	var deep []deepKey
+	var deepOps []*pdm.Op
+	uniq2 := make(map[pdm.Addr]int32)
+	var addrs2 []pdm.Addr
+	var idx2 []int32
+	view := make([][]pdm.Word, width)
+	for ki, x := range keys {
+		for i := range view {
+			view[i] = flat[idx[ki*width+i]]
+		}
+		membSat, ok := dd.memb.lookupInBlocks(x, view[:membLen])
+		if !ok {
+			continue
+		}
+		head := int(membSat[0] & 0xFF)
+		level := int(membSat[0] >> 8)
+		if level >= len(dd.levels) {
+			continue
+		}
+		if level == 0 {
+			sats[ki], oks[ki] = decodeChain(dd.fieldBits, dd.cfg.SatWords, dd.fieldsOf(&dd.levels[0], x, view[membLen:]), head)
+			continue
+		}
+		deep = append(deep, deepKey{ki: ki, level: level, head: head})
+		deepOps = append(deepOps, ops[ki])
+		scratch = dd.levelAddrs(&dd.levels[level], x, scratch[:0])
+		for _, a := range scratch {
+			j, seen := uniq2[a]
+			if !seen {
+				j = int32(len(addrs2))
+				uniq2[a] = j
+				addrs2 = append(addrs2, a)
+			}
+			idx2 = append(idx2, j)
+		}
+	}
+	if len(deep) > 0 {
+		flat2 := dd.m.BatchReadShared(deepOps, addrs2)
+		blocks := make([][]pdm.Word, dd.d)
+		for di, dk := range deep {
+			for i := range blocks {
+				blocks[i] = flat2[idx2[di*dd.d+i]]
+			}
+			x := keys[dk.ki]
+			sats[dk.ki], oks[dk.ki] = decodeChain(dd.fieldBits, dd.cfg.SatWords, dd.fieldsOf(&dd.levels[dk.level], x, blocks), dk.head)
+		}
+	}
+	for i := len(ends) - 1; i >= 0; i-- {
+		ends[i]()
+	}
+	return sats, oks
+}
+
+// LookupSharedOp resolves keys[i] on behalf of ops[i] in exactly ONE
+// merged read round — the single-probe guarantee extends to shared
+// rounds, since every key's membership and field blocks merge into the
+// same parallel I/O.
+func (op *OneProbeDict) LookupSharedOp(ops []*pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool) {
+	op.mu.RLock()
+	defer op.mu.RUnlock()
+	ends := make([]func(), len(ops))
+	for i, tok := range ops {
+		ends[i] = op.m.OpSpan(tok, obs.TagLookup)
+	}
+	width := op.probeWidthLocked()
+	idx := make([]int32, len(keys)*width)
+	uniq := make(map[pdm.Addr]int32, len(keys)*width)
+	var addrs []pdm.Addr
+	scratch := make([]pdm.Addr, 0, width)
+	for ki, x := range keys {
+		scratch = op.probeAddrsAllLocked(x, scratch[:0])
+		for i, a := range scratch {
+			j, ok := uniq[a]
+			if !ok {
+				j = int32(len(addrs))
+				uniq[a] = j
+				addrs = append(addrs, a)
+			}
+			idx[ki*width+i] = j
+		}
+	}
+	flat := op.m.BatchReadShared(ops, addrs)
+	sats := make([][]pdm.Word, len(keys))
+	oks := make([]bool, len(keys))
+	view := make([][]pdm.Word, width)
+	for ki, x := range keys {
+		for i := range view {
+			view[i] = flat[idx[ki*width+i]]
+		}
+		sats[ki], oks[ki] = op.lookupInFlatLocked(x, view)
+	}
+	for i := len(ends) - 1; i >= 0; i-- {
+		ends[i]()
+	}
+	return sats, oks
+}
+
+// LookupSharedOp resolves keys[i] on behalf of ops[i] through the
+// rebuild wrapper: the filling structure (if a migration is in flight)
+// answers a first shared round, and only the keys it misses ride a
+// second shared round against the draining structure — attributed to
+// just their ops. The ledger gains one Op per participant, each charged
+// its own exact cost (the merged rounds it rode, in full).
+func (d *Dict) LookupSharedOp(ops []*pdm.Op, keys []pdm.Word) ([][]pdm.Word, []bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	m := d.active.machine()
+	befores := make([]int64, len(ops))
+	ends := make([]func(), len(ops))
+	for i, op := range ops {
+		befores[i] = op.MaxMachineSteps()
+		ends[i] = m.OpSpan(op, obs.TagLookup)
+	}
+	var sats [][]pdm.Word
+	var oks []bool
+	if d.next != nil {
+		sats, oks = d.next.LookupSharedOp(ops, keys)
+		var missKeys []pdm.Word
+		var missOps []*pdm.Op
+		var missIdx []int
+		for i, ok := range oks {
+			if !ok {
+				missKeys = append(missKeys, keys[i])
+				missOps = append(missOps, ops[i])
+				missIdx = append(missIdx, i)
+			}
+		}
+		if len(missKeys) > 0 {
+			ms, mo := d.active.LookupSharedOp(missOps, missKeys)
+			for j, i := range missIdx {
+				sats[i], oks[i] = ms[j], mo[j]
+			}
+		}
+	} else {
+		sats, oks = d.active.LookupSharedOp(ops, keys)
+	}
+	for i := len(ends) - 1; i >= 0; i-- {
+		ends[i]()
+	}
+	d.statsMu.Lock()
+	for i, op := range ops {
+		cost := op.MaxMachineSteps() - befores[i]
+		d.stats.Ops++
+		d.stats.ParallelIOs += cost
+		if cost > d.stats.WorstOp {
+			d.stats.WorstOp = cost
+		}
+	}
+	d.statsMu.Unlock()
+	return sats, oks
+}
+
+// StepCount returns the active structure's machine step counter — the
+// deterministic logical clock the scheduler's step-budget admission
+// window runs on.
+func (d *Dict) StepCount() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.active.machine().StepCount()
+}

@@ -35,7 +35,7 @@ var DetRand = &Analyzer{
 
 // detRandScope matches the import paths of the packages whose
 // determinism the paper's claims depend on.
-var detRandScope = regexp.MustCompile(`(^|/)internal/(core|pdm|fault|expander|loadbalance|obs|heal)(/|$)`)
+var detRandScope = regexp.MustCompile(`(^|/)internal/(core|pdm|fault|expander|loadbalance|obs|heal|sched)(/|$)`)
 
 // randConstructors are the math/rand functions that build seeded
 // generators rather than drawing from global state.

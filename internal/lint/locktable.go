@@ -39,6 +39,16 @@ var lockOrder = []lockClass{
 	// Public wrappers: outermost. SyncDict serializes a whole Dictionary.
 	{Pkg: "pdmdict", Type: "SyncDict", Field: "mu", Rank: 10},
 
+	// The group-commit scheduler sits between the wrappers and the
+	// structures: its admission lock may be held while a SyncDict read
+	// lock is held (a wrapped Scheduled), and is ALWAYS released before
+	// the dispatcher calls into a Backend (core, rank ≥ 20) — the
+	// analyzer verifies that by the increasing ranks. The intent log's
+	// lock nests inside the dispatch path, also outside the admission
+	// lock.
+	{Pkg: "sched", Type: "Scheduler", Field: "mu", Rank: 14},
+	{Pkg: "sched", Type: "IntentLog", Field: "mu", Rank: 16},
+
 	// The rebuild wrapper: holds its lock across calls into both the
 	// draining and the filling structure.
 	{Pkg: "core", Type: "Dict", Field: "mu", Rank: 20},
@@ -172,13 +182,28 @@ var lockEffects = []methodEffect{
 		Classes: []lockClassKey{{"fault", "Schedule", "mu"}, {"fault", "Plan", "mu"}}},
 
 	// The public Dictionary interfaces dispatch into core.Dict (or a
-	// structure): callers must hold nothing at rank ≥ 20.
+	// structure — possibly through a Scheduled, which takes the
+	// scheduler's admission and intent-log locks first): callers must
+	// hold nothing at rank ≥ 14.
 	{Pkg: "pdmdict", Type: "Dictionary", Method: "*",
-		Classes: []lockClassKey{{"core", "Dict", "mu"}}},
+		Classes: []lockClassKey{{"sched", "Scheduler", "mu"}, {"sched", "IntentLog", "mu"}, {"core", "Dict", "mu"}}},
 	{Pkg: "pdmdict", Type: "BatchLookuper", Method: "*",
-		Classes: []lockClassKey{{"core", "Dict", "mu"}}},
+		Classes: []lockClassKey{{"sched", "Scheduler", "mu"}, {"sched", "IntentLog", "mu"}, {"core", "Dict", "mu"}}},
 	{Pkg: "pdmdict", Type: "Hooked", Method: "*",
-		Classes: []lockClassKey{{"core", "Dict", "mu"}}},
+		Classes: []lockClassKey{{"sched", "Scheduler", "mu"}, {"sched", "IntentLog", "mu"}, {"core", "Dict", "mu"}}},
+
+	// The scheduler's Backend interface dispatches into the dictionary
+	// structures; the dispatcher holds no scheduler lock at these call
+	// sites (ranks 20+ > 16 would flag a violation if it did).
+	{Pkg: "sched", Type: "Backend", Method: "*",
+		Classes: []lockClassKey{{"core", "Dict", "mu"}, {"core", "Dict", "statsMu"},
+			{"core", "OneProbeDict", "mu"}, {"core", "DynamicDict", "mu"}, {"core", "BasicDict", "mu"}}},
+	// Scheduler entry points take the admission lock, then — with it
+	// released — the intent log's lock and the Backend's locks.
+	{Pkg: "sched", Type: "Scheduler", Method: "*",
+		Classes: []lockClassKey{{"sched", "Scheduler", "mu"}, {"sched", "IntentLog", "mu"},
+			{"core", "Dict", "mu"}, {"core", "Dict", "statsMu"},
+			{"core", "OneProbeDict", "mu"}, {"core", "DynamicDict", "mu"}, {"core", "BasicDict", "mu"}}},
 
 	// The rebuild wrapper's structures: any rebuildable method may take
 	// its structure lock (and, through it, the membership BasicDict's).

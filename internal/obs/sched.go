@@ -1,0 +1,39 @@
+package obs
+
+// SchedSnapshot is a point-in-time view of the group-commit scheduler
+// (internal/sched), served verbatim as JSON on /debug/sched and
+// projected into the pdm_sched_* Prometheus families on /metrics. For a
+// deterministic workload the snapshot is byte-deterministic.
+type SchedSnapshot struct {
+	// Lookups counts admitted lookup operations.
+	Lookups int64 `json:"lookups"`
+	// Rounds counts merged shared read rounds executed.
+	Rounds int64 `json:"rounds"`
+	// RoundsSaved counts rounds avoided by coalescing: Σ over rounds of
+	// (participants − 1). Lookups − RoundsSaved == Rounds.
+	RoundsSaved int64 `json:"rounds_saved"`
+	// Writes counts admitted mutations (inserts + deletes).
+	Writes int64 `json:"writes"`
+	// Flushes counts group commits of the write queue.
+	Flushes int64 `json:"flushes"`
+	// Overloads counts writers bounced with ErrOverloaded.
+	Overloads int64 `json:"overloads"`
+	// QueueDepth is the current pending-write queue length.
+	QueueDepth int64 `json:"queue_depth"`
+	// QueuePeak is the high-water mark of QueueDepth — never above the
+	// configured bound.
+	QueuePeak int64 `json:"queue_peak"`
+	// PendingReads is the current open window's admitted lookup count.
+	PendingReads int64 `json:"pending_reads"`
+	// OccupancySum is Σ of read-round occupancies (equals Lookups over
+	// completed rounds); OccupancySum/Rounds is mean batch occupancy.
+	OccupancySum int64 `json:"occupancy_sum"`
+	// Occupancy is the read-round occupancy histogram.
+	Occupancy Summary `json:"occupancy"`
+	// WindowStepSum is Σ of admission-window lengths measured on the
+	// injected machine step clock.
+	WindowStepSum int64 `json:"window_step_sum"`
+	// WindowSteps is the admission-window length histogram (machine
+	// steps elapsed while the window stayed open).
+	WindowSteps Summary `json:"window_steps"`
+}

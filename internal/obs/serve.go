@@ -47,6 +47,10 @@ type Server struct {
 	// Monitor, when set, backs /debug/alerts and the pdm_alert_* metric
 	// families; nil omits both.
 	Monitor *Monitor
+	// Sched, when set, supplies the group-commit scheduler snapshot
+	// behind /debug/sched and the pdm_sched_* metric families; nil
+	// omits both.
+	Sched func() SchedSnapshot
 	// Fingerprint is the config fingerprint label on pdm_build_info
 	// (e.g. "D=8,B=32"); empty renders as config="".
 	Fingerprint string
@@ -60,6 +64,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/events", s.events)
 	mux.HandleFunc("/debug/ops", s.ops)
 	mux.HandleFunc("/debug/alerts", s.alerts)
+	mux.HandleFunc("/debug/sched", s.sched)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -303,6 +308,55 @@ func (s *Server) writeMetrics(w io.Writer) {
 	if s.Monitor != nil {
 		s.writeAlertMetrics(w)
 	}
+	if s.Sched != nil {
+		s.writeSchedMetrics(w)
+	}
+}
+
+// sched serves the group-commit scheduler's snapshot as indented JSON.
+// The snapshot walks fixed fields and sorted buckets, so the body is
+// deterministic for a deterministic workload.
+func (s *Server) sched(w http.ResponseWriter, _ *http.Request) {
+	if s.Sched == nil {
+		http.Error(w, "no scheduler attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Sched()) //nolint:errcheck // best-effort debug endpoint
+}
+
+// writeSchedMetrics renders the group-commit scheduler families: how
+// much coalescing the admission windows achieve (occupancy, rounds
+// saved), the async write path's queue state, and the window-length
+// histogram on the deterministic step clock.
+func (s *Server) writeSchedMetrics(w io.Writer) {
+	snap := s.Sched()
+
+	header(w, "pdm_sched_lookups_total", "counter", "Lookups admitted by the group-commit scheduler.")
+	sample(w, "pdm_sched_lookups_total", "", float64(snap.Lookups))
+	header(w, "pdm_sched_rounds_total", "counter", "Merged shared read rounds executed.")
+	sample(w, "pdm_sched_rounds_total", "", float64(snap.Rounds))
+	header(w, "pdm_sched_rounds_saved_total", "counter", "Read rounds avoided by coalescing (participants minus one, per round).")
+	sample(w, "pdm_sched_rounds_saved_total", "", float64(snap.RoundsSaved))
+	header(w, "pdm_sched_writes_total", "counter", "Mutations admitted to the group-commit write queue.")
+	sample(w, "pdm_sched_writes_total", "", float64(snap.Writes))
+	header(w, "pdm_sched_flushes_total", "counter", "Group commits of the write queue (intent-log flushes).")
+	sample(w, "pdm_sched_flushes_total", "", float64(snap.Flushes))
+	header(w, "pdm_sched_overloads_total", "counter", "Writers bounced with ErrOverloaded by backpressure.")
+	sample(w, "pdm_sched_overloads_total", "", float64(snap.Overloads))
+	header(w, "pdm_sched_queue_depth", "gauge", "Pending mutations in the write queue.")
+	sample(w, "pdm_sched_queue_depth", "", float64(snap.QueueDepth))
+	header(w, "pdm_sched_queue_peak", "gauge", "High-water mark of the write queue (bounded by the configured depth).")
+	sample(w, "pdm_sched_queue_peak", "", float64(snap.QueuePeak))
+	header(w, "pdm_sched_pending_reads", "gauge", "Lookups waiting in the open admission window.")
+	sample(w, "pdm_sched_pending_reads", "", float64(snap.PendingReads))
+
+	header(w, "pdm_sched_batch_occupancy", "histogram", "Lookups coalesced per shared read round.")
+	summarySeries(w, "pdm_sched_batch_occupancy", "", snap.Occupancy, float64(snap.OccupancySum))
+	header(w, "pdm_sched_window_steps", "histogram", "Admission window length in parallel I/O steps (deterministic clock).")
+	summarySeries(w, "pdm_sched_window_steps", "", snap.WindowSteps, float64(snap.WindowStepSum))
 }
 
 // writeAlertMetrics renders the watchdog's state. The snapshot's rules
@@ -473,6 +527,24 @@ func tagLabel(tag string) string {
 func histogram(w io.Writer, name, help, labels string, h *Hist, sum float64) {
 	header(w, name, "histogram", help)
 	histogramSeries(w, name, labels, h, 1, sum, h.Total())
+}
+
+// summarySeries writes the _bucket/_sum/_count lines of one labeled
+// histogram from a Summary digest (for sources that hand over a
+// snapshot rather than a live *Hist).
+func summarySeries(w io.Writer, name, labels string, s Summary, sum float64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmt.Sprintf("%g", float64(b.Hi)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Total)
+	sample(w, name+"_sum", labels, sum)
+	sample(w, name+"_count", labels, float64(s.Total))
 }
 
 // histogramSeries writes the _bucket/_sum/_count lines of one labeled

@@ -1,6 +1,11 @@
 package pdmdict
 
-import "sync"
+import (
+	"sync"
+
+	"pdmdict/internal/obs"
+	"pdmdict/internal/pdm"
+)
 
 // SyncDict wraps any Dictionary for concurrent use: lookups run
 // concurrently with each other (readers take a shared lock; the
@@ -53,19 +58,67 @@ func (s *SyncDict) Delete(key Word) bool {
 	return s.d.Delete(key)
 }
 
+// opMinter is satisfied by the structures SyncDict can mint batch
+// tokens on behalf of (every dictionary in this package).
+type opMinter interface {
+	MintOp(client, keys int, tag string) OpCtx
+}
+
 // LookupBatch resolves many keys at once. When the wrapped dictionary
 // is a BatchLookuper the probes are merged into shared read rounds;
-// otherwise the keys are looked up one by one under the same read lock.
-//
-//lint:pdm-allow opctx: delegates to an inner Dictionary whose own entry points mint tokens
+// otherwise the keys are looked up one by one under the same read lock,
+// threaded through ONE batch-scoped operation token (when the inner
+// dictionary can mint one), so the ledger counts the loop as a single
+// operation rather than len(keys) unattributed lookups.
 func (s *SyncDict) LookupBatch(keys []Word) ([][]Word, []bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	var c OpCtx
+	if m, ok := s.d.(opMinter); ok {
+		c = m.MintOp(0, len(keys), obs.TagLookup)
+	}
+	return s.lookupBatchLocked(c, keys)
+}
+
+// LookupBatchCtx is LookupBatch under a caller-supplied operation
+// token, for parity with the concrete dictionaries.
+func (s *SyncDict) LookupBatchCtx(c OpCtx, keys []Word) ([][]Word, []bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lookupBatchLocked(c, keys)
+}
+
+// lookupBatchLocked runs the batch under s.mu: the inner dictionary's
+// own batch path when it has one, else the per-key fallback loop under
+// a single root span of the batch token — one operation in the
+// accountant's eyes, each key's probes charged to the same token.
+func (s *SyncDict) lookupBatchLocked(c OpCtx, keys []Word) ([][]Word, []bool) {
+	type batchCtxLookuper interface {
+		LookupBatchCtx(OpCtx, []Word) ([][]Word, []bool)
+	}
+	if bl, ok := s.d.(batchCtxLookuper); ok && c.Op != nil {
+		return bl.LookupBatchCtx(c, keys)
+	}
 	if bl, ok := s.d.(BatchLookuper); ok {
 		return bl.LookupBatch(keys)
 	}
 	sats := make([][]Word, len(keys))
 	oks := make([]bool, len(keys))
+	type ctxLookuper interface {
+		LookupCtx(OpCtx, Word) ([]Word, bool)
+	}
+	cl, haveCtx := s.d.(ctxLookuper)
+	if haveCtx && c.Op != nil {
+		if mp, ok := s.d.(interface{ Machine() *pdm.Machine }); ok {
+			// One root span around the whole loop: the per-key spans
+			// nest under it, so the accountant completes one operation.
+			defer mp.Machine().OpSpan(c.Op, c.Tag)()
+		}
+		for i, k := range keys {
+			sats[i], oks[i] = cl.LookupCtx(c, k)
+		}
+		return sats, oks
+	}
 	for i, k := range keys {
 		sats[i], oks[i] = s.d.Lookup(k)
 	}
